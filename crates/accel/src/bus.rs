@@ -1,0 +1,167 @@
+//! Broadcast-bus beat packing rules (the Fig. 6 arithmetic).
+//!
+//! The distribution bus delivers `bus_slots` element-sized slots per
+//! cycle, where a slot carries either an operand element or a metadata
+//! element ("we assume that each metadata and data element consume the
+//! same amount of resources", §IV-B). How many matrix-A elements fit in
+//! one beat depends on the streaming ACF:
+//!
+//! | ACF of A | slot layout per beat | elements/beat |
+//! |---|---|---|
+//! | Dense | 1 shared row id + data | `slots - 1` |
+//! | CSR | 1 shared row id + (data, col id) pairs | `(slots - 1) / 2` |
+//! | CSC | 1 shared col id + (data, row id) pairs | `(slots - 1) / 2` |
+//! | COO | (data, col id, row id) triples | `slots / 3` |
+//!
+//! A beat never mixes rows (CSR/Dense) or columns (CSC): "if the row id
+//! is not common among both data, it must be broken up" (§IV-B).
+
+/// Packing calculator for a bus of `slots` element slots per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusPacking {
+    /// Bus capacity in element slots per cycle.
+    pub slots: usize,
+}
+
+/// Result of packing one operand stream: beat count and slot traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamBeats {
+    /// Bus cycles consumed (one beat per cycle before PE stalls).
+    pub beats: u64,
+    /// Total element slots carried (data + metadata), for NoC energy.
+    pub slots_used: u64,
+}
+
+impl StreamBeats {
+    /// Accumulate another stream's traffic.
+    pub fn add(&mut self, other: StreamBeats) {
+        self.beats += other.beats;
+        self.slots_used += other.slots_used;
+    }
+}
+
+impl BusPacking {
+    /// Data elements per beat for a Dense stream (row id shares the beat).
+    pub fn dense_capacity(&self) -> usize {
+        self.slots.saturating_sub(1).max(1)
+    }
+
+    /// (data, index) pairs per beat for CSR/CSC streams.
+    pub fn pair_capacity(&self) -> usize {
+        (self.slots.saturating_sub(1) / 2).max(1)
+    }
+
+    /// (data, col id, row id) triples per beat for COO streams.
+    pub fn triple_capacity(&self) -> usize {
+        (self.slots / 3).max(1)
+    }
+
+    /// Beats to stream one dense row segment of `len` elements.
+    pub fn dense_row(&self, len: usize) -> StreamBeats {
+        if len == 0 {
+            return StreamBeats::default();
+        }
+        let cap = self.dense_capacity();
+        let beats = (len as u64).div_ceil(cap as u64);
+        // Each beat carries its data slots plus one row-id slot.
+        StreamBeats { beats, slots_used: len as u64 + beats }
+    }
+
+    /// Beats to stream one compressed row (CSR) or column (CSC) of
+    /// `nnz` nonzeros.
+    pub fn pair_run(&self, nnz: usize) -> StreamBeats {
+        if nnz == 0 {
+            return StreamBeats::default();
+        }
+        let cap = self.pair_capacity();
+        let beats = (nnz as u64).div_ceil(cap as u64);
+        StreamBeats { beats, slots_used: 2 * nnz as u64 + beats }
+    }
+
+    /// Beats to stream `nnz` COO elements (rows may mix freely).
+    pub fn coo_run(&self, nnz: usize) -> StreamBeats {
+        if nnz == 0 {
+            return StreamBeats::default();
+        }
+        let cap = self.triple_capacity();
+        let beats = (nnz as u64).div_ceil(cap as u64);
+        StreamBeats { beats, slots_used: 3 * nnz as u64 }
+    }
+
+    /// Beats to broadcast-load `elems` stationary element slots into PE
+    /// buffers (values and metadata alike ride the same bus).
+    pub fn load_run(&self, elems: usize) -> StreamBeats {
+        let beats = (elems as u64).div_ceil(self.slots as u64);
+        StreamBeats { beats, slots_used: elems as u64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 6's five-slot bus.
+    const FIG6: BusPacking = BusPacking { slots: 5 };
+
+    #[test]
+    fn fig6_capacities() {
+        assert_eq!(FIG6.dense_capacity(), 4); // "four data elements and one row id"
+        assert_eq!(FIG6.pair_capacity(), 2); // "two data elements, two col ids, one common row id"
+        assert_eq!(FIG6.triple_capacity(), 1); // "only one data entry can be sent per cycle"
+    }
+
+    #[test]
+    fn fig6_dense_stream_is_8_beats() {
+        // Matrix A is 4x8: each row needs ceil(8/4) = 2 beats; 4 rows = 8.
+        let mut total = StreamBeats::default();
+        for _ in 0..4 {
+            total.add(FIG6.dense_row(8));
+        }
+        assert_eq!(total.beats, 8);
+    }
+
+    #[test]
+    fn fig6_csr_stream_is_3_beats() {
+        // Row 0 has 3 nonzeros (A, B, C) -> 2 beats; row 3 has 1 (H) -> 1.
+        let mut total = StreamBeats::default();
+        total.add(FIG6.pair_run(3));
+        total.add(FIG6.pair_run(1));
+        assert_eq!(total.beats, 3);
+    }
+
+    #[test]
+    fn fig6_coo_stream_is_4_beats() {
+        assert_eq!(FIG6.coo_run(4).beats, 4);
+    }
+
+    #[test]
+    fn paper_bus_capacities() {
+        let bus = BusPacking { slots: 16 };
+        assert_eq!(bus.dense_capacity(), 15);
+        assert_eq!(bus.pair_capacity(), 7);
+        assert_eq!(bus.triple_capacity(), 5);
+    }
+
+    #[test]
+    fn empty_runs_cost_nothing() {
+        assert_eq!(FIG6.dense_row(0).beats, 0);
+        assert_eq!(FIG6.pair_run(0).beats, 0);
+        assert_eq!(FIG6.coo_run(0).beats, 0);
+    }
+
+    #[test]
+    fn degenerate_narrow_bus_still_progresses() {
+        let bus = BusPacking { slots: 1 };
+        assert!(bus.dense_capacity() >= 1);
+        assert!(bus.pair_capacity() >= 1);
+        assert!(bus.triple_capacity() >= 1);
+        assert_eq!(bus.dense_row(4).beats, 4);
+    }
+
+    #[test]
+    fn load_run_uses_full_bus() {
+        assert_eq!(FIG6.load_run(10).beats, 2);
+        assert_eq!(FIG6.load_run(11).beats, 3);
+        assert_eq!(FIG6.load_run(0).beats, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-operation energy model.
+//!
+//! Constants follow the Horowitz ISSCC'14 survey the paper cites (§I:
+//! "a data transfer from DRAM can cost 6400x more energy than an add
+//! operation"): with an int32 add at 0.1 pJ, a 32-bit DRAM access costs
+//! 640 pJ — exactly the 6400x ratio. On-chip storage sits between the two
+//! (global SRAM ~50 pJ, small PE buffers ~5 pJ per 32-bit access).
+//! Absolute joules will differ from the authors' 28nm testbed; every
+//! downstream comparison is relative (normalized EDP), which these ratios
+//! preserve.
+
+/// Energy constants in joules per event (32-bit granularity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One int32 add (the paper's 1x reference).
+    pub add_int32: f64,
+    /// One fp32 multiply-accumulate (vector MAC lane-op).
+    pub mac_fp32: f64,
+    /// One 32-bit access to a PE-local buffer.
+    pub pe_buffer_access: f64,
+    /// One 32-bit access to the global shared scratchpad.
+    pub global_buffer_access: f64,
+    /// Moving one 32-bit element one hop on the bus/NoC.
+    pub noc_transfer: f64,
+    /// One 32-bit DRAM access (6400x `add_int32`).
+    pub dram_access: f64,
+}
+
+impl EnergyModel {
+    /// Default 28nm-class constants (joules).
+    pub const fn default_28nm() -> Self {
+        EnergyModel {
+            add_int32: 0.1e-12,
+            mac_fp32: 4.6e-12,
+            pe_buffer_access: 5.0e-12,
+            global_buffer_access: 50.0e-12,
+            noc_transfer: 2.0e-12,
+            dram_access: 640.0e-12,
+        }
+    }
+
+    /// DRAM energy per bit (the 32-bit access cost spread over 32 bits).
+    pub fn dram_per_bit(&self) -> f64 {
+        self.dram_access / 32.0
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::default_28nm()
+    }
+}
+
+/// Energy totals accumulated by a simulation or analytic model run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Compute energy (MAC operations).
+    pub compute: f64,
+    /// PE buffer read/write energy.
+    pub pe_buffer: f64,
+    /// Global scratchpad energy.
+    pub global_buffer: f64,
+    /// Bus/NoC transfer energy.
+    pub noc: f64,
+    /// DRAM transfer energy.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.compute + self.pe_buffer + self.global_buffer + self.noc + self.dram
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute: self.compute + other.compute,
+            pe_buffer: self.pe_buffer + other.pe_buffer,
+            global_buffer: self.global_buffer + other.global_buffer,
+            noc: self.noc + other.noc,
+            dram: self.dram + other.dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_is_6400x_add() {
+        let e = EnergyModel::default_28nm();
+        let ratio = e.dram_access / e.add_int32;
+        assert!((ratio - 6400.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn hierarchy_is_monotonic() {
+        // Energy must grow strictly with distance from the PE.
+        let e = EnergyModel::default_28nm();
+        assert!(e.pe_buffer_access < e.global_buffer_access);
+        assert!(e.global_buffer_access < e.dram_access);
+        assert!(e.noc_transfer < e.global_buffer_access);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let a = EnergyBreakdown { compute: 1.0, pe_buffer: 2.0, global_buffer: 3.0, noc: 4.0, dram: 5.0 };
+        assert_eq!(a.total(), 15.0);
+        let b = a.add(&a);
+        assert_eq!(b.total(), 30.0);
+        assert_eq!(b.dram, 10.0);
+    }
+}

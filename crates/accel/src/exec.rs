@@ -1,0 +1,836 @@
+//! Cycle-accurate functional execution of the weight-stationary array.
+//!
+//! [`simulate_ws`] runs `O = A x B` with `B` stationary (one column per
+//! PE, tiled) and `A` streaming over the broadcast bus, for every ACF
+//! combination of §IV: A in Dense / CSR / COO / CSC against B in Dense /
+//! CSC. [`simulate_spgemm`] runs the CSR(A)-CSR(B) Gustavson dataflow
+//! (rows of `B` stationary) used by the extreme-sparsity workloads.
+//!
+//! The simulator is *functional* — it walks every bus beat, performs the
+//! index matching the extended PEs do in hardware, and produces the
+//! actual output matrix alongside exact cycle counts. Tests validate the
+//! output against the software kernels and the cycle counts against the
+//! paper's Fig. 6 walkthrough.
+
+use crate::bus::BusPacking;
+use crate::config::AccelConfig;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use sparseflex_formats::{
+    CscMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix, Value,
+};
+use std::fmt;
+
+/// Errors a simulation can raise before running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Inner dimensions of A and B disagree.
+    DimMismatch {
+        /// Columns of A.
+        a_cols: usize,
+        /// Rows of B.
+        b_rows: usize,
+    },
+    /// The requested ACF pair is not supported by the WS array.
+    UnsupportedAcf {
+        /// Streaming operand format.
+        a: MatrixFormat,
+        /// Stationary operand format.
+        b: MatrixFormat,
+    },
+    /// A stationary unit (column or row) cannot fit in a PE buffer even
+    /// alone.
+    BufferTooSmall {
+        /// Slots required by the indivisible unit.
+        needed: usize,
+        /// Slots available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DimMismatch { a_cols, b_rows } => {
+                write!(f, "dimension mismatch: A has {a_cols} cols, B has {b_rows} rows")
+            }
+            SimError::UnsupportedAcf { a, b } => {
+                write!(f, "unsupported ACF pair {a}(A)-{b}(B) on the WS array")
+            }
+            SimError::BufferTooSmall { needed, available } => {
+                write!(f, "stationary unit needs {needed} slots, PE buffer has {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Cycle totals, split the way Fig. 12 stacks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Cycles broadcasting stationary tiles into PE buffers.
+    pub load_b: u64,
+    /// Cycles streaming matrix A (bus beats x PE stall factor).
+    pub stream_a: u64,
+    /// Cycles draining output registers to the global buffer.
+    pub drain: u64,
+}
+
+impl CycleBreakdown {
+    /// Total compute-side cycles.
+    pub fn total(&self) -> u64 {
+        self.load_b + self.stream_a + self.drain
+    }
+}
+
+/// Activity counters for energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActivityCounts {
+    /// MAC lane-operations issued (including zero-operand "wasted" ones).
+    pub macs: u64,
+    /// MACs where both operands were nonzero (true utilization).
+    pub effective_macs: u64,
+    /// Element slots moved over the broadcast bus.
+    pub bus_slots_used: u64,
+    /// PE buffer reads (stationary operand + metadata).
+    pub pe_buffer_reads: u64,
+    /// PE buffer writes (stationary tile loads).
+    pub pe_buffer_writes: u64,
+    /// Output-register flushes to the global buffer.
+    pub output_flushes: u64,
+}
+
+impl ActivityCounts {
+    /// PE utilization: effective MACs over issued MACs.
+    pub fn utilization(&self) -> f64 {
+        if self.macs == 0 {
+            0.0
+        } else {
+            self.effective_macs as f64 / self.macs as f64
+        }
+    }
+
+    /// On-chip energy (DRAM is accounted separately by the memory model).
+    pub fn energy(&self, e: &EnergyModel) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute: self.macs as f64 * e.mac_fp32,
+            pe_buffer: (self.pe_buffer_reads + self.pe_buffer_writes) as f64
+                * e.pe_buffer_access,
+            global_buffer: self.output_flushes as f64 * e.global_buffer_access,
+            noc: self.bus_slots_used as f64 * e.noc_transfer,
+            dram: 0.0,
+        }
+    }
+}
+
+/// Result of one simulated kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The computed output matrix (dense accumulation).
+    pub output: DenseMatrix,
+    /// Cycle breakdown.
+    pub cycles: CycleBreakdown,
+    /// Activity counters.
+    pub counts: ActivityCounts,
+    /// Number of stationary column tiles executed.
+    pub n_tiles: usize,
+    /// Total number of k-range passes across all column tiles.
+    pub k_passes: usize,
+}
+
+/// One streamed element: `(k, value, row)` — `row` is the output row the
+/// element contributes to (for CSC-A streams, `k` is the shared column and
+/// the element index is the row).
+#[derive(Debug, Clone, Copy)]
+struct StreamElem {
+    k: usize,
+    value: Value,
+    row: usize,
+}
+
+/// One bus beat: a group of elements sharing the beat.
+#[derive(Debug, Clone)]
+struct Beat {
+    elems: Vec<StreamElem>,
+    slots: u64,
+}
+
+/// Stationary content of one PE for one (n_tile, k_range) pass.
+enum Station {
+    /// Dense column segment: values for `k in k0..k0+len`.
+    Dense { k0: usize, values: Vec<Value> },
+    /// Compressed column: sorted `(k, value)` pairs.
+    Csc { entries: Vec<(usize, Value)> },
+}
+
+impl Station {
+    fn footprint_slots(&self) -> usize {
+        match self {
+            Station::Dense { values, .. } => values.len(),
+            Station::Csc { entries } => 2 * entries.len(),
+        }
+    }
+
+    /// Look up the stationary value matched by stream index `k`.
+    /// Returns `None` when the index misses (no MAC issued), `Some(v)`
+    /// when a MAC is issued with stationary operand `v` (which may be a
+    /// stored zero for Dense stations — a wasted MAC).
+    fn match_k(&self, k: usize) -> Option<Value> {
+        match self {
+            Station::Dense { k0, values } => {
+                if k >= *k0 && k - *k0 < values.len() {
+                    Some(values[k - *k0])
+                } else {
+                    None
+                }
+            }
+            Station::Csc { entries } => entries
+                .binary_search_by_key(&k, |&(kk, _)| kk)
+                .ok()
+                .map(|i| entries[i].1),
+        }
+    }
+}
+
+/// Simulate `O = A x B` on the weight-stationary array.
+///
+/// Supported ACF pairs: `A in {Dense, CSR, COO, CSC}` x `B in {Dense,
+/// CSC}`. For CSR(A)-CSR(B) SpGEMM use [`simulate_spgemm`].
+pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<SimResult, SimError> {
+    if a.cols() != b.rows() {
+        return Err(SimError::DimMismatch { a_cols: a.cols(), b_rows: b.rows() });
+    }
+    let a_fmt = a.format();
+    let b_fmt = b.format();
+    let a_ok = matches!(
+        a_fmt,
+        MatrixFormat::Dense | MatrixFormat::Csr | MatrixFormat::Coo | MatrixFormat::Csc
+    );
+    let b_ok = matches!(b_fmt, MatrixFormat::Dense | MatrixFormat::Csc);
+    if !a_ok || !b_ok {
+        return Err(SimError::UnsupportedAcf { a: a_fmt, b: b_fmt });
+    }
+
+    let bus = BusPacking { slots: cfg.bus_slots };
+    let m = a.rows();
+    let k_dim = a.cols();
+    let n = b.cols();
+    // Canonical accessors for B columns.
+    let b_csc = match b {
+        MatrixData::Csc(c) => Some(c.clone()),
+        _ => None,
+    };
+    let b_dense = match b {
+        MatrixData::Dense(d) => Some(d.clone()),
+        _ => None,
+    };
+
+    let mut output = DenseMatrix::zeros(m, n);
+    let mut cycles = CycleBreakdown::default();
+    let mut counts = ActivityCounts::default();
+    let mut n_tiles = 0usize;
+    let mut k_passes = 0usize;
+
+    // Pre-extract A in CSR form for sparse streaming (row-major order).
+    let a_csr = match a {
+        MatrixData::Csr(c) => c.clone(),
+        other => CsrMatrix::from_coo(&other.to_coo()),
+    };
+    let a_dense_rows: Option<&DenseMatrix> = match a {
+        MatrixData::Dense(d) => Some(d),
+        _ => None,
+    };
+    // For CSC-A streaming we need A by columns.
+    let a_csc = match a {
+        MatrixData::Csc(c) => Some(c.clone()),
+        _ => None,
+    };
+
+    for tile_start in (0..n).step_by(cfg.num_pes.max(1)) {
+        n_tiles += 1;
+        let tile_cols: Vec<usize> = (tile_start..(tile_start + cfg.num_pes).min(n)).collect();
+
+        // Partition the K dimension into ranges that fit the PE buffers.
+        let k_ranges = compute_k_ranges(
+            &tile_cols,
+            k_dim,
+            cfg.pe_buffer_elems,
+            b_csc.as_ref(),
+        )?;
+
+        for (k0, k1) in k_ranges {
+            k_passes += 1;
+            // ---- Load stationary tiles.
+            let stations: Vec<Station> = tile_cols
+                .iter()
+                .map(|&j| match (&b_dense, &b_csc) {
+                    (Some(d), _) => {
+                        let values: Vec<Value> = (k0..k1).map(|k| d.get(k, j)).collect();
+                        Station::Dense { k0, values }
+                    }
+                    (_, Some(c)) => {
+                        let (rows, vals) = c.col(j);
+                        let entries: Vec<(usize, Value)> = rows
+                            .iter()
+                            .zip(vals)
+                            .filter(|(&k, _)| k >= k0 && k < k1)
+                            .map(|(&k, &v)| (k, v))
+                            .collect();
+                        Station::Csc { entries }
+                    }
+                    _ => unreachable!("b format checked above"),
+                })
+                .collect();
+            let load_slots: usize = stations.iter().map(Station::footprint_slots).sum();
+            let load = bus.load_run(load_slots);
+            cycles.load_b += load.beats;
+            counts.bus_slots_used += load.slots_used;
+            counts.pe_buffer_writes += load_slots as u64;
+
+            // ---- Build the A beat stream for this k range.
+            let beats = build_beats(
+                &a_fmt,
+                a_dense_rows,
+                &a_csr,
+                a_csc.as_ref(),
+                m,
+                k0,
+                k1,
+                &bus,
+            );
+
+            // ---- Process beats.
+            // Per-PE open output row (for flush counting).
+            let mut open_row: Vec<Option<usize>> = vec![None; stations.len()];
+            let col_major_stream = a_fmt == MatrixFormat::Csc;
+            for beat in &beats {
+                counts.bus_slots_used += beat.slots;
+                let mut max_work = 0u64;
+                for (pi, station) in stations.iter().enumerate() {
+                    let mut work = 0u64;
+                    for e in &beat.elems {
+                        if let Some(bv) = station.match_k(e.k) {
+                            work += 1;
+                            counts.pe_buffer_reads += 1;
+                            counts.macs += 1;
+                            if e.value != 0.0 && bv != 0.0 {
+                                counts.effective_macs += 1;
+                                output.add_assign(e.row, tile_cols[pi], e.value * bv);
+                            }
+                            if col_major_stream {
+                                // Column-major streaming changes the output
+                                // row on every element: each MAC flushes.
+                                counts.output_flushes += 1;
+                            } else if open_row[pi] != Some(e.row) {
+                                if open_row[pi].is_some() {
+                                    counts.output_flushes += 1;
+                                }
+                                open_row[pi] = Some(e.row);
+                            }
+                        }
+                    }
+                    max_work = max_work.max(work);
+                }
+                cycles.stream_a += max_work.div_ceil(cfg.vector_width as u64).max(1);
+            }
+            // Close any open accumulators at the end of the pass.
+            if !col_major_stream {
+                counts.output_flushes +=
+                    open_row.iter().filter(|r| r.is_some()).count() as u64;
+            }
+        }
+    }
+
+    // Output registers drain through per-PE ports into the banked
+    // global buffer (one flush per PE per cycle), not over the shared
+    // input bus.
+    cycles.drain = counts.output_flushes.div_ceil(cfg.num_pes.max(1) as u64);
+    Ok(SimResult { output, cycles, counts, n_tiles, k_passes })
+}
+
+/// Compute K-dimension ranges such that every PE's stationary footprint
+/// fits its buffer.
+fn compute_k_ranges(
+    tile_cols: &[usize],
+    k_dim: usize,
+    buffer_elems: usize,
+    b_csc: Option<&CscMatrix>,
+) -> Result<Vec<(usize, usize)>, SimError> {
+    match b_csc {
+        None => {
+            // Dense stationary columns: footprint = range length.
+            if buffer_elems == 0 {
+                return Err(SimError::BufferTooSmall { needed: 1, available: 0 });
+            }
+            let mut ranges = Vec::new();
+            let mut k0 = 0;
+            while k0 < k_dim {
+                let k1 = (k0 + buffer_elems).min(k_dim);
+                ranges.push((k0, k1));
+                k0 = k1;
+            }
+            if ranges.is_empty() {
+                ranges.push((0, 0));
+            }
+            Ok(ranges)
+        }
+        Some(csc) => {
+            // Compressed stationary columns: footprint = 2 x entries in
+            // range; grow each range greedily until the fullest column
+            // would overflow.
+            if buffer_elems < 2 {
+                return Err(SimError::BufferTooSmall { needed: 2, available: buffer_elems });
+            }
+            let cap_pairs = buffer_elems / 2;
+            // Per-column sorted k lists for the tile.
+            let cols_k: Vec<&[usize]> = tile_cols.iter().map(|&j| csc.col(j).0).collect();
+            let mut ranges = Vec::new();
+            let mut k0 = 0usize;
+            // Cursor per column into its k list (all start at zero).
+            let mut cursors: Vec<usize> = vec![0; cols_k.len()];
+            while k0 < k_dim {
+                // Find the largest k1 such that every column's entry count
+                // in [k0, k1) fits cap_pairs. Binary search over k1 via
+                // per-column index arithmetic: the limiting column is the
+                // one whose (cursor + cap_pairs)-th entry is smallest.
+                let mut k1 = k_dim;
+                for (ci, ks) in cols_k.iter().enumerate() {
+                    let cur = cursors[ci];
+                    if cur + cap_pairs < ks.len() {
+                        // This column's (cap_pairs+1)-th entry must fall
+                        // outside the range.
+                        k1 = k1.min(ks[cur + cap_pairs]);
+                    }
+                }
+                if k1 <= k0 {
+                    // A single k index overflows a buffer — impossible
+                    // since each column holds at most one entry per k.
+                    return Err(SimError::BufferTooSmall {
+                        needed: 2 * (cap_pairs + 1),
+                        available: buffer_elems,
+                    });
+                }
+                ranges.push((k0, k1));
+                for (ci, ks) in cols_k.iter().enumerate() {
+                    cursors[ci] = ks.partition_point(|&k| k < k1);
+                }
+                k0 = k1;
+            }
+            if ranges.is_empty() {
+                ranges.push((0, 0));
+            }
+            Ok(ranges)
+        }
+    }
+}
+
+/// Build the beat stream for matrix A restricted to `k in [k0, k1)`.
+#[allow(clippy::too_many_arguments)]
+fn build_beats(
+    a_fmt: &MatrixFormat,
+    a_dense: Option<&DenseMatrix>,
+    a_csr: &CsrMatrix,
+    a_csc: Option<&CscMatrix>,
+    m: usize,
+    k0: usize,
+    k1: usize,
+    bus: &BusPacking,
+) -> Vec<Beat> {
+    let mut beats = Vec::new();
+    match a_fmt {
+        MatrixFormat::Dense => {
+            let d = a_dense.expect("dense payload for dense ACF");
+            let cap = bus.dense_capacity();
+            for r in 0..m {
+                let row = d.row(r);
+                let mut k = k0;
+                while k < k1 {
+                    let end = (k + cap).min(k1);
+                    let elems: Vec<StreamElem> = (k..end)
+                        .map(|kk| StreamElem { k: kk, value: row[kk], row: r })
+                        .collect();
+                    let slots = elems.len() as u64 + 1; // +1 shared row id
+                    beats.push(Beat { elems, slots });
+                    k = end;
+                }
+            }
+        }
+        MatrixFormat::Csr => {
+            let cap = bus.pair_capacity();
+            for r in 0..m {
+                let (cols, vals) = a_csr.row(r);
+                let lo = cols.partition_point(|&c| c < k0);
+                let hi = cols.partition_point(|&c| c < k1);
+                let mut i = lo;
+                while i < hi {
+                    let end = (i + cap).min(hi);
+                    let elems: Vec<StreamElem> = (i..end)
+                        .map(|ii| StreamElem { k: cols[ii], value: vals[ii], row: r })
+                        .collect();
+                    let slots = 2 * elems.len() as u64 + 1; // pairs + shared row id
+                    beats.push(Beat { elems, slots });
+                    i = end;
+                }
+            }
+        }
+        MatrixFormat::Coo => {
+            let cap = bus.triple_capacity();
+            let mut pending: Vec<StreamElem> = Vec::with_capacity(cap);
+            for r in 0..m {
+                let (cols, vals) = a_csr.row(r);
+                let lo = cols.partition_point(|&c| c < k0);
+                let hi = cols.partition_point(|&c| c < k1);
+                for i in lo..hi {
+                    pending.push(StreamElem { k: cols[i], value: vals[i], row: r });
+                    if pending.len() == cap {
+                        let slots = 3 * pending.len() as u64;
+                        beats.push(Beat { elems: std::mem::take(&mut pending), slots });
+                        pending = Vec::with_capacity(cap);
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                let slots = 3 * pending.len() as u64;
+                beats.push(Beat { elems: pending, slots });
+            }
+        }
+        MatrixFormat::Csc => {
+            let c = a_csc.expect("csc payload for csc ACF");
+            let cap = bus.pair_capacity();
+            for k in k0..k1 {
+                let (rows, vals) = c.col(k);
+                let mut i = 0;
+                while i < rows.len() {
+                    let end = (i + cap).min(rows.len());
+                    let elems: Vec<StreamElem> = (i..end)
+                        .map(|ii| StreamElem { k, value: vals[ii], row: rows[ii] })
+                        .collect();
+                    let slots = 2 * elems.len() as u64 + 1; // pairs + shared col id
+                    beats.push(Beat { elems, slots });
+                    i = end;
+                }
+            }
+        }
+        _ => unreachable!("ACF validated by caller"),
+    }
+    beats
+}
+
+/// Simulate CSR(A)-CSR(B) SpGEMM with the Gustavson dataflow: rows of `B`
+/// are distributed round-robin across PE buffers; each streamed nonzero
+/// `A(r, k)` activates the PE holding row `k` of `B`, which multiplies it
+/// against that whole compressed row.
+pub fn simulate_spgemm(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    cfg: &AccelConfig,
+) -> Result<SimResult, SimError> {
+    if a.cols() != b.rows() {
+        return Err(SimError::DimMismatch { a_cols: a.cols(), b_rows: b.rows() });
+    }
+    let bus = BusPacking { slots: cfg.bus_slots };
+    let m = a.rows();
+    let k_dim = a.cols();
+    let n = b.cols();
+    let p = cfg.num_pes.max(1);
+
+    let mut output = DenseMatrix::zeros(m, n);
+    let mut cycles = CycleBreakdown::default();
+    let mut counts = ActivityCounts::default();
+
+    // Greedy K ranges: add B rows k0..k1 while every PE's footprint
+    // (2 slots per stored nonzero of its assigned rows) fits.
+    let cap = cfg.pe_buffer_elems;
+    let mut k_ranges: Vec<(usize, usize)> = Vec::new();
+    {
+        let mut k0 = 0usize;
+        let mut per_pe = vec![0usize; p];
+        let mut k = 0usize;
+        while k < k_dim {
+            let foot = 2 * b.row_nnz(k);
+            if foot > cap {
+                return Err(SimError::BufferTooSmall { needed: foot, available: cap });
+            }
+            let pe = k % p;
+            if per_pe[pe] + foot > cap {
+                k_ranges.push((k0, k));
+                k0 = k;
+                per_pe.iter_mut().for_each(|x| *x = 0);
+            }
+            per_pe[pe] += foot;
+            k += 1;
+        }
+        k_ranges.push((k0, k_dim));
+    }
+
+    let k_passes = k_ranges.len();
+    for &(k0, k1) in &k_ranges {
+        // Load stationary B rows for this range.
+        let load_slots: usize = (k0..k1).map(|k| 2 * b.row_nnz(k)).sum();
+        let load = bus.load_run(load_slots);
+        cycles.load_b += load.beats;
+        counts.bus_slots_used += load.slots_used;
+        counts.pe_buffer_writes += load_slots as u64;
+
+        // Stream A (CSR beats restricted to the range).
+        let cap_pairs = bus.pair_capacity();
+        for r in 0..m {
+            let (cols, vals) = a.row(r);
+            let lo = cols.partition_point(|&c| c < k0);
+            let hi = cols.partition_point(|&c| c < k1);
+            let mut i = lo;
+            while i < hi {
+                let end = (i + cap_pairs).min(hi);
+                counts.bus_slots_used += 2 * (end - i) as u64 + 1;
+                // Per-PE work in this beat.
+                let mut pe_work = vec![0u64; p];
+                for ii in i..end {
+                    let k = cols[ii];
+                    let v = vals[ii];
+                    let work = b.row_nnz(k) as u64;
+                    pe_work[k % p] += work;
+                    counts.macs += work;
+                    counts.effective_macs += work;
+                    counts.pe_buffer_reads += 2 * work; // metadata + value
+                    counts.output_flushes += work; // scatter accumulations
+                    let (bcols, bvals) = b.row(k);
+                    for (j, bv) in bcols.iter().zip(bvals) {
+                        output.add_assign(r, *j, v * bv);
+                    }
+                }
+                let max_work = pe_work.iter().copied().max().unwrap_or(0);
+                cycles.stream_a += max_work.div_ceil(cfg.vector_width as u64).max(1);
+                i = end;
+            }
+        }
+    }
+    cycles.drain = counts.output_flushes.div_ceil(cfg.num_pes.max(1) as u64);
+    Ok(SimResult { output, cycles, counts, n_tiles: 1, k_passes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::CooMatrix;
+
+    /// The Fig. 6 walkthrough operands.
+    /// Matrix A (4x8): A@(0,0), B@(0,2), C@(0,4), H@(3,5).
+    fn fig6_a() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            8,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (0, 4, 3.0), (3, 5, 8.0)],
+        )
+        .unwrap()
+    }
+
+    /// Matrix B (8x4): a@(0,0), d@(0,1), b@(2,0), f@(3,2), c@(4,0),
+    /// g@(5,2), h@(5,3), e@(7,1).
+    fn fig6_b() -> CooMatrix {
+        CooMatrix::from_triplets(
+            8,
+            4,
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 4.0),
+                (2, 0, 2.0),
+                (3, 2, 6.0),
+                (4, 0, 3.0),
+                (5, 2, 7.0),
+                (5, 3, 8.0),
+                (7, 1, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn encode(coo: &CooMatrix, fmt: MatrixFormat) -> MatrixData {
+        MatrixData::encode(coo, &fmt).unwrap()
+    }
+
+    fn reference(a: &CooMatrix, b: &CooMatrix) -> DenseMatrix {
+        sparseflex_kernels::gemm::gemm_naive(&a.clone().into_dense(), &b.clone().into_dense())
+    }
+
+    #[test]
+    fn fig6a_dense_dense_takes_8_stream_cycles() {
+        let cfg = AccelConfig::walkthrough();
+        let a = encode(&fig6_a(), MatrixFormat::Dense);
+        let b = encode(&fig6_b(), MatrixFormat::Dense);
+        let r = simulate_ws(&a, &b, &cfg).unwrap();
+        assert_eq!(r.cycles.stream_a, 8, "Fig. 6a: 8 cycles to send matrix A");
+        assert_eq!(r.output, reference(&fig6_a(), &fig6_b()));
+    }
+
+    #[test]
+    fn fig6b_csr_csc_takes_3_stream_cycles() {
+        let cfg = AccelConfig::walkthrough();
+        let a = encode(&fig6_a(), MatrixFormat::Csr);
+        let b = encode(&fig6_b(), MatrixFormat::Csc);
+        let r = simulate_ws(&a, &b, &cfg).unwrap();
+        assert_eq!(r.cycles.stream_a, 3, "Fig. 6b: 3 cycles to send matrix A");
+        assert_eq!(r.output, reference(&fig6_a(), &fig6_b()));
+    }
+
+    #[test]
+    fn fig6c_coo_dense_takes_4_stream_cycles() {
+        let cfg = AccelConfig::walkthrough();
+        let a = encode(&fig6_a(), MatrixFormat::Coo);
+        let b = encode(&fig6_b(), MatrixFormat::Dense);
+        let r = simulate_ws(&a, &b, &cfg).unwrap();
+        assert_eq!(r.cycles.stream_a, 4, "Fig. 6c: 4 cycles to send matrix A");
+        assert_eq!(r.output, reference(&fig6_a(), &fig6_b()));
+    }
+
+    #[test]
+    fn all_acf_pairs_compute_correctly() {
+        let cfg = AccelConfig::walkthrough();
+        let a_coo = fig6_a();
+        let b_coo = fig6_b();
+        let expect = reference(&a_coo, &b_coo);
+        for a_fmt in [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc]
+        {
+            for b_fmt in [MatrixFormat::Dense, MatrixFormat::Csc] {
+                let r = simulate_ws(&encode(&a_coo, a_fmt), &encode(&b_coo, b_fmt), &cfg)
+                    .unwrap_or_else(|e| panic!("{a_fmt}-{b_fmt}: {e}"));
+                assert_eq!(r.output, expect, "wrong output for {a_fmt}(A)-{b_fmt}(B)");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_acf_wastes_macs_sparse_acf_does_not() {
+        let cfg = AccelConfig::walkthrough();
+        let a_coo = fig6_a();
+        let b_coo = fig6_b();
+        let dense = simulate_ws(
+            &encode(&a_coo, MatrixFormat::Dense),
+            &encode(&b_coo, MatrixFormat::Dense),
+            &cfg,
+        )
+        .unwrap();
+        let sparse = simulate_ws(
+            &encode(&a_coo, MatrixFormat::Csr),
+            &encode(&b_coo, MatrixFormat::Csc),
+            &cfg,
+        )
+        .unwrap();
+        assert!(dense.counts.utilization() < 0.2, "dense util {}", dense.counts.utilization());
+        assert_eq!(sparse.counts.utilization(), 1.0);
+        assert_eq!(dense.counts.effective_macs, sparse.counts.effective_macs);
+    }
+
+    #[test]
+    fn tiling_splits_wide_outputs_and_deep_k() {
+        // N wider than the PE count and K deeper than the buffer.
+        let mut cfg = AccelConfig::walkthrough();
+        cfg.num_pes = 2;
+        cfg.pe_buffer_elems = 4;
+        let a = CooMatrix::from_triplets(
+            3,
+            10,
+            (0..10).map(|k| (k % 3, k, (k + 1) as f64)).collect(),
+        )
+        .unwrap();
+        let b = CooMatrix::from_triplets(
+            10,
+            5,
+            (0..10).flat_map(|k| (0..5).map(move |j| (k, j, ((k + j) % 4) as f64 + 1.0))).collect(),
+        )
+        .unwrap();
+        let r = simulate_ws(
+            &encode(&a, MatrixFormat::Csr),
+            &encode(&b, MatrixFormat::Dense),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.n_tiles, 3); // ceil(5 cols / 2 PEs)
+        assert!(r.k_passes >= 3 * 3); // each tile needs ceil(10/4) = 3 passes
+        assert_eq!(r.output, reference(&a, &b));
+    }
+
+    #[test]
+    fn csc_stationary_tiling_by_occupancy() {
+        // Stationary CSC columns with very uneven population.
+        let mut cfg = AccelConfig::walkthrough();
+        cfg.num_pes = 2;
+        cfg.pe_buffer_elems = 6; // 3 pairs per PE
+        let mut trip = Vec::new();
+        for k in 0..12 {
+            trip.push((k, 0, 1.0)); // column 0 fully populated
+        }
+        trip.push((11, 1, 2.0)); // column 1 nearly empty
+        let b = CooMatrix::from_triplets(12, 2, trip).unwrap();
+        let a = CooMatrix::from_triplets(2, 12, vec![(0, 0, 1.0), (1, 11, 1.0)]).unwrap();
+        let r = simulate_ws(
+            &encode(&a, MatrixFormat::Csr),
+            &encode(&b, MatrixFormat::Csc),
+            &cfg,
+        )
+        .unwrap();
+        // Column 0 has 12 entries at 3 pairs per pass -> at least 4 passes.
+        assert!(r.k_passes >= 4, "k_passes = {}", r.k_passes);
+        assert_eq!(r.output, reference(&a, &b));
+    }
+
+    #[test]
+    fn spgemm_matches_software() {
+        let cfg = AccelConfig::walkthrough();
+        let a = CsrMatrix::from_coo(&fig6_a());
+        let b = CsrMatrix::from_coo(&fig6_b());
+        let r = simulate_spgemm(&a, &b, &cfg).unwrap();
+        assert_eq!(r.output, reference(&fig6_a(), &fig6_b()));
+        assert_eq!(r.counts.utilization(), 1.0);
+    }
+
+    #[test]
+    fn spgemm_rejects_oversized_row() {
+        let mut cfg = AccelConfig::walkthrough();
+        cfg.pe_buffer_elems = 4; // 2 pairs
+        let b = CooMatrix::from_triplets(2, 8, (0..8).map(|j| (0, j, 1.0)).collect()).unwrap();
+        let a = CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0)]).unwrap();
+        let r = simulate_spgemm(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b), &cfg);
+        assert!(matches!(r, Err(SimError::BufferTooSmall { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let cfg = AccelConfig::walkthrough();
+        let a = encode(&CooMatrix::empty(2, 3), MatrixFormat::Csr);
+        let b = encode(&CooMatrix::empty(4, 2), MatrixFormat::Dense);
+        assert!(matches!(simulate_ws(&a, &b, &cfg), Err(SimError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn unsupported_acf_rejected() {
+        let cfg = AccelConfig::walkthrough();
+        let coo = fig6_a();
+        let a = encode(&coo, MatrixFormat::Zvc);
+        let b = encode(&fig6_b(), MatrixFormat::Dense);
+        assert!(matches!(simulate_ws(&a, &b, &cfg), Err(SimError::UnsupportedAcf { .. })));
+    }
+
+    #[test]
+    fn vector_width_limits_beat_throughput() {
+        // With one MAC lane, a dense beat of 4 elements takes 4 cycles.
+        let mut cfg = AccelConfig::walkthrough();
+        cfg.vector_width = 1;
+        let a = encode(&fig6_a(), MatrixFormat::Dense);
+        let b = encode(&fig6_b(), MatrixFormat::Dense);
+        let r = simulate_ws(&a, &b, &cfg).unwrap();
+        assert_eq!(r.cycles.stream_a, 8 * 4);
+    }
+
+    #[test]
+    fn energy_counts_are_consistent() {
+        let cfg = AccelConfig::walkthrough();
+        let a = encode(&fig6_a(), MatrixFormat::Csr);
+        let b = encode(&fig6_b(), MatrixFormat::Csc);
+        let r = simulate_ws(&a, &b, &cfg).unwrap();
+        let e = r.counts.energy(&EnergyModel::default_28nm());
+        assert!(e.total() > 0.0);
+        assert_eq!(e.dram, 0.0);
+        // Sparse-sparse matching: every MAC read one stationary value.
+        assert_eq!(r.counts.pe_buffer_reads, r.counts.macs);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benches for format conversions: software reference vs the
+//! metered MINT block engine (the measured companion to Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparseflex_formats::{convert, CsrMatrix, RlcMatrix};
+use sparseflex_mint::ConversionEngine;
+use sparseflex_workloads::synth::random_matrix;
+
+fn bench_conversions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conversions");
+    g.sample_size(10);
+    let engine = ConversionEngine::default();
+    for nnz in [10_000usize, 100_000] {
+        let coo = random_matrix(2_000, 2_000, nnz, 9);
+        let csr = CsrMatrix::from_coo(&coo);
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        g.bench_with_input(BenchmarkId::new("sw_csr_to_csc", nnz), &nnz, |b, _| {
+            b.iter(|| convert::csr_to_csc(&csr))
+        });
+        g.bench_with_input(BenchmarkId::new("mint_csr_to_csc", nnz), &nnz, |b, _| {
+            b.iter(|| engine.csr_to_csc(&csr))
+        });
+        g.bench_with_input(BenchmarkId::new("sw_rlc_to_coo", nnz), &nnz, |b, _| {
+            b.iter(|| convert::rlc_to_coo(&rlc))
+        });
+        g.bench_with_input(BenchmarkId::new("mint_rlc_to_coo", nnz), &nnz, |b, _| {
+            b.iter(|| engine.rlc_to_coo(&rlc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_conversions);
+criterion_main!(benches);

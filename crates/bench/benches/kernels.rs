@@ -1,0 +1,46 @@
+//! Criterion benches for the software kernels across density regions —
+//! the measured companion to the Fig. 5 device-model sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparseflex_formats::{CsrMatrix, DenseMatrix};
+use sparseflex_kernels::{gemm, spgemm, spmm_csr_dense, spmm_csr_dense_parallel};
+use sparseflex_workloads::synth::{random_dense_matrix, random_matrix};
+
+const N: usize = 384;
+
+fn bench_mm_across_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mm_density");
+    g.sample_size(10);
+    let b_dense = random_dense_matrix(N, N, 7);
+    for dens in [0.001, 0.01, 0.1] {
+        let nnz = ((N * N) as f64 * dens) as usize;
+        let a = random_matrix(N, N, nnz, 1);
+        let a_csr = CsrMatrix::from_coo(&a);
+        let b_csr = CsrMatrix::from_coo(&random_matrix(N, N, nnz, 2));
+        g.bench_with_input(BenchmarkId::new("spmm_csr_dense", dens), &dens, |bench, _| {
+            bench.iter(|| spmm_csr_dense(&a_csr, &b_dense))
+        });
+        g.bench_with_input(BenchmarkId::new("spgemm_csr_csr", dens), &dens, |bench, _| {
+            bench.iter(|| spgemm(&a_csr, &b_csr))
+        });
+    }
+    let a_dense: DenseMatrix = random_dense_matrix(N, N, 3);
+    g.bench_function("gemm_dense", |bench| bench.iter(|| gemm(&a_dense, &b_dense)));
+    g.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    let a = random_matrix(1024, 1024, 100_000, 4);
+    let a_csr = CsrMatrix::from_coo(&a);
+    let b = random_dense_matrix(1024, 256, 5);
+    g.bench_function("spmm_sequential", |bench| bench.iter(|| spmm_csr_dense(&a_csr, &b)));
+    g.bench_function("spmm_parallel", |bench| {
+        bench.iter(|| spmm_csr_dense_parallel(&a_csr, &b))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mm_across_density, bench_parallel_speedup);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation bench: the three Fig. 9 prefix-sum designs (functional scan
+//! throughput plus modelled hardware cycle counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparseflex_mint::blocks::prefix_sum::{PrefixSumDesign, PrefixSumUnit};
+use sparseflex_mint::report::ConversionReport;
+
+fn bench_prefix_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_sum");
+    g.sample_size(20);
+    let input: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 17).collect();
+    for (name, design) in [
+        ("serial_chain", PrefixSumDesign::SerialChain),
+        ("work_efficient", PrefixSumDesign::WorkEfficient),
+        ("highly_parallel", PrefixSumDesign::HighlyParallel),
+    ] {
+        let unit = PrefixSumUnit { width: 32, design };
+        g.bench_with_input(BenchmarkId::new("scan", name), &unit, |b, u| {
+            b.iter(|| {
+                let mut rep = ConversionReport::default();
+                u.scan(&input, &mut rep)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefix_designs);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the ablation-study series. Prints CSV to stdout.
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::ablation::rows());
+}

@@ -1,0 +1,4 @@
+//! Measured companion to Fig. 5 (real kernel wall times on this machine).
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::fig05_measured::rows());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07 series. Prints CSV to stdout.
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::fig07::rows());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 series. Prints CSV to stdout.
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::fig12::rows());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 series. Prints CSV to stdout.
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::fig14::rows());
+}

@@ -1,0 +1,34 @@
+//! Runs every figure/table generator and writes `results/<name>.csv`.
+use std::fs;
+
+/// A named figure/table generator.
+type Job = (&'static str, fn() -> Vec<String>);
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("results");
+    fs::create_dir_all(dir)?;
+    let jobs: Vec<Job> = vec![
+        ("fig04", sparseflex_bench::fig04::rows),
+        ("fig05", sparseflex_bench::fig05::rows),
+        ("fig06", sparseflex_bench::fig06::rows),
+        ("fig07", sparseflex_bench::fig07::rows),
+        ("fig09", sparseflex_bench::fig09::rows),
+        ("fig10", sparseflex_bench::fig10::rows),
+        ("fig11", sparseflex_bench::fig11::rows),
+        ("fig12", sparseflex_bench::fig12::rows),
+        ("fig13", sparseflex_bench::fig13::rows),
+        ("fig14", sparseflex_bench::fig14::rows),
+        ("table1", sparseflex_bench::table1::rows),
+        ("table2", sparseflex_bench::table2::rows),
+        ("table3", sparseflex_bench::table3::rows),
+        ("fig05_measured", sparseflex_bench::fig05_measured::rows),
+        ("ablation", sparseflex_bench::ablation::rows),
+    ];
+    for (name, job) in jobs {
+        eprintln!("generating {name} ...");
+        let rows = job();
+        fs::write(dir.join(format!("{name}.csv")), rows.join("\n") + "\n")?;
+    }
+    eprintln!("wrote results/*.csv");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 series. Prints CSV to stdout.
+fn main() {
+    sparseflex_bench::emit(&sparseflex_bench::table1::rows());
+}

@@ -1,0 +1,69 @@
+//! Fig. 5 — execution time / SM util / memory util of four MM
+//! algorithms (distinct ACFs) across density regions on the Titan-class
+//! device model.
+
+use sparseflex_host::device::{estimate_mm, DeviceModel, MmAlgorithm};
+
+/// Fig. 5 series: density sweep at M = N = K = 11k.
+pub fn rows() -> Vec<String> {
+    let dev = DeviceModel::titan_rtx();
+    let n = 11_000;
+    let mut out = vec![
+        "# fig5 device-model Titan RTX, M=N=K=11k".to_string(),
+        format!(
+            "density,{}",
+            MmAlgorithm::all()
+                .iter()
+                .flat_map(|a| {
+                    ["time_s", "sm_util", "mem_util"]
+                        .iter()
+                        .map(move |m| format!("{}:{m}", a.name()))
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    ];
+    for i in 0..=32 {
+        let dens = 10f64.powf(-8.0 + 8.0 * i as f64 / 32.0);
+        let cells: Vec<String> = MmAlgorithm::all()
+            .iter()
+            .flat_map(|&a| {
+                let e = estimate_mm(&dev, a, n, dens);
+                vec![
+                    format!("{:.4e}", e.time_s),
+                    format!("{:.3}", e.sm_util),
+                    format!("{:.3}", e.mem_util),
+                ]
+            })
+            .collect();
+        out.push(format!("{dens:.3e},{}", cells.join(",")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_has_expected_shape() {
+        let rows = rows();
+        assert_eq!(rows.len(), 2 + 33);
+        assert_eq!(rows[2].split(',').count(), 1 + 4 * 3);
+    }
+
+    #[test]
+    fn spgemm_fastest_at_extreme_sparsity_dense_fastest_when_dense() {
+        let dev = DeviceModel::titan_rtx();
+        let lo: Vec<f64> = MmAlgorithm::all()
+            .iter()
+            .map(|&a| estimate_mm(&dev, a, 11_000, 1e-8).time_s)
+            .collect();
+        assert!(lo[3] < lo[0], "SpGEMM {} should beat dense {} at 1e-6%", lo[3], lo[0]);
+        let hi: Vec<f64> = MmAlgorithm::all()
+            .iter()
+            .map(|&a| estimate_mm(&dev, a, 11_000, 0.5).time_s)
+            .collect();
+        assert!(hi[0] < hi[1] && hi[0] < hi[3], "dense must win at 50%: {hi:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 9 — the prefix-sum design space: latency, throughput, and adder
+//! cost of the three scan implementations.
+
+use sparseflex_mint::blocks::prefix_sum::{PrefixSumDesign, PrefixSumUnit};
+
+/// Design-space rows for 32-wide units over several input sizes.
+pub fn rows() -> Vec<String> {
+    let mut out = vec![
+        "# fig9 prefix-sum designs (width 32)".to_string(),
+        "design,width,fill_latency,adders,cycles_1k,cycles_100k".to_string(),
+    ];
+    for (name, design) in [
+        ("serial_chain", PrefixSumDesign::SerialChain),
+        ("work_efficient", PrefixSumDesign::WorkEfficient),
+        ("highly_parallel", PrefixSumDesign::HighlyParallel),
+    ] {
+        let u = PrefixSumUnit { width: 32, design };
+        out.push(format!(
+            "{name},32,{},{},{},{}",
+            u.latency(),
+            u.adder_count(),
+            u.cycles(1_000),
+            u.cycles(100_000)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parallel_has_lowest_latency_chain_fewest_adders() {
+        let rows = super::rows();
+        let get = |name: &str, col: usize| -> u64 {
+            rows.iter()
+                .find(|l| l.starts_with(name))
+                .unwrap()
+                .split(',')
+                .nth(col)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(get("highly_parallel", 2) < get("serial_chain", 2));
+        assert!(get("serial_chain", 3) < get("highly_parallel", 3));
+        // Work-efficient is slowest at bulk throughput (unpipelined tree).
+        assert!(get("work_efficient", 5) > get("highly_parallel", 5));
+    }
+}

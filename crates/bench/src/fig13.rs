@@ -1,0 +1,75 @@
+//! Fig. 13 — normalized EDP (SpGEMM and SpMM averaged per class) of
+//! every accelerator class against this work, over the Table III matrix
+//! workloads.
+
+use crate::fig12::spgemm_workload;
+use sparseflex_core::FlexSystem;
+use sparseflex_formats::DataType;
+use sparseflex_host::offload::geomean;
+use sparseflex_sage::SageWorkload;
+use sparseflex_workloads::{WorkloadShape, TABLE_III};
+use std::collections::BTreeMap;
+
+/// Build the SpMM workload for a Table III matrix entry (dense factor).
+pub fn spmm_workload(spec: &sparseflex_workloads::WorkloadSpec) -> SageWorkload {
+    let WorkloadShape::Matrix { rows: m, cols: k } = spec.shape else {
+        panic!("{} is not a matrix workload", spec.name)
+    };
+    let (_, fc) = spec.factor_dims();
+    SageWorkload::spmm(m, k, fc, spec.nnz as u64, DataType::Fp32)
+}
+
+/// Per-workload normalized EDP plus per-class geomeans.
+pub fn rows() -> Vec<String> {
+    let sys = FlexSystem::default();
+    let mut out = vec![
+        "# fig13 normalized EDP vs this work (SpGEMM + SpMM, Table III matrices)".to_string(),
+        "kernel,workload,class,normalized_edp".to_string(),
+    ];
+    let mut per_class: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for spec in TABLE_III.iter().filter(|s| !s.is_tensor()) {
+        for (kname, w) in
+            [("SpGEMM", spgemm_workload(spec)), ("SpMM", spmm_workload(spec))]
+        {
+            for (class, norm) in sys.normalized_edp(&w) {
+                match norm {
+                    Some(x) => {
+                        per_class.entry(class).or_default().push(x);
+                        out.push(format!("{kname},{},{class},{x:.3}", spec.name));
+                    }
+                    None => out.push(format!("{kname},{},{class},unsupported", spec.name)),
+                }
+            }
+        }
+    }
+    out.push(String::new());
+    out.push("class,geomean_normalized_edp,edp_reduction_pct".to_string());
+    for (class, vals) in per_class {
+        let g = geomean(&vals);
+        out.push(format!("{class},{g:.3},{:.1}", (g - 1.0) * 100.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_classes_at_or_above_one() {
+        // Fig. 13's defining property: this work is the 1.0 baseline and
+        // every class's geomean normalized EDP >= 1.
+        let rows = super::rows();
+        let summary_start = rows.iter().position(|r| r.starts_with("class,")).unwrap();
+        let mut seen_worse = 0;
+        for line in &rows[summary_start + 1..] {
+            let f: Vec<&str> = line.split(',').collect();
+            let g: f64 = f[1].parse().unwrap();
+            assert!(g >= 0.999, "{} geomean {g} below 1", f[0]);
+            if f[0] != "Flex_Flex_HW" && g > 1.05 {
+                seen_worse += 1;
+            }
+        }
+        // Several baselines must be meaningfully worse (the paper reports
+        // an average ~122% EDP reduction).
+        assert!(seen_worse >= 3, "only {seen_worse} classes were >5% worse");
+    }
+}

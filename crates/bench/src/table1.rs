@@ -1,0 +1,48 @@
+//! Table I — the MCF/ACF flexibility taxonomy.
+
+use sparseflex_accel::taxonomy::{AcceleratorClass, ConversionSupport, FormatFreedom};
+
+fn freedom(f: FormatFreedom) -> &'static str {
+    match f {
+        FormatFreedom::Fixed => "Fix",
+        FormatFreedom::Flexible => "Flex",
+    }
+}
+
+fn conv(c: ConversionSupport) -> &'static str {
+    match c {
+        ConversionSupport::None => "None",
+        ConversionSupport::Software => "SW",
+        ConversionSupport::Hardware => "HW",
+    }
+}
+
+/// Taxonomy rows.
+pub fn rows() -> Vec<String> {
+    let mut out = vec![
+        "# table1 MCF/ACF characterization of accelerator classes".to_string(),
+        "design,mcf,acf,same,conv,example".to_string(),
+    ];
+    for c in AcceleratorClass::table2_suite() {
+        let same = if c.requires_identity_conversion() { "Yes" } else { "No" };
+        out.push(format!(
+            "{},{},{},{same},{},{}",
+            c.name,
+            freedom(c.mcf_freedom),
+            freedom(c.acf_freedom),
+            conv(c.conversion),
+            c.example
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn this_work_is_flex_flex_hw() {
+        let rows = super::rows();
+        let last = rows.last().unwrap();
+        assert!(last.starts_with("Flex_Flex_HW,Flex,Flex,No,HW"), "{last}");
+    }
+}

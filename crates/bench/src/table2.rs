@@ -1,0 +1,33 @@
+//! Table II — the evaluated accelerator configurations.
+
+use sparseflex_accel::taxonomy::AcceleratorClass;
+use sparseflex_accel::AccelConfig;
+
+/// Configuration rows (shared hardware + per-class format support).
+pub fn rows() -> Vec<String> {
+    let cfg = AccelConfig::paper();
+    let mut out = vec![
+        format!(
+            "# table2 shared hardware: {} MACs, {}B/PE buffer, {}-bit bus, fp32",
+            cfg.total_macs(),
+            cfg.pe_buffer_bytes(),
+            cfg.bus_bits()
+        ),
+        "type,example,num_mcf_pairs,num_acf_pairs".to_string(),
+    ];
+    for c in AcceleratorClass::table2_suite() {
+        out.push(format!("{},{},{},{}", c.name, c.example, c.mcfs.len(), c.acfs.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hardware_matches_section_7a() {
+        let rows = super::rows();
+        assert!(rows[0].contains("16384 MACs"));
+        assert!(rows[0].contains("512B/PE"));
+        assert!(rows[0].contains("512-bit bus"));
+    }
+}

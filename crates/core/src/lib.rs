@@ -1,0 +1,27 @@
+//! # sparseflex-core
+//!
+//! The integrated `Flex_Flex_HW` system — the paper's proposed design
+//! point (Table I, bottom row): a weight-stationary sparse accelerator
+//! whose PEs support multiple ACFs (§IV), with MINT converting formats in
+//! hardware beside the datapath (§V) and SAGE choosing the MCF/ACF
+//! combination per workload (§VI).
+//!
+//! Two execution paths are provided:
+//!
+//! - [`FlexSystem::plan`] / [`FlexSystem::compare_classes`] — the
+//!   analytic path used by the Fig. 12/13/14 benches: SAGE searches the
+//!   format space and returns full cycle/energy/EDP breakdowns for this
+//!   work and for every Table II baseline class.
+//! - [`FlexSystem::run_functional`] — the end-to-end functional path used
+//!   by tests and examples: real operands are encoded in the chosen MCFs,
+//!   converted through the MINT block engine, executed on the
+//!   cycle-accurate simulator, and the output matrix is returned (and
+//!   verified against the software kernels in tests).
+
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod system;
+
+pub use casestudy::{layer_edp, LayerEdp};
+pub use system::{ClassComparison, FlexSystem, FunctionalRun, SystemPlan};

@@ -1,0 +1,243 @@
+//! The integrated system: SAGE planning, MINT conversion, accelerator
+//! execution.
+
+use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimError, SimResult};
+use sparseflex_accel::taxonomy::AcceleratorClass;
+use sparseflex_formats::{CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix};
+use sparseflex_mint::{ConversionEngine, ConversionReport};
+use sparseflex_sage::eval::ConversionMode;
+use sparseflex_sage::{Evaluation, Sage, SageWorkload};
+
+/// The `Flex_Flex_HW` system: SAGE + MINT + the flexible-ACF accelerator.
+#[derive(Debug, Clone, Default)]
+pub struct FlexSystem {
+    /// The SAGE predictor (owns the accelerator/DRAM/MINT models).
+    pub sage: Sage,
+}
+
+/// The analytic plan SAGE produces for a workload.
+#[derive(Debug, Clone)]
+pub struct SystemPlan {
+    /// The winning evaluation (choice + breakdown).
+    pub evaluation: Evaluation,
+    /// Candidates SAGE searched.
+    pub candidates: usize,
+}
+
+/// One Table II baseline's best achievable result on a workload.
+#[derive(Debug, Clone)]
+pub struct ClassComparison {
+    /// Taxonomy name (`Fix_Fix_None` ...).
+    pub class_name: &'static str,
+    /// Representative design.
+    pub example: &'static str,
+    /// Best evaluation within the class's format freedom (None when the
+    /// class cannot run the kernel at all).
+    pub best: Option<Evaluation>,
+}
+
+/// Result of a functional end-to-end run.
+#[derive(Debug)]
+pub struct FunctionalRun {
+    /// The format choice SAGE made.
+    pub evaluation: Evaluation,
+    /// MINT conversion report for operand A (empty when MCF == ACF).
+    pub conv_a: ConversionReport,
+    /// MINT conversion report for operand B.
+    pub conv_b: ConversionReport,
+    /// Cycle-accurate simulation result (output + cycles + activity).
+    pub sim: SimResult,
+}
+
+impl FlexSystem {
+    /// Build a system around a configured SAGE instance.
+    pub fn new(sage: Sage) -> Self {
+        FlexSystem { sage }
+    }
+
+    /// Analytic plan: SAGE searches the full MCF x ACF space.
+    pub fn plan(&self, w: &SageWorkload) -> SystemPlan {
+        let rec = self.sage.recommend(w);
+        SystemPlan { evaluation: rec.best, candidates: rec.candidates }
+    }
+
+    /// Best evaluation per Table II accelerator class (the Fig. 12/13
+    /// comparison row).
+    pub fn compare_classes(&self, w: &SageWorkload) -> Vec<ClassComparison> {
+        AcceleratorClass::table2_suite()
+            .into_iter()
+            .map(|class| ClassComparison {
+                class_name: class.name,
+                example: class.example,
+                best: self.sage.recommend_for_class(w, &class).map(|r| r.best),
+            })
+            .collect()
+    }
+
+    /// Functional end-to-end run on real (small) operands:
+    ///
+    /// 1. SAGE plans MCF/ACF.
+    /// 2. Operands are *stored* in their MCFs (as they would arrive from
+    ///    DRAM).
+    /// 3. MINT's block engine converts MCF → ACF.
+    /// 4. The cycle-accurate WS simulator executes the kernel.
+    pub fn run_functional(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+    ) -> Result<FunctionalRun, SimError> {
+        let plan = self.plan(w);
+        let choice = &plan.evaluation.choice;
+        let engine = ConversionEngine::default();
+
+        // Store in MCF.
+        let a_mem = MatrixData::encode(a, &choice.mcf_a)
+            .map_err(|_| SimError::UnsupportedAcf { a: choice.mcf_a, b: choice.mcf_b })?;
+        let b_mem = MatrixData::encode(b, &choice.mcf_b)
+            .map_err(|_| SimError::UnsupportedAcf { a: choice.mcf_a, b: choice.mcf_b })?;
+
+        // MINT: MCF -> ACF.
+        let (a_acf, conv_a) = engine
+            .convert_matrix(&a_mem, &choice.acf_a)
+            .map_err(|_| SimError::UnsupportedAcf { a: choice.acf_a, b: choice.acf_b })?;
+        let (b_acf, conv_b) = engine
+            .convert_matrix(&b_mem, &choice.acf_b)
+            .map_err(|_| SimError::UnsupportedAcf { a: choice.acf_a, b: choice.acf_b })?;
+
+        // Execute.
+        let sim = if choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr {
+            let a_csr = match &a_acf {
+                MatrixData::Csr(c) => c.clone(),
+                other => CsrMatrix::from_coo(&other.to_coo()),
+            };
+            let b_csr = match &b_acf {
+                MatrixData::Csr(c) => c.clone(),
+                other => CsrMatrix::from_coo(&other.to_coo()),
+            };
+            simulate_spgemm(&a_csr, &b_csr, &self.sage.accel)?
+        } else {
+            simulate_ws(&a_acf, &b_acf, &self.sage.accel)?
+        };
+
+        Ok(FunctionalRun { evaluation: plan.evaluation, conv_a, conv_b, sim })
+    }
+
+    /// Software reference output for verification.
+    pub fn reference_output(a: &CooMatrix, b: &CooMatrix) -> DenseMatrix {
+        let a_csr = CsrMatrix::from_coo(a);
+        let b_dense = b.clone().into_dense();
+        sparseflex_kernels::spmm_csr_dense(&a_csr, &b_dense)
+    }
+
+    /// Normalized-EDP table (Fig. 13): every class's best EDP divided by
+    /// this work's, per workload; `None` for classes that cannot run it.
+    pub fn normalized_edp(&self, w: &SageWorkload) -> Vec<(&'static str, Option<f64>)> {
+        let clock = self.sage.accel.clock_hz;
+        let ours = self.plan(w).evaluation.edp(clock);
+        self.compare_classes(w)
+            .into_iter()
+            .map(|c| (c.class_name, c.best.map(|b| b.edp(clock) / ours)))
+            .collect()
+    }
+
+    /// The conversion mode this system uses (hardware MINT).
+    pub fn conversion_mode(&self) -> ConversionMode {
+        ConversionMode::Hardware
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::DataType;
+    use sparseflex_workloads::synth::random_matrix;
+
+    fn workload_from(a: &CooMatrix, b: &CooMatrix, spgemm: bool) -> SageWorkload {
+        if spgemm {
+            SageWorkload::spgemm(
+                a.rows(),
+                a.cols(),
+                b.cols(),
+                a.nnz() as u64,
+                b.nnz() as u64,
+                DataType::Fp32,
+            )
+        } else {
+            SageWorkload::spmm(a.rows(), a.cols(), b.cols(), a.nnz() as u64, DataType::Fp32)
+        }
+    }
+
+    #[test]
+    fn functional_run_produces_correct_output() {
+        // A small SpGEMM through the full SAGE -> MINT -> accel path.
+        let a = random_matrix(24, 32, 80, 1);
+        let b = random_matrix(32, 20, 60, 2);
+        let w = workload_from(&a, &b, true);
+        // Use the small walkthrough-scale accelerator so tiling kicks in.
+        let mut sys = FlexSystem::default();
+        sys.sage.accel.num_pes = 8;
+        sys.sage.accel.pe_buffer_elems = 64;
+        let run = sys.run_functional(&a, &b, &w).unwrap();
+        let expect = sparseflex_kernels::gemm::gemm_naive(
+            &a.clone().into_dense(),
+            &b.clone().into_dense(),
+        );
+        assert!(
+            run.sim.output.approx_eq(&expect, 1e-9),
+            "functional output mismatch for choice {}",
+            run.evaluation.choice
+        );
+    }
+
+    #[test]
+    fn functional_run_spmm_dense_b() {
+        let a = random_matrix(16, 24, 60, 3);
+        let b = random_matrix(24, 12, 24 * 12, 4); // fully dense B
+        let w = workload_from(&a, &b, false);
+        let mut sys = FlexSystem::default();
+        sys.sage.accel.num_pes = 16;
+        sys.sage.accel.pe_buffer_elems = 64;
+        let run = sys.run_functional(&a, &b, &w).unwrap();
+        let expect = sparseflex_kernels::gemm::gemm_naive(
+            &a.clone().into_dense(),
+            &b.clone().into_dense(),
+        );
+        assert!(run.sim.output.approx_eq(&expect, 1e-9));
+        // SpMM with dense B: SAGE must not pick a compressed ACF for B
+        // (nothing to compress).
+        assert_eq!(run.evaluation.choice.acf_b, MatrixFormat::Dense);
+    }
+
+    #[test]
+    fn this_work_never_loses_the_class_comparison() {
+        let sys = FlexSystem::default();
+        let w = SageWorkload::spgemm(7_700, 2_600, 3_850, 1_000_000, 500_000, DataType::Fp32);
+        for (name, norm) in sys.normalized_edp(&w) {
+            if let Some(x) = norm {
+                assert!(x >= 0.999, "{name} has normalized EDP {x} < 1");
+            }
+        }
+    }
+
+    #[test]
+    fn class_comparison_covers_table2() {
+        let sys = FlexSystem::default();
+        let w = SageWorkload::spmm(1_000, 1_000, 500, 10_000, DataType::Fp32);
+        let rows = sys.compare_classes(&w);
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|r| r.class_name == "Flex_Flex_HW"));
+        // TPU (dense only) can always run (densely).
+        let tpu = rows.iter().find(|r| r.class_name == "Fix_Fix_None").unwrap();
+        assert!(tpu.best.is_some());
+    }
+
+    #[test]
+    fn plan_reports_search_size() {
+        let sys = FlexSystem::default();
+        let w = SageWorkload::spgemm(500, 500, 250, 2_500, 1_250, DataType::Fp32);
+        let plan = sys.plan(&w);
+        assert!(plan.candidates > 50);
+        assert!(plan.evaluation.total_cycles() > 0.0);
+    }
+}

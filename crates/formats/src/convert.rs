@@ -1,0 +1,285 @@
+//! Software reference conversions between formats.
+//!
+//! These are the `Flex_Flex_SW` baseline of Table I — what a host CPU
+//! (MKL / cuSPARSE in the paper's Fig. 10) would run — and also the
+//! functional oracle that MINT's hardware pipelines are tested against.
+//!
+//! All conversions are available generically through the COO hub
+//! ([`crate::MatrixData::convert_to`]); this module adds the *direct* algorithms
+//! that skip the hub where a faster dedicated path exists, mirroring the
+//! four conversions the paper walks through in Fig. 8:
+//!
+//! - [`csr_to_csc`] (Fig. 8c) — counting-sort transpose-of-representation.
+//! - [`rlc_to_coo`] (Fig. 8d) — prefix-sum over runs, then divide/mod.
+//! - [`csr_to_bsr`] (Fig. 8e) — block discovery per row-block.
+//! - [`dense_to_csf`] (Fig. 8f) — scan to COO, then tree construction.
+
+use crate::bsr::BsrMatrix;
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::csf::CsfTensor;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::FormatError;
+use crate::rlc::RlcMatrix;
+use crate::tensor::DenseTensor3;
+use crate::traits::{SparseMatrix, SparseTensor3};
+use crate::zvc::ZvcMatrix;
+
+/// CSR → CSC by counting sort on column ids (the software equivalent of
+/// MINT's Fig. 8c pipeline: histogram → prefix sum → scatter).
+pub fn csr_to_csc(csr: &CsrMatrix) -> CscMatrix {
+    let rows = csr.rows();
+    let cols = csr.cols();
+    let nnz = csr.nnz();
+    // Step 1-4 of Fig. 8c: histogram of col_ids into col_ptr.
+    let mut col_ptr = vec![0usize; cols + 1];
+    for &c in csr.col_ids() {
+        col_ptr[c + 1] += 1;
+    }
+    // Step 5: prefix sum.
+    for c in 0..cols {
+        col_ptr[c + 1] += col_ptr[c];
+    }
+    // Steps 6-9: iterate CSR fields, scatter values/row ids into CSC slots.
+    let mut cursor = col_ptr.clone();
+    let mut row_ids = vec![0usize; nnz];
+    let mut values = vec![0.0; nnz];
+    for (r, c, v) in csr.iter() {
+        let slot = cursor[c];
+        cursor[c] += 1;
+        row_ids[slot] = r;
+        values[slot] = v;
+    }
+    CscMatrix::from_parts(rows, cols, col_ptr, row_ids, values)
+        .expect("counting sort yields valid CSC structure")
+}
+
+/// CSC → CSR — the symmetric counting sort.
+pub fn csc_to_csr(csc: &CscMatrix) -> CsrMatrix {
+    let rows = csc.rows();
+    let cols = csc.cols();
+    let nnz = csc.nnz();
+    let mut row_ptr = vec![0usize; rows + 1];
+    for &r in csc.row_ids() {
+        row_ptr[r + 1] += 1;
+    }
+    for r in 0..rows {
+        row_ptr[r + 1] += row_ptr[r];
+    }
+    let mut cursor = row_ptr.clone();
+    let mut col_ids = vec![0usize; nnz];
+    let mut values = vec![0.0; nnz];
+    for (r, c, v) in csc.iter_col_major() {
+        let slot = cursor[r];
+        cursor[r] += 1;
+        col_ids[slot] = c;
+        values[slot] = v;
+    }
+    CsrMatrix::from_parts(rows, cols, row_ptr, col_ids, values)
+        .expect("counting sort yields valid CSR structure")
+}
+
+/// RLC → COO (Fig. 8d): prefix-sum the run lengths to recover flat
+/// positions, then divide/mod by the row length to get coordinates.
+pub fn rlc_to_coo(rlc: &RlcMatrix) -> CooMatrix {
+    let cols = rlc.cols();
+    let mut triplets = Vec::with_capacity(rlc.stored_entries());
+    // Running prefix over (zeros + 1) per entry = flat position + 1.
+    let mut prefix = 0u64;
+    for e in rlc.entries() {
+        prefix += e.zeros + 1;
+        if e.value != 0.0 {
+            let flat = (prefix - 1) as usize;
+            triplets.push((flat / cols, flat % cols, e.value));
+        }
+    }
+    CooMatrix::from_sorted_triplets(rlc.rows(), cols, triplets)
+        .expect("RLC stream is ordered and in-bounds")
+}
+
+/// COO → RLC (the reverse direction; not in Fig. 8 but needed for the
+/// full m x a conversion matrix).
+pub fn coo_to_rlc(coo: &CooMatrix, run_bits: u32) -> RlcMatrix {
+    RlcMatrix::from_coo(coo, run_bits)
+}
+
+/// CSR → BSR (Fig. 8e): walk row blocks, discover occupied block columns,
+/// scatter entries into padded block payloads.
+pub fn csr_to_bsr(csr: &CsrMatrix, br: usize, bc: usize) -> Result<BsrMatrix, FormatError> {
+    // The COO hub path already implements exactly the Fig. 8e algorithm
+    // (block discovery + scatter with zero padding); reuse it.
+    BsrMatrix::from_coo(&csr.to_coo(), br, bc)
+}
+
+/// Dense → CSR without materializing COO (row scan).
+pub fn dense_to_csr(dense: &DenseMatrix) -> CsrMatrix {
+    let rows = dense.rows();
+    let cols = dense.cols();
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0);
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..rows {
+        for (c, &v) in dense.row(r).iter().enumerate() {
+            if v != 0.0 {
+                col_ids.push(c);
+                values.push(v);
+            }
+        }
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_parts(rows, cols, row_ptr, col_ids, values)
+        .expect("dense scan yields valid CSR")
+}
+
+/// CSR → Dense scatter.
+pub fn csr_to_dense(csr: &CsrMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(csr.rows(), csr.cols());
+    for (r, c, v) in csr.iter() {
+        out.set(r, c, v);
+    }
+    out
+}
+
+/// Dense → ZVC (the NVDLA-style compressor mentioned in §V-B: "ZVC-to-
+/// Dense and Dense-to-ZVC" generalize from the same building blocks).
+pub fn dense_to_zvc(dense: &DenseMatrix) -> ZvcMatrix {
+    ZvcMatrix::from_coo(&dense.to_coo())
+}
+
+/// ZVC → Dense decompressor.
+pub fn zvc_to_dense(zvc: &ZvcMatrix) -> DenseMatrix {
+    zvc.to_dense()
+}
+
+/// Dense tensor → CSF (Fig. 8f): scan nonzeros (flat prefix-sum positions
+/// → div/mod to COO coordinates), then build the fiber tree.
+pub fn dense_to_csf(dense: &DenseTensor3) -> CsfTensor {
+    CsfTensor::from_coo(&dense.to_coo())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rlc::RlcMatrix;
+
+    /// The Fig. 8b example matrix:
+    /// ```text
+    /// . a . b
+    /// . c . .
+    /// d . . e
+    /// . . f .
+    /// ```
+    fn fig8b() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 1, 1.0), // a
+                (0, 3, 2.0), // b
+                (1, 1, 3.0), // c
+                (2, 0, 4.0), // d
+                (2, 3, 5.0), // e
+                (3, 2, 6.0), // f
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_matches_hub_path() {
+        let coo = fig8b();
+        let csr = CsrMatrix::from_coo(&coo);
+        let direct = csr_to_csc(&csr);
+        let via_hub = CscMatrix::from_coo(&coo);
+        assert_eq!(direct, via_hub);
+        // col_ptr after prefix sum over histogram [1,2,1,2] -> [0,1,3,4,6].
+        assert_eq!(direct.col_ptr(), &[0, 1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn csc_to_csr_inverse() {
+        let coo = fig8b();
+        let csc = CscMatrix::from_coo(&coo);
+        let csr = csc_to_csr(&csc);
+        assert_eq!(csr, CsrMatrix::from_coo(&coo));
+        // Round trip through both directions.
+        assert_eq!(csr_to_csc(&csr), csc);
+    }
+
+    #[test]
+    fn rlc_to_coo_recovers_positions() {
+        let coo = fig8b();
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        assert_eq!(rlc_to_coo(&rlc), coo);
+    }
+
+    #[test]
+    fn rlc_to_coo_with_extension_entries() {
+        // Long runs force extension entries; the prefix-sum walk must skip
+        // them without emitting triplets.
+        let coo = CooMatrix::from_triplets(2, 64, vec![(0, 0, 1.0), (1, 63, 2.0)]).unwrap();
+        let rlc = RlcMatrix::from_coo(&coo, 3);
+        assert!(rlc.stored_entries() > 2, "extension entries expected");
+        assert_eq!(rlc_to_coo(&rlc), coo);
+    }
+
+    #[test]
+    fn csr_to_bsr_blocks() {
+        let coo = fig8b();
+        let csr = CsrMatrix::from_coo(&coo);
+        let bsr = csr_to_bsr(&csr, 2, 2).unwrap();
+        assert_eq!(bsr.to_coo(), coo);
+        // Occupied 2x2 blocks: (0,0) {a,c}, (0,1) {b}, (1,0) {d}, (1,1) {e,f}.
+        assert_eq!(bsr.num_blocks(), 4);
+    }
+
+    #[test]
+    fn dense_round_trips() {
+        let coo = fig8b();
+        let dense = coo.clone().into_dense();
+        let csr = dense_to_csr(&dense);
+        assert_eq!(csr.to_coo(), coo);
+        assert_eq!(csr_to_dense(&csr), dense);
+        let zvc = dense_to_zvc(&dense);
+        assert_eq!(zvc_to_dense(&zvc), dense);
+    }
+
+    #[test]
+    fn dense_to_csf_matches_fig8f_tree() {
+        use crate::tensor::CooTensor3;
+        // The Fig. 3b tensor, materialized densely then converted.
+        let coo = CooTensor3::from_quads(
+            4,
+            4,
+            4,
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 1, 2.0),
+                (1, 2, 2, 3.0),
+                (2, 1, 0, 4.0),
+                (2, 1, 3, 5.0),
+                (3, 0, 3, 6.0),
+            ],
+        )
+        .unwrap();
+        let dense = coo.clone().into_dense();
+        let csf = dense_to_csf(&dense);
+        assert_eq!(csf.to_coo(), coo);
+        assert_eq!(csf.x_fids(), &[0, 1, 2, 3]);
+        assert_eq!(csf.num_fibers(), 4);
+    }
+
+    #[test]
+    fn conversion_composition_is_identity() {
+        // X -> Y -> X returns the original for a chain of direct paths.
+        let coo = fig8b();
+        let csr = CsrMatrix::from_coo(&coo);
+        let back = csc_to_csr(&csr_to_csc(&csr));
+        assert_eq!(back, csr);
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        let back2 = RlcMatrix::from_coo(&rlc_to_coo(&rlc), 4);
+        assert_eq!(back2, rlc);
+    }
+}

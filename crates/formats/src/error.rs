@@ -1,0 +1,94 @@
+//! Error type shared by all format constructors and conversions.
+
+use std::fmt;
+
+/// Errors produced when constructing or converting compressed formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// A coordinate was outside the declared matrix/tensor dimensions.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: usize,
+        /// The dimension bound it violated.
+        bound: usize,
+        /// Which axis (0 = row/x, 1 = col/y, 2 = z).
+        axis: usize,
+    },
+    /// Structural arrays have inconsistent lengths (e.g. `col_ids` vs `values`).
+    LengthMismatch {
+        /// Description of the mismatching fields.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A pointer array (`row_ptr`, `col_ptr`, `fptr`, `bptr`) is not
+    /// monotonically non-decreasing or has the wrong first/last entry.
+    MalformedPointer {
+        /// Which pointer array is malformed.
+        what: &'static str,
+    },
+    /// A blocked format was given a block size that does not divide the
+    /// dimension (blocked formats pad internally; a zero block size is the
+    /// only hard error).
+    InvalidBlockSize {
+        /// The offending block dimension.
+        block: usize,
+    },
+    /// The requested conversion is not representable (e.g. DIA with more
+    /// diagonals than the hardware bound).
+    Unsupported(&'static str),
+    /// Dimensions of two operands are incompatible for the requested
+    /// operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// Matrix dimensions may not be zero for this format.
+    EmptyDimension,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "index {index} out of bounds {bound} on axis {axis}")
+            }
+            FormatError::LengthMismatch { what, expected, actual } => {
+                write!(f, "length mismatch in {what}: expected {expected}, got {actual}")
+            }
+            FormatError::MalformedPointer { what } => {
+                write!(f, "malformed pointer array: {what}")
+            }
+            FormatError::InvalidBlockSize { block } => {
+                write!(f, "invalid block size {block}")
+            }
+            FormatError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            FormatError::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+            FormatError::EmptyDimension => write!(f, "dimensions must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::FormatError;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FormatError::IndexOutOfBounds { index: 9, bound: 4, axis: 1 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("axis 1"));
+        let e = FormatError::LengthMismatch { what: "col_ids vs values", expected: 3, actual: 2 };
+        assert!(e.to_string().contains("col_ids"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(FormatError::EmptyDimension);
+        assert!(!e.to_string().is_empty());
+    }
+}

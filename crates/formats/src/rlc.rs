@@ -1,0 +1,361 @@
+//! Run-Length Coding (RLC) format for matrices and 3-D tensors.
+
+use crate::coo::CooMatrix;
+use crate::error::FormatError;
+use crate::tensor::CooTensor3;
+use crate::traits::{SparseMatrix, SparseTensor3};
+use crate::Value;
+
+/// One RLC entry: `zeros` zero elements followed by one stored element.
+///
+/// Fig. 3a's example stream `0 a 0 b 2 c 0 d 4 e 4 f` is exactly this
+/// encoding over the row-major flattened matrix. When a run of zeros
+/// exceeds the representable maximum (`2^run_bits - 1`), the encoder emits
+/// *extension entries* whose stored element is itself zero — the same
+/// saturating-run trick Eyeriss uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlcEntry {
+    /// Number of zeros preceding `value` (`<= max_run`).
+    pub zeros: u64,
+    /// The stored element (zero only for run-extension entries).
+    pub value: Value,
+}
+
+/// Default run-field width in bits. With 4 bits a run saturates at 15,
+/// matching the RLC deployments the paper cites (Eyeriss).
+pub const DEFAULT_RUN_BITS: u32 = 4;
+
+/// Run-length coded sparse matrix over the row-major flattened stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlcMatrix {
+    rows: usize,
+    cols: usize,
+    run_bits: u32,
+    entries: Vec<RlcEntry>,
+    /// Zeros after the final entry (not entry-encoded; the size model
+    /// charges extension entries for them).
+    trailing_zeros: u64,
+}
+
+impl RlcMatrix {
+    /// Encode from the COO hub with the given run-field width.
+    pub fn from_coo(coo: &CooMatrix, run_bits: u32) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        // Walk the row-major flat index space, emitting runs between
+        // consecutive nonzeros without materializing the dense stream.
+        let max_run = (1u64 << run_bits) - 1;
+        let mut entries = Vec::with_capacity(coo.nnz());
+        let mut cursor = 0u64; // next flat index to account for
+        for (r, c, v) in coo.iter() {
+            let flat = (r * cols + c) as u64;
+            let mut gap = flat - cursor;
+            while gap > max_run {
+                entries.push(RlcEntry { zeros: max_run, value: 0.0 });
+                gap -= max_run + 1;
+            }
+            entries.push(RlcEntry { zeros: gap, value: v });
+            cursor = flat + 1;
+        }
+        let trailing_zeros = (rows * cols) as u64 - cursor;
+        RlcMatrix { rows, cols, run_bits, entries, trailing_zeros }
+    }
+
+    /// Encode with [`DEFAULT_RUN_BITS`].
+    pub fn from_coo_default(coo: &CooMatrix) -> Self {
+        Self::from_coo(coo, DEFAULT_RUN_BITS)
+    }
+
+    /// Build from raw entries (tests / MINT decoder output).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        run_bits: u32,
+        entries: Vec<RlcEntry>,
+        trailing_zeros: u64,
+    ) -> Result<Self, FormatError> {
+        let max_run = (1u64 << run_bits) - 1;
+        let mut total = trailing_zeros;
+        for e in &entries {
+            if e.zeros > max_run {
+                return Err(FormatError::MalformedPointer { what: "RLC run exceeds run_bits" });
+            }
+            total += e.zeros + 1;
+        }
+        if total != (rows * cols) as u64 {
+            return Err(FormatError::LengthMismatch {
+                what: "RLC stream length vs rows*cols",
+                expected: rows * cols,
+                actual: total as usize,
+            });
+        }
+        Ok(RlcMatrix { rows, cols, run_bits, entries, trailing_zeros })
+    }
+
+    /// Run-field width in bits.
+    #[inline]
+    pub fn run_bits(&self) -> u32 {
+        self.run_bits
+    }
+
+    /// Encoded entries (including run-extension entries).
+    #[inline]
+    pub fn entries(&self) -> &[RlcEntry] {
+        &self.entries
+    }
+
+    /// Zeros after the final entry.
+    #[inline]
+    pub fn trailing_zeros(&self) -> u64 {
+        self.trailing_zeros
+    }
+
+    /// Total entries the *encoded stream* carries — the unit of bus traffic
+    /// for an RLC MCF (each entry = run field + element).
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl SparseMatrix for RlcMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn nnz(&self) -> usize {
+        self.entries.iter().filter(|e| e.value != 0.0).count()
+    }
+    fn get(&self, row: usize, col: usize) -> Value {
+        let target = (row * self.cols + col) as u64;
+        let mut cursor = 0u64;
+        for e in &self.entries {
+            let pos = cursor + e.zeros;
+            if target < pos {
+                return 0.0;
+            }
+            if target == pos {
+                return e.value;
+            }
+            cursor = pos + 1;
+        }
+        0.0
+    }
+    fn to_coo(&self) -> CooMatrix {
+        let mut triplets = Vec::with_capacity(self.entries.len());
+        let mut cursor = 0u64;
+        for e in &self.entries {
+            let pos = cursor + e.zeros;
+            if e.value != 0.0 {
+                let r = (pos as usize) / self.cols;
+                let c = (pos as usize) % self.cols;
+                triplets.push((r, c, e.value));
+            }
+            cursor = pos + 1;
+        }
+        CooMatrix::from_sorted_triplets(self.rows, self.cols, triplets)
+            .expect("RLC stream is row-major ordered")
+    }
+}
+
+/// Run-length coded 3-D tensor over the `x -> y -> z` (z fastest)
+/// flattened stream, matching Fig. 3b's RLC example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlcTensor3 {
+    dims: (usize, usize, usize),
+    run_bits: u32,
+    entries: Vec<RlcEntry>,
+    trailing_zeros: u64,
+}
+
+impl RlcTensor3 {
+    /// Encode from the COO tensor hub.
+    pub fn from_coo(coo: &CooTensor3, run_bits: u32) -> Self {
+        let (dx, dy, dz) = coo.shape();
+        let max_run = (1u64 << run_bits) - 1;
+        let mut entries = Vec::with_capacity(coo.nnz());
+        let mut cursor = 0u64;
+        for (x, y, z, v) in coo.iter() {
+            let flat = ((x * dy + y) * dz + z) as u64;
+            let mut gap = flat - cursor;
+            while gap > max_run {
+                entries.push(RlcEntry { zeros: max_run, value: 0.0 });
+                gap -= max_run + 1;
+            }
+            entries.push(RlcEntry { zeros: gap, value: v });
+            cursor = flat + 1;
+        }
+        let trailing_zeros = (dx * dy * dz) as u64 - cursor;
+        RlcTensor3 { dims: (dx, dy, dz), run_bits, entries, trailing_zeros }
+    }
+
+    /// Run-field width in bits.
+    #[inline]
+    pub fn run_bits(&self) -> u32 {
+        self.run_bits
+    }
+
+    /// Encoded entries.
+    #[inline]
+    pub fn entries(&self) -> &[RlcEntry] {
+        &self.entries
+    }
+
+    /// Total encoded entries (bus-traffic unit).
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl SparseTensor3 for RlcTensor3 {
+    fn dim_x(&self) -> usize {
+        self.dims.0
+    }
+    fn dim_y(&self) -> usize {
+        self.dims.1
+    }
+    fn dim_z(&self) -> usize {
+        self.dims.2
+    }
+    fn nnz(&self) -> usize {
+        self.entries.iter().filter(|e| e.value != 0.0).count()
+    }
+    fn get(&self, x: usize, y: usize, z: usize) -> Value {
+        let target = ((x * self.dims.1 + y) * self.dims.2 + z) as u64;
+        let mut cursor = 0u64;
+        for e in &self.entries {
+            let pos = cursor + e.zeros;
+            if target < pos {
+                return 0.0;
+            }
+            if target == pos {
+                return e.value;
+            }
+            cursor = pos + 1;
+        }
+        0.0
+    }
+    fn to_coo(&self) -> CooTensor3 {
+        let (dy, dz) = (self.dims.1, self.dims.2);
+        let mut quads = Vec::with_capacity(self.entries.len());
+        let mut cursor = 0u64;
+        for e in &self.entries {
+            let pos = cursor + e.zeros;
+            if e.value != 0.0 {
+                let p = pos as usize;
+                let x = p / (dy * dz);
+                let y = (p / dz) % dy;
+                let z = p % dz;
+                quads.push((x, y, z, e.value));
+            }
+            cursor = pos + 1;
+        }
+        CooTensor3::from_quads(self.dims.0, dy, dz, quads)
+            .expect("RLC tensor stream coordinates remain in-bounds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 3a's RLC stream: `0 a 0 b 2 c 0 d 4 e 4 f` followed by a
+    /// trailing run of 4 zeros — a 4x4 matrix with nonzeros at flat
+    /// positions 0, 2, 5, 6, 11... Let's verify against a literal layout.
+    fn fig3a_like() -> CooMatrix {
+        // Flat positions: a@1 (run 0 means "0 zeros then a"? The figure
+        // starts `0 a`, i.e. run=0, value=a at flat 0). We use:
+        // a@0, b@1(run 0)... Simplest faithful check: encode a known
+        // pattern and verify runs.
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 6.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_runs_match_layout() {
+        // Flat nonzeros at 0,1,4,5,10,15.
+        let rlc = RlcMatrix::from_coo(&fig3a_like(), 4);
+        let runs: Vec<u64> = rlc.entries().iter().map(|e| e.zeros).collect();
+        assert_eq!(runs, vec![0, 0, 2, 0, 4, 4]);
+        assert_eq!(rlc.trailing_zeros(), 0);
+        assert_eq!(rlc.stored_entries(), 6);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let coo = fig3a_like();
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        assert_eq!(rlc.to_coo(), coo);
+        assert_eq!(rlc.nnz(), 6);
+    }
+
+    #[test]
+    fn long_runs_saturate_into_extension_entries() {
+        // One nonzero at the end of a 1x40 row with 3-bit runs (max 7).
+        let coo = CooMatrix::from_triplets(1, 40, vec![(0, 39, 9.0)]).unwrap();
+        let rlc = RlcMatrix::from_coo(&coo, 3);
+        // 39 zeros = 4 extension entries (4*8=32 elements) + run of 7.
+        assert_eq!(rlc.stored_entries(), 5);
+        let last = rlc.entries().last().unwrap();
+        assert_eq!(last.zeros, 7);
+        assert_eq!(last.value, 9.0);
+        assert_eq!(rlc.to_coo(), coo);
+        assert_eq!(rlc.nnz(), 1);
+    }
+
+    #[test]
+    fn trailing_zeros_accounted() {
+        let coo = CooMatrix::from_triplets(2, 4, vec![(0, 1, 3.0)]).unwrap();
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        assert_eq!(rlc.trailing_zeros(), 6);
+        assert_eq!(rlc.to_coo(), coo);
+    }
+
+    #[test]
+    fn get_scans_stream() {
+        let coo = fig3a_like();
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        assert_eq!(rlc.get(2, 2), 5.0);
+        assert_eq!(rlc.get(2, 3), 0.0);
+        assert_eq!(rlc.get(3, 3), 6.0);
+    }
+
+    #[test]
+    fn from_parts_validates_stream_length() {
+        let e = vec![RlcEntry { zeros: 1, value: 2.0 }];
+        assert!(RlcMatrix::from_parts(1, 4, 4, e.clone(), 2).is_ok());
+        assert!(RlcMatrix::from_parts(1, 4, 4, e.clone(), 3).is_err());
+        let bad = vec![RlcEntry { zeros: 99, value: 2.0 }];
+        assert!(RlcMatrix::from_parts(1, 128, 4, bad, 28).is_err());
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let coo = CooTensor3::from_quads(
+            3,
+            3,
+            3,
+            vec![(0, 0, 1, 1.0), (1, 2, 0, 2.0), (2, 2, 2, 3.0)],
+        )
+        .unwrap();
+        let rlc = RlcTensor3::from_coo(&coo, 4);
+        assert_eq!(rlc.to_coo(), coo);
+        assert_eq!(rlc.nnz(), 3);
+        assert_eq!(rlc.get(1, 2, 0), 2.0);
+        assert_eq!(rlc.get(1, 2, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_trailing() {
+        let coo = CooMatrix::empty(4, 4);
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        assert_eq!(rlc.stored_entries(), 0);
+        assert_eq!(rlc.trailing_zeros(), 16);
+        assert_eq!(rlc.to_coo(), coo);
+    }
+}

@@ -1,0 +1,390 @@
+//! Storage-size (compactness) model — §III-A of the paper.
+//!
+//! Two layers are provided:
+//!
+//! 1. **Analytic** ([`matrix_storage_bits`], [`tensor_storage_bits`]):
+//!    closed-form expected sizes given only `(dims, nnz, datatype)`,
+//!    assuming the paper's uniform-random nonzero distribution. These
+//!    drive the Fig. 4 sweeps and SAGE's cost model.
+//! 2. **Exact** ([`matrix_storage_bits_exact`]): measures an actual encoded
+//!    payload, including structure-dependent quantities (BSR block count,
+//!    DIA diagonal count, ELL width, actual RLC extension entries).
+//!
+//! Bit accounting follows the paper's rule: every metadata field is charged
+//! `ceil(log2(max_possible_value))` bits ([`crate::ceil_log2`]), every
+//! element the [`DataType`] width.
+
+use crate::ceil_log2;
+use crate::dtype::DataType;
+use crate::formats::{MatrixData, MatrixFormat, TensorFormat};
+use crate::traits::SparseMatrix;
+
+/// Expected number of RLC entries (nonzero entries + run-extension
+/// entries) for a stream of `total` elements containing `nnz` nonzeros and
+/// a run field of `run_bits` bits.
+///
+/// Extension entries are charged as `zeros / (max_run + 1)` — exact when
+/// zeros are evenly spread and an upper bound otherwise. This keeps both
+/// asymptotes of Fig. 4a: at high density RLC degenerates to one entry per
+/// nonzero, at extreme sparsity it floors at `total / (max_run + 1)`
+/// entries (why COO overtakes RLC left of the first red line).
+pub fn rlc_expected_entries(total: u64, nnz: u64, run_bits: u32) -> u64 {
+    let zeros = total.saturating_sub(nnz);
+    let max_run = (1u64 << run_bits) - 1;
+    nnz + zeros / (max_run + 1)
+}
+
+/// Expected number of occupied `br x bc` blocks for a uniform-random
+/// `rows x cols` pattern with `nnz` nonzeros.
+pub fn bsr_expected_blocks(rows: usize, cols: usize, nnz: usize, br: usize, bc: usize) -> u64 {
+    let nbr = rows.div_ceil(br) as f64;
+    let nbc = cols.div_ceil(bc) as f64;
+    let total = (rows * cols) as f64;
+    if total == 0.0 {
+        return 0;
+    }
+    let d = nnz as f64 / total;
+    // P(block occupied) = 1 - (1 - d)^(block area)
+    let p = 1.0 - (1.0 - d).powi((br * bc) as i32);
+    (nbr * nbc * p).ceil() as u64
+}
+
+/// Analytic storage size in bits of a matrix with the given shape/nnz in
+/// the given format, assuming uniformly random nonzero positions.
+///
+/// `rows x cols` with `nnz` stored nonzeros and element type `dtype`.
+pub fn matrix_storage_bits(
+    format: &MatrixFormat,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    dtype: DataType,
+) -> u64 {
+    let m = rows as u64;
+    let k = cols as u64;
+    let n = nnz as u64;
+    let b = dtype.bits();
+    match *format {
+        MatrixFormat::Dense => m * k * b,
+        MatrixFormat::Coo => n * (b + u64::from(ceil_log2(m)) + u64::from(ceil_log2(k))),
+        MatrixFormat::Csr => {
+            n * (b + u64::from(ceil_log2(k))) + (m + 1) * u64::from(ceil_log2(n + 1))
+        }
+        MatrixFormat::Csc => {
+            n * (b + u64::from(ceil_log2(m))) + (k + 1) * u64::from(ceil_log2(n + 1))
+        }
+        MatrixFormat::Rlc { run_bits } => {
+            rlc_expected_entries(m * k, n, run_bits) * (b + u64::from(run_bits))
+        }
+        MatrixFormat::Zvc => n * b + m * k,
+        MatrixFormat::Bsr { br, bc } => {
+            let blocks = bsr_expected_blocks(rows, cols, nnz, br, bc);
+            let nbr = rows.div_ceil(br) as u64;
+            let nbc = cols.div_ceil(bc) as u64;
+            blocks * ((br * bc) as u64 * b + u64::from(ceil_log2(nbc)))
+                + (nbr + 1) * u64::from(ceil_log2(blocks + 1))
+        }
+        MatrixFormat::Dia => {
+            // Expected occupied diagonals for a uniform pattern: each of
+            // the (m + k - 1) diagonals of length L_i is occupied with
+            // probability 1 - (1-d)^L_i; approximate with the average
+            // diagonal length.
+            let total = m * k;
+            if total == 0 {
+                return 0;
+            }
+            let d = n as f64 / total as f64;
+            let ndiags_max = m + k - 1;
+            let avg_len = total as f64 / ndiags_max as f64;
+            let p = 1.0 - (1.0 - d).powf(avg_len);
+            let ndiags = (ndiags_max as f64 * p).ceil() as u64;
+            ndiags * (m * b + u64::from(ceil_log2(m + k)))
+        }
+        MatrixFormat::Ell => {
+            // Expected ELL width for uniform random: mean row population
+            // plus a dispersion slack of ~2 standard deviations (binomial).
+            let total = m * k;
+            if total == 0 {
+                return 0;
+            }
+            let d = n as f64 / total as f64;
+            let mean = k as f64 * d;
+            let sd = (k as f64 * d * (1.0 - d)).sqrt();
+            let width = (mean + 2.0 * sd).ceil().max(if n > 0 { 1.0 } else { 0.0 }) as u64;
+            let width = width.min(k);
+            m * width * (b + u64::from(ceil_log2(k)))
+        }
+    }
+}
+
+/// Exact storage size in bits of an encoded matrix payload.
+pub fn matrix_storage_bits_exact(data: &MatrixData, dtype: DataType) -> u64 {
+    let rows = data.rows() as u64;
+    let cols = data.cols() as u64;
+    let b = dtype.bits();
+    match data {
+        MatrixData::Dense(_) => rows * cols * b,
+        MatrixData::Coo(m) => {
+            m.nnz() as u64 * (b + u64::from(ceil_log2(rows)) + u64::from(ceil_log2(cols)))
+        }
+        MatrixData::Csr(m) => {
+            let n = m.nnz() as u64;
+            n * (b + u64::from(ceil_log2(cols))) + (rows + 1) * u64::from(ceil_log2(n + 1))
+        }
+        MatrixData::Csc(m) => {
+            let n = m.nnz() as u64;
+            n * (b + u64::from(ceil_log2(rows))) + (cols + 1) * u64::from(ceil_log2(n + 1))
+        }
+        MatrixData::Bsr(m) => {
+            let (br, bc) = m.block_shape();
+            let blocks = m.num_blocks() as u64;
+            let nbr = m.rows().div_ceil(br) as u64;
+            let nbc = m.cols().div_ceil(bc) as u64;
+            blocks * ((br * bc) as u64 * b + u64::from(ceil_log2(nbc)))
+                + (nbr + 1) * u64::from(ceil_log2(blocks + 1))
+        }
+        MatrixData::Dia(m) => {
+            m.num_diagonals() as u64 * (rows * b + u64::from(ceil_log2(rows + cols)))
+        }
+        MatrixData::Ell(m) => {
+            rows * m.width() as u64 * (b + u64::from(ceil_log2(cols)))
+        }
+        MatrixData::Rlc(m) => {
+            // Trailing zeros are charged the extension entries a streaming
+            // encoder would emit for them.
+            let max_run = (1u64 << m.run_bits()) - 1;
+            let tail_entries = m.trailing_zeros() / (max_run + 1);
+            (m.stored_entries() as u64 + tail_entries) * (b + u64::from(m.run_bits()))
+        }
+        MatrixData::Zvc(m) => m.nnz() as u64 * b + rows * cols,
+    }
+}
+
+/// Analytic storage size in bits of a 3-D tensor in the given format,
+/// assuming uniformly random nonzero positions.
+pub fn tensor_storage_bits(
+    format: &TensorFormat,
+    dims: (usize, usize, usize),
+    nnz: usize,
+    dtype: DataType,
+) -> u64 {
+    let (x, y, z) = (dims.0 as u64, dims.1 as u64, dims.2 as u64);
+    let n = nnz as u64;
+    let b = dtype.bits();
+    let total = x * y * z;
+    match *format {
+        TensorFormat::Dense => total * b,
+        TensorFormat::Coo => {
+            n * (b
+                + u64::from(ceil_log2(x))
+                + u64::from(ceil_log2(y))
+                + u64::from(ceil_log2(z)))
+        }
+        TensorFormat::Csf => {
+            if total == 0 {
+                return 0;
+            }
+            let d = n as f64 / total as f64;
+            // Expected occupied slices and fibers under uniform random.
+            let slices = (x as f64 * (1.0 - (1.0 - d).powf((y * z) as f64))).ceil() as u64;
+            let fibers = ((x * y) as f64 * (1.0 - (1.0 - d).powf(z as f64))).ceil() as u64;
+            n * (b + u64::from(ceil_log2(z)))
+                + fibers * u64::from(ceil_log2(y))
+                + (fibers + 1) * u64::from(ceil_log2(n + 1))
+                + slices * u64::from(ceil_log2(x))
+                + (slices + 1) * u64::from(ceil_log2(fibers + 1))
+        }
+        TensorFormat::HiCoo { block } => {
+            if total == 0 {
+                return 0;
+            }
+            let bl = block as u64;
+            let d = n as f64 / total as f64;
+            let nb =
+                (x.div_ceil(bl) * y.div_ceil(bl) * z.div_ceil(bl)) as f64;
+            let p = 1.0 - (1.0 - d).powf((bl * bl * bl) as f64);
+            let blocks = (nb * p).ceil() as u64;
+            let bbits = u64::from(ceil_log2(x.div_ceil(bl)))
+                + u64::from(ceil_log2(y.div_ceil(bl)))
+                + u64::from(ceil_log2(z.div_ceil(bl)));
+            let ebits = 3 * u64::from(ceil_log2(bl));
+            blocks * bbits + (blocks + 1) * u64::from(ceil_log2(n + 1)) + n * (b + ebits)
+        }
+        TensorFormat::Rlc { run_bits } => {
+            rlc_expected_entries(total, n, run_bits) * (b + u64::from(run_bits))
+        }
+        TensorFormat::Zvc => n * b + total,
+    }
+}
+
+/// Convenience: analytic size in **bytes** (rounded up).
+pub fn matrix_storage_bytes(
+    format: &MatrixFormat,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    dtype: DataType,
+) -> u64 {
+    matrix_storage_bits(format, rows, cols, nnz, dtype).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    const FP32: DataType = DataType::Fp32;
+
+    #[test]
+    fn dense_size_is_shape_times_bits() {
+        assert_eq!(matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, FP32), 10 * 20 * 32);
+        assert_eq!(matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, DataType::Int8), 10 * 20 * 8);
+    }
+
+    #[test]
+    fn coo_beats_csr_at_extreme_sparsity() {
+        // Fig. 4a: left of the first red line, COO is most compact.
+        let (m, k) = (11_000, 11_000);
+        let nnz = ((m as f64) * (k as f64) * 1e-8).ceil() as usize; // 10^-6 %
+        let coo = matrix_storage_bits(&MatrixFormat::Coo, m, k, nnz, FP32);
+        let csr = matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, FP32);
+        let zvc = matrix_storage_bits(&MatrixFormat::Zvc, m, k, nnz, FP32);
+        assert!(coo < csr, "COO {coo} should beat CSR {csr} at 1e-8 density");
+        assert!(csr < zvc, "CSR {csr} should beat ZVC {zvc} at 1e-8 density");
+    }
+
+    #[test]
+    fn zvc_or_rlc_win_mid_density() {
+        // Fig. 4a: middle region is "well suited for RLC and ZVC".
+        let (m, k) = (11_000, 11_000);
+        let nnz = ((m as f64) * (k as f64) * 0.5) as usize; // 50%
+        let dense = matrix_storage_bits(&MatrixFormat::Dense, m, k, nnz, FP32);
+        let zvc = matrix_storage_bits(&MatrixFormat::Zvc, m, k, nnz, FP32);
+        let csr = matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, FP32);
+        assert!(zvc < dense, "ZVC {zvc} should beat Dense {dense} at 50%");
+        assert!(zvc < csr, "ZVC {zvc} should beat CSR {csr} at 50%");
+    }
+
+    #[test]
+    fn dense_wins_at_full_density() {
+        let (m, k) = (11_000, 11_000);
+        let nnz = m * k;
+        let dense = matrix_storage_bits(&MatrixFormat::Dense, m, k, nnz, FP32);
+        for fmt in [
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Zvc,
+            MatrixFormat::Rlc { run_bits: 4 },
+        ] {
+            let s = matrix_storage_bits(&fmt, m, k, nnz, FP32);
+            assert!(dense <= s, "Dense {dense} should beat {fmt} {s} at 100%");
+        }
+    }
+
+    #[test]
+    fn quantization_shifts_crossovers() {
+        // Fig. 4a(i) vs 4a(ii): with 8-bit data the metadata share grows,
+        // so the density at which Dense overtakes CSR (the second red
+        // line) moves left — CSR's ~14 bits of column metadata per nonzero
+        // hurt more when each element is only 8 bits.
+        let (m, k) = (11_000, 11_000);
+        let find_dense_crossover = |dtype: DataType| -> f64 {
+            // Lowest density at which Dense is at least as compact as CSR.
+            for i in 1..1000 {
+                let dens = i as f64 / 1000.0;
+                let nnz = ((m * k) as f64 * dens) as usize;
+                let csr = matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, dtype);
+                let dense = matrix_storage_bits(&MatrixFormat::Dense, m, k, nnz, dtype);
+                if dense <= csr {
+                    return dens;
+                }
+            }
+            1.0
+        };
+        let cross32 = find_dense_crossover(DataType::Fp32);
+        let cross8 = find_dense_crossover(DataType::Int8);
+        assert!(
+            cross8 < cross32,
+            "int8 Dense/CSR crossover {cross8} should sit left of fp32 crossover {cross32}"
+        );
+        // Both crossovers live in a sensible band (Fig. 4a puts them
+        // between ~30% and ~80% density).
+        assert!(cross32 > 0.3 && cross32 < 0.9, "fp32 crossover {cross32} out of band");
+    }
+
+    #[test]
+    fn rlc_entry_model_asymptotes() {
+        // Dense end: one entry per nonzero.
+        assert_eq!(rlc_expected_entries(100, 100, 4), 100);
+        // Empty stream: pure extension entries.
+        assert_eq!(rlc_expected_entries(160, 0, 4), 10);
+        // Mixed.
+        assert_eq!(rlc_expected_entries(100, 10, 4), 10 + 90 / 16);
+    }
+
+    #[test]
+    fn exact_matches_analytic_for_unstructured() {
+        // For COO/CSR/CSC/ZVC/Dense the exact and analytic models must
+        // agree (they depend only on dims and nnz).
+        let coo = CooMatrix::from_triplets(
+            30,
+            40,
+            (0..57).map(|i| (i % 30, (i * 7) % 40, 1.0 + i as f64)).collect(),
+        )
+        .unwrap();
+        let nnz = coo.nnz();
+        for fmt in [MatrixFormat::Dense, MatrixFormat::Coo, MatrixFormat::Csr, MatrixFormat::Csc, MatrixFormat::Zvc] {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            assert_eq!(
+                matrix_storage_bits_exact(&data, FP32),
+                matrix_storage_bits(&fmt, 30, 40, nnz, FP32),
+                "mismatch for {fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_bsr_uses_real_block_count() {
+        // A perfectly blocked matrix has far fewer blocks than the uniform
+        // model expects.
+        let mut triplets = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                triplets.push((r, c, 1.0));
+            }
+        }
+        let coo = CooMatrix::from_triplets(64, 64, triplets).unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Bsr { br: 4, bc: 4 }).unwrap();
+        let exact = matrix_storage_bits_exact(&data, FP32);
+        let analytic = matrix_storage_bits(&MatrixFormat::Bsr { br: 4, bc: 4 }, 64, 64, 16, FP32);
+        assert!(exact <= analytic, "clustered exact {exact} should be <= analytic {analytic}");
+    }
+
+    #[test]
+    fn tensor_sizes_ordering_at_extreme_sparsity() {
+        let dims = (1000, 1000, 100);
+        let nnz = 500;
+        let coo = tensor_storage_bits(&TensorFormat::Coo, dims, nnz, FP32);
+        let dense = tensor_storage_bits(&TensorFormat::Dense, dims, nnz, FP32);
+        let zvc = tensor_storage_bits(&TensorFormat::Zvc, dims, nnz, FP32);
+        assert!(coo < zvc);
+        assert!(zvc < dense);
+    }
+
+    #[test]
+    fn csf_beats_coo_when_fibers_shared() {
+        // Dense-ish fibers: many nonzeros share (x, y) prefixes.
+        let dims = (100, 100, 1000);
+        let nnz = 100 * 100 * 10; // every fiber holds ~10 nonzeros
+        let csf = tensor_storage_bits(&TensorFormat::Csf, dims, nnz, FP32);
+        let coo = tensor_storage_bits(&TensorFormat::Coo, dims, nnz, FP32);
+        assert!(csf < coo, "CSF {csf} should beat COO {coo} with shared fibers");
+    }
+
+    #[test]
+    fn bytes_rounds_up() {
+        let bits = matrix_storage_bits(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8);
+        assert_eq!(matrix_storage_bytes(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8), bits.div_ceil(8));
+    }
+}

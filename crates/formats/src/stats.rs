@@ -1,0 +1,187 @@
+//! Sparsity-structure statistics.
+//!
+//! The paper's SAGE assumes "a uniform random distribution of the dense
+//! values" (paper SVI), explicitly deferring structured formats (DIA, HiCOO, BSR,
+//! ELLPACK) to future work (§VI). This module provides the structure
+//! metrics that extension needs: per-row population dispersion (ELL),
+//! occupied-diagonal counts (DIA) and block occupancy (BSR), measured on
+//! an actual pattern instead of assumed.
+
+use crate::coo::CooMatrix;
+use crate::traits::SparseMatrix;
+
+/// Structure metrics of one sparse matrix pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// Minimum nonzeros in any row.
+    pub row_nnz_min: usize,
+    /// Maximum nonzeros in any row (the ELL width).
+    pub row_nnz_max: usize,
+    /// Mean nonzeros per row.
+    pub row_nnz_mean: f64,
+    /// Coefficient of variation of row populations (0 = perfectly
+    /// balanced; large = ELL-hostile).
+    pub row_nnz_cv: f64,
+    /// Number of occupied diagonals (the DIA strip count).
+    pub occupied_diagonals: usize,
+}
+
+impl MatrixStats {
+    /// Analyze a pattern.
+    pub fn analyze(coo: &CooMatrix) -> Self {
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let mut row_counts = vec![0usize; rows];
+        let mut diags = std::collections::HashSet::new();
+        for (r, c, _) in coo.iter() {
+            row_counts[r] += 1;
+            diags.insert(c as isize - r as isize);
+        }
+        let nnz = coo.nnz();
+        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let var = if rows == 0 {
+            0.0
+        } else {
+            row_counts.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / rows as f64
+        };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            row_nnz_min: row_counts.iter().copied().min().unwrap_or(0),
+            row_nnz_max: row_counts.iter().copied().max().unwrap_or(0),
+            row_nnz_mean: mean,
+            row_nnz_cv: cv,
+            occupied_diagonals: diags.len(),
+        }
+    }
+
+    /// Density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Occupancy of `block x block` tiles: `(occupied_blocks, fill)`
+    /// where `fill` is the fraction of occupied-block slots holding real
+    /// nonzeros (1.0 = perfectly blocked, → density for random patterns).
+    pub fn block_occupancy(coo: &CooMatrix, block: usize) -> (usize, f64) {
+        assert!(block > 0, "block must be positive");
+        let mut blocks = std::collections::HashSet::new();
+        for (r, c, _) in coo.iter() {
+            blocks.insert((r / block, c / block));
+        }
+        let occupied = blocks.len();
+        if occupied == 0 {
+            return (0, 0.0);
+        }
+        let fill = coo.nnz() as f64 / (occupied * block * block) as f64;
+        (occupied, fill)
+    }
+
+    /// Is this pattern a good DIA candidate? (Few diagonals hold all the
+    /// nonzeros.)
+    pub fn is_banded(&self) -> bool {
+        let max_diags = self.rows + self.cols;
+        self.occupied_diagonals > 0
+            && self.occupied_diagonals <= (max_diags / 20).max(4)
+            && self.nnz >= self.occupied_diagonals * self.rows.min(self.cols) / 2
+    }
+
+    /// Is this pattern ELL-friendly? (Balanced row populations.)
+    pub fn is_row_balanced(&self) -> bool {
+        self.row_nnz_cv < 0.25 && self.row_nnz_max > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiagonal_is_banded() {
+        let n = 64;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let coo = CooMatrix::from_triplets(n, n, t).unwrap();
+        let s = MatrixStats::analyze(&coo);
+        assert_eq!(s.occupied_diagonals, 3);
+        assert!(s.is_banded());
+        assert!(s.is_row_balanced());
+    }
+
+    #[test]
+    fn scattered_pattern_is_not_banded() {
+        let coo = CooMatrix::from_triplets(
+            50,
+            50,
+            (0..100).map(|i| ((i * 7) % 50, (i * 13) % 50, 1.0)).collect(),
+        )
+        .unwrap();
+        let s = MatrixStats::analyze(&coo);
+        assert!(s.occupied_diagonals > 20);
+        assert!(!s.is_banded());
+    }
+
+    #[test]
+    fn block_occupancy_detects_blocked_structure() {
+        // One fully dense 4x4 block.
+        let mut t = Vec::new();
+        for r in 8..12 {
+            for c in 4..8 {
+                t.push((r, c, 1.0));
+            }
+        }
+        let coo = CooMatrix::from_triplets(16, 16, t).unwrap();
+        let (blocks, fill) = MatrixStats::block_occupancy(&coo, 4);
+        assert_eq!(blocks, 1);
+        assert_eq!(fill, 1.0);
+        // Same nnz scattered: many blocks, low fill.
+        let scattered = CooMatrix::from_triplets(
+            16,
+            16,
+            (0..16).map(|i| (i, (i * 5) % 16, 1.0)).collect(),
+        )
+        .unwrap();
+        let (b2, f2) = MatrixStats::block_occupancy(&scattered, 4);
+        assert!(b2 > 8);
+        assert!(f2 < 0.2);
+    }
+
+    #[test]
+    fn row_balance_metrics() {
+        // All nonzeros in one row: maximal imbalance.
+        let coo = CooMatrix::from_triplets(10, 20, (0..20).map(|c| (0, c, 1.0)).collect())
+            .unwrap();
+        let s = MatrixStats::analyze(&coo);
+        assert_eq!(s.row_nnz_max, 20);
+        assert_eq!(s.row_nnz_min, 0);
+        assert!(s.row_nnz_cv > 1.0);
+        assert!(!s.is_row_balanced());
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = MatrixStats::analyze(&CooMatrix::empty(5, 5));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.occupied_diagonals, 0);
+        assert_eq!(s.density(), 0.0);
+        assert!(!s.is_banded());
+    }
+}

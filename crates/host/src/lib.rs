@@ -1,0 +1,32 @@
+//! # sparseflex-host
+//!
+//! Host-side (CPU/GPU) baseline models for the paper's §VII-B
+//! comparisons. The paper measures Intel MKL on a Core i9-9820X and
+//! cuSPARSE/cuBLAS on an NVIDIA Titan RTX; neither library nor GPU is
+//! available here, so this crate substitutes:
+//!
+//! - [`device`] — analytic roofline models of both devices, parameterized
+//!   with the paper's published specs (10 cores / 85 GB/s / 165 W TDP;
+//!   4608 CUDA cores at 1.77 GHz / 672 GB/s / 280 W), driving the Fig. 5
+//!   execution-time / SM-utilization / memory-utilization sweeps and the
+//!   Fig. 10 conversion-time comparison.
+//! - [`offload`] — the PCIe host-device transfer model behind Fig. 11's
+//!   transfer-to-compute ratios.
+//! - [`swconvert`] — *measured* wall-clock timing of this workspace's own
+//!   multithreaded Rust conversions, a real software-conversion baseline
+//!   that runs on the build machine.
+//!
+//! The substitution preserves what the paper's figures actually claim:
+//! which algorithm wins in which density region (Fig. 5), that host
+//! conversion plus PCIe round-trips dwarf MINT (Fig. 10), and that
+//! transfers consume ~50% of offloaded conversion time (Fig. 11).
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod offload;
+pub mod swconvert;
+
+pub use device::{DeviceModel, MmAlgorithm, MmEstimate};
+pub use offload::{OffloadModel, OffloadBreakdown};
+pub use swconvert::{time_conversion, ConversionTiming};

@@ -1,0 +1,41 @@
+//! # sparseflex-kernels
+//!
+//! Software reference implementations of the tensor-algebra kernels the
+//! paper's accelerator targets (Fig. 2):
+//!
+//! - **GEMM** — dense matrix × dense matrix ([`mod@gemm`]).
+//! - **SpMV** — sparse matrix × dense vector ([`mod@spmv`]).
+//! - **SpMM** — sparse matrix × dense matrix in several ACFs: the COO
+//!   streaming form of the paper's Alg. 1, the CSR row form, and the
+//!   CSC-stationary form ([`spmm`]).
+//! - **SpGEMM** — sparse × sparse (Gustavson) ([`mod@spgemm`]).
+//! - **SpTTM** — sparse tensor × dense matrix ([`spttm`]).
+//! - **MTTKRP** — matricized tensor times Khatri-Rao product ([`mttkrp`]).
+//! - **im2col** — convolution → GEMM rearrangement used by the ResNet case
+//!   study ([`mod@im2col`]).
+//!
+//! Every kernel has a sequential and (where profitable) a multithreaded
+//! variant built on `crossbeam::scope` with disjoint output-row ownership,
+//! so results are bit-identical to the sequential path. These kernels are
+//! used three ways across the workspace: as the functional oracle for the
+//! accelerator simulator, as the measured software baseline standing in
+//! for cuBLAS/cuSPARSE/MKL (Fig. 5 and Fig. 10), and inside the examples.
+
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod im2col;
+pub mod mttkrp;
+pub mod parallel;
+pub mod spgemm;
+pub mod spmm;
+pub mod spmv;
+pub mod spttm;
+
+pub use gemm::{gemm, gemm_parallel};
+pub use im2col::{im2col, ConvLayer};
+pub use mttkrp::{mttkrp_coo, mttkrp_csf};
+pub use spgemm::{spgemm, spgemm_parallel};
+pub use spmm::{spmm_coo_dense, spmm_csr_dense, spmm_csr_dense_parallel, spmm_dense_csc};
+pub use spmv::spmv;
+pub use spttm::{spttm_coo, spttm_csf};

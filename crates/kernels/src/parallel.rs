@@ -1,0 +1,114 @@
+//! Thread-pool helpers for the multithreaded kernel variants.
+//!
+//! All parallel kernels partition their *output* rows into disjoint chunks
+//! and hand each chunk to one scoped thread, so no synchronization beyond
+//! the final join is needed and results are bit-identical to the
+//! sequential variants.
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// capped by the amount of work.
+pub fn worker_count(work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(work_items).max(1)
+}
+
+/// Split `data` into at most `parts` contiguous mutable chunks of
+/// near-equal length, returning each with the index of its first element.
+pub fn chunks_with_offsets<T>(data: &mut [T], parts: usize) -> Vec<(usize, &mut [T])> {
+    let len = data.len();
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let chunk = len.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = data;
+    let mut offset = 0;
+    while !rest.is_empty() {
+        let take = chunk.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        out.push((offset, head));
+        offset += take;
+        rest = tail;
+    }
+    out
+}
+
+/// Run `f(chunk_start, chunk)` over near-equal contiguous chunks of
+/// `data`, one scoped thread per chunk.
+pub fn par_chunks<T: Send, F>(data: &mut [T], parts: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunks = chunks_with_offsets(data, parts);
+    if chunks.len() <= 1 {
+        for (off, chunk) in chunks {
+            f(off, chunk);
+        }
+        return;
+    }
+    crossbeam::scope(|s| {
+        for (off, chunk) in chunks {
+            let f = &f;
+            s.spawn(move |_| f(off, chunk));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert!(worker_count(1000) >= 1);
+        assert!(worker_count(2) <= 2);
+    }
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut v: Vec<u32> = (0..103).collect();
+        let chunks = chunks_with_offsets(&mut v, 7);
+        let mut seen = Vec::new();
+        for (off, c) in &chunks {
+            assert_eq!(c[0] as usize, *off);
+            seen.extend(c.iter().copied());
+        }
+        assert_eq!(seen, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_handle_degenerate_inputs() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(chunks_with_offsets(&mut empty, 4).is_empty());
+        let mut one = vec![42u32];
+        let c = chunks_with_offsets(&mut one, 8);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn par_chunks_writes_disjoint() {
+        let mut v = vec![0usize; 1000];
+        par_chunks(&mut v, 8, |off, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = off + i;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_single_thread_path() {
+        let mut v = vec![1u8; 3];
+        par_chunks(&mut v, 1, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert_eq!(v, vec![2, 2, 2]);
+    }
+}

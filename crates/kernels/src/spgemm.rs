@@ -1,0 +1,206 @@
+//! SpGEMM: sparse × sparse matrix multiplication (Gustavson's algorithm).
+//!
+//! "SpGEMM dominates the setup times of applications that use multigrid
+//! methods" (§II). The CSR(A)-CSR(B)-CSR(O) ACF is the one the paper's
+//! Fig. 5 shows winning at extreme sparsity on GPUs.
+
+use crate::parallel::worker_count;
+use sparseflex_formats::{CooMatrix, CsrMatrix, SparseMatrix};
+
+/// Gustavson SpGEMM: `O = A * B`, all three in CSR.
+///
+/// Row `i` of `O` is the sparse linear combination of the rows of `B`
+/// selected by row `i` of `A`, accumulated in a dense scratch row (the
+/// classic sparse accumulator).
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
+    let m = a.rows();
+    let n = b.cols();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..m {
+        spgemm_row(a, b, i, &mut acc, &mut touched, &mut col_ids, &mut values);
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values)
+        .expect("Gustavson emits sorted valid CSR rows")
+}
+
+/// One Gustavson row: accumulate into `acc`, emit sorted nonzeros.
+fn spgemm_row(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    i: usize,
+    acc: &mut [f64],
+    touched: &mut Vec<usize>,
+    col_ids: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+) {
+    let (acols, avals) = a.row(i);
+    for (k, av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(*k);
+        for (j, bv) in bcols.iter().zip(bvals) {
+            if acc[*j] == 0.0 && !touched.contains(j) {
+                touched.push(*j);
+            }
+            acc[*j] += av * bv;
+        }
+    }
+    touched.sort_unstable();
+    for &j in touched.iter() {
+        if acc[j] != 0.0 {
+            col_ids.push(j);
+            values.push(acc[j]);
+        }
+        acc[j] = 0.0;
+    }
+    touched.clear();
+}
+
+/// Row-parallel Gustavson SpGEMM: each thread computes a contiguous band
+/// of output rows into private buffers, then the bands are stitched.
+pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
+    let m = a.rows();
+    let n = b.cols();
+    let workers = worker_count(m);
+    if workers <= 1 || m < 32 {
+        return spgemm(a, b);
+    }
+    let rows_per = m.div_ceil(workers);
+    let bands: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * rows_per, ((w + 1) * rows_per).min(m)))
+        .filter(|(s, e)| s < e)
+        .collect();
+
+    let results: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = bands
+            .iter()
+            .map(|&(start, end)| {
+                s.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n];
+                    let mut touched = Vec::with_capacity(n);
+                    let mut row_lens = Vec::with_capacity(end - start);
+                    let mut col_ids = Vec::new();
+                    let mut values = Vec::new();
+                    for i in start..end {
+                        let before = values.len();
+                        spgemm_row(a, b, i, &mut acc, &mut touched, &mut col_ids, &mut values);
+                        row_lens.push(values.len() - before);
+                    }
+                    (row_lens, col_ids, values)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("spgemm worker panicked")).collect()
+    })
+    .expect("scope failed");
+
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let total: usize = results.iter().map(|(_, c, _)| c.len()).sum();
+    let mut col_ids = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for (row_lens, cs, vs) in results {
+        for len in row_lens {
+            row_ptr.push(row_ptr.last().unwrap() + len);
+        }
+        col_ids.extend_from_slice(&cs);
+        values.extend_from_slice(&vs);
+    }
+    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values)
+        .expect("stitched bands form valid CSR")
+}
+
+/// SpGEMM with COO output (convenience for tensor pipelines).
+pub fn spgemm_to_coo(a: &CsrMatrix, b: &CsrMatrix) -> CooMatrix {
+    use sparseflex_formats::SparseMatrix;
+    spgemm(a, b).to_coo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use sparseflex_formats::SparseMatrix;
+
+    fn mk(rows: usize, cols: usize, seed: u64, nnz: usize) -> CsrMatrix {
+        let mut state = seed;
+        let mut triplets = Vec::new();
+        for _ in 0..nnz {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 33) as usize % rows;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = (state >> 33) as usize % cols;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) % 9) as f64 - 4.0;
+            if v != 0.0 {
+                triplets.push((r, c, v));
+            }
+        }
+        CsrMatrix::from_coo(&CooMatrix::from_triplets(rows, cols, triplets).unwrap())
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = mk(8, 10, 1, 20);
+        let b = mk(10, 6, 2, 18);
+        let o = spgemm(&a, &b);
+        let expect = gemm_naive(&a.to_dense(), &b.to_dense());
+        assert_eq!(o.to_dense(), expect);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = mk(120, 80, 3, 600);
+        let b = mk(80, 90, 4, 500);
+        assert_eq!(spgemm_parallel(&a, &b), spgemm(&a, &b));
+    }
+
+    #[test]
+    fn cancellation_drops_output_entry() {
+        // A row combining +1 and -1 contributions that cancel exactly.
+        let a = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap(),
+        );
+        let b = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(2, 1, vec![(0, 0, 5.0), (1, 0, -5.0)]).unwrap(),
+        );
+        let o = spgemm(&a, &b);
+        assert_eq!(o.nnz(), 0);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = mk(12, 12, 5, 30);
+        let id = {
+            let t: Vec<_> = (0..12).map(|i| (i, i, 1.0)).collect();
+            CsrMatrix::from_coo(&CooMatrix::from_triplets(12, 12, t).unwrap())
+        };
+        assert_eq!(spgemm(&a, &id).to_dense(), a.to_dense());
+        assert_eq!(spgemm(&id, &a).to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn empty_operand_yields_empty() {
+        let a = CsrMatrix::from_coo(&CooMatrix::empty(4, 5));
+        let b = mk(5, 3, 6, 8);
+        assert_eq!(spgemm(&a, &b).nnz(), 0);
+    }
+
+    #[test]
+    fn output_rows_are_sorted() {
+        let a = mk(20, 20, 7, 80);
+        let b = mk(20, 20, 8, 80);
+        let o = spgemm(&a, &b);
+        for r in 0..o.rows() {
+            let (cols, _) = o.row(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} unsorted");
+        }
+    }
+}

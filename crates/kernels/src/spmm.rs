@@ -1,0 +1,183 @@
+//! SpMM: sparse matrix × dense matrix, in the ACF variants the paper
+//! contrasts (§III-B, Fig. 5).
+
+use crate::parallel::{par_chunks, worker_count};
+use sparseflex_formats::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, SparseMatrix};
+
+/// SpMM with the streaming operand in COO — a faithful implementation of
+/// the paper's **Algorithm 1**: iterate the nonzeros of `A`, multiply each
+/// against the matching dense row of `B`, accumulate into dense `O`.
+pub fn spmm_coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+    let n = b.cols();
+    let mut o = DenseMatrix::zeros(a.rows(), n);
+    // Alg. 1: for i in 0..nnz { for j in 0..N { O[rid][j] += val * B[cid][j] } }
+    for (rid, cid, val) in a.iter() {
+        let brow = b.row(cid);
+        let orow = &mut o.data_mut()[rid * n..(rid + 1) * n];
+        for (ov, bv) in orow.iter_mut().zip(brow) {
+            *ov += val * bv;
+        }
+    }
+    o
+}
+
+/// SpMM with the streaming operand in CSR: row-at-a-time accumulation.
+pub fn spmm_csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+    let n = b.cols();
+    let mut o = DenseMatrix::zeros(a.rows(), n);
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let orow = &mut o.data_mut()[r * n..(r + 1) * n];
+        for (c, v) in cols.iter().zip(vals) {
+            let brow = b.row(*c);
+            for (ov, bv) in orow.iter_mut().zip(brow) {
+                *ov += v * bv;
+            }
+        }
+    }
+    o
+}
+
+/// Multithreaded CSR SpMM: output rows partitioned across threads.
+pub fn spmm_csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+    let m = a.rows();
+    let n = b.cols();
+    let mut o = DenseMatrix::zeros(m, n);
+    let workers = worker_count(m);
+    let rows_per = m.div_ceil(workers).max(1);
+    par_chunks(o.data_mut(), m.div_ceil(rows_per), |off, chunk| {
+        let row0 = off / n;
+        let rows_here = chunk.len() / n;
+        for lr in 0..rows_here {
+            let r = row0 + lr;
+            let (cols, vals) = a.row(r);
+            let orow = &mut chunk[lr * n..(lr + 1) * n];
+            for (c, v) in cols.iter().zip(vals) {
+                let brow = b.row(*c);
+                for (ov, bv) in orow.iter_mut().zip(brow) {
+                    *ov += v * bv;
+                }
+            }
+        }
+    });
+    o
+}
+
+/// SpMM with a dense streaming operand and a CSC **stationary** operand:
+/// `O = A * B` where `B` is sparse-by-column — the Dense(A)-CSC(B) ACF the
+/// paper's Fig. 6b maps onto the weight-stationary PEs (each PE holds one
+/// compressed column of `B`).
+pub fn spmm_dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+    let (m, n) = (a.rows(), b.cols());
+    let mut o = DenseMatrix::zeros(m, n);
+    for j in 0..n {
+        let (rows, vals) = b.col(j);
+        for i in 0..m {
+            let arow = a.row(i);
+            let mut acc = 0.0;
+            for (k, v) in rows.iter().zip(vals) {
+                acc += arow[*k] * v;
+            }
+            o.set(i, j, acc);
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use sparseflex_formats::SparseMatrix;
+
+    fn sparse_a() -> CooMatrix {
+        CooMatrix::from_triplets(
+            5,
+            4,
+            vec![
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+                (4, 3, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dense_b() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+            vec![10.0, 11.0, 12.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn alg1_coo_matches_dense_gemm() {
+        let a = sparse_a();
+        let b = dense_b();
+        let expect = gemm_naive(&a.to_dense(), &b);
+        assert_eq!(spmm_coo_dense(&a, &b), expect);
+    }
+
+    #[test]
+    fn csr_variant_matches() {
+        let a = sparse_a();
+        let b = dense_b();
+        let csr = CsrMatrix::from_coo(&a);
+        let expect = gemm_naive(&a.to_dense(), &b);
+        assert_eq!(spmm_csr_dense(&csr, &b), expect);
+        assert_eq!(spmm_csr_dense_parallel(&csr, &b), expect);
+    }
+
+    #[test]
+    fn dense_csc_variant_matches() {
+        // O = A_dense * B_sparse with B in CSC.
+        let b_sparse = sparse_a(); // reuse pattern as the sparse B (5x4)
+        let a_dense = DenseMatrix::from_rows(vec![
+            vec![1.0, 0.0, 2.0, 0.0, 1.0],
+            vec![0.0, 3.0, 0.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let csc = CscMatrix::from_coo(&b_sparse);
+        let expect = gemm_naive(&a_dense, &b_sparse.to_dense());
+        assert_eq!(spmm_dense_csc(&a_dense, &csc), expect);
+    }
+
+    #[test]
+    fn empty_sparse_gives_zeros() {
+        let a = CooMatrix::empty(3, 4);
+        let b = dense_b();
+        let o = spmm_coo_dense(&a, &b);
+        assert_eq!(o, DenseMatrix::zeros(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatch_panics() {
+        let a = CooMatrix::empty(3, 5);
+        let b = dense_b();
+        let _ = spmm_coo_dense(&a, &b);
+    }
+
+    #[test]
+    fn parallel_handles_many_rows() {
+        let triplets: Vec<_> =
+            (0..200).map(|i| (i % 100, (i * 13) % 40, (i + 1) as f64)).collect();
+        let a = CooMatrix::from_triplets(100, 40, triplets).unwrap();
+        let b = {
+            let data: Vec<f64> = (0..40 * 7).map(|i| (i % 11) as f64 - 5.0).collect();
+            DenseMatrix::from_vec(40, 7, data).unwrap()
+        };
+        let csr = CsrMatrix::from_coo(&a);
+        assert_eq!(spmm_csr_dense_parallel(&csr, &b), spmm_csr_dense(&csr, &b));
+    }
+}

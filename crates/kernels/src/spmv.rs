@@ -1,0 +1,58 @@
+//! SpMV: sparse matrix × dense vector.
+
+use sparseflex_formats::{CsrMatrix, SparseMatrix};
+
+/// CSR SpMV: `y = A * x`.
+///
+/// "SpMM and SpMV ... are the key computational kernels in an iterative
+/// solver for sparse linear systems" (§II).
+pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "SpMV dimension mismatch");
+    let mut y = vec![0.0; a.rows()];
+    for (r, out) in y.iter_mut().enumerate() {
+        let (cols, vals) = a.row(r);
+        let mut acc = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            acc += v * x[*c];
+        }
+        *out = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::{CooMatrix, SparseMatrix};
+
+    #[test]
+    fn matches_dense_matvec() {
+        let coo = CooMatrix::from_triplets(
+            4,
+            3,
+            vec![(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (3, 0, 1.0), (3, 2, 4.0)],
+        )
+        .unwrap();
+        let a = CsrMatrix::from_coo(&coo);
+        let x = vec![1.0, 2.0, 3.0];
+        let y = spmv(&a, &x);
+        let dense = a.to_dense();
+        for (r, got) in y.iter().enumerate() {
+            let expect: f64 = (0..3).map(|c| dense.get(r, c) * x[c]).sum();
+            assert_eq!(*got, expect);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_vector() {
+        let a = CsrMatrix::from_coo(&CooMatrix::empty(5, 4));
+        assert_eq!(spmv(&a, &[1.0; 4]), vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_vector_length_panics() {
+        let a = CsrMatrix::from_coo(&CooMatrix::empty(2, 3));
+        let _ = spmv(&a, &[1.0; 2]);
+    }
+}

@@ -1,0 +1,130 @@
+//! SpTTM: sparse tensor times dense matrix (mode-z contraction).
+//!
+//! "Sparse tensor times dense matrix multiplication (SpTTM) is a standard
+//! building block for all tensor computations ... Tucker decomposition
+//! intensively uses SpTTM" (§II). We contract over the third (z) mode:
+//!
+//! `Y[x][y][j] = sum_z A[x][y][z] * B[z][j]`
+//!
+//! with `A` sparse `(X, Y, Z)`, `B` dense `(Z, J)` and `Y` dense
+//! `(X, Y, J)` (TTM outputs are near-dense along the contracted mode, so
+//! dense output is the standard choice).
+
+use sparseflex_formats::{CooTensor3, CsfTensor, DenseMatrix, DenseTensor3, SparseMatrix, SparseTensor3};
+
+/// SpTTM with the tensor in COO: stream nonzeros, scatter row updates.
+pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
+    assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dimension must agree");
+    let j = b.cols();
+    let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
+    for (x, yy, z, v) in a.iter() {
+        let brow = b.row(z);
+        for (jj, bv) in brow.iter().enumerate() {
+            y.add_assign(x, yy, jj, v * bv);
+        }
+    }
+    y
+}
+
+/// SpTTM with the tensor in CSF: fiber-at-a-time accumulation. Each
+/// `(x, y)` fiber accumulates its full output row before moving on, which
+/// is the access pattern that makes CSF the preferred tensor ACF in
+/// Table III's Crime/Uber rows.
+pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
+    assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dimension must agree");
+    let j = b.cols();
+    let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
+    let mut acc = vec![0.0f64; j];
+    for (si, &x) in a.x_fids().iter().enumerate() {
+        for fi in a.x_ptr()[si]..a.x_ptr()[si + 1] {
+            let yy = a.y_fids()[fi];
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            for zi in a.y_ptr()[fi]..a.y_ptr()[fi + 1] {
+                let z = a.z_fids()[zi];
+                let v = a.values()[zi];
+                for (av, bv) in acc.iter_mut().zip(b.row(z)) {
+                    *av += v * bv;
+                }
+            }
+            for (jj, &av) in acc.iter().enumerate() {
+                if av != 0.0 {
+                    y.add_assign(x, yy, jj, av);
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::CooTensor3;
+
+    fn tensor() -> CooTensor3 {
+        CooTensor3::from_quads(
+            3,
+            4,
+            5,
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 4, 2.0),
+                (1, 2, 1, 3.0),
+                (2, 3, 2, -1.0),
+                (2, 3, 3, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dense_b() -> DenseMatrix {
+        let data: Vec<f64> = (0..5 * 3).map(|i| (i as f64) - 7.0).collect();
+        DenseMatrix::from_vec(5, 3, data).unwrap()
+    }
+
+    fn naive(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
+        let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), b.cols());
+        for x in 0..a.dim_x() {
+            for yy in 0..a.dim_y() {
+                for jj in 0..b.cols() {
+                    let mut acc = 0.0;
+                    for z in 0..a.dim_z() {
+                        acc += a.get(x, yy, z) * b.get(z, jj);
+                    }
+                    y.set(x, yy, jj, acc);
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn coo_matches_naive() {
+        let a = tensor();
+        let b = dense_b();
+        assert_eq!(spttm_coo(&a, &b), naive(&a, &b));
+    }
+
+    #[test]
+    fn csf_matches_coo() {
+        let a = tensor();
+        let b = dense_b();
+        let csf = CsfTensor::from_coo(&a);
+        assert_eq!(spttm_csf(&csf, &b), spttm_coo(&a, &b));
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_output() {
+        let a = CooTensor3::empty(2, 2, 5);
+        let b = dense_b();
+        assert_eq!(spttm_coo(&a, &b), DenseTensor3::zeros(2, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction dimension")]
+    fn mismatch_panics() {
+        let a = CooTensor3::empty(2, 2, 4);
+        let b = dense_b();
+        let _ = spttm_coo(&a, &b);
+    }
+}

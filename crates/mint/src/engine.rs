@@ -1,0 +1,728 @@
+//! The MINT conversion engine: Fig. 8's conversions built from blocks.
+//!
+//! Every conversion both *computes* the converted operand (verified
+//! against the software conversions in `sparseflex-formats`) and *meters*
+//! the building blocks it occupies, returning a [`ConversionReport`] that
+//! the cost model and SAGE consume.
+
+use crate::blocks::{
+    small_op_cycles, ClusterCounter, DivModArray, MemController, PrefixSumUnit, SortingNetwork,
+    E_SMALL_OP,
+};
+use crate::report::{BlockKind, ConversionReport};
+use sparseflex_formats::{
+    BsrMatrix, CooMatrix, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix, DenseTensor3,
+    FormatError, MatrixData, MatrixFormat, RlcMatrix, SparseMatrix, SparseTensor3, ZvcMatrix,
+};
+
+/// A configured MINT instance (one of each merged building block).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionEngine {
+    /// Scan unit.
+    pub prefix: PrefixSumUnit,
+    /// Sorting network.
+    pub sorter: SortingNetwork,
+    /// Cluster counter.
+    pub counter: ClusterCounter,
+    /// Divide/mod array.
+    pub divmod: DivModArray,
+    /// Memory controller.
+    pub memctrl: MemController,
+}
+
+impl Default for ConversionEngine {
+    fn default() -> Self {
+        ConversionEngine {
+            prefix: PrefixSumUnit::mint_default(),
+            sorter: SortingNetwork::mint_default(),
+            counter: ClusterCounter::mint_default(),
+            divmod: DivModArray::mint_default(),
+            memctrl: MemController::mint_default(),
+        }
+    }
+}
+
+impl ConversionEngine {
+    fn fresh_report(&self) -> ConversionReport {
+        ConversionReport {
+            fill_latency: self.prefix.latency()
+                + self.sorter.latency()
+                + self.divmod.latency()
+                + self.memctrl.setup_latency,
+            ..Default::default()
+        }
+    }
+
+    /// CSR → CSC (Fig. 8c): histogram column ids (sort + cluster count),
+    /// prefix-sum into `col_ptr`, then scatter values and row ids.
+    pub fn csr_to_csc(&self, csr: &CsrMatrix) -> (CscMatrix, ConversionReport) {
+        let mut rep = self.fresh_report();
+        let nnz = csr.nnz() as u64;
+        let cols = csr.cols();
+
+        // Step 1: read chunks of col_ids.
+        self.memctrl.transfer(nnz, &mut rep);
+        // Step 2: sort each chunk.
+        let col_ids_u64: Vec<u64> = csr.col_ids().iter().map(|&c| c as u64).collect();
+        let sorted = self.sorter.sort_chunks(&col_ids_u64, &mut rep);
+        // Step 3: cluster-count into the histogram.
+        let hist = self.counter.count_into(&sorted, cols, &mut rep);
+        // Step 4: accumulate histogram writes into scratchpad.
+        self.memctrl.transfer(cols as u64, &mut rep);
+        // Step 5: prefix sum over col_ptr.
+        let col_ptr = self.prefix.scan_exclusive(&hist, &mut rep);
+        // Steps 6-9: iterate CSR fields, scatter into CSC arrays. Each
+        // nonzero costs a read of (value, col_id), a col_ptr read +
+        // increment (adders), and a write of (value, row_id).
+        self.memctrl.transfer(2 * nnz, &mut rep);
+        rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+        rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+        self.memctrl.transfer(2 * nnz, &mut rep);
+        // Step 10: fix up and store col_ptr.
+        self.memctrl.transfer(cols as u64 + 1, &mut rep);
+
+        // Functional scatter (counting sort).
+        let mut cursor: Vec<usize> = col_ptr.iter().map(|&x| x as usize).collect();
+        let mut row_ids = vec![0usize; csr.nnz()];
+        let mut values = vec![0.0; csr.nnz()];
+        for (r, c, v) in csr.iter() {
+            let slot = cursor[c];
+            cursor[c] += 1;
+            row_ids[slot] = r;
+            values[slot] = v;
+        }
+        let mut col_ptr_usize: Vec<usize> = col_ptr.iter().map(|&x| x as usize).collect();
+        col_ptr_usize.push(csr.nnz());
+        rep.elements += nnz;
+        let csc = CscMatrix::from_parts(csr.rows(), cols, col_ptr_usize, row_ids, values)
+            .expect("counting sort yields valid CSC");
+        (csc, rep)
+    }
+
+    /// RLC → COO (Fig. 8d): add one to each run, prefix-sum to recover
+    /// flat positions, divide/mod by the row length for coordinates.
+    pub fn rlc_to_coo(&self, rlc: &RlcMatrix) -> (CooMatrix, ConversionReport) {
+        let mut rep = self.fresh_report();
+        let n = rlc.stored_entries() as u64;
+        let cols = rlc.cols() as u64;
+
+        // Step 1: stream the RLC entries in.
+        self.memctrl.transfer(2 * n, &mut rep);
+        // Step 2: +1 offset per element.
+        rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
+        let steps: Vec<u64> = rlc.entries().iter().map(|e| e.zeros + 1).collect();
+        // Step 3: prefix sum -> positions + 1.
+        let prefix = self.prefix.scan(&steps, &mut rep);
+        // Step 4: parallel divide/mod by K.
+        let flats: Vec<u64> = prefix.iter().map(|p| p - 1).collect();
+        let coords = self.divmod.div_mod(&flats, cols, &mut rep);
+        // Extension-entry suppression (value == 0 emits nothing).
+        rep.charge(BlockKind::Comparators, small_op_cycles(n), n as f64 * E_SMALL_OP);
+        // Step 5: store values + coordinates.
+        let mut triplets = Vec::with_capacity(rlc.nnz());
+        for (i, e) in rlc.entries().iter().enumerate() {
+            if e.value != 0.0 {
+                triplets.push((coords[i].0 as usize, coords[i].1 as usize, e.value));
+            }
+        }
+        self.memctrl.transfer(3 * triplets.len() as u64, &mut rep);
+        rep.elements += n;
+        let coo = CooMatrix::from_sorted_triplets(rlc.rows(), rlc.cols(), triplets)
+            .expect("RLC stream order is row-major");
+        (coo, rep)
+    }
+
+    /// CSR → BSR (Fig. 8e): walk row blocks, find block columns with
+    /// mod + comparators, scatter (padding zeros included), prefix-sum
+    /// the block row pointer.
+    pub fn csr_to_bsr(
+        &self,
+        csr: &CsrMatrix,
+        br: usize,
+        bc: usize,
+    ) -> Result<(BsrMatrix, ConversionReport), FormatError> {
+        let mut rep = self.fresh_report();
+        let nnz = csr.nnz() as u64;
+        // Step 1: read the CSR fields.
+        self.memctrl.transfer(2 * nnz + csr.rows() as u64 + 1, &mut rep);
+        // Step 2: block-position mods and initialization comparators.
+        let cols_u64: Vec<u64> = csr.col_ids().iter().map(|&c| c as u64).collect();
+        let _ = self.divmod.div_mod(&cols_u64, bc.max(1) as u64, &mut rep);
+        rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+
+        let bsr = BsrMatrix::from_coo(&csr.to_coo(), br, bc)?;
+        // Step 3: scatter values into padded block payloads (padding
+        // zeros are written too — that is BSR's cost).
+        self.memctrl.transfer(bsr.stored_values() as u64, &mut rep);
+        // Counter tallies unique blocks per row block.
+        rep.charge(
+            BlockKind::ClusterCounter,
+            self.counter.cycles(nnz),
+            self.counter.energy(nnz),
+        );
+        // Step 5: prefix sum over the block row pointers.
+        let nbr = bsr.num_block_rows() as u64;
+        rep.charge(
+            BlockKind::PrefixSum,
+            self.prefix.cycles(nbr + 1),
+            self.prefix.energy(nbr + 1),
+        );
+        self.memctrl.transfer(nbr + 1 + bsr.num_blocks() as u64, &mut rep);
+        rep.elements += nnz;
+        Ok((bsr, rep))
+    }
+
+    /// Dense tensor → CSF (Fig. 8f): nonzero scan + prefix sum for output
+    /// slots, divide/mod chains for COO coordinates, then tree
+    /// construction (comparators + pointer prefix sums).
+    pub fn dense_to_csf(&self, dense: &DenseTensor3) -> (CsfTensor, ConversionReport) {
+        let mut rep = self.fresh_report();
+        let (dx, dy, dz) = dense.shape();
+        let total = (dx * dy * dz) as u64;
+        // Step 1: stream the dense tensor.
+        self.memctrl.transfer(total, &mut rep);
+        // Step 2: zero-check comparators + indicator prefix sum.
+        rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
+        rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+        let coo = dense.to_coo();
+        let nnz = coo.nnz() as u64;
+        // Step 3: coordinate recovery: two divide/mod rounds per nonzero.
+        let flats: Vec<u64> = coo
+            .iter()
+            .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
+            .collect();
+        let first = self.divmod.div_mod(&flats, (dy * dz).max(1) as u64, &mut rep);
+        let rests: Vec<u64> = first.iter().map(|&(_, rem)| rem).collect();
+        let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
+        // Step 4: store the COO intermediate.
+        self.memctrl.transfer(4 * nnz, &mut rep);
+        // Steps 5-6: tree construction — boundary comparators over the
+        // sorted coordinates and prefix sums for the pointer arrays.
+        rep.charge(BlockKind::Comparators, small_op_cycles(2 * nnz), 2.0 * nnz as f64 * E_SMALL_OP);
+        let csf = CsfTensor::from_coo(&coo);
+        let ptr_elems = (csf.num_slices() + csf.num_fibers() + 2) as u64;
+        rep.charge(
+            BlockKind::PrefixSum,
+            self.prefix.cycles(ptr_elems),
+            self.prefix.energy(ptr_elems),
+        );
+        // Step 7: store the CSF structure.
+        let csf_elems =
+            (2 * csf.nnz() + 2 * csf.num_fibers() + 2 * csf.num_slices() + 2) as u64;
+        self.memctrl.transfer(csf_elems, &mut rep);
+        rep.elements += total;
+        (csf, rep)
+    }
+
+    /// Decode any matrix payload into the COO hub through the blocks.
+    pub fn decode_to_coo(&self, data: &MatrixData) -> (CooMatrix, ConversionReport) {
+        let mut rep = self.fresh_report();
+        let coo = match data {
+            MatrixData::Coo(c) => {
+                // Pass-through: stream copy only.
+                self.memctrl.transfer(3 * c.nnz() as u64, &mut rep);
+                c.clone()
+            }
+            MatrixData::Rlc(r) => {
+                let (coo, sub) = self.rlc_to_coo(r);
+                rep.merge(&sub);
+                return (coo, rep);
+            }
+            MatrixData::Dense(d) => {
+                let total = (d.rows() * d.cols()) as u64;
+                self.memctrl.transfer(total, &mut rep);
+                rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+                let coo = d.to_coo();
+                let flats: Vec<u64> = coo
+                    .iter()
+                    .map(|(r, c, _)| (r * d.cols() + c) as u64)
+                    .collect();
+                let _ = self.divmod.div_mod(&flats, d.cols().max(1) as u64, &mut rep);
+                self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+            MatrixData::Zvc(z) => {
+                // Rank/select via prefix sums over mask popcounts.
+                let words = z.mask().len() as u64;
+                self.memctrl.transfer(words + z.nnz() as u64, &mut rep);
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(words), self.prefix.energy(words));
+                let coo = z.to_coo();
+                let flats: Vec<u64> = coo
+                    .iter()
+                    .map(|(r, c, _)| (r * z.cols() + c) as u64)
+                    .collect();
+                let _ = self.divmod.div_mod(&flats, z.cols().max(1) as u64, &mut rep);
+                self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+            MatrixData::Csr(c) => {
+                // Row-pointer expansion: adders walk row_ptr while values
+                // and col ids stream through.
+                let nnz = c.nnz() as u64;
+                self.memctrl.transfer(2 * nnz + c.rows() as u64 + 1, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                self.memctrl.transfer(3 * nnz, &mut rep);
+                c.to_coo()
+            }
+            MatrixData::Csc(c) => {
+                // Column-major to row-major: counting sort on row ids.
+                let nnz = c.nnz() as u64;
+                self.memctrl.transfer(2 * nnz + c.cols() as u64 + 1, &mut rep);
+                let row_u64: Vec<u64> = c.row_ids().iter().map(|&r| r as u64).collect();
+                let sorted = self.sorter.sort_chunks(&row_u64, &mut rep);
+                let hist = self.counter.count_into(&sorted, c.rows(), &mut rep);
+                let _ = self.prefix.scan_exclusive(&hist, &mut rep);
+                self.memctrl.transfer(3 * nnz, &mut rep);
+                c.to_coo()
+            }
+            other => {
+                // Structured formats (BSR/DIA/ELL): stream stored slots.
+                let stored = match other {
+                    MatrixData::Bsr(b) => b.stored_values() as u64,
+                    MatrixData::Dia(d) => d.stored_values() as u64,
+                    MatrixData::Ell(e) => e.stored_values() as u64,
+                    _ => unreachable!("all unstructured formats handled above"),
+                };
+                self.memctrl.transfer(stored, &mut rep);
+                rep.charge(BlockKind::Comparators, small_op_cycles(stored), stored as f64 * E_SMALL_OP);
+                let coo = other.to_coo();
+                self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+        };
+        rep.elements += coo.nnz() as u64;
+        (coo, rep)
+    }
+
+    /// Encode the COO hub into any matrix format through the blocks.
+    pub fn encode_from_coo(
+        &self,
+        coo: &CooMatrix,
+        target: &MatrixFormat,
+    ) -> Result<(MatrixData, ConversionReport), FormatError> {
+        let mut rep = self.fresh_report();
+        let nnz = coo.nnz() as u64;
+        let data = match *target {
+            MatrixFormat::Coo => {
+                self.memctrl.transfer(3 * nnz, &mut rep);
+                MatrixData::Coo(coo.clone())
+            }
+            MatrixFormat::Csr => {
+                // Histogram rows (already sorted) + prefix + stream write.
+                let rows_u64: Vec<u64> = coo.row_ids().iter().map(|&r| r as u64).collect();
+                let hist = self.counter.count_into(&rows_u64, coo.rows(), &mut rep);
+                let _ = self.prefix.scan_exclusive(&hist, &mut rep);
+                self.memctrl.transfer(2 * nnz + coo.rows() as u64 + 1, &mut rep);
+                MatrixData::Csr(CsrMatrix::from_coo(coo))
+            }
+            MatrixFormat::Csc => {
+                let cols_u64: Vec<u64> = coo.col_ids().iter().map(|&c| c as u64).collect();
+                let sorted = self.sorter.sort_chunks(&cols_u64, &mut rep);
+                let hist = self.counter.count_into(&sorted, coo.cols(), &mut rep);
+                let _ = self.prefix.scan_exclusive(&hist, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                self.memctrl.transfer(2 * nnz + coo.cols() as u64 + 1, &mut rep);
+                MatrixData::Csc(CscMatrix::from_coo(coo))
+            }
+            MatrixFormat::Dense => {
+                // Zero-init + scatter.
+                let total = (coo.rows() * coo.cols()) as u64;
+                self.memctrl.transfer(total, &mut rep);
+                self.memctrl.transfer(nnz, &mut rep);
+                MatrixData::Dense(coo.clone().into_dense())
+            }
+            MatrixFormat::Rlc { run_bits } => {
+                // Position deltas (adders) + run splitting (comparators).
+                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                let rlc = RlcMatrix::from_coo(coo, run_bits);
+                self.memctrl.transfer(2 * rlc.stored_entries() as u64, &mut rep);
+                MatrixData::Rlc(rlc)
+            }
+            MatrixFormat::Zvc => {
+                let zvc = ZvcMatrix::from_coo(coo);
+                self.memctrl.transfer(zvc.mask().len() as u64 + nnz, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                MatrixData::Zvc(zvc)
+            }
+            MatrixFormat::Bsr { br, bc } => {
+                let csr = CsrMatrix::from_coo(coo);
+                let (bsr, sub) = self.csr_to_bsr(&csr, br, bc)?;
+                rep.merge(&sub);
+                MatrixData::Bsr(bsr)
+            }
+            MatrixFormat::Dia | MatrixFormat::Ell => {
+                // Structured scatter: offset arithmetic + padded writes.
+                let data = MatrixData::encode(coo, target)?;
+                let stored = match &data {
+                    MatrixData::Dia(d) => d.stored_values() as u64,
+                    MatrixData::Ell(e) => e.stored_values() as u64,
+                    _ => unreachable!(),
+                };
+                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                self.memctrl.transfer(stored, &mut rep);
+                data
+            }
+        };
+        rep.elements += nnz;
+        Ok((data, rep))
+    }
+
+    /// Generic any→any matrix conversion: direct fast paths where Fig. 8
+    /// defines them, otherwise decode→COO→encode.
+    pub fn convert_matrix(
+        &self,
+        data: &MatrixData,
+        target: &MatrixFormat,
+    ) -> Result<(MatrixData, ConversionReport), FormatError> {
+        if data.format() == *target {
+            // Identity: no conversion hardware touched.
+            return Ok((data.clone(), ConversionReport::default()));
+        }
+        // Direct paths from Fig. 8.
+        match (data, target) {
+            (MatrixData::Csr(c), MatrixFormat::Csc) => {
+                let (out, rep) = self.csr_to_csc(c);
+                return Ok((MatrixData::Csc(out), rep));
+            }
+            (MatrixData::Csr(c), MatrixFormat::Bsr { br, bc }) => {
+                let (out, rep) = self.csr_to_bsr(c, *br, *bc)?;
+                return Ok((MatrixData::Bsr(out), rep));
+            }
+            (MatrixData::Rlc(r), MatrixFormat::Coo) => {
+                let (out, rep) = self.rlc_to_coo(r);
+                return Ok((MatrixData::Coo(out), rep));
+            }
+            _ => {}
+        }
+        let (coo, mut rep) = self.decode_to_coo(data);
+        let (out, enc) = self.encode_from_coo(&coo, target)?;
+        rep.merge(&enc);
+        Ok((out, rep))
+    }
+
+    /// Decode any tensor payload into the COO hub through the blocks.
+    pub fn decode_tensor_to_coo(
+        &self,
+        data: &sparseflex_formats::TensorData,
+    ) -> (sparseflex_formats::CooTensor3, ConversionReport) {
+        use sparseflex_formats::TensorData;
+        let mut rep = self.fresh_report();
+        let (dx, dy, dz) = data.as_sparse().shape();
+        let total = (dx * dy * dz) as u64;
+        let coo = match data {
+            TensorData::Coo(c) => {
+                self.memctrl.transfer(4 * c.nnz() as u64, &mut rep);
+                c.clone()
+            }
+            TensorData::Dense(d) => {
+                self.memctrl.transfer(total, &mut rep);
+                rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+                let coo = d.to_coo();
+                let flats: Vec<u64> = coo
+                    .iter()
+                    .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
+                    .collect();
+                let first = self.divmod.div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
+                let rests: Vec<u64> = first.iter().map(|&(_, r)| r).collect();
+                let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
+                self.memctrl.transfer(4 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+            TensorData::Zvc(z) => {
+                let words = z.mask().len() as u64;
+                self.memctrl.transfer(words + z.nnz() as u64, &mut rep);
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(words), self.prefix.energy(words));
+                let coo = z.to_coo();
+                let _ = self.divmod.div_mod(
+                    &coo.iter().map(|(x, y, zz, _)| ((x * dy + y) * dz + zz) as u64).collect::<Vec<_>>(),
+                    ((dy * dz).max(1)) as u64,
+                    &mut rep,
+                );
+                self.memctrl.transfer(4 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+            TensorData::Rlc(r) => {
+                let n = r.stored_entries() as u64;
+                self.memctrl.transfer(2 * n, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(n), self.prefix.energy(n));
+                let coo = r.to_coo();
+                let flats: Vec<u64> = coo
+                    .iter()
+                    .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
+                    .collect();
+                let first = self.divmod.div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
+                let rests: Vec<u64> = first.iter().map(|&(_, rr)| rr).collect();
+                let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
+                self.memctrl.transfer(4 * coo.nnz() as u64, &mut rep);
+                coo
+            }
+            TensorData::Csf(c) => {
+                // Tree walk: pointer expansion with adders.
+                let n = c.nnz() as u64;
+                let meta = (c.num_slices() + c.num_fibers()) as u64 * 2 + 2;
+                self.memctrl.transfer(2 * n + meta, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
+                self.memctrl.transfer(4 * n, &mut rep);
+                c.to_coo()
+            }
+            TensorData::HiCoo(h) => {
+                // Block-id reconstruction: multiply-add per nonzero.
+                let n = h.nnz() as u64;
+                self.memctrl.transfer(4 * n, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(3 * n), 3.0 * n as f64 * E_SMALL_OP);
+                self.memctrl.transfer(4 * n, &mut rep);
+                h.to_coo()
+            }
+        };
+        rep.elements += coo.nnz() as u64;
+        (coo, rep)
+    }
+
+    /// Encode the COO tensor hub into any tensor format through the
+    /// blocks.
+    pub fn encode_tensor_from_coo(
+        &self,
+        coo: &sparseflex_formats::CooTensor3,
+        target: &sparseflex_formats::TensorFormat,
+    ) -> Result<(sparseflex_formats::TensorData, ConversionReport), FormatError> {
+        use sparseflex_formats::{TensorData, TensorFormat};
+        let mut rep = self.fresh_report();
+        let n = coo.nnz() as u64;
+        let (dx, dy, dz) = coo.shape();
+        let data = match *target {
+            TensorFormat::Coo => {
+                self.memctrl.transfer(4 * n, &mut rep);
+                TensorData::Coo(coo.clone())
+            }
+            TensorFormat::Csf => {
+                // Tree construction: boundary comparators + pointer scans.
+                rep.charge(BlockKind::Comparators, small_op_cycles(2 * n), 2.0 * n as f64 * E_SMALL_OP);
+                let csf = sparseflex_formats::CsfTensor::from_coo(coo);
+                let ptrs = (csf.num_slices() + csf.num_fibers() + 2) as u64;
+                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(ptrs), self.prefix.energy(ptrs));
+                self.memctrl.transfer(2 * n + 2 * ptrs, &mut rep);
+                TensorData::Csf(csf)
+            }
+            TensorFormat::Dense => {
+                let total = (dx * dy * dz) as u64;
+                self.memctrl.transfer(total + n, &mut rep);
+                TensorData::Dense(coo.clone().into_dense())
+            }
+            TensorFormat::Rlc { run_bits } => {
+                rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
+                let rlc = sparseflex_formats::RlcTensor3::from_coo(coo, run_bits);
+                self.memctrl.transfer(2 * rlc.stored_entries() as u64, &mut rep);
+                TensorData::Rlc(rlc)
+            }
+            TensorFormat::Zvc => {
+                let zvc = sparseflex_formats::ZvcTensor3::from_coo(coo);
+                self.memctrl.transfer(zvc.mask().len() as u64 + n, &mut rep);
+                rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
+                TensorData::Zvc(zvc)
+            }
+            TensorFormat::HiCoo { block } => {
+                // Block keys need divide/mod per coordinate.
+                let flats: Vec<u64> = coo.x_ids().iter().map(|&x| x as u64).collect();
+                let _ = self.divmod.div_mod(&flats, block.max(1) as u64, &mut rep);
+                let h = sparseflex_formats::HiCooTensor::from_coo(coo, block)?;
+                self.memctrl.transfer((4 * h.num_blocks() + 4 * h.nnz()) as u64, &mut rep);
+                TensorData::HiCoo(h)
+            }
+        };
+        rep.elements += n;
+        Ok((data, rep))
+    }
+
+    /// Generic any→any tensor conversion via the COO hub (identity is
+    /// free), with the Fig. 8f direct path for Dense→CSF.
+    pub fn convert_tensor(
+        &self,
+        data: &sparseflex_formats::TensorData,
+        target: &sparseflex_formats::TensorFormat,
+    ) -> Result<(sparseflex_formats::TensorData, ConversionReport), FormatError> {
+        use sparseflex_formats::{TensorData, TensorFormat};
+        if data.format() == *target {
+            return Ok((data.clone(), ConversionReport::default()));
+        }
+        if let (TensorData::Dense(d), TensorFormat::Csf) = (data, target) {
+            let (csf, rep) = self.dense_to_csf(d);
+            return Ok((TensorData::Csf(csf), rep));
+        }
+        let (coo, mut rep) = self.decode_tensor_to_coo(data);
+        let (out, enc) = self.encode_tensor_from_coo(&coo, target)?;
+        rep.merge(&enc);
+        Ok((out, rep))
+    }
+
+    /// Dense matrix → CSR through the blocks (the Fig. 10b benchmark
+    /// conversion).
+    pub fn dense_to_csr(&self, dense: &DenseMatrix) -> (CsrMatrix, ConversionReport) {
+        let (coo, mut rep) = self.decode_to_coo(&MatrixData::Dense(dense.clone()));
+        let (out, enc) = self
+            .encode_from_coo(&coo, &MatrixFormat::Csr)
+            .expect("CSR encode cannot fail");
+        rep.merge(&enc);
+        match out {
+            MatrixData::Csr(c) => (c, rep),
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::convert;
+    use sparseflex_workloads::synth::random_matrix;
+
+    fn engine() -> ConversionEngine {
+        ConversionEngine::default()
+    }
+
+    fn fig8b() -> CooMatrix {
+        CooMatrix::from_triplets(
+            4,
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 3, 5.0),
+                (3, 2, 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_matches_software_oracle() {
+        let csr = CsrMatrix::from_coo(&fig8b());
+        let (csc, rep) = engine().csr_to_csc(&csr);
+        assert_eq!(csc, convert::csr_to_csc(&csr));
+        assert!(rep.pipelined_cycles() > 0);
+        assert!(rep.pipelined_cycles() <= rep.serialized_cycles());
+        // All five pipeline stages of Fig. 8c were exercised.
+        for kind in [
+            BlockKind::Sorter,
+            BlockKind::ClusterCounter,
+            BlockKind::PrefixSum,
+            BlockKind::MemController,
+        ] {
+            assert!(rep.block_cycles.contains_key(&kind), "missing {kind:?}");
+        }
+    }
+
+    #[test]
+    fn rlc_to_coo_matches_software_oracle() {
+        let coo = fig8b();
+        let rlc = RlcMatrix::from_coo(&coo, 4);
+        let (out, rep) = engine().rlc_to_coo(&rlc);
+        assert_eq!(out, coo);
+        assert!(rep.block_cycles.contains_key(&BlockKind::Divider));
+        assert!(rep.block_cycles.contains_key(&BlockKind::Modulo));
+        assert!(rep.block_cycles.contains_key(&BlockKind::PrefixSum));
+    }
+
+    #[test]
+    fn rlc_with_extension_entries_converts_exactly() {
+        let coo = CooMatrix::from_triplets(2, 100, vec![(0, 0, 1.0), (1, 99, 2.0)]).unwrap();
+        let rlc = RlcMatrix::from_coo(&coo, 3);
+        let (out, _) = engine().rlc_to_coo(&rlc);
+        assert_eq!(out, coo);
+    }
+
+    #[test]
+    fn csr_to_bsr_matches_software_oracle() {
+        let csr = CsrMatrix::from_coo(&fig8b());
+        let (bsr, rep) = engine().csr_to_bsr(&csr, 2, 2).unwrap();
+        assert_eq!(bsr, convert::csr_to_bsr(&csr, 2, 2).unwrap());
+        assert!(rep.block_cycles.contains_key(&BlockKind::Modulo));
+    }
+
+    #[test]
+    fn dense_to_csf_matches_software_oracle() {
+        use sparseflex_formats::CooTensor3;
+        let coo = CooTensor3::from_quads(
+            4,
+            4,
+            4,
+            vec![(0, 0, 0, 1.0), (0, 0, 1, 2.0), (1, 2, 2, 3.0), (3, 0, 3, 6.0)],
+        )
+        .unwrap();
+        let dense = coo.clone().into_dense();
+        let (csf, rep) = engine().dense_to_csf(&dense);
+        assert_eq!(csf, CsfTensor::from_coo(&coo));
+        assert!(rep.block_cycles[&BlockKind::Comparators] > 0);
+    }
+
+    #[test]
+    fn every_mcf_acf_pair_converts_exactly() {
+        let coo = random_matrix(24, 30, 120, 7);
+        let eng = engine();
+        for src in MatrixFormat::mcf_set() {
+            let data = MatrixData::encode(&coo, &src).unwrap();
+            for dst in MatrixFormat::acf_set() {
+                let (out, rep) = eng.convert_matrix(&data, &dst).unwrap();
+                assert_eq!(out.format(), dst, "{src} -> {dst}");
+                assert_eq!(out.to_coo(), coo, "{src} -> {dst} corrupted data");
+                if src == dst {
+                    assert_eq!(rep.pipelined_cycles(), 0, "identity must be free");
+                } else {
+                    assert!(rep.pipelined_cycles() > 0, "{src} -> {dst} must cost cycles");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_conversion_is_free() {
+        let coo = fig8b();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        let (out, rep) = engine().convert_matrix(&data, &MatrixFormat::Csr).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(rep.total_energy(), 0.0);
+        assert_eq!(rep.serialized_cycles(), 0);
+    }
+
+    #[test]
+    fn dense_to_csr_pipeline() {
+        let coo = random_matrix(16, 16, 40, 3);
+        let dense = coo.clone().into_dense();
+        let (csr, rep) = engine().dense_to_csr(&dense);
+        assert_eq!(csr, convert::dense_to_csr(&dense));
+        // Dense decode must stream the whole matrix through the memctrl.
+        assert!(rep.block_cycles[&BlockKind::MemController] >= (16 * 16) / 16);
+    }
+
+    #[test]
+    fn bigger_matrices_cost_more_cycles() {
+        let eng = engine();
+        let small = random_matrix(20, 20, 40, 1);
+        let large = random_matrix(20, 20, 300, 2);
+        let (_, rep_s) = eng.csr_to_csc(&CsrMatrix::from_coo(&small));
+        let (_, rep_l) = eng.csr_to_csc(&CsrMatrix::from_coo(&large));
+        assert!(rep_l.pipelined_cycles() > rep_s.pipelined_cycles());
+        assert!(rep_l.total_energy() > rep_s.total_energy());
+    }
+
+    #[test]
+    fn structured_targets_work_via_generic_path() {
+        let coo = random_matrix(12, 12, 30, 9);
+        let data = MatrixData::encode(&coo, &MatrixFormat::Zvc).unwrap();
+        let eng = engine();
+        for dst in [
+            MatrixFormat::Bsr { br: 3, bc: 3 },
+            MatrixFormat::Dia,
+            MatrixFormat::Ell,
+        ] {
+            let (out, rep) = eng.convert_matrix(&data, &dst).unwrap();
+            assert_eq!(out.to_coo(), coo, "ZVC -> {dst}");
+            assert!(rep.pipelined_cycles() > 0);
+        }
+    }
+}

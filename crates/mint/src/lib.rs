@@ -1,0 +1,40 @@
+//! # sparseflex-mint
+//!
+//! MINT — *Microarchitecture for Interchangeable compressioN formats for
+//! Tensors* (§V of the paper): a general-purpose hardware format
+//! converter placed next to the accelerator, so MCF→ACF conversions never
+//! round-trip through the host.
+//!
+//! MINT's efficiency comes from two ideas the paper quantifies:
+//!
+//! 1. **Merging building blocks.** Instead of `m x a` dedicated
+//!    converters, all conversions decompose into a small library of
+//!    blocks — prefix-sum units, a pipelined sorting network, a cluster
+//!    counter, parallel divide/mod units, comparators and a memory
+//!    controller ([`blocks`]). Merging shrinks `MINT_b` (0.95 mm²) to
+//!    `MINT_m` (0.41 mm²).
+//! 2. **Reusing the accelerator datapath.** Prefix sums run on the PE
+//!    array's adders (Fig. 9 shows serial-chain / work-efficient / highly
+//!    parallel overlays) and position divisions run on the activation
+//!    units, shrinking `MINT_m` to `MINT_mr` (0.23 mm²) ([`variants`]).
+//!
+//! The [`engine`] module implements the paper's four reference
+//! conversions (Fig. 8: CSR→CSC, RLC→COO, CSR→BSR, Dense→CSF) *through*
+//! the building blocks — each conversion is functional (produces the
+//! converted operand, verified against the software oracle in
+//! `sparseflex-formats`) and metered (returns per-block cycle and energy
+//! usage). A generic any→any path routes through COO. The [`cost`] module
+//! provides the closed-form cost model SAGE queries.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod cost;
+pub mod engine;
+pub mod report;
+pub mod variants;
+
+pub use cost::{conversion_cost, tensor_conversion_cost, ConversionCost};
+pub use engine::ConversionEngine;
+pub use report::{BlockKind, ConversionReport};
+pub use variants::{MintVariant, PrefixSumOverlay};

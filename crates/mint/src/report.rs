@@ -1,0 +1,134 @@
+//! Per-conversion usage reports.
+
+use std::collections::BTreeMap;
+
+/// The MINT building-block kinds (Fig. 8a's library).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockKind {
+    /// Prefix-sum (scan) unit.
+    PrefixSum,
+    /// Pipelined bitonic sorting network.
+    Sorter,
+    /// Cluster counter (run/occurrence counting on sorted chunks).
+    ClusterCounter,
+    /// Parallel divide units.
+    Divider,
+    /// Parallel modulo units.
+    Modulo,
+    /// Comparator bank.
+    Comparators,
+    /// Memory controller (address generators, FIFOs, crossbar).
+    MemController,
+    /// Scalar adder bank (increments, offsets).
+    Adders,
+}
+
+impl BlockKind {
+    /// Short name for CSV output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BlockKind::PrefixSum => "prefix_sum",
+            BlockKind::Sorter => "sorter",
+            BlockKind::ClusterCounter => "cluster_counter",
+            BlockKind::Divider => "divider",
+            BlockKind::Modulo => "modulo",
+            BlockKind::Comparators => "comparators",
+            BlockKind::MemController => "mem_controller",
+            BlockKind::Adders => "adders",
+        }
+    }
+}
+
+/// Cycle and energy usage of one conversion, per building block.
+///
+/// MINT pipelines blocks against the incoming DRAM stream ("MINT is
+/// pipelined to start conversion while streaming in data from memory",
+/// §V-B), so the wall-clock cycle count of a conversion is the *maximum*
+/// stage occupancy plus pipeline fill, not the sum — both views are
+/// exposed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConversionReport {
+    /// Busy cycles per block kind.
+    pub block_cycles: BTreeMap<BlockKind, u64>,
+    /// Energy per block kind (joules).
+    pub block_energy: BTreeMap<BlockKind, f64>,
+    /// Pipeline fill/flush latency (sum of stage latencies).
+    pub fill_latency: u64,
+    /// Elements processed (for throughput reporting).
+    pub elements: u64,
+}
+
+impl ConversionReport {
+    /// Record `cycles` of busy time and `energy` joules against a block.
+    pub fn charge(&mut self, kind: BlockKind, cycles: u64, energy: f64) {
+        *self.block_cycles.entry(kind).or_insert(0) += cycles;
+        *self.block_energy.entry(kind).or_insert(0.0) += energy;
+    }
+
+    /// Merge another report into this one (sequential composition).
+    pub fn merge(&mut self, other: &ConversionReport) {
+        for (k, c) in &other.block_cycles {
+            *self.block_cycles.entry(*k).or_insert(0) += c;
+        }
+        for (k, e) in &other.block_energy {
+            *self.block_energy.entry(*k).or_insert(0.0) += e;
+        }
+        self.fill_latency += other.fill_latency;
+        self.elements += other.elements;
+    }
+
+    /// Pipelined wall-clock cycles: the busiest stage bounds throughput,
+    /// plus the fill latency.
+    pub fn pipelined_cycles(&self) -> u64 {
+        self.block_cycles.values().copied().max().unwrap_or(0) + self.fill_latency
+    }
+
+    /// Fully serialized cycles (no stage overlap) — the upper bound.
+    pub fn serialized_cycles(&self) -> u64 {
+        self.block_cycles.values().sum::<u64>() + self.fill_latency
+    }
+
+    /// Total conversion energy in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.block_energy.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut r = ConversionReport::default();
+        r.charge(BlockKind::PrefixSum, 10, 1e-12);
+        r.charge(BlockKind::PrefixSum, 5, 1e-12);
+        r.charge(BlockKind::Sorter, 40, 2e-12);
+        assert_eq!(r.block_cycles[&BlockKind::PrefixSum], 15);
+        assert_eq!(r.serialized_cycles(), 55);
+        assert_eq!(r.pipelined_cycles(), 40);
+        assert!((r.total_energy() - 4e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn pipelined_bounded_by_serialized() {
+        let mut r = ConversionReport { fill_latency: 7, ..Default::default() };
+        r.charge(BlockKind::Divider, 100, 0.0);
+        r.charge(BlockKind::MemController, 80, 0.0);
+        assert!(r.pipelined_cycles() <= r.serialized_cycles());
+        assert_eq!(r.pipelined_cycles(), 107);
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let mut a = ConversionReport::default();
+        a.charge(BlockKind::Adders, 3, 1.0);
+        let mut b = ConversionReport::default();
+        b.charge(BlockKind::Adders, 4, 2.0);
+        b.charge(BlockKind::Sorter, 9, 0.5);
+        a.merge(&b);
+        assert_eq!(a.block_cycles[&BlockKind::Adders], 7);
+        assert_eq!(a.block_cycles[&BlockKind::Sorter], 9);
+        assert_eq!(a.total_energy(), 3.5);
+    }
+}

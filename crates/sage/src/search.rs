@@ -1,0 +1,285 @@
+//! Exhaustive MCF x ACF search (the "Generation Engine" of SAGE).
+
+use crate::eval::{ConversionMode, Evaluation, Sage};
+use crate::tensor_model::{evaluate_tensor, TensorChoice, TensorEvaluation};
+use crate::workload::{SageWorkload, TensorWorkload};
+use sparseflex_accel::taxonomy::AcceleratorClass;
+use sparseflex_accel::ConversionSupport;
+use sparseflex_formats::{MatrixFormat, TensorFormat};
+
+/// One point in the search space: MCF and ACF per operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FormatChoice {
+    /// Memory format of the streaming operand A.
+    pub mcf_a: MatrixFormat,
+    /// Memory format of the stationary operand B.
+    pub mcf_b: MatrixFormat,
+    /// Compute format of A.
+    pub acf_a: MatrixFormat,
+    /// Compute format of B.
+    pub acf_b: MatrixFormat,
+}
+
+impl std::fmt::Display for FormatChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MCF {}({}) ACF {}({})",
+            self.mcf_a, self.mcf_b, self.acf_a, self.acf_b
+        )
+    }
+}
+
+/// The result of a SAGE search: the winning evaluation plus the number of
+/// candidates considered.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The winning (lowest-EDP) evaluation.
+    pub best: Evaluation,
+    /// Candidates evaluated.
+    pub candidates: usize,
+}
+
+impl Sage {
+    /// Search the full MCF x ACF cross product for the lowest-EDP
+    /// combination (the `Flex_Flex_HW` capability).
+    pub fn recommend(&self, w: &SageWorkload) -> Recommendation {
+        self.recommend_constrained(w, None, &MatrixFormat::mcf_set(), ConversionMode::Hardware)
+    }
+
+    /// Search with the MCFs pinned by the programmer ("there might be
+    /// scenarios when the MCF is already predetermined ... SAGE will find
+    /// the best accelerator configuration (ACF) and conversion type").
+    pub fn recommend_with_fixed_mcf(
+        &self,
+        w: &SageWorkload,
+        mcf_a: MatrixFormat,
+        mcf_b: MatrixFormat,
+    ) -> Recommendation {
+        self.recommend_constrained(
+            w,
+            Some((mcf_a, mcf_b)),
+            &MatrixFormat::mcf_set(),
+            ConversionMode::Hardware,
+        )
+    }
+
+    fn recommend_constrained(
+        &self,
+        w: &SageWorkload,
+        fixed_mcf: Option<(MatrixFormat, MatrixFormat)>,
+        mcf_set: &[MatrixFormat],
+        mode: ConversionMode,
+    ) -> Recommendation {
+        let acf_as =
+            [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc];
+        let acf_bs = [MatrixFormat::Dense, MatrixFormat::Csc, MatrixFormat::Csr];
+        let mcf_pairs: Vec<(MatrixFormat, MatrixFormat)> = match fixed_mcf {
+            Some(p) => vec![p],
+            None => {
+                let mut v = Vec::new();
+                for &a in mcf_set {
+                    for &b in mcf_set {
+                        v.push((a, b));
+                    }
+                }
+                v
+            }
+        };
+        let mut best: Option<Evaluation> = None;
+        let mut candidates = 0;
+        for (mcf_a, mcf_b) in mcf_pairs {
+            for acf_a in acf_as {
+                for acf_b in acf_bs {
+                    if !self.acf_supported(w, acf_a, acf_b) {
+                        continue;
+                    }
+                    let choice = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                    if let Ok(eval) = self.evaluate(w, &choice, mode) {
+                        candidates += 1;
+                        let better = match &best {
+                            None => true,
+                            Some(b) => {
+                                eval.edp(self.accel.clock_hz) < b.edp(self.accel.clock_hz)
+                            }
+                        };
+                        if better {
+                            best = Some(eval);
+                        }
+                    }
+                }
+            }
+        }
+        Recommendation {
+            best: best.expect("at least Dense-Dense MCF/ACF always evaluates"),
+            candidates,
+        }
+    }
+
+    /// Best achievable evaluation for a Table II accelerator class: the
+    /// search is restricted to the class's supported MCF/ACF pairs and
+    /// conversion discipline.
+    pub fn recommend_for_class(
+        &self,
+        w: &SageWorkload,
+        class: &AcceleratorClass,
+    ) -> Option<Recommendation> {
+        let mode = match class.conversion {
+            ConversionSupport::None => ConversionMode::RequireIdentity,
+            ConversionSupport::Hardware => ConversionMode::Hardware,
+            ConversionSupport::Software => ConversionMode::default_software(),
+        };
+        let mut best: Option<Evaluation> = None;
+        let mut candidates = 0;
+        for &(mcf_a, mcf_b) in &class.mcfs {
+            for &(acf_a, acf_b) in &class.acfs {
+                if class.conversion == ConversionSupport::None
+                    && (mcf_a != acf_a || mcf_b != acf_b)
+                {
+                    continue;
+                }
+                if !self.acf_supported(w, acf_a, acf_b) {
+                    continue;
+                }
+                let choice = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                if let Ok(eval) = self.evaluate(w, &choice, mode) {
+                    candidates += 1;
+                    let better = match &best {
+                        None => true,
+                        Some(b) => eval.edp(self.accel.clock_hz) < b.edp(self.accel.clock_hz),
+                    };
+                    if better {
+                        best = Some(eval);
+                    }
+                }
+            }
+        }
+        best.map(|b| Recommendation { best: b, candidates })
+    }
+
+    /// Search tensor MCF/ACF combinations for a tensor kernel (SpTTM /
+    /// MTTKRP rows of Table III).
+    pub fn recommend_tensor(&self, w: &TensorWorkload) -> TensorEvaluation {
+        let mut best: Option<TensorEvaluation> = None;
+        for mcf in TensorFormat::mcf_set() {
+            for acf in TensorFormat::acf_set() {
+                let choice = TensorChoice { mcf_t: mcf, acf_t: acf };
+                let eval = evaluate_tensor(self, w, &choice);
+                let better = match &best {
+                    None => true,
+                    Some(b) => eval.edp(self.accel.clock_hz) < b.edp(self.accel.clock_hz),
+                };
+                if better {
+                    best = Some(eval);
+                }
+            }
+        }
+        best.expect("tensor search space is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SageKernel;
+    use sparseflex_formats::DataType;
+
+    fn sage() -> Sage {
+        Sage::default()
+    }
+
+    #[test]
+    fn recommendation_never_beaten_by_any_candidate() {
+        // SAGE's defining invariant: the returned choice minimizes EDP
+        // over the enumerated space.
+        let s = sage();
+        let w = SageWorkload::spmm(2000, 2000, 1000, 200_000, DataType::Fp32);
+        let rec = s.recommend(&w);
+        let best_edp = rec.best.edp(s.accel.clock_hz);
+        for mcf_a in MatrixFormat::mcf_set() {
+            for acf_a in [MatrixFormat::Dense, MatrixFormat::Csr] {
+                let choice = FormatChoice {
+                    mcf_a,
+                    mcf_b: MatrixFormat::Dense,
+                    acf_a,
+                    acf_b: MatrixFormat::Dense,
+                };
+                if let Ok(e) = s.evaluate(&w, &choice, crate::eval::ConversionMode::Hardware) {
+                    assert!(
+                        e.edp(s.accel.clock_hz) >= best_edp * 0.999,
+                        "{choice} beats the recommendation"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_sparsity_prefers_compressed_streaming() {
+        // m3plates-like: 11k x 11k at 0.0054% -> COO/CSR MCF and a sparse
+        // streaming ACF must win over Dense.
+        let s = sage();
+        let w = SageWorkload::spgemm(11_000, 11_000, 5_500, 6_600, 3_300, DataType::Fp32);
+        let rec = s.recommend(&w);
+        assert_ne!(rec.best.choice.mcf_a, MatrixFormat::Dense, "{}", rec.best.choice);
+        assert_ne!(rec.best.choice.acf_a, MatrixFormat::Dense, "{}", rec.best.choice);
+    }
+
+    #[test]
+    fn dense_region_prefers_dense_acf() {
+        // journals-like: 78.5% density -> dense-style compute.
+        let s = sage();
+        let w = SageWorkload::spgemm(124, 124, 62, 12_068, 6_034, DataType::Fp32);
+        let rec = s.recommend(&w);
+        assert_eq!(rec.best.choice.acf_b, MatrixFormat::Dense, "{}", rec.best.choice);
+    }
+
+    #[test]
+    fn fixed_mcf_search_respects_the_pin() {
+        let s = sage();
+        let w = SageWorkload::spmm(1000, 1000, 500, 50_000, DataType::Fp32);
+        let rec = s.recommend_with_fixed_mcf(&w, MatrixFormat::Zvc, MatrixFormat::Dense);
+        assert_eq!(rec.best.choice.mcf_a, MatrixFormat::Zvc);
+        assert_eq!(rec.best.choice.mcf_b, MatrixFormat::Dense);
+    }
+
+    #[test]
+    fn flexible_class_never_loses_to_fixed_classes() {
+        // The Fig. 13 story: Flex_Flex_HW's EDP <= every other class's,
+        // because its search space is a superset.
+        let s = sage();
+        let suite = AcceleratorClass::table2_suite();
+        for w in [
+            SageWorkload::spgemm(124, 124, 62, 12_068, 6_034, DataType::Fp32),
+            SageWorkload::spgemm(7_700, 2_600, 3_850, 1_000_000, 500_000, DataType::Fp32),
+            SageWorkload::spgemm(11_000, 11_000, 5_500, 6_600, 3_300, DataType::Fp32),
+            SageWorkload::spmm(7_700, 2_600, 3_850, 1_000_000, DataType::Fp32),
+        ] {
+            let ours = s
+                .recommend_for_class(&w, &AcceleratorClass::flex_flex_hw())
+                .expect("flex class always evaluates")
+                .best;
+            let our_edp = ours.edp(s.accel.clock_hz);
+            for class in &suite {
+                if let Some(rec) = s.recommend_for_class(&w, class) {
+                    assert!(
+                        rec.best.edp(s.accel.clock_hz) >= our_edp * 0.999,
+                        "{} beats Flex_Flex_HW on {:?} kernel",
+                        class.name,
+                        w.kernel
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_count_reflects_search_space() {
+        let s = sage();
+        let w = SageWorkload::spgemm(500, 500, 250, 2_500, 1_250, DataType::Fp32);
+        let rec = s.recommend(&w);
+        // 36 MCF pairs x (4x2 WS pairs + CSR-CSR) = up to 324.
+        assert!(rec.candidates > 100, "only {} candidates", rec.candidates);
+        assert_eq!(w.kernel, SageKernel::SpGemm);
+    }
+}

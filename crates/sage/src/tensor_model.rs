@@ -1,0 +1,205 @@
+//! Analytic model for the tensor kernels (SpTTM / MTTKRP rows of
+//! Table III).
+//!
+//! The tensor streams over the bus in its ACF while the dense factor
+//! matrix is stationary (the paper generalizes the factor to `K x M/2`).
+//! Per tensor nonzero, SpTTM issues `rank` MACs and MTTKRP `2 x rank`
+//! (one factor row combine each); CSF amortizes the fiber-level partial
+//! sums, COO pays full coordinate traffic, Dense streams every zero.
+
+use crate::eval::Sage;
+use crate::workload::TensorWorkload;
+use sparseflex_formats::size_model::tensor_storage_bits;
+use sparseflex_formats::TensorFormat;
+use sparseflex_mint::tensor_conversion_cost;
+
+/// One point of the tensor search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorChoice {
+    /// Memory format of the tensor.
+    pub mcf_t: TensorFormat,
+    /// Compute format of the tensor.
+    pub acf_t: TensorFormat,
+}
+
+impl std::fmt::Display for TensorChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MCFt {} ACFt {}", self.mcf_t, self.acf_t)
+    }
+}
+
+/// Cost breakdown of one tensor-format choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorEvaluation {
+    /// The evaluated choice.
+    pub choice: TensorChoice,
+    /// DRAM cycles (tensor + factor(s) + output).
+    pub dram_cycles: f64,
+    /// DRAM energy.
+    pub dram_energy: f64,
+    /// Added conversion cycles.
+    pub conv_cycles: f64,
+    /// Conversion energy.
+    pub conv_energy: f64,
+    /// Accelerator compute cycles.
+    pub compute_cycles: f64,
+    /// On-chip energy.
+    pub compute_energy: f64,
+}
+
+impl TensorEvaluation {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.dram_cycles + self.conv_cycles + self.compute_cycles
+    }
+    /// Total energy.
+    pub fn total_energy(&self) -> f64 {
+        self.dram_energy + self.conv_energy + self.compute_energy
+    }
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self, clock_hz: f64) -> f64 {
+        self.total_energy() * self.total_cycles() / clock_hz
+    }
+}
+
+/// Bus slots per streamed tensor element for each ACF.
+fn stream_slots_per_elem(acf: &TensorFormat) -> f64 {
+    match acf {
+        TensorFormat::Coo => 4.0,            // value + 3 coordinates
+        TensorFormat::Csf => 2.5,            // value + z id + amortized fiber ids
+        TensorFormat::HiCoo { .. } => 3.0,   // value + 3 narrow offsets (amortized block ids)
+        TensorFormat::Rlc { .. } => 2.0,     // value + run
+        TensorFormat::Zvc => 1.2,            // value + amortized mask bits
+        TensorFormat::Dense => 1.0,          // raw stream (zeros included!)
+    }
+}
+
+/// Evaluate one tensor-format choice.
+pub fn evaluate_tensor(sage: &Sage, w: &TensorWorkload, choice: &TensorChoice) -> TensorEvaluation {
+    let dims = w.dims;
+    let total = dims.0 as u64 * dims.1 as u64 * dims.2 as u64;
+    let dtype = w.dtype;
+
+    // ---- DRAM: tensor in its MCF + dense factor(s) + dense output.
+    let bits_t = tensor_storage_bits(&choice.mcf_t, dims, w.nnz as usize, dtype);
+    let factor_elems = (dims.2 * w.rank) as u64;
+    let factors = if w.mttkrp { 2 } else { 1 };
+    let bits_f = factors * factor_elems * dtype.bits();
+    let out_elems = if w.mttkrp {
+        (dims.0 * w.rank) as u64
+    } else {
+        (dims.0 * dims.1).min(w.nnz as usize * w.rank) as u64
+    };
+    let bits_o = out_elems * dtype.bits();
+    let dram_cycles = sage.dram.transfer_cycles(bits_t + bits_f + bits_o) as f64;
+    let dram_energy = sage.dram.transfer_energy(bits_t + bits_f + bits_o);
+
+    // ---- Conversion cost (overlap applied after compute is known).
+    let conv = tensor_conversion_cost(&choice.mcf_t, &choice.acf_t, dims, w.nnz, &sage.mint);
+    let conv_energy = conv.energy;
+
+    // ---- Compute: stream the tensor in its ACF; every nonzero issues
+    // `rank` (SpTTM) or `2*rank` (MTTKRP) MACs spread over the array.
+    let bus = sage.accel.bus_slots as f64;
+    let streamed_elems = match choice.acf_t {
+        TensorFormat::Dense => total as f64,
+        _ => w.nnz as f64,
+    };
+    let beats = streamed_elems * stream_slots_per_elem(&choice.acf_t) / bus;
+    let macs_per_elem = if w.mttkrp { 2.0 * w.rank as f64 } else { w.rank as f64 };
+    let flops = w.nnz as f64 * macs_per_elem;
+    let lanes = sage.accel.total_macs() as f64;
+    let compute_cycles = beats.max(flops / lanes);
+    // Energy: MACs + stationary reads + streamed traffic.
+    let e = &sage.energy;
+    let compute_energy = flops * e.mac_fp32
+        + flops * e.pe_buffer_access
+        + streamed_elems * stream_slots_per_elem(&choice.acf_t) * e.noc_transfer;
+
+    // MINT pipelines conversion against the fetch and the consuming
+    // compute stream; only throughput excess adds latency.
+    let conv_cycles = (conv.cycles as f64 - (dram_cycles + compute_cycles)).max(0.0);
+
+    TensorEvaluation {
+        choice: *choice,
+        dram_cycles,
+        dram_energy,
+        conv_cycles,
+        conv_energy,
+        compute_cycles,
+        compute_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::DataType;
+
+    fn uber_like() -> TensorWorkload {
+        // Uber: 4.4K x 1.1K x 1.7K, 3.3M nnz, 0.039% dense.
+        TensorWorkload {
+            mttkrp: false,
+            dims: (4_400, 1_100, 1_700),
+            nnz: 3_300_000,
+            rank: 2_200,
+            dtype: DataType::Fp32,
+        }
+    }
+
+    fn brainq_like() -> TensorWorkload {
+        // BrainQ: 60 x 70K x 9, 11M nnz, 29.1% dense.
+        TensorWorkload {
+            mttkrp: false,
+            dims: (60, 70_000, 9),
+            nnz: 11_000_000,
+            rank: 30,
+            dtype: DataType::Fp32,
+        }
+    }
+
+    #[test]
+    fn sparse_tensor_never_picks_dense_mcf() {
+        let sage = Sage::default();
+        let rec = sage.recommend_tensor(&uber_like());
+        assert_ne!(rec.choice.mcf_t, TensorFormat::Dense, "{}", rec.choice);
+        assert_ne!(rec.choice.acf_t, TensorFormat::Dense, "{}", rec.choice);
+    }
+
+    #[test]
+    fn dense_region_tensor_prefers_cheap_metadata() {
+        // BrainQ at 29% density: Table III picks ZVC MCF and Dense ACF.
+        let sage = Sage::default();
+        let rec = sage.recommend_tensor(&brainq_like());
+        assert!(
+            matches!(rec.choice.mcf_t, TensorFormat::Zvc | TensorFormat::Rlc { .. }),
+            "expected bitmap-style MCF for 29% density, got {}",
+            rec.choice
+        );
+    }
+
+    #[test]
+    fn mttkrp_costs_more_compute_than_spttm() {
+        let sage = Sage::default();
+        let spttm = uber_like();
+        let mttkrp = TensorWorkload { mttkrp: true, ..spttm };
+        let c = TensorChoice { mcf_t: TensorFormat::Coo, acf_t: TensorFormat::Csf };
+        let a = evaluate_tensor(&sage, &spttm, &c);
+        let b = evaluate_tensor(&sage, &mttkrp, &c);
+        assert!(b.compute_energy > a.compute_energy);
+    }
+
+    #[test]
+    fn identity_acf_has_no_conversion_cost() {
+        let sage = Sage::default();
+        let c = TensorChoice { mcf_t: TensorFormat::Csf, acf_t: TensorFormat::Csf };
+        let e = evaluate_tensor(&sage, &uber_like(), &c);
+        assert_eq!(e.conv_cycles, 0.0);
+        assert_eq!(e.conv_energy, 0.0);
+    }
+
+    #[test]
+    fn csf_streams_fewer_slots_than_coo() {
+        assert!(stream_slots_per_elem(&TensorFormat::Csf) < stream_slots_per_elem(&TensorFormat::Coo));
+    }
+}

@@ -1,0 +1,125 @@
+//! Workload descriptions SAGE reasons about.
+
+use sparseflex_formats::DataType;
+
+/// Which kernel the workload runs (determines operand sparsity roles and
+/// the legal ACF dataflows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SageKernel {
+    /// Sparse A x dense B.
+    SpMm,
+    /// Sparse A x sparse B.
+    SpGemm,
+}
+
+/// A matrix-kernel instance: `O(M x N) = A(M x K) x B(K x N)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SageWorkload {
+    /// Kernel kind.
+    pub kernel: SageKernel,
+    /// Rows of A.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Columns of B.
+    pub n: usize,
+    /// Nonzeros of A.
+    pub nnz_a: u64,
+    /// Nonzeros of B (`k * n` for SpMM).
+    pub nnz_b: u64,
+    /// Element datatype.
+    pub dtype: DataType,
+}
+
+impl SageWorkload {
+    /// SpMM workload (B fully dense).
+    pub fn spmm(m: usize, k: usize, n: usize, nnz_a: u64, dtype: DataType) -> Self {
+        SageWorkload { kernel: SageKernel::SpMm, m, k, n, nnz_a, nnz_b: (k * n) as u64, dtype }
+    }
+
+    /// SpGEMM workload.
+    pub fn spgemm(m: usize, k: usize, n: usize, nnz_a: u64, nnz_b: u64, dtype: DataType) -> Self {
+        SageWorkload { kernel: SageKernel::SpGemm, m, k, n, nnz_a, nnz_b, dtype }
+    }
+
+    /// Density of A.
+    pub fn density_a(&self) -> f64 {
+        self.nnz_a as f64 / (self.m as f64 * self.k as f64).max(1.0)
+    }
+
+    /// Density of B.
+    pub fn density_b(&self) -> f64 {
+        self.nnz_b as f64 / (self.k as f64 * self.n as f64).max(1.0)
+    }
+
+    /// Expected output nonzeros under uniform random sparsity: each of
+    /// the `M x N` outputs is nonzero unless all `K` partial products
+    /// vanish.
+    pub fn expected_nnz_out(&self) -> u64 {
+        let p = self.density_a() * self.density_b();
+        let m = self.m as f64;
+        let n = self.n as f64;
+        let k = self.k as f64;
+        let p_nonzero = 1.0 - (1.0 - p).powf(k);
+        (m * n * p_nonzero).ceil() as u64
+    }
+}
+
+/// A tensor-kernel instance (SpTTM or MTTKRP over a 3-D tensor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorWorkload {
+    /// True for MTTKRP (two factor matrices), false for SpTTM (one).
+    pub mttkrp: bool,
+    /// Tensor shape `(x, y, z)`.
+    pub dims: (usize, usize, usize),
+    /// Tensor nonzeros.
+    pub nnz: u64,
+    /// Factor-matrix rank (`J`; the paper uses `x/2`).
+    pub rank: usize,
+    /// Element datatype.
+    pub dtype: DataType,
+}
+
+impl TensorWorkload {
+    /// Density of the tensor.
+    pub fn density(&self) -> f64 {
+        let vol = self.dims.0 as f64 * self.dims.1 as f64 * self.dims.2 as f64;
+        self.nnz as f64 / vol.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmm_has_dense_b() {
+        let w = SageWorkload::spmm(100, 50, 30, 500, DataType::Fp32);
+        assert_eq!(w.nnz_b, 1500);
+        assert_eq!(w.density_b(), 1.0);
+        assert_eq!(w.density_a(), 0.1);
+    }
+
+    #[test]
+    fn output_nnz_expectation_bounds() {
+        // Dense x dense -> fully dense output.
+        let w = SageWorkload::spgemm(10, 10, 10, 100, 100, DataType::Fp32);
+        assert_eq!(w.expected_nnz_out(), 100);
+        // Hyper-sparse: output nnz is near nnz_a * nnz_b / k.
+        let w2 = SageWorkload::spgemm(1000, 1000, 1000, 1000, 1000, DataType::Fp32);
+        let e = w2.expected_nnz_out();
+        assert!((900..=1100).contains(&e), "expected ~1000, got {e}");
+    }
+
+    #[test]
+    fn tensor_density() {
+        let t = TensorWorkload {
+            mttkrp: false,
+            dims: (100, 10, 10),
+            nnz: 1000,
+            rank: 50,
+            dtype: DataType::Fp32,
+        };
+        assert_eq!(t.density(), 0.1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Tensor-decomposition building blocks: SpTTM and MTTKRP on a synthetic
+//! sparse tensor, with SAGE choosing the tensor formats (the Table III
+//! tensor rows in miniature).
+//!
+//! ```sh
+//! cargo run --release --example tensor_decomposition
+//! ```
+
+use sparseflex::formats::{CsfTensor, DataType, SparseTensor3};
+use sparseflex::kernels::{mttkrp_coo, mttkrp_csf, spttm_coo, spttm_csf};
+use sparseflex::sage::{Sage, TensorWorkload};
+use sparseflex::workloads::synth::{random_dense_matrix, random_tensor3};
+
+fn main() {
+    // A Crime-shaped (but miniature) third-order tensor.
+    let (x, y, z) = (620, 24, 250);
+    let tensor = random_tensor3(x, y, z, 50_000, 1);
+    let csf = CsfTensor::from_coo(&tensor);
+    println!(
+        "tensor {}x{}x{}: nnz = {} ({:.3}% dense), {} fibers in CSF",
+        x, y, z, tensor.nnz(), 100.0 * tensor.density(), csf.num_fibers()
+    );
+
+    // SpTTM: contract the z mode with a dense factor.
+    let rank = 16;
+    let factor = random_dense_matrix(z, rank, 2);
+    let t0 = std::time::Instant::now();
+    let y_coo = spttm_coo(&tensor, &factor);
+    let coo_time = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let y_csf = spttm_csf(&csf, &factor);
+    let csf_time = t0.elapsed();
+    assert_eq!(y_coo, y_csf);
+    println!("\nSpTTM  (rank {rank}): COO {coo_time:?} vs CSF {csf_time:?} — identical outputs");
+
+    // MTTKRP with two dense factors.
+    let b = random_dense_matrix(y, rank, 3);
+    let c = random_dense_matrix(z, rank, 4);
+    let o_coo = mttkrp_coo(&tensor, &b, &c);
+    let o_csf = mttkrp_csf(&csf, &b, &c);
+    assert!(o_coo.approx_eq(&o_csf, 1e-9));
+    println!("MTTKRP (rank {rank}): COO and CSF paths agree");
+
+    // What would SAGE pick for the full-size Crime tensor?
+    let sage = Sage::default();
+    for (name, dims, nnz) in [
+        ("Crime", (6_200usize, 24usize, 2_500usize), 5_200_000u64),
+        ("Uber", (4_400, 1_100, 1_700), 3_300_000),
+        ("BrainQ", (60, 70_000, 9), 11_000_000),
+    ] {
+        let w = TensorWorkload {
+            mttkrp: false,
+            dims,
+            nnz,
+            rank: (dims.0 / 2).max(1),
+            dtype: DataType::Fp32,
+        };
+        let rec = sage.recommend_tensor(&w);
+        println!(
+            "SAGE on {name:<7} ({:.4}% dense): {}",
+            100.0 * w.density(),
+            rec.choice
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # sparseflex
+//!
+//! Umbrella crate for the `sparseflex` workspace — a Rust reproduction of
+//! *"Extending Sparse Tensor Accelerators to Support Multiple Compression
+//! Formats"* (IPDPS 2021).
+//!
+//! The workspace implements the paper's three contributions on top of
+//! fully-built substrates:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`formats`] | every compression format of Fig. 3, conversions, size models |
+//! | [`kernels`] | GEMM / SpMM / SpGEMM / SpMV / SpTTM / MTTKRP / im2col |
+//! | [`workloads`] | Table III suite, ResNet Fig. 14a layers, synthetic generators |
+//! | [`accel`] | cycle-level weight-stationary accelerator with flexible ACFs (§IV) |
+//! | [`mint`] | the MINT hardware format converter (§V) |
+//! | [`sage`] | the SAGE MCF/ACF predictor (§VI) |
+//! | [`host`] | CPU/GPU offload baseline models (§VII-B) |
+//! | [`system`] | the integrated `Flex_Flex_HW` system (§VII-C/D) |
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use sparseflex_accel as accel;
+pub use sparseflex_core as system;
+pub use sparseflex_formats as formats;
+pub use sparseflex_host as host;
+pub use sparseflex_kernels as kernels;
+pub use sparseflex_mint as mint;
+pub use sparseflex_sage as sage;
+pub use sparseflex_workloads as workloads;

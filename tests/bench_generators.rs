@@ -1,0 +1,80 @@
+//! Smoke-level integration test over every figure/table generator: each
+//! must emit a well-formed, non-trivial CSV series. (The heavyweight
+//! generators with wall-clock measurement are exercised by `run_all`
+//! instead.)
+
+fn check(name: &str, rows: &[String]) {
+    assert!(rows.len() >= 3, "{name}: too few rows ({})", rows.len());
+    assert!(rows[0].starts_with('#'), "{name}: first row must be a comment header");
+    // Every non-comment, non-blank row in one block must have the same
+    // column count as its block's header.
+    let mut cols = None;
+    for r in rows {
+        if r.is_empty() || r.starts_with('#') {
+            cols = None;
+            continue;
+        }
+        let n = r.split(',').count();
+        match cols {
+            None => cols = Some(n),
+            Some(c) => assert_eq!(c, n, "{name}: ragged row: {r}"),
+        }
+    }
+}
+
+#[test]
+fn fig04_rows_are_well_formed() {
+    check("fig04", &sparseflex_bench::fig04::rows());
+}
+
+#[test]
+fn fig05_rows_are_well_formed() {
+    check("fig05", &sparseflex_bench::fig05::rows());
+}
+
+#[test]
+fn fig06_rows_are_well_formed() {
+    check("fig06", &sparseflex_bench::fig06::rows());
+}
+
+#[test]
+fn fig07_rows_are_well_formed() {
+    check("fig07", &sparseflex_bench::fig07::rows());
+}
+
+#[test]
+fn fig09_rows_are_well_formed() {
+    check("fig09", &sparseflex_bench::fig09::rows());
+}
+
+#[test]
+fn fig11_rows_are_well_formed() {
+    check("fig11", &sparseflex_bench::fig11::rows());
+}
+
+#[test]
+fn fig12_rows_are_well_formed() {
+    check("fig12", &sparseflex_bench::fig12::rows());
+}
+
+#[test]
+fn fig13_rows_are_well_formed() {
+    check("fig13", &sparseflex_bench::fig13::rows());
+}
+
+#[test]
+fn fig14_rows_are_well_formed() {
+    check("fig14", &sparseflex_bench::fig14::rows());
+}
+
+#[test]
+fn tables_are_well_formed() {
+    check("table1", &sparseflex_bench::table1::rows());
+    check("table2", &sparseflex_bench::table2::rows());
+    check("table3", &sparseflex_bench::table3::rows());
+}
+
+#[test]
+fn ablation_rows_are_well_formed() {
+    check("ablation", &sparseflex_bench::ablation::rows());
+}

@@ -1,0 +1,138 @@
+//! Cross-cutting invariants not covered by the per-crate suites:
+//! CSC-streaming semantics, monotonicity of the cost models, and
+//! EDP/normalization algebra.
+
+use sparseflex::accel::exec::simulate_ws;
+use sparseflex::accel::{AccelConfig, DramModel};
+use sparseflex::formats::{DataType, MatrixData, MatrixFormat, RlcTensor3, SparseTensor3};
+use sparseflex::kernels::gemm::gemm_naive;
+use sparseflex::sage::{Sage, SageWorkload};
+use sparseflex::workloads::synth::{random_matrix, random_tensor3};
+
+#[test]
+fn csc_streaming_flushes_every_mac() {
+    // Column-major streaming changes the output row per element, so the
+    // walkthrough semantics flush per MAC (§IV-B Oreg rules).
+    let cfg = AccelConfig::walkthrough();
+    let a = random_matrix(6, 8, 20, 1);
+    let b = random_matrix(8, 4, 32, 2); // dense B (all slots filled)
+    let r = simulate_ws(
+        &MatrixData::encode(&a, &MatrixFormat::Csc).unwrap(),
+        &MatrixData::encode(&b, &MatrixFormat::Dense).unwrap(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(r.counts.output_flushes, r.counts.effective_macs);
+    assert_eq!(r.output, gemm_naive(&a.clone().into_dense(), &b.clone().into_dense()));
+}
+
+#[test]
+fn narrower_bus_never_speeds_streaming() {
+    let a = random_matrix(12, 16, 60, 3);
+    let b = random_matrix(16, 8, 64, 4);
+    let da = MatrixData::encode(&a, &MatrixFormat::Csr).unwrap();
+    let db = MatrixData::encode(&b, &MatrixFormat::Dense).unwrap();
+    let mut prev = 0u64;
+    for slots in [16usize, 9, 5, 3] {
+        let cfg = AccelConfig { bus_slots: slots, ..AccelConfig::walkthrough() };
+        let r = simulate_ws(&da, &db, &cfg).unwrap();
+        assert!(
+            r.cycles.stream_a >= prev,
+            "narrowing bus to {slots} slots reduced cycles to {}",
+            r.cycles.stream_a
+        );
+        prev = r.cycles.stream_a;
+    }
+}
+
+#[test]
+fn bigger_buffers_never_increase_total_cycles() {
+    let a = random_matrix(16, 40, 120, 5);
+    let b = random_matrix(40, 8, 120, 6);
+    let da = MatrixData::encode(&a, &MatrixFormat::Csr).unwrap();
+    let db = MatrixData::encode(&b, &MatrixFormat::Csc).unwrap();
+    let mut prev = u64::MAX;
+    for buf in [8usize, 16, 64, 256] {
+        let cfg = AccelConfig { pe_buffer_elems: buf, ..AccelConfig::walkthrough() };
+        let r = simulate_ws(&da, &db, &cfg).unwrap();
+        assert!(r.cycles.total() <= prev, "buffer {buf} raised cycles to {}", r.cycles.total());
+        prev = r.cycles.total();
+    }
+}
+
+#[test]
+fn dram_model_is_monotone_in_nnz() {
+    let d = DramModel::paper();
+    let mut prev = 0;
+    for nnz in [10usize, 100, 1_000, 10_000] {
+        let c = d.matrix_fetch_cycles(&MatrixFormat::Coo, 1_000, 1_000, nnz, DataType::Fp32);
+        assert!(c >= prev, "COO fetch not monotone at nnz={nnz}");
+        prev = c;
+    }
+}
+
+#[test]
+fn sage_edp_scales_quadratically_with_problem_size() {
+    // Doubling every dimension multiplies work ~8x and traffic ~4x, so
+    // EDP (energy x time) must grow superlinearly — a sanity lock on the
+    // unit bookkeeping (J x s, not J x cycles).
+    let sage = Sage::default();
+    let small = SageWorkload::spmm(500, 500, 250, 12_500, DataType::Fp32);
+    let large = SageWorkload::spmm(1_000, 1_000, 500, 50_000, DataType::Fp32);
+    let e_small = sage.recommend(&small).best.edp(sage.accel.clock_hz);
+    let e_large = sage.recommend(&large).best.edp(sage.accel.clock_hz);
+    assert!(
+        e_large > 4.0 * e_small,
+        "EDP grew only {}x across 2x scaling",
+        e_large / e_small
+    );
+}
+
+#[test]
+fn rlc_tensor_handles_all_boundary_positions() {
+    // Nonzeros at the very first and very last flat positions, with a
+    // tiny run field forcing extension entries in between.
+    let t = random_tensor3(3, 3, 3, 0, 1); // empty base
+    assert_eq!(t.nnz(), 0);
+    let coo = sparseflex::formats::CooTensor3::from_quads(
+        3,
+        3,
+        3,
+        vec![(0, 0, 0, 1.5), (2, 2, 2, -2.5)],
+    )
+    .unwrap();
+    let rlc = RlcTensor3::from_coo(&coo, 2); // max run = 3
+    assert_eq!(rlc.get(0, 0, 0), 1.5);
+    assert_eq!(rlc.get(2, 2, 2), -2.5);
+    assert_eq!(rlc.get(1, 1, 1), 0.0);
+    assert_eq!(rlc.to_coo(), coo);
+    // 25 zeros between the nonzeros at 3-per-extension = several entries.
+    assert!(rlc.stored_entries() > 2);
+}
+
+#[test]
+fn utilization_is_bounded_and_ordered() {
+    // For the same operands: sparse-sparse ACF utilization >= sparse-dense
+    // >= dense-dense, and all within [0, 1].
+    let cfg = AccelConfig::walkthrough();
+    let a = random_matrix(8, 12, 24, 7);
+    let b = random_matrix(12, 4, 12, 8);
+    let mut utils = Vec::new();
+    for (fa, fb) in [
+        (MatrixFormat::Csr, MatrixFormat::Csc),
+        (MatrixFormat::Csr, MatrixFormat::Dense),
+        (MatrixFormat::Dense, MatrixFormat::Dense),
+    ] {
+        let r = simulate_ws(
+            &MatrixData::encode(&a, &fa).unwrap(),
+            &MatrixData::encode(&b, &fb).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let u = r.counts.utilization();
+        assert!((0.0..=1.0).contains(&u));
+        utils.push(u);
+    }
+    assert!(utils[0] >= utils[1], "csr-csc {} < csr-dense {}", utils[0], utils[1]);
+    assert!(utils[1] >= utils[2], "csr-dense {} < dense-dense {}", utils[1], utils[2]);
+}

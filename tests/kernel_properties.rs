@@ -1,0 +1,129 @@
+//! Property tests on the software kernels: sparse kernels agree with the
+//! dense reference, parallel variants agree with sequential ones, and
+//! algebraic identities hold.
+
+use proptest::prelude::*;
+use sparseflex::formats::{
+    CooMatrix, CooTensor3, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix, SparseMatrix,
+};
+use sparseflex::kernels::gemm::gemm_naive;
+use sparseflex::kernels::{
+    gemm, gemm_parallel, mttkrp_coo, mttkrp_csf, spgemm, spgemm_parallel, spmm_coo_dense,
+    spmm_csr_dense, spmm_csr_dense_parallel, spmm_dense_csc, spmv, spttm_coo, spttm_csf,
+};
+
+fn arb_sparse(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    proptest::collection::vec(
+        ((0..rows), (0..cols), -8i32..8).prop_map(|(r, c, v)| (r, c, v as f64)),
+        0..max_nnz,
+    )
+    .prop_map(move |t| CooMatrix::from_triplets(rows, cols, t).unwrap())
+}
+
+fn arb_dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-8i32..8, rows * cols).prop_map(move |v| {
+        DenseMatrix::from_vec(rows, cols, v.into_iter().map(|x| x as f64).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spmm_variants_agree_with_dense_reference(
+        a in arb_sparse(13, 17, 60),
+        b in arb_dense(17, 9),
+    ) {
+        let expect = gemm_naive(&a.clone().into_dense(), &b);
+        let csr = CsrMatrix::from_coo(&a);
+        prop_assert_eq!(spmm_coo_dense(&a, &b), expect.clone());
+        prop_assert_eq!(spmm_csr_dense(&csr, &b), expect.clone());
+        prop_assert_eq!(spmm_csr_dense_parallel(&csr, &b), expect);
+    }
+
+    #[test]
+    fn spgemm_agrees_with_dense_reference(
+        a in arb_sparse(11, 14, 50),
+        b in arb_sparse(14, 10, 50),
+    ) {
+        let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+        let o = spgemm(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b));
+        prop_assert_eq!(o.to_dense(), expect.clone());
+        let op = spgemm_parallel(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b));
+        prop_assert_eq!(op.to_dense(), expect);
+    }
+
+    #[test]
+    fn dense_csc_spmm_matches(
+        a in arb_dense(7, 12),
+        b in arb_sparse(12, 8, 40),
+    ) {
+        let expect = gemm_naive(&a, &b.clone().into_dense());
+        prop_assert_eq!(spmm_dense_csc(&a, &CscMatrix::from_coo(&b)), expect);
+    }
+
+    #[test]
+    fn gemm_blocked_and_parallel_match_naive(
+        a in arb_dense(9, 21),
+        b in arb_dense(21, 11),
+    ) {
+        let expect = gemm_naive(&a, &b);
+        prop_assert_eq!(gemm(&a, &b), expect.clone());
+        prop_assert_eq!(gemm_parallel(&a, &b), expect);
+    }
+
+    #[test]
+    fn spmv_is_spmm_with_one_column(a in arb_sparse(10, 12, 40), x in proptest::collection::vec(-8i32..8, 12)) {
+        let xf: Vec<f64> = x.into_iter().map(|v| v as f64).collect();
+        let csr = CsrMatrix::from_coo(&a);
+        let y = spmv(&csr, &xf);
+        let b = DenseMatrix::from_vec(12, 1, xf).unwrap();
+        let o = spmm_csr_dense(&csr, &b);
+        for (i, yi) in y.iter().enumerate() {
+            prop_assert_eq!(*yi, o.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a1 in arb_sparse(8, 8, 30),
+        a2 in arb_sparse(8, 8, 30),
+        b in arb_dense(8, 6),
+    ) {
+        // (A1 + A2) * B == A1*B + A2*B
+        let mut sum_triplets: Vec<(usize, usize, f64)> = a1.iter().collect();
+        sum_triplets.extend(a2.iter());
+        let a_sum = CooMatrix::from_triplets(8, 8, sum_triplets).unwrap();
+        let left = spmm_coo_dense(&a_sum, &b);
+        let r1 = spmm_coo_dense(&a1, &b);
+        let r2 = spmm_coo_dense(&a2, &b);
+        for i in 0..8 {
+            for j in 0..6 {
+                prop_assert!((left.get(i, j) - (r1.get(i, j) + r2.get(i, j))).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tensor_kernels_csf_equals_coo(
+        quads in proptest::collection::vec(
+            ((0usize..6), (0usize..7), (0usize..8), -5i32..5).prop_map(|(x, y, z, v)| (x, y, z, v as f64)),
+            0..40,
+        ),
+        factor in proptest::collection::vec(-5i32..5, 8 * 4),
+        b2 in proptest::collection::vec(-5i32..5, 7 * 4),
+    ) {
+        let t = CooTensor3::from_quads(6, 7, 8, quads).unwrap();
+        let csf = CsfTensor::from_coo(&t);
+        let f = DenseMatrix::from_vec(8, 4, factor.into_iter().map(|v| v as f64).collect()).unwrap();
+        prop_assert_eq!(spttm_coo(&t, &f), spttm_csf(&csf, &f));
+        let b = DenseMatrix::from_vec(7, 4, b2.into_iter().map(|v| v as f64).collect()).unwrap();
+        let o1 = mttkrp_coo(&t, &b, &f);
+        let o2 = mttkrp_csf(&csf, &b, &f);
+        prop_assert!(o1.approx_eq(&o2, 1e-9));
+    }
+}
