@@ -64,7 +64,10 @@ impl BusPacking {
         let cap = self.dense_capacity();
         let beats = (len as u64).div_ceil(cap as u64);
         // Each beat carries its data slots plus one row-id slot.
-        StreamBeats { beats, slots_used: len as u64 + beats }
+        StreamBeats {
+            beats,
+            slots_used: len as u64 + beats,
+        }
     }
 
     /// Beats to stream one compressed row (CSR) or column (CSC) of
@@ -75,7 +78,10 @@ impl BusPacking {
         }
         let cap = self.pair_capacity();
         let beats = (nnz as u64).div_ceil(cap as u64);
-        StreamBeats { beats, slots_used: 2 * nnz as u64 + beats }
+        StreamBeats {
+            beats,
+            slots_used: 2 * nnz as u64 + beats,
+        }
     }
 
     /// Beats to stream `nnz` COO elements (rows may mix freely).
@@ -85,14 +91,20 @@ impl BusPacking {
         }
         let cap = self.triple_capacity();
         let beats = (nnz as u64).div_ceil(cap as u64);
-        StreamBeats { beats, slots_used: 3 * nnz as u64 }
+        StreamBeats {
+            beats,
+            slots_used: 3 * nnz as u64,
+        }
     }
 
     /// Beats to broadcast-load `elems` stationary element slots into PE
     /// buffers (values and metadata alike ride the same bus).
     pub fn load_run(&self, elems: usize) -> StreamBeats {
         let beats = (elems as u64).div_ceil(self.slots as u64);
-        StreamBeats { beats, slots_used: elems as u64 }
+        StreamBeats {
+            beats,
+            slots_used: elems as u64,
+        }
     }
 }
 

@@ -23,7 +23,10 @@ pub struct DramModel {
 impl DramModel {
     /// Default model matched to the paper configuration.
     pub fn paper() -> Self {
-        DramModel { bits_per_cycle: 512, energy: EnergyModel::default_28nm() }
+        DramModel {
+            bits_per_cycle: 512,
+            energy: EnergyModel::default_28nm(),
+        }
     }
 
     /// Cycles to transfer `bits` of payload.
@@ -130,6 +133,9 @@ mod tests {
         let d = DramModel::paper();
         let dims = (100, 100, 100);
         let bits = tensor_storage_bits(&TensorFormat::Coo, dims, 5000, DataType::Fp32);
-        assert_eq!(d.tensor_fetch_cycles(&TensorFormat::Coo, dims, 5000, DataType::Fp32), bits.div_ceil(512));
+        assert_eq!(
+            d.tensor_fetch_cycles(&TensorFormat::Coo, dims, 5000, DataType::Fp32),
+            bits.div_ceil(512)
+        );
     }
 }

@@ -106,7 +106,13 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let a = EnergyBreakdown { compute: 1.0, pe_buffer: 2.0, global_buffer: 3.0, noc: 4.0, dram: 5.0 };
+        let a = EnergyBreakdown {
+            compute: 1.0,
+            pe_buffer: 2.0,
+            global_buffer: 3.0,
+            noc: 4.0,
+            dram: 5.0,
+        };
         assert_eq!(a.total(), 15.0);
         let b = a.add(&a);
         assert_eq!(b.total(), 30.0);

@@ -51,13 +51,19 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::DimMismatch { a_cols, b_rows } => {
-                write!(f, "dimension mismatch: A has {a_cols} cols, B has {b_rows} rows")
+                write!(
+                    f,
+                    "dimension mismatch: A has {a_cols} cols, B has {b_rows} rows"
+                )
             }
             SimError::UnsupportedAcf { a, b } => {
                 write!(f, "unsupported ACF pair {a}(A)-{b}(B) on the WS array")
             }
             SimError::BufferTooSmall { needed, available } => {
-                write!(f, "stationary unit needs {needed} slots, PE buffer has {available}")
+                write!(
+                    f,
+                    "stationary unit needs {needed} slots, PE buffer has {available}"
+                )
             }
         }
     }
@@ -114,8 +120,7 @@ impl ActivityCounts {
     pub fn energy(&self, e: &EnergyModel) -> EnergyBreakdown {
         EnergyBreakdown {
             compute: self.macs as f64 * e.mac_fp32,
-            pe_buffer: (self.pe_buffer_reads + self.pe_buffer_writes) as f64
-                * e.pe_buffer_access,
+            pe_buffer: (self.pe_buffer_reads + self.pe_buffer_writes) as f64 * e.pe_buffer_access,
             global_buffer: self.output_flushes as f64 * e.global_buffer_access,
             noc: self.bus_slots_used as f64 * e.noc_transfer,
             dram: 0.0,
@@ -196,9 +201,16 @@ impl Station {
 ///
 /// Supported ACF pairs: `A in {Dense, CSR, COO, CSC}` x `B in {Dense,
 /// CSC}`. For CSR(A)-CSR(B) SpGEMM use [`simulate_spgemm`].
-pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<SimResult, SimError> {
+pub fn simulate_ws(
+    a: &MatrixData,
+    b: &MatrixData,
+    cfg: &AccelConfig,
+) -> Result<SimResult, SimError> {
     if a.cols() != b.rows() {
-        return Err(SimError::DimMismatch { a_cols: a.cols(), b_rows: b.rows() });
+        return Err(SimError::DimMismatch {
+            a_cols: a.cols(),
+            b_rows: b.rows(),
+        });
     }
     let a_fmt = a.format();
     let b_fmt = b.format();
@@ -211,7 +223,9 @@ pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<
         return Err(SimError::UnsupportedAcf { a: a_fmt, b: b_fmt });
     }
 
-    let bus = BusPacking { slots: cfg.bus_slots };
+    let bus = BusPacking {
+        slots: cfg.bus_slots,
+    };
     let m = a.rows();
     let k_dim = a.cols();
     let n = b.cols();
@@ -251,12 +265,7 @@ pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<
         let tile_cols: Vec<usize> = (tile_start..(tile_start + cfg.num_pes).min(n)).collect();
 
         // Partition the K dimension into ranges that fit the PE buffers.
-        let k_ranges = compute_k_ranges(
-            &tile_cols,
-            k_dim,
-            cfg.pe_buffer_elems,
-            b_csc.as_ref(),
-        )?;
+        let k_ranges = compute_k_ranges(&tile_cols, k_dim, cfg.pe_buffer_elems, b_csc.as_ref())?;
 
         for (k0, k1) in k_ranges {
             k_passes += 1;
@@ -335,8 +344,7 @@ pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<
             }
             // Close any open accumulators at the end of the pass.
             if !col_major_stream {
-                counts.output_flushes +=
-                    open_row.iter().filter(|r| r.is_some()).count() as u64;
+                counts.output_flushes += open_row.iter().filter(|r| r.is_some()).count() as u64;
             }
         }
     }
@@ -345,7 +353,13 @@ pub fn simulate_ws(a: &MatrixData, b: &MatrixData, cfg: &AccelConfig) -> Result<
     // global buffer (one flush per PE per cycle), not over the shared
     // input bus.
     cycles.drain = counts.output_flushes.div_ceil(cfg.num_pes.max(1) as u64);
-    Ok(SimResult { output, cycles, counts, n_tiles, k_passes })
+    Ok(SimResult {
+        output,
+        cycles,
+        counts,
+        n_tiles,
+        k_passes,
+    })
 }
 
 /// Compute K-dimension ranges such that every PE's stationary footprint
@@ -360,7 +374,10 @@ fn compute_k_ranges(
         None => {
             // Dense stationary columns: footprint = range length.
             if buffer_elems == 0 {
-                return Err(SimError::BufferTooSmall { needed: 1, available: 0 });
+                return Err(SimError::BufferTooSmall {
+                    needed: 1,
+                    available: 0,
+                });
             }
             let mut ranges = Vec::new();
             let mut k0 = 0;
@@ -379,7 +396,10 @@ fn compute_k_ranges(
             // range; grow each range greedily until the fullest column
             // would overflow.
             if buffer_elems < 2 {
-                return Err(SimError::BufferTooSmall { needed: 2, available: buffer_elems });
+                return Err(SimError::BufferTooSmall {
+                    needed: 2,
+                    available: buffer_elems,
+                });
             }
             let cap_pairs = buffer_elems / 2;
             // Per-column sorted k lists for the tile.
@@ -447,7 +467,11 @@ fn build_beats(
                 while k < k1 {
                     let end = (k + cap).min(k1);
                     let elems: Vec<StreamElem> = (k..end)
-                        .map(|kk| StreamElem { k: kk, value: row[kk], row: r })
+                        .map(|kk| StreamElem {
+                            k: kk,
+                            value: row[kk],
+                            row: r,
+                        })
                         .collect();
                     let slots = elems.len() as u64 + 1; // +1 shared row id
                     beats.push(Beat { elems, slots });
@@ -465,7 +489,11 @@ fn build_beats(
                 while i < hi {
                     let end = (i + cap).min(hi);
                     let elems: Vec<StreamElem> = (i..end)
-                        .map(|ii| StreamElem { k: cols[ii], value: vals[ii], row: r })
+                        .map(|ii| StreamElem {
+                            k: cols[ii],
+                            value: vals[ii],
+                            row: r,
+                        })
                         .collect();
                     let slots = 2 * elems.len() as u64 + 1; // pairs + shared row id
                     beats.push(Beat { elems, slots });
@@ -481,17 +509,27 @@ fn build_beats(
                 let lo = cols.partition_point(|&c| c < k0);
                 let hi = cols.partition_point(|&c| c < k1);
                 for i in lo..hi {
-                    pending.push(StreamElem { k: cols[i], value: vals[i], row: r });
+                    pending.push(StreamElem {
+                        k: cols[i],
+                        value: vals[i],
+                        row: r,
+                    });
                     if pending.len() == cap {
                         let slots = 3 * pending.len() as u64;
-                        beats.push(Beat { elems: std::mem::take(&mut pending), slots });
+                        beats.push(Beat {
+                            elems: std::mem::take(&mut pending),
+                            slots,
+                        });
                         pending = Vec::with_capacity(cap);
                     }
                 }
             }
             if !pending.is_empty() {
                 let slots = 3 * pending.len() as u64;
-                beats.push(Beat { elems: pending, slots });
+                beats.push(Beat {
+                    elems: pending,
+                    slots,
+                });
             }
         }
         MatrixFormat::Csc => {
@@ -503,7 +541,11 @@ fn build_beats(
                 while i < rows.len() {
                     let end = (i + cap).min(rows.len());
                     let elems: Vec<StreamElem> = (i..end)
-                        .map(|ii| StreamElem { k, value: vals[ii], row: rows[ii] })
+                        .map(|ii| StreamElem {
+                            k,
+                            value: vals[ii],
+                            row: rows[ii],
+                        })
                         .collect();
                     let slots = 2 * elems.len() as u64 + 1; // pairs + shared col id
                     beats.push(Beat { elems, slots });
@@ -526,9 +568,14 @@ pub fn simulate_spgemm(
     cfg: &AccelConfig,
 ) -> Result<SimResult, SimError> {
     if a.cols() != b.rows() {
-        return Err(SimError::DimMismatch { a_cols: a.cols(), b_rows: b.rows() });
+        return Err(SimError::DimMismatch {
+            a_cols: a.cols(),
+            b_rows: b.rows(),
+        });
     }
-    let bus = BusPacking { slots: cfg.bus_slots };
+    let bus = BusPacking {
+        slots: cfg.bus_slots,
+    };
     let m = a.rows();
     let k_dim = a.cols();
     let n = b.cols();
@@ -549,7 +596,10 @@ pub fn simulate_spgemm(
         while k < k_dim {
             let foot = 2 * b.row_nnz(k);
             if foot > cap {
-                return Err(SimError::BufferTooSmall { needed: foot, available: cap });
+                return Err(SimError::BufferTooSmall {
+                    needed: foot,
+                    available: cap,
+                });
             }
             let pe = k % p;
             if per_pe[pe] + foot > cap {
@@ -605,7 +655,13 @@ pub fn simulate_spgemm(
         }
     }
     cycles.drain = counts.output_flushes.div_ceil(cfg.num_pes.max(1) as u64);
-    Ok(SimResult { output, cycles, counts, n_tiles: 1, k_passes })
+    Ok(SimResult {
+        output,
+        cycles,
+        counts,
+        n_tiles: 1,
+        k_passes,
+    })
 }
 
 #[cfg(test)]
@@ -688,8 +744,12 @@ mod tests {
         let a_coo = fig6_a();
         let b_coo = fig6_b();
         let expect = reference(&a_coo, &b_coo);
-        for a_fmt in [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc]
-        {
+        for a_fmt in [
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Coo,
+            MatrixFormat::Csc,
+        ] {
             for b_fmt in [MatrixFormat::Dense, MatrixFormat::Csc] {
                 let r = simulate_ws(&encode(&a_coo, a_fmt), &encode(&b_coo, b_fmt), &cfg)
                     .unwrap_or_else(|e| panic!("{a_fmt}-{b_fmt}: {e}"));
@@ -715,7 +775,11 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert!(dense.counts.utilization() < 0.2, "dense util {}", dense.counts.utilization());
+        assert!(
+            dense.counts.utilization() < 0.2,
+            "dense util {}",
+            dense.counts.utilization()
+        );
         assert_eq!(sparse.counts.utilization(), 1.0);
         assert_eq!(dense.counts.effective_macs, sparse.counts.effective_macs);
     }
@@ -726,16 +790,15 @@ mod tests {
         let mut cfg = AccelConfig::walkthrough();
         cfg.num_pes = 2;
         cfg.pe_buffer_elems = 4;
-        let a = CooMatrix::from_triplets(
-            3,
-            10,
-            (0..10).map(|k| (k % 3, k, (k + 1) as f64)).collect(),
-        )
-        .unwrap();
+        let a =
+            CooMatrix::from_triplets(3, 10, (0..10).map(|k| (k % 3, k, (k + 1) as f64)).collect())
+                .unwrap();
         let b = CooMatrix::from_triplets(
             10,
             5,
-            (0..10).flat_map(|k| (0..5).map(move |j| (k, j, ((k + j) % 4) as f64 + 1.0))).collect(),
+            (0..10)
+                .flat_map(|k| (0..5).map(move |j| (k, j, ((k + j) % 4) as f64 + 1.0)))
+                .collect(),
         )
         .unwrap();
         let r = simulate_ws(
@@ -798,7 +861,10 @@ mod tests {
         let cfg = AccelConfig::walkthrough();
         let a = encode(&CooMatrix::empty(2, 3), MatrixFormat::Csr);
         let b = encode(&CooMatrix::empty(4, 2), MatrixFormat::Dense);
-        assert!(matches!(simulate_ws(&a, &b, &cfg), Err(SimError::DimMismatch { .. })));
+        assert!(matches!(
+            simulate_ws(&a, &b, &cfg),
+            Err(SimError::DimMismatch { .. })
+        ));
     }
 
     #[test]
@@ -807,7 +873,10 @@ mod tests {
         let coo = fig6_a();
         let a = encode(&coo, MatrixFormat::Zvc);
         let b = encode(&fig6_b(), MatrixFormat::Dense);
-        assert!(matches!(simulate_ws(&a, &b, &cfg), Err(SimError::UnsupportedAcf { .. })));
+        assert!(matches!(
+            simulate_ws(&a, &b, &cfg),
+            Err(SimError::UnsupportedAcf { .. })
+        ));
     }
 
     #[test]

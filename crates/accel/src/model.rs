@@ -120,10 +120,15 @@ pub fn ws_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEstimate
         if w.acf_a == MatrixFormat::Csr && w.acf_b == MatrixFormat::Csr {
             return spgemm_estimate(w, cfg);
         }
-        return Err(SimError::UnsupportedAcf { a: w.acf_a, b: w.acf_b });
+        return Err(SimError::UnsupportedAcf {
+            a: w.acf_a,
+            b: w.acf_b,
+        });
     }
 
-    let bus = BusPacking { slots: cfg.bus_slots };
+    let bus = BusPacking {
+        slots: cfg.bus_slots,
+    };
     let p = cfg.num_pes.max(1) as f64;
     let vw = cfg.vector_width.max(1) as f64;
     let (m, k, n) = (w.m as f64, w.k as f64, w.n as f64);
@@ -201,12 +206,14 @@ pub fn ws_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEstimate
         MatrixFormat::Csc => {
             // A streamed element MACs only where the station holds k.
             // P(station j has k) = s_j / K; uniform expectation s = d_b*K.
-            let per_pe = stream_elems_once * d_b * match w.acf_a {
-                // Dense A streams every row over every k, so each station
-                // entry is hit once per row.
-                MatrixFormat::Dense => 1.0,
-                _ => 1.0,
-            };
+            let per_pe = stream_elems_once
+                * d_b
+                * match w.acf_a {
+                    // Dense A streams every row over every k, so each station
+                    // entry is hit once per row.
+                    MatrixFormat::Dense => 1.0,
+                    _ => 1.0,
+                };
             (per_pe * cols_per_tile * n_tiles, per_pe)
         }
         _ => unreachable!(),
@@ -231,7 +238,12 @@ pub fn ws_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEstimate
     let drain = flushes / cfg.num_pes.max(1) as f64;
 
     Ok(AnalyticEstimate {
-        cycles: AnalyticCycles { load_b, beats_a, stream_a, drain },
+        cycles: AnalyticCycles {
+            load_b,
+            beats_a,
+            stream_a,
+            drain,
+        },
         macs: macs_total,
         effective_macs: effective.min(macs_total),
         bus_slots: load_slots + stream_slots_once * n_tiles,
@@ -244,9 +256,14 @@ pub fn ws_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEstimate
 /// Predict the CSR(A)-CSR(B) Gustavson SpGEMM dataflow analytically.
 pub fn spgemm_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEstimate, SimError> {
     if w.acf_a != MatrixFormat::Csr || w.acf_b != MatrixFormat::Csr {
-        return Err(SimError::UnsupportedAcf { a: w.acf_a, b: w.acf_b });
+        return Err(SimError::UnsupportedAcf {
+            a: w.acf_a,
+            b: w.acf_b,
+        });
     }
-    let bus = BusPacking { slots: cfg.bus_slots };
+    let bus = BusPacking {
+        slots: cfg.bus_slots,
+    };
     let p = cfg.num_pes.max(1) as f64;
     let vw = cfg.vector_width.max(1) as f64;
     let (m, k) = (w.m as f64, w.k as f64);
@@ -279,7 +296,12 @@ pub fn spgemm_estimate(w: &WsWorkload, cfg: &AccelConfig) -> Result<AnalyticEsti
     let drain = flushes / cfg.num_pes.max(1) as f64;
 
     Ok(AnalyticEstimate {
-        cycles: AnalyticCycles { load_b, beats_a, stream_a, drain },
+        cycles: AnalyticCycles {
+            load_b,
+            beats_a,
+            stream_a,
+            drain,
+        },
         macs: flops,
         effective_macs: flops,
         bus_slots: load_slots + 2.0 * w.nnz_a as f64 + beats_a,
@@ -308,7 +330,15 @@ mod tests {
         let a = random_matrix(m, k, nnz_a, 11);
         let b = random_matrix(k, n, nnz_b, 22);
         (
-            WsWorkload { m, k, n, nnz_a: nnz_a as u64, nnz_b: nnz_b as u64, acf_a, acf_b },
+            WsWorkload {
+                m,
+                k,
+                n,
+                nnz_a: nnz_a as u64,
+                nnz_b: nnz_b as u64,
+                acf_a,
+                acf_b,
+            },
             a,
             b,
         )
@@ -325,7 +355,11 @@ mod tests {
 
     #[test]
     fn dense_dense_beats_are_exact() {
-        let cfg = AccelConfig { num_pes: 8, pe_buffer_elems: 32, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            num_pes: 8,
+            pe_buffer_elems: 32,
+            ..AccelConfig::walkthrough()
+        };
         let (w, a, b) = workload(20, 32, 8, 100, 64, MatrixFormat::Dense, MatrixFormat::Dense);
         let est = ws_estimate(&w, &cfg).unwrap();
         let sim = simulate_ws(
@@ -347,7 +381,11 @@ mod tests {
 
     #[test]
     fn csr_dense_estimate_tracks_simulator() {
-        let cfg = AccelConfig { num_pes: 16, pe_buffer_elems: 64, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            num_pes: 16,
+            pe_buffer_elems: 64,
+            ..AccelConfig::walkthrough()
+        };
         for (nnz, seed_gap) in [(50, 0), (400, 1), (1200, 2)] {
             let (w, a, b) = workload(
                 40,
@@ -367,14 +405,23 @@ mod tests {
             )
             .unwrap();
             let e = rel(est.cycles.stream_a, sim.cycles.stream_a as f64);
-            assert!(e < 0.5, "nnz={nnz}: stream est {} vs sim {} (rel {e})", est.cycles.stream_a, sim.cycles.stream_a);
+            assert!(
+                e < 0.5,
+                "nnz={nnz}: stream est {} vs sim {} (rel {e})",
+                est.cycles.stream_a,
+                sim.cycles.stream_a
+            );
             assert_eq!(est.macs, sim.counts.macs as f64, "macs exact for dense B");
         }
     }
 
     #[test]
     fn csr_csc_estimate_tracks_simulator() {
-        let cfg = AccelConfig { num_pes: 16, pe_buffer_elems: 64, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            num_pes: 16,
+            pe_buffer_elems: 64,
+            ..AccelConfig::walkthrough()
+        };
         let (w, a, b) = workload(50, 80, 16, 600, 400, MatrixFormat::Csr, MatrixFormat::Csc);
         let est = ws_estimate(&w, &cfg).unwrap();
         let sim = simulate_ws(
@@ -384,7 +431,12 @@ mod tests {
         )
         .unwrap();
         let e_macs = rel(est.macs, sim.counts.macs as f64);
-        assert!(e_macs < 0.35, "macs est {} vs sim {} (rel {e_macs})", est.macs, sim.counts.macs);
+        assert!(
+            e_macs < 0.35,
+            "macs est {} vs sim {} (rel {e_macs})",
+            est.macs,
+            sim.counts.macs
+        );
         let e_cycles = rel(est.cycles.total(), sim.cycles.total() as f64);
         assert!(
             e_cycles < 0.6,
@@ -396,8 +448,20 @@ mod tests {
 
     #[test]
     fn coo_dense_estimate_tracks_simulator() {
-        let cfg = AccelConfig { num_pes: 16, pe_buffer_elems: 64, ..AccelConfig::walkthrough() };
-        let (w, a, b) = workload(30, 64, 16, 300, 64 * 16, MatrixFormat::Coo, MatrixFormat::Dense);
+        let cfg = AccelConfig {
+            num_pes: 16,
+            pe_buffer_elems: 64,
+            ..AccelConfig::walkthrough()
+        };
+        let (w, a, b) = workload(
+            30,
+            64,
+            16,
+            300,
+            64 * 16,
+            MatrixFormat::Coo,
+            MatrixFormat::Dense,
+        );
         let est = ws_estimate(&w, &cfg).unwrap();
         let sim = simulate_ws(
             &MatrixData::encode(&a, &MatrixFormat::Coo).unwrap(),
@@ -406,12 +470,21 @@ mod tests {
         )
         .unwrap();
         let e = rel(est.cycles.stream_a, sim.cycles.stream_a as f64);
-        assert!(e < 0.35, "stream est {} vs sim {} (rel {e})", est.cycles.stream_a, sim.cycles.stream_a);
+        assert!(
+            e < 0.35,
+            "stream est {} vs sim {} (rel {e})",
+            est.cycles.stream_a,
+            sim.cycles.stream_a
+        );
     }
 
     #[test]
     fn spgemm_estimate_tracks_simulator() {
-        let cfg = AccelConfig { num_pes: 8, pe_buffer_elems: 64, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            num_pes: 8,
+            pe_buffer_elems: 64,
+            ..AccelConfig::walkthrough()
+        };
         let a = random_matrix(30, 40, 200, 5);
         let b = random_matrix(40, 30, 180, 6);
         let w = WsWorkload {
@@ -427,9 +500,19 @@ mod tests {
         let sim =
             simulate_spgemm(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b), &cfg).unwrap();
         let e_macs = rel(est.macs, sim.counts.macs as f64);
-        assert!(e_macs < 0.15, "flops est {} vs sim {} (rel {e_macs})", est.macs, sim.counts.macs);
+        assert!(
+            e_macs < 0.15,
+            "flops est {} vs sim {} (rel {e_macs})",
+            est.macs,
+            sim.counts.macs
+        );
         let e = rel(est.cycles.total(), sim.cycles.total() as f64);
-        assert!(e < 0.8, "cycles est {} vs sim {} (rel {e})", est.cycles.total(), sim.cycles.total());
+        assert!(
+            e < 0.8,
+            "cycles est {} vs sim {} (rel {e})",
+            est.cycles.total(),
+            sim.cycles.total()
+        );
     }
 
     #[test]
@@ -446,10 +529,17 @@ mod tests {
             acf_a: MatrixFormat::Dense,
             acf_b: MatrixFormat::Dense,
         };
-        let base = WsWorkload { nnz_b: 10_000, ..base }; // B also 1% dense
+        let base = WsWorkload {
+            nnz_b: 10_000,
+            ..base
+        }; // B also 1% dense
         let dense = ws_estimate(&base, &cfg).unwrap();
         let sparse = ws_estimate(
-            &WsWorkload { acf_a: MatrixFormat::Csr, acf_b: MatrixFormat::Csc, ..base },
+            &WsWorkload {
+                acf_a: MatrixFormat::Csr,
+                acf_b: MatrixFormat::Csc,
+                ..base
+            },
             &cfg,
         )
         .unwrap();
@@ -475,7 +565,14 @@ mod tests {
             acf_b: MatrixFormat::Dense,
         };
         let dense = ws_estimate(&base, &cfg).unwrap();
-        let csr = ws_estimate(&WsWorkload { acf_a: MatrixFormat::Csr, ..base }, &cfg).unwrap();
+        let csr = ws_estimate(
+            &WsWorkload {
+                acf_a: MatrixFormat::Csr,
+                ..base
+            },
+            &cfg,
+        )
+        .unwrap();
         assert!(dense.cycles.total() < csr.cycles.total());
     }
 
@@ -507,9 +604,16 @@ mod tests {
             acf_b: MatrixFormat::Dense,
         };
         let est = ws_estimate(&w, &cfg).unwrap();
-        assert!(est.utilization() < 1e-3, "dense ACF on 1% data must waste MACs");
+        assert!(
+            est.utilization() < 1e-3,
+            "dense ACF on 1% data must waste MACs"
+        );
         let sparse = ws_estimate(
-            &WsWorkload { acf_a: MatrixFormat::Csr, acf_b: MatrixFormat::Csc, ..w },
+            &WsWorkload {
+                acf_a: MatrixFormat::Csr,
+                acf_b: MatrixFormat::Csc,
+                ..w
+            },
             &cfg,
         )
         .unwrap();

@@ -8,7 +8,9 @@
 use sparseflex_formats::rlc::DEFAULT_RUN_BITS;
 use sparseflex_formats::MatrixFormat;
 
-const RLC: MatrixFormat = MatrixFormat::Rlc { run_bits: DEFAULT_RUN_BITS };
+const RLC: MatrixFormat = MatrixFormat::Rlc {
+    run_bits: DEFAULT_RUN_BITS,
+};
 
 /// Freedom of a format choice (the Fix/Flex columns of Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -194,7 +196,12 @@ impl AcceleratorClass {
     /// x B in {Dense, CSC}, plus the CSR-CSR SpGEMM dataflow.
     pub fn full_acf_pairs() -> Vec<FormatPair> {
         let mut out = Vec::new();
-        for a in [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc] {
+        for a in [
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Coo,
+            MatrixFormat::Csc,
+        ] {
             for b in [MatrixFormat::Dense, MatrixFormat::Csc] {
                 out.push((a, b));
             }
@@ -254,8 +261,15 @@ mod tests {
 
     #[test]
     fn none_classes_have_equal_mcf_acf_sets() {
-        for class in [AcceleratorClass::fix_fix_none2(), AcceleratorClass::flex_flex_none()] {
-            assert_eq!(class.mcfs, class.acfs, "{} must pair MCF == ACF", class.name);
+        for class in [
+            AcceleratorClass::fix_fix_none2(),
+            AcceleratorClass::flex_flex_none(),
+        ] {
+            assert_eq!(
+                class.mcfs, class.acfs,
+                "{} must pair MCF == ACF",
+                class.name
+            );
             assert!(class.requires_identity_conversion());
         }
     }
@@ -272,6 +286,9 @@ mod tests {
     fn nvdla_computes_dense_only() {
         let n = AcceleratorClass::flex_fix_hw();
         assert_eq!(n.acfs, vec![(MatrixFormat::Dense, MatrixFormat::Dense)]);
-        assert!(n.mcfs.iter().any(|(a, b)| *a == MatrixFormat::Zvc || *b == MatrixFormat::Zvc));
+        assert!(n
+            .mcfs
+            .iter()
+            .any(|(a, b)| *a == MatrixFormat::Zvc || *b == MatrixFormat::Zvc));
     }
 }

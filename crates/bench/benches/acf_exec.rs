@@ -11,7 +11,11 @@ use sparseflex_workloads::synth::random_matrix;
 fn bench_acf_pairs(c: &mut Criterion) {
     let mut g = c.benchmark_group("acf_exec");
     g.sample_size(10);
-    let cfg = AccelConfig { num_pes: 64, pe_buffer_elems: 128, ..AccelConfig::walkthrough() };
+    let cfg = AccelConfig {
+        num_pes: 64,
+        pe_buffer_elems: 128,
+        ..AccelConfig::walkthrough()
+    };
     let a = random_matrix(128, 256, 3_000, 11);
     let b = random_matrix(256, 64, 1_500, 12);
     for (name, fa, fb) in [

@@ -17,15 +17,21 @@ fn bench_mm_across_density(c: &mut Criterion) {
         let a = random_matrix(N, N, nnz, 1);
         let a_csr = CsrMatrix::from_coo(&a);
         let b_csr = CsrMatrix::from_coo(&random_matrix(N, N, nnz, 2));
-        g.bench_with_input(BenchmarkId::new("spmm_csr_dense", dens), &dens, |bench, _| {
-            bench.iter(|| spmm_csr_dense(&a_csr, &b_dense))
-        });
-        g.bench_with_input(BenchmarkId::new("spgemm_csr_csr", dens), &dens, |bench, _| {
-            bench.iter(|| spgemm(&a_csr, &b_csr))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("spmm_csr_dense", dens),
+            &dens,
+            |bench, _| bench.iter(|| spmm_csr_dense(&a_csr, &b_dense)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("spgemm_csr_csr", dens),
+            &dens,
+            |bench, _| bench.iter(|| spgemm(&a_csr, &b_csr)),
+        );
     }
     let a_dense: DenseMatrix = random_dense_matrix(N, N, 3);
-    g.bench_function("gemm_dense", |bench| bench.iter(|| gemm(&a_dense, &b_dense)));
+    g.bench_function("gemm_dense", |bench| {
+        bench.iter(|| gemm(&a_dense, &b_dense))
+    });
     g.finish();
 }
 
@@ -35,7 +41,9 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     let a = random_matrix(1024, 1024, 100_000, 4);
     let a_csr = CsrMatrix::from_coo(&a);
     let b = random_dense_matrix(1024, 256, 5);
-    g.bench_function("spmm_sequential", |bench| bench.iter(|| spmm_csr_dense(&a_csr, &b)));
+    g.bench_function("spmm_sequential", |bench| {
+        bench.iter(|| spmm_csr_dense(&a_csr, &b))
+    });
     g.bench_function("spmm_parallel", |bench| {
         bench.iter(|| spmm_csr_dense_parallel(&a_csr, &b))
     });

@@ -8,7 +8,9 @@ use sparseflex_mint::{MintVariant, PrefixSumOverlay};
 use sparseflex_sage::structured::rank_mcfs_exact;
 use sparseflex_sage::workload::SageKernel;
 use sparseflex_sage::Sage;
-use sparseflex_workloads::synth::{banded_matrix, blocked_matrix, random_dense_matrix, random_matrix};
+use sparseflex_workloads::synth::{
+    banded_matrix, blocked_matrix, random_dense_matrix, random_matrix,
+};
 
 /// Structured-SAGE ablation: uniform-random SAGE vs structure-aware SAGE
 /// on blocked / banded / scattered patterns.
@@ -68,8 +70,16 @@ pub fn mint_rows() -> Vec<String> {
     out.push(String::new());
     out.push("overlay,area_overhead_pct,power_overhead_pct,latency_32".to_string());
     for (name, overlay, design) in [
-        ("highly_parallel", PrefixSumOverlay::HighlyParallel, PrefixSumDesign::HighlyParallel),
-        ("serial_chain", PrefixSumOverlay::SerialChain, PrefixSumDesign::SerialChain),
+        (
+            "highly_parallel",
+            PrefixSumOverlay::HighlyParallel,
+            PrefixSumDesign::HighlyParallel,
+        ),
+        (
+            "serial_chain",
+            PrefixSumOverlay::SerialChain,
+            PrefixSumDesign::SerialChain,
+        ),
     ] {
         let unit = PrefixSumUnit { width: 32, design };
         out.push(format!(
@@ -105,7 +115,10 @@ mod tests {
         // Scattered pattern: no structured win (saving ~ 0).
         let line = rows.iter().find(|l| l.starts_with("scattered")).unwrap();
         let saving: f64 = line.split(',').next_back().unwrap().parse().unwrap();
-        assert!(saving.abs() < 1.0, "scattered saving {saving}% should be ~0");
+        assert!(
+            saving.abs() < 1.0,
+            "scattered saving {saving}% should be ~0"
+        );
     }
 
     #[test]

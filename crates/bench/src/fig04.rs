@@ -30,8 +30,7 @@ pub fn part_a(dtype: DataType) -> Vec<String> {
     for i in 0..=32 {
         let dens = 10f64.powf(-8.0 + 8.0 * i as f64 / 32.0);
         let nnz = ((m as f64 * k as f64) * dens).round().max(1.0) as usize;
-        let csr_e = dram
-            .transfer_energy(matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, dtype));
+        let csr_e = dram.transfer_energy(matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, dtype));
         let cells: Vec<String> = formats()
             .iter()
             .map(|f| {
@@ -56,8 +55,7 @@ pub fn part_b(density: f64) -> Vec<String> {
     rows.push(format!("K,{}", header.join(",")));
     for k in [1_000usize, 10_000, 100_000, 1_000_000, 10_000_000] {
         let nnz = ((m as f64 * k as f64) * density).round().max(1.0) as usize;
-        let csr_e =
-            dram.transfer_energy(matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, dtype));
+        let csr_e = dram.transfer_energy(matrix_storage_bits(&MatrixFormat::Csr, m, k, nnz, dtype));
         let cells: Vec<String> = formats()
             .iter()
             .map(|f| {
@@ -90,7 +88,10 @@ mod tests {
 
     fn col(rows: &[String], header_contains: &str, line: usize) -> f64 {
         let hdr: Vec<&str> = rows[1].split(',').collect();
-        let idx = hdr.iter().position(|h| h.contains(header_contains)).unwrap();
+        let idx = hdr
+            .iter()
+            .position(|h| h.contains(header_contains))
+            .unwrap();
         rows[line + 2].split(',').nth(idx).unwrap().parse().unwrap()
     }
 

@@ -59,11 +59,19 @@ mod tests {
             .iter()
             .map(|&a| estimate_mm(&dev, a, 11_000, 1e-8).time_s)
             .collect();
-        assert!(lo[3] < lo[0], "SpGEMM {} should beat dense {} at 1e-6%", lo[3], lo[0]);
+        assert!(
+            lo[3] < lo[0],
+            "SpGEMM {} should beat dense {} at 1e-6%",
+            lo[3],
+            lo[0]
+        );
         let hi: Vec<f64> = MmAlgorithm::all()
             .iter()
             .map(|&a| estimate_mm(&dev, a, 11_000, 0.5).time_s)
             .collect();
-        assert!(hi[0] < hi[1] && hi[0] < hi[3], "dense must win at 50%: {hi:?}");
+        assert!(
+            hi[0] < hi[1] && hi[0] < hi[3],
+            "dense must win at 50%: {hi:?}"
+        );
     }
 }

@@ -41,7 +41,9 @@ pub fn rows() -> Vec<String> {
         let spgemm_t = best_of(2, || {
             let _ = spgemm_parallel(&a, &b);
         });
-        out.push(format!("{dens:.0e},{gemm_t:.4e},{spmm_t:.4e},{spgemm_t:.4e}"));
+        out.push(format!(
+            "{dens:.0e},{gemm_t:.4e},{spmm_t:.4e},{spgemm_t:.4e}"
+        ));
     }
     out
 }

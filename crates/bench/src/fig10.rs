@@ -31,14 +31,32 @@ pub fn rows() -> Vec<String> {
             .to_string(),
     ];
     for w in TABLE_III.iter() {
-        let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else { continue };
+        let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else {
+            continue;
+        };
         let nnz = w.nnz as u64;
         for (conv_name, src, dst, passes, bpn) in [
-            ("csr_to_csc", MatrixFormat::Csr, MatrixFormat::Csc, 3.0, 12.0),
-            ("dense_to_csr", MatrixFormat::Dense, MatrixFormat::Csr, 1.0, 12.0),
+            (
+                "csr_to_csc",
+                MatrixFormat::Csr,
+                MatrixFormat::Csc,
+                3.0,
+                12.0,
+            ),
+            (
+                "dense_to_csr",
+                MatrixFormat::Dense,
+                MatrixFormat::Csr,
+                1.0,
+                12.0,
+            ),
         ] {
             // Analytic CPU/GPU models. Dense scans move the full matrix.
-            let eff_nnz = if src == MatrixFormat::Dense { (m * k) as u64 } else { nnz };
+            let eff_nnz = if src == MatrixFormat::Dense {
+                (m * k) as u64
+            } else {
+                nnz
+            };
             let cpu_s = conversion_time(&cpu, eff_nnz, passes, bpn);
             let gpu_s = conversion_time(&gpu, eff_nnz, passes, bpn);
             // MINT.
@@ -93,8 +111,17 @@ mod tests {
         let mut total = 0;
         let mut energy_ratios = Vec::new();
         for w in TABLE_III.iter() {
-            let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else { continue };
-            let mint = conversion_cost(&MatrixFormat::Csr, &MatrixFormat::Csc, m, k, w.nnz as u64, &engine);
+            let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else {
+                continue;
+            };
+            let mint = conversion_cost(
+                &MatrixFormat::Csr,
+                &MatrixFormat::Csc,
+                m,
+                k,
+                w.nnz as u64,
+                &engine,
+            );
             let cpu_s = conversion_time(&cpu, w.nnz as u64, 3.0, 12.0);
             total += 1;
             if (mint.cycles as f64 / 1e9) < cpu_s {
@@ -103,7 +130,12 @@ mod tests {
             energy_ratios.push(cpu.energy(cpu_s) / mint.energy.max(1e-18));
         }
         assert!(mint_wins * 2 > total, "MINT won only {mint_wins}/{total}");
-        let geo: f64 = energy_ratios.iter().map(|r| r.ln()).sum::<f64>() / energy_ratios.len() as f64;
-        assert!(geo.exp() > 100.0, "energy improvement {} should be >> 100x", geo.exp());
+        let geo: f64 =
+            energy_ratios.iter().map(|r| r.ln()).sum::<f64>() / energy_ratios.len() as f64;
+        assert!(
+            geo.exp() > 100.0,
+            "energy improvement {} should be >> 100x",
+            geo.exp()
+        );
     }
 }

@@ -17,15 +17,20 @@ pub fn rows() -> Vec<String> {
     ];
     let mut ratios = Vec::new();
     for w in TABLE_III.iter() {
-        let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else { continue };
-        let bytes =
-            matrix_storage_bytes(&MatrixFormat::Csr, m, k, w.nnz, DataType::Fp32) as f64;
+        let WorkloadShape::Matrix { rows: m, cols: k } = w.shape else {
+            continue;
+        };
+        let bytes = matrix_storage_bytes(&MatrixFormat::Csr, m, k, w.nnz, DataType::Fp32) as f64;
         let compute = conversion_time(&gpu, w.nnz as u64, 3.0, 12.0);
         let b = pcie.offload(bytes, bytes, compute);
         ratios.push(b.transfer_ratio());
         out.push(format!(
             "{},{:.4e},{:.4e},{:.4e},{:.3}",
-            w.name, b.h2d_s, b.compute_s, b.d2h_s, b.transfer_ratio()
+            w.name,
+            b.h2d_s,
+            b.compute_s,
+            b.d2h_s,
+            b.transfer_ratio()
         ));
     }
     out.push(format!("geomean,,,,{:.3}", geomean(&ratios)));
@@ -39,12 +44,25 @@ mod tests {
         // Paper: transfers are "up to 75% of the total time" with "a
         // geomean of roughly 50%".
         let rows = super::rows();
-        let geo: f64 = rows.last().unwrap().split(',').next_back().unwrap().parse().unwrap();
-        assert!((0.3..0.95).contains(&geo), "geomean {geo} outside plausible band");
+        let geo: f64 = rows
+            .last()
+            .unwrap()
+            .split(',')
+            .next_back()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            (0.3..0.95).contains(&geo),
+            "geomean {geo} outside plausible band"
+        );
         let max: f64 = rows[2..rows.len() - 1]
             .iter()
             .map(|l| l.split(',').next_back().unwrap().parse::<f64>().unwrap())
             .fold(0.0, f64::max);
-        assert!(max > 0.5, "max ratio {max} should show transfer dominance somewhere");
+        assert!(
+            max > 0.5,
+            "max ratio {max} should show transfer dominance somewhere"
+        );
     }
 }

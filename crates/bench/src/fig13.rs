@@ -28,9 +28,10 @@ pub fn rows() -> Vec<String> {
     ];
     let mut per_class: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
     for spec in TABLE_III.iter().filter(|s| !s.is_tensor()) {
-        for (kname, w) in
-            [("SpGEMM", spgemm_workload(spec)), ("SpMM", spmm_workload(spec))]
-        {
+        for (kname, w) in [
+            ("SpGEMM", spgemm_workload(spec)),
+            ("SpMM", spmm_workload(spec)),
+        ] {
             for (class, norm) in sys.normalized_edp(&w) {
                 match norm {
                     Some(x) => {

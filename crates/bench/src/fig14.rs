@@ -42,7 +42,10 @@ pub fn rows() -> Vec<String> {
         }
     }
     out.push(String::new());
-    out.push("# fig14c: baseline EDP relative to this work (geomean over layers & strategies)".to_string());
+    out.push(
+        "# fig14c: baseline EDP relative to this work (geomean over layers & strategies)"
+            .to_string(),
+    );
     out.push("class,edp_vs_this_work".to_string());
     for (class, vals) in class_ratios {
         out.push(format!("{class},{:.3}", geomean(&vals)));
@@ -70,6 +73,9 @@ mod tests {
                 worse += 1;
             }
         }
-        assert!(worse * 2 >= total, "only {worse}/{total} baselines >20% worse");
+        assert!(
+            worse * 2 >= total,
+            "only {worse}/{total} baselines >20% worse"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub fn rows() -> Vec<String> {
         "design,mcf,acf,same,conv,example".to_string(),
     ];
     for c in AcceleratorClass::table2_suite() {
-        let same = if c.requires_identity_conversion() { "Yes" } else { "No" };
+        let same = if c.requires_identity_conversion() {
+            "Yes"
+        } else {
+            "No"
+        };
         out.push(format!(
             "{},{},{},{same},{},{}",
             c.name,

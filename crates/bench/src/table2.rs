@@ -16,7 +16,13 @@ pub fn rows() -> Vec<String> {
         "type,example,num_mcf_pairs,num_acf_pairs".to_string(),
     ];
     for c in AcceleratorClass::table2_suite() {
-        out.push(format!("{},{},{},{}", c.name, c.example, c.mcfs.len(), c.acfs.len()));
+        out.push(format!(
+            "{},{},{},{}",
+            c.name,
+            c.example,
+            c.mcfs.len(),
+            c.acfs.len()
+        ));
     }
     out
 }

@@ -24,7 +24,9 @@ pub fn rows() -> Vec<String> {
         };
         let dens = spec.density() * 100.0;
         if spec.is_tensor() {
-            let WorkloadShape::Tensor { x, y, z } = spec.shape else { unreachable!() };
+            let WorkloadShape::Tensor { x, y, z } = spec.shape else {
+                unreachable!()
+            };
             for (kname, mttkrp) in [("SpTTM", false), ("MTTKRP", true)] {
                 let w = TensorWorkload {
                     mttkrp,
@@ -40,9 +42,10 @@ pub fn rows() -> Vec<String> {
                 ));
             }
         } else {
-            for (kname, w) in
-                [("SpGEMM", spgemm_workload(spec)), ("SpMM", spmm_workload(spec))]
-            {
+            for (kname, w) in [
+                ("SpGEMM", spgemm_workload(spec)),
+                ("SpMM", spmm_workload(spec)),
+            ] {
                 let rec = sys.plan(&w);
                 let c = &rec.evaluation.choice;
                 out.push(format!(
@@ -85,7 +88,10 @@ mod tests {
         // must be compressed, matching Table III (COO in the paper).
         for (name, _, sel) in selections() {
             if name == "m3plates" || name == "Uber" {
-                assert_ne!(sel[0], "Dense", "{name} picked Dense MCF for the sparse operand");
+                assert_ne!(
+                    sel[0], "Dense",
+                    "{name} picked Dense MCF for the sparse operand"
+                );
             }
         }
     }

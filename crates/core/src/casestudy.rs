@@ -46,7 +46,12 @@ pub fn layer_edp(
         .filter(|c| c.class_name != "Flex_Flex_HW")
         .map(|c| (c.class_name, c.best.map(|b| b.edp(clock))))
         .collect();
-    LayerEdp { layer_id, gemm_dims, this_work: ours, baselines }
+    LayerEdp {
+        layer_id,
+        gemm_dims,
+        this_work: ours,
+        baselines,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +93,13 @@ mod tests {
         let sys = FlexSystem::default();
         for l in &RESNET_LAYERS {
             for s in PruningStrategy::all() {
-                let r = layer_edp(&sys, l.id, l.gemm_dims(1), l.act_density(s), l.weight_density(s));
+                let r = layer_edp(
+                    &sys,
+                    l.id,
+                    l.gemm_dims(1),
+                    l.act_density(s),
+                    l.weight_density(s),
+                );
                 assert!(r.this_work > 0.0, "layer {} strategy {:?}", l.id, s);
                 for (name, edp) in &r.baselines {
                     if let Some(e) = edp {

@@ -3,7 +3,9 @@
 
 use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimError, SimResult};
 use sparseflex_accel::taxonomy::AcceleratorClass;
-use sparseflex_formats::{CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix};
+use sparseflex_formats::{
+    CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
+};
 use sparseflex_mint::{ConversionEngine, ConversionReport};
 use sparseflex_sage::eval::ConversionMode;
 use sparseflex_sage::{Evaluation, Sage, SageWorkload};
@@ -58,7 +60,10 @@ impl FlexSystem {
     /// Analytic plan: SAGE searches the full MCF x ACF space.
     pub fn plan(&self, w: &SageWorkload) -> SystemPlan {
         let rec = self.sage.recommend(w);
-        SystemPlan { evaluation: rec.best, candidates: rec.candidates }
+        SystemPlan {
+            evaluation: rec.best,
+            candidates: rec.candidates,
+        }
     }
 
     /// Best evaluation per Table II accelerator class (the Fig. 12/13
@@ -92,18 +97,30 @@ impl FlexSystem {
         let engine = ConversionEngine::default();
 
         // Store in MCF.
-        let a_mem = MatrixData::encode(a, &choice.mcf_a)
-            .map_err(|_| SimError::UnsupportedAcf { a: choice.mcf_a, b: choice.mcf_b })?;
-        let b_mem = MatrixData::encode(b, &choice.mcf_b)
-            .map_err(|_| SimError::UnsupportedAcf { a: choice.mcf_a, b: choice.mcf_b })?;
+        let a_mem = MatrixData::encode(a, &choice.mcf_a).map_err(|_| SimError::UnsupportedAcf {
+            a: choice.mcf_a,
+            b: choice.mcf_b,
+        })?;
+        let b_mem = MatrixData::encode(b, &choice.mcf_b).map_err(|_| SimError::UnsupportedAcf {
+            a: choice.mcf_a,
+            b: choice.mcf_b,
+        })?;
 
         // MINT: MCF -> ACF.
-        let (a_acf, conv_a) = engine
-            .convert_matrix(&a_mem, &choice.acf_a)
-            .map_err(|_| SimError::UnsupportedAcf { a: choice.acf_a, b: choice.acf_b })?;
-        let (b_acf, conv_b) = engine
-            .convert_matrix(&b_mem, &choice.acf_b)
-            .map_err(|_| SimError::UnsupportedAcf { a: choice.acf_a, b: choice.acf_b })?;
+        let (a_acf, conv_a) =
+            engine
+                .convert_matrix(&a_mem, &choice.acf_a)
+                .map_err(|_| SimError::UnsupportedAcf {
+                    a: choice.acf_a,
+                    b: choice.acf_b,
+                })?;
+        let (b_acf, conv_b) =
+            engine
+                .convert_matrix(&b_mem, &choice.acf_b)
+                .map_err(|_| SimError::UnsupportedAcf {
+                    a: choice.acf_a,
+                    b: choice.acf_b,
+                })?;
 
         // Execute.
         let sim = if choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr {
@@ -120,7 +137,12 @@ impl FlexSystem {
             simulate_ws(&a_acf, &b_acf, &self.sage.accel)?
         };
 
-        Ok(FunctionalRun { evaluation: plan.evaluation, conv_a, conv_b, sim })
+        Ok(FunctionalRun {
+            evaluation: plan.evaluation,
+            conv_a,
+            conv_b,
+            sim,
+        })
     }
 
     /// Software reference output for verification.
@@ -179,10 +201,8 @@ mod tests {
         sys.sage.accel.num_pes = 8;
         sys.sage.accel.pe_buffer_elems = 64;
         let run = sys.run_functional(&a, &b, &w).unwrap();
-        let expect = sparseflex_kernels::gemm::gemm_naive(
-            &a.clone().into_dense(),
-            &b.clone().into_dense(),
-        );
+        let expect =
+            sparseflex_kernels::gemm::gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
         assert!(
             run.sim.output.approx_eq(&expect, 1e-9),
             "functional output mismatch for choice {}",
@@ -199,10 +219,8 @@ mod tests {
         sys.sage.accel.num_pes = 16;
         sys.sage.accel.pe_buffer_elems = 64;
         let run = sys.run_functional(&a, &b, &w).unwrap();
-        let expect = sparseflex_kernels::gemm::gemm_naive(
-            &a.clone().into_dense(),
-            &b.clone().into_dense(),
-        );
+        let expect =
+            sparseflex_kernels::gemm::gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
         assert!(run.sim.output.approx_eq(&expect, 1e-9));
         // SpMM with dense B: SAGE must not pick a compressed ACF for B
         // (nothing to compress).
@@ -228,7 +246,10 @@ mod tests {
         assert_eq!(rows.len(), 7);
         assert!(rows.iter().any(|r| r.class_name == "Flex_Flex_HW"));
         // TPU (dense only) can always run (densely).
-        let tpu = rows.iter().find(|r| r.class_name == "Fix_Fix_None").unwrap();
+        let tpu = rows
+            .iter()
+            .find(|r| r.class_name == "Fix_Fix_None")
+            .unwrap();
         assert!(tpu.best.is_some());
     }
 

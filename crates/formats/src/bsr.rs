@@ -31,7 +31,11 @@ pub struct BsrMatrix {
 
 impl BsrMatrix {
     /// Convert from the COO hub with the given block shape.
-    pub fn from_coo(coo: &CooMatrix, block_rows: usize, block_cols: usize) -> Result<Self, FormatError> {
+    pub fn from_coo(
+        coo: &CooMatrix,
+        block_rows: usize,
+        block_cols: usize,
+    ) -> Result<Self, FormatError> {
         if block_rows == 0 || block_cols == 0 {
             return Err(FormatError::InvalidBlockSize { block: 0 });
         }
@@ -68,13 +72,23 @@ impl BsrMatrix {
             for k in start..i {
                 let bc = cids[k] / block_cols;
                 let slot = base_block
-                    + bcs.binary_search(&bc).expect("block column was registered above");
+                    + bcs
+                        .binary_search(&bc)
+                        .expect("block column was registered above");
                 let local = (rids[k] - br * block_rows) * block_cols + (cids[k] % block_cols);
                 values[slot * block_area + local] = vals[k];
             }
             col_ids.extend_from_slice(&bcs);
         }
-        Ok(BsrMatrix { rows, cols, block_rows, block_cols, row_ptr, col_ids, values })
+        Ok(BsrMatrix {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            row_ptr,
+            col_ids,
+            values,
+        })
     }
 
     /// Block shape `(block_rows, block_cols)`.
@@ -153,8 +167,7 @@ impl SparseMatrix for BsrMatrix {
         match self.col_ids[s..e].binary_search(&bc) {
             Ok(off) => {
                 let i = s + off;
-                let local =
-                    (row % self.block_rows) * self.block_cols + (col % self.block_cols);
+                let local = (row % self.block_rows) * self.block_cols + (col % self.block_cols);
                 self.block(i)[local]
             }
             Err(_) => 0.0,

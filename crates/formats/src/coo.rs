@@ -24,7 +24,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Empty matrix of the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, row_ids: Vec::new(), col_ids: Vec::new(), values: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            row_ids: Vec::new(),
+            col_ids: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from unsorted triplets. Sorts row-major, sums duplicates, and
@@ -36,10 +42,18 @@ impl CooMatrix {
     ) -> Result<Self, FormatError> {
         for &(r, c, _) in &triplets {
             if r >= rows {
-                return Err(FormatError::IndexOutOfBounds { index: r, bound: rows, axis: 0 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                    axis: 0,
+                });
             }
             if c >= cols {
-                return Err(FormatError::IndexOutOfBounds { index: c, bound: cols, axis: 1 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                    axis: 1,
+                });
             }
         }
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -68,7 +82,13 @@ impl CooMatrix {
                 keep_v.push(values[i]);
             }
         }
-        Ok(CooMatrix { rows, cols, row_ids: keep_r, col_ids: keep_c, values: keep_v })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row_ids: keep_r,
+            col_ids: keep_c,
+            values: keep_v,
+        })
     }
 
     /// Build from triplets already sorted row-major with no duplicates.
@@ -85,10 +105,18 @@ impl CooMatrix {
         let mut prev: Option<(usize, usize)> = None;
         for (r, c, v) in triplets {
             if r >= rows {
-                return Err(FormatError::IndexOutOfBounds { index: r, bound: rows, axis: 0 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                    axis: 0,
+                });
             }
             if c >= cols {
-                return Err(FormatError::IndexOutOfBounds { index: c, bound: cols, axis: 1 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                    axis: 1,
+                });
             }
             if let Some(p) = prev {
                 if p >= (r, c) {
@@ -104,7 +132,13 @@ impl CooMatrix {
                 values.push(v);
             }
         }
-        Ok(CooMatrix { rows, cols, row_ids, col_ids, values })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row_ids,
+            col_ids,
+            values,
+        })
     }
 
     /// Build directly from parallel arrays (sorted row-major, deduplicated).

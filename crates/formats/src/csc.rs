@@ -47,10 +47,14 @@ impl CscMatrix {
             });
         }
         if col_ptr.first() != Some(&0) || col_ptr.last() != Some(&values.len()) {
-            return Err(FormatError::MalformedPointer { what: "col_ptr endpoints" });
+            return Err(FormatError::MalformedPointer {
+                what: "col_ptr endpoints",
+            });
         }
         if col_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(FormatError::MalformedPointer { what: "col_ptr not monotonic" });
+            return Err(FormatError::MalformedPointer {
+                what: "col_ptr not monotonic",
+            });
         }
         for c in 0..cols {
             let seg = &row_ids[col_ptr[c]..col_ptr[c + 1]];
@@ -61,11 +65,21 @@ impl CscMatrix {
             }
             if let Some(&r) = seg.last() {
                 if r >= rows {
-                    return Err(FormatError::IndexOutOfBounds { index: r, bound: rows, axis: 0 });
+                    return Err(FormatError::IndexOutOfBounds {
+                        index: r,
+                        bound: rows,
+                        axis: 0,
+                    });
                 }
             }
         }
-        Ok(CscMatrix { rows, cols, col_ptr, row_ids, values })
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_ids,
+            values,
+        })
     }
 
     /// Convert from the COO hub with a counting sort on columns.
@@ -87,7 +101,13 @@ impl CscMatrix {
             row_ids[slot] = r;
             values[slot] = v;
         }
-        CscMatrix { rows: coo.rows(), cols, col_ptr, row_ids, values }
+        CscMatrix {
+            rows: coo.rows(),
+            cols,
+            col_ptr,
+            row_ids,
+            values,
+        }
     }
 
     /// Column pointer array (`cols + 1` entries).
@@ -225,7 +245,13 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             5,
             7,
-            vec![(0, 6, 1.0), (2, 3, 2.0), (2, 4, 3.0), (4, 0, 4.0), (4, 6, 5.0)],
+            vec![
+                (0, 6, 1.0),
+                (2, 3, 2.0),
+                (2, 4, 3.0),
+                (4, 0, 4.0),
+                (4, 6, 5.0),
+            ],
         )
         .unwrap();
         let csr = CsrMatrix::from_coo(&coo);

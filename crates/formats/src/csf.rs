@@ -60,7 +60,15 @@ impl CsfTensor {
         }
         x_ptr.push(y_fids.len());
         y_ptr.push(z_fids.len());
-        CsfTensor { dims: (dx, dy, dz), x_fids, x_ptr, y_fids, y_ptr, z_fids, values }
+        CsfTensor {
+            dims: (dx, dy, dz),
+            x_fids,
+            x_ptr,
+            y_fids,
+            y_ptr,
+            z_fids,
+            values,
+        }
     }
 
     /// Build from raw arrays, validating tree structure.
@@ -108,24 +116,46 @@ impl CsfTensor {
             return Err(FormatError::MalformedPointer { what: "csf y_ptr" });
         }
         if x_fids.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(FormatError::MalformedPointer { what: "csf x_fids not sorted" });
+            return Err(FormatError::MalformedPointer {
+                what: "csf x_fids not sorted",
+            });
         }
         for &x in &x_fids {
             if x >= dims.0 {
-                return Err(FormatError::IndexOutOfBounds { index: x, bound: dims.0, axis: 0 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: x,
+                    bound: dims.0,
+                    axis: 0,
+                });
             }
         }
         for &y in &y_fids {
             if y >= dims.1 {
-                return Err(FormatError::IndexOutOfBounds { index: y, bound: dims.1, axis: 1 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: y,
+                    bound: dims.1,
+                    axis: 1,
+                });
             }
         }
         for &z in &z_fids {
             if z >= dims.2 {
-                return Err(FormatError::IndexOutOfBounds { index: z, bound: dims.2, axis: 2 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: z,
+                    bound: dims.2,
+                    axis: 2,
+                });
             }
         }
-        Ok(CsfTensor { dims, x_fids, x_ptr, y_fids, y_ptr, z_fids, values })
+        Ok(CsfTensor {
+            dims,
+            x_fids,
+            x_ptr,
+            y_fids,
+            y_ptr,
+            z_fids,
+            values,
+        })
     }
 
     /// Distinct x slice coordinates (level 0 of the tree).

@@ -44,10 +44,14 @@ impl CsrMatrix {
             });
         }
         if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&values.len()) {
-            return Err(FormatError::MalformedPointer { what: "row_ptr endpoints" });
+            return Err(FormatError::MalformedPointer {
+                what: "row_ptr endpoints",
+            });
         }
         if row_ptr.windows(2).any(|w| w[0] > w[1]) {
-            return Err(FormatError::MalformedPointer { what: "row_ptr not monotonic" });
+            return Err(FormatError::MalformedPointer {
+                what: "row_ptr not monotonic",
+            });
         }
         for r in 0..rows {
             let seg = &col_ids[row_ptr[r]..row_ptr[r + 1]];
@@ -58,11 +62,21 @@ impl CsrMatrix {
             }
             if let Some(&c) = seg.last() {
                 if c >= cols {
-                    return Err(FormatError::IndexOutOfBounds { index: c, bound: cols, axis: 1 });
+                    return Err(FormatError::IndexOutOfBounds {
+                        index: c,
+                        bound: cols,
+                        axis: 1,
+                    });
                 }
             }
         }
-        Ok(CsrMatrix { rows, cols, row_ptr, col_ids, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_ids,
+            values,
+        })
     }
 
     /// Convert from the COO hub (linear time; COO is already row-major).
@@ -215,9 +229,7 @@ mod tests {
         // Column out of bounds.
         assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // Duplicate column within a row.
-        assert!(
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// All-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a row-major buffer. Fails if `data.len() != rows * cols`.
@@ -51,7 +55,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Immutable view of the row-major backing buffer.
@@ -105,7 +113,11 @@ impl DenseMatrix {
 
     /// Maximum absolute difference against another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

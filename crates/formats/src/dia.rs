@@ -31,8 +31,10 @@ impl DiaMatrix {
     pub fn from_coo(coo: &CooMatrix) -> Self {
         let rows = coo.rows();
         let cols = coo.cols();
-        let mut offsets: Vec<isize> =
-            coo.iter().map(|(r, c, _)| c as isize - r as isize).collect();
+        let mut offsets: Vec<isize> = coo
+            .iter()
+            .map(|(r, c, _)| c as isize - r as isize)
+            .collect();
         offsets.sort_unstable();
         offsets.dedup();
         let mut data = vec![0.0; offsets.len() * rows];
@@ -41,7 +43,12 @@ impl DiaMatrix {
             let d = offsets.binary_search(&k).expect("offset registered above");
             data[d * rows + r] = v;
         }
-        DiaMatrix { rows, cols, offsets, data }
+        DiaMatrix {
+            rows,
+            cols,
+            offsets,
+            data,
+        }
     }
 
     /// Build from explicit strips (tests / generators).
@@ -59,7 +66,9 @@ impl DiaMatrix {
             });
         }
         if offsets.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(FormatError::MalformedPointer { what: "dia offsets not sorted/unique" });
+            return Err(FormatError::MalformedPointer {
+                what: "dia offsets not sorted/unique",
+            });
         }
         for &k in &offsets {
             if k <= -(rows as isize) || k >= cols as isize {
@@ -70,7 +79,12 @@ impl DiaMatrix {
                 });
             }
         }
-        Ok(DiaMatrix { rows, cols, offsets, data })
+        Ok(DiaMatrix {
+            rows,
+            cols,
+            offsets,
+            data,
+        })
     }
 
     /// Occupied diagonal offsets, sorted ascending.

@@ -48,7 +48,14 @@ impl EllMatrix {
             col_ids[slot] = c;
             values[slot] = v;
         }
-        EllMatrix { rows, cols: coo.cols(), width, col_ids, values, nnz: coo.nnz() }
+        EllMatrix {
+            rows,
+            cols: coo.cols(),
+            width,
+            col_ids,
+            values,
+            nnz: coo.nnz(),
+        }
     }
 
     /// Build from explicit padded arrays (tests / generators).
@@ -74,12 +81,23 @@ impl EllMatrix {
                     continue;
                 }
                 if c >= cols {
-                    return Err(FormatError::IndexOutOfBounds { index: c, bound: cols, axis: 1 });
+                    return Err(FormatError::IndexOutOfBounds {
+                        index: c,
+                        bound: cols,
+                        axis: 1,
+                    });
                 }
                 nnz += 1;
             }
         }
-        Ok(EllMatrix { rows, cols, width, col_ids, values, nnz })
+        Ok(EllMatrix {
+            rows,
+            cols,
+            width,
+            col_ids,
+            values,
+            nnz,
+        })
     }
 
     /// Padded row width (max nonzeros per row).
@@ -161,7 +179,14 @@ mod tests {
         CooMatrix::from_triplets(
             4,
             5,
-            vec![(0, 0, 1.0), (0, 4, 2.0), (1, 2, 3.0), (3, 0, 4.0), (3, 1, 5.0), (3, 4, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 4, 2.0),
+                (1, 2, 3.0),
+                (3, 0, 4.0),
+                (3, 1, 5.0),
+                (3, 4, 6.0),
+            ],
         )
         .unwrap()
     }

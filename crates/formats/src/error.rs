@@ -55,8 +55,15 @@ impl fmt::Display for FormatError {
             FormatError::IndexOutOfBounds { index, bound, axis } => {
                 write!(f, "index {index} out of bounds {bound} on axis {axis}")
             }
-            FormatError::LengthMismatch { what, expected, actual } => {
-                write!(f, "length mismatch in {what}: expected {expected}, got {actual}")
+            FormatError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {what}: expected {expected}, got {actual}"
+                )
             }
             FormatError::MalformedPointer { what } => {
                 write!(f, "malformed pointer array: {what}")
@@ -79,10 +86,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = FormatError::IndexOutOfBounds { index: 9, bound: 4, axis: 1 };
+        let e = FormatError::IndexOutOfBounds {
+            index: 9,
+            bound: 4,
+            axis: 1,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("axis 1"));
-        let e = FormatError::LengthMismatch { what: "col_ids vs values", expected: 3, actual: 2 };
+        let e = FormatError::LengthMismatch {
+            what: "col_ids vs values",
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("col_ids"));
     }
 

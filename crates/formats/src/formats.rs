@@ -63,7 +63,9 @@ impl MatrixFormat {
     pub const fn mcf_set() -> [MatrixFormat; 6] {
         [
             MatrixFormat::Dense,
-            MatrixFormat::Rlc { run_bits: DEFAULT_RUN_BITS },
+            MatrixFormat::Rlc {
+                run_bits: DEFAULT_RUN_BITS,
+            },
             MatrixFormat::Zvc,
             MatrixFormat::Coo,
             MatrixFormat::Csr,
@@ -73,7 +75,12 @@ impl MatrixFormat {
 
     /// The four ACF choices evaluated in the paper (§VII-A).
     pub const fn acf_set() -> [MatrixFormat; 4] {
-        [MatrixFormat::Dense, MatrixFormat::Coo, MatrixFormat::Csr, MatrixFormat::Csc]
+        [
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+        ]
     }
 
     /// Short name for CSV/log output.
@@ -95,7 +102,10 @@ impl MatrixFormat {
     /// spatial structure of the nonzeros (the paper's performance model
     /// covers exactly these; structured formats are its future work).
     pub const fn is_unstructured(&self) -> bool {
-        !matches!(self, MatrixFormat::Bsr { .. } | MatrixFormat::Dia | MatrixFormat::Ell)
+        !matches!(
+            self,
+            MatrixFormat::Bsr { .. } | MatrixFormat::Dia | MatrixFormat::Ell
+        )
     }
 }
 
@@ -137,7 +147,9 @@ impl TensorFormat {
     pub const fn mcf_set() -> [TensorFormat; 5] {
         [
             TensorFormat::Dense,
-            TensorFormat::Rlc { run_bits: DEFAULT_RUN_BITS },
+            TensorFormat::Rlc {
+                run_bits: DEFAULT_RUN_BITS,
+            },
             TensorFormat::Zvc,
             TensorFormat::Coo,
             TensorFormat::Csf,
@@ -209,7 +221,9 @@ impl MatrixData {
             }
             MatrixData::Dia(_) => MatrixFormat::Dia,
             MatrixData::Ell(_) => MatrixFormat::Ell,
-            MatrixData::Rlc(r) => MatrixFormat::Rlc { run_bits: r.run_bits() },
+            MatrixData::Rlc(r) => MatrixFormat::Rlc {
+                run_bits: r.run_bits(),
+            },
             MatrixData::Zvc(_) => MatrixFormat::Zvc,
         }
     }
@@ -297,7 +311,9 @@ impl TensorData {
             TensorData::Coo(_) => TensorFormat::Coo,
             TensorData::Csf(_) => TensorFormat::Csf,
             TensorData::HiCoo(h) => TensorFormat::HiCoo { block: h.block() },
-            TensorData::Rlc(r) => TensorFormat::Rlc { run_bits: r.run_bits() },
+            TensorData::Rlc(r) => TensorFormat::Rlc {
+                run_bits: r.run_bits(),
+            },
             TensorData::Zvc(_) => TensorFormat::Zvc,
         }
     }
@@ -364,7 +380,13 @@ mod tests {
         CooMatrix::from_triplets(
             6,
             5,
-            vec![(0, 0, 1.0), (1, 3, 2.0), (2, 2, 3.0), (4, 4, 4.0), (5, 0, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 3, 2.0),
+                (2, 2, 3.0),
+                (4, 4, 4.0),
+                (5, 0, 5.0),
+            ],
         )
         .unwrap()
     }

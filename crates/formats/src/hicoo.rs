@@ -47,7 +47,10 @@ impl HiCooTensor {
         let mut order: Vec<usize> = (0..coo.nnz()).collect();
         let key = |i: usize| {
             let (x, y, z) = (coo.x_ids()[i], coo.y_ids()[i], coo.z_ids()[i]);
-            ((x / block, y / block, z / block), (x % block, y % block, z % block))
+            (
+                (x / block, y / block, z / block),
+                (x % block, y % block, z % block),
+            )
         };
         order.sort_unstable_by_key(|&i| key(i));
 
@@ -283,9 +286,7 @@ mod tests {
     fn clustered_pattern_uses_few_blocks() {
         // 8 nonzeros all inside one 2x2x2 corner.
         let quads: Vec<_> = (0..2)
-            .flat_map(|x| {
-                (0..2).flat_map(move |y| (0..2).map(move |z| (x, y, z, 1.0 + x as f64)))
-            })
+            .flat_map(|x| (0..2).flat_map(move |y| (0..2).map(move |z| (x, y, z, 1.0 + x as f64))))
             .collect();
         let coo = CooTensor3::from_quads(16, 16, 16, quads).unwrap();
         let h = HiCooTensor::from_coo(&coo, 2).unwrap();

@@ -74,6 +74,8 @@ pub mod error;
 pub mod formats;
 pub mod hicoo;
 pub mod rlc;
+#[cfg(test)]
+mod roundtrip_tests;
 pub mod size_model;
 pub mod stats;
 pub mod tensor;

@@ -51,14 +51,26 @@ impl RlcMatrix {
             let flat = (r * cols + c) as u64;
             let mut gap = flat - cursor;
             while gap > max_run {
-                entries.push(RlcEntry { zeros: max_run, value: 0.0 });
+                entries.push(RlcEntry {
+                    zeros: max_run,
+                    value: 0.0,
+                });
                 gap -= max_run + 1;
             }
-            entries.push(RlcEntry { zeros: gap, value: v });
+            entries.push(RlcEntry {
+                zeros: gap,
+                value: v,
+            });
             cursor = flat + 1;
         }
         let trailing_zeros = (rows * cols) as u64 - cursor;
-        RlcMatrix { rows, cols, run_bits, entries, trailing_zeros }
+        RlcMatrix {
+            rows,
+            cols,
+            run_bits,
+            entries,
+            trailing_zeros,
+        }
     }
 
     /// Encode with [`DEFAULT_RUN_BITS`].
@@ -78,7 +90,9 @@ impl RlcMatrix {
         let mut total = trailing_zeros;
         for e in &entries {
             if e.zeros > max_run {
-                return Err(FormatError::MalformedPointer { what: "RLC run exceeds run_bits" });
+                return Err(FormatError::MalformedPointer {
+                    what: "RLC run exceeds run_bits",
+                });
             }
             total += e.zeros + 1;
         }
@@ -89,7 +103,13 @@ impl RlcMatrix {
                 actual: total as usize,
             });
         }
-        Ok(RlcMatrix { rows, cols, run_bits, entries, trailing_zeros })
+        Ok(RlcMatrix {
+            rows,
+            cols,
+            run_bits,
+            entries,
+            trailing_zeros,
+        })
     }
 
     /// Run-field width in bits.
@@ -180,14 +200,25 @@ impl RlcTensor3 {
             let flat = ((x * dy + y) * dz + z) as u64;
             let mut gap = flat - cursor;
             while gap > max_run {
-                entries.push(RlcEntry { zeros: max_run, value: 0.0 });
+                entries.push(RlcEntry {
+                    zeros: max_run,
+                    value: 0.0,
+                });
                 gap -= max_run + 1;
             }
-            entries.push(RlcEntry { zeros: gap, value: v });
+            entries.push(RlcEntry {
+                zeros: gap,
+                value: v,
+            });
             cursor = flat + 1;
         }
         let trailing_zeros = (dx * dy * dz) as u64 - cursor;
-        RlcTensor3 { dims: (dx, dy, dz), run_bits, entries, trailing_zeros }
+        RlcTensor3 {
+            dims: (dx, dy, dz),
+            run_bits,
+            entries,
+            trailing_zeros,
+        }
     }
 
     /// Run-field width in bits.
@@ -271,7 +302,14 @@ mod tests {
         CooMatrix::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (2, 2, 5.0),
+                (3, 3, 6.0),
+            ],
         )
         .unwrap()
     }
@@ -327,10 +365,16 @@ mod tests {
 
     #[test]
     fn from_parts_validates_stream_length() {
-        let e = vec![RlcEntry { zeros: 1, value: 2.0 }];
+        let e = vec![RlcEntry {
+            zeros: 1,
+            value: 2.0,
+        }];
         assert!(RlcMatrix::from_parts(1, 4, 4, e.clone(), 2).is_ok());
         assert!(RlcMatrix::from_parts(1, 4, 4, e.clone(), 3).is_err());
-        let bad = vec![RlcEntry { zeros: 99, value: 2.0 }];
+        let bad = vec![RlcEntry {
+            zeros: 99,
+            value: 2.0,
+        }];
         assert!(RlcMatrix::from_parts(1, 128, 4, bad, 28).is_err());
     }
 

@@ -1,0 +1,290 @@
+//! Exhaustive dense <-> compressed round-trip coverage: every
+//! [`MatrixFormat`] and [`TensorFormat`] variant must losslessly encode
+//! and decode a family of deterministic fixture patterns, including the
+//! degenerate shapes (empty, single element, first/last position, fully
+//! dense) that the random property suites only hit by chance.
+
+use crate::formats::{MatrixData, MatrixFormat, TensorData, TensorFormat};
+use crate::traits::{SparseMatrix, SparseTensor3};
+use crate::{CooMatrix, CooTensor3, DiaMatrix, EllMatrix, HiCooTensor, ZvcMatrix, ZvcTensor3};
+
+/// Every matrix format variant, with small parameters where required.
+fn every_matrix_format() -> Vec<MatrixFormat> {
+    vec![
+        MatrixFormat::Dense,
+        MatrixFormat::Coo,
+        MatrixFormat::Csr,
+        MatrixFormat::Csc,
+        MatrixFormat::Bsr { br: 2, bc: 2 },
+        MatrixFormat::Bsr { br: 3, bc: 2 },
+        MatrixFormat::Dia,
+        MatrixFormat::Ell,
+        MatrixFormat::Rlc { run_bits: 2 },
+        MatrixFormat::Rlc { run_bits: 8 },
+        MatrixFormat::Zvc,
+    ]
+}
+
+/// Every tensor format variant, with small parameters where required.
+fn every_tensor_format() -> Vec<TensorFormat> {
+    vec![
+        TensorFormat::Dense,
+        TensorFormat::Coo,
+        TensorFormat::Csf,
+        TensorFormat::HiCoo { block: 2 },
+        TensorFormat::HiCoo { block: 4 },
+        TensorFormat::Rlc { run_bits: 2 },
+        TensorFormat::Zvc,
+    ]
+}
+
+/// Deterministic fixture matrices hitting the encoders' edge positions.
+fn fixture_matrices() -> Vec<(&'static str, CooMatrix)> {
+    let full = CooMatrix::from_triplets(
+        3,
+        4,
+        (0..3)
+            .flat_map(|r| (0..4).map(move |c| (r, c, (r * 4 + c + 1) as f64)))
+            .collect(),
+    )
+    .unwrap();
+    let banded = CooMatrix::from_triplets(
+        6,
+        6,
+        (0..6)
+            .flat_map(|r: usize| {
+                [(r, r, 2.0), (r, r + 1, -1.0)]
+                    .into_iter()
+                    .filter(|&(_, c, _)| c < 6)
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+    )
+    .unwrap();
+    vec![
+        ("empty", CooMatrix::empty(5, 7)),
+        (
+            "single_first",
+            CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.5)]).unwrap(),
+        ),
+        (
+            "single_last",
+            CooMatrix::from_triplets(4, 5, vec![(3, 4, -2.5)]).unwrap(),
+        ),
+        (
+            "one_by_one",
+            CooMatrix::from_triplets(1, 1, vec![(0, 0, 9.0)]).unwrap(),
+        ),
+        ("full_dense", full),
+        ("banded", banded),
+        (
+            "single_column",
+            CooMatrix::from_triplets(6, 1, vec![(0, 0, 1.0), (3, 0, 2.0), (5, 0, 3.0)]).unwrap(),
+        ),
+        (
+            "single_row",
+            CooMatrix::from_triplets(1, 8, vec![(0, 1, 4.0), (0, 6, 5.0)]).unwrap(),
+        ),
+        (
+            "ragged",
+            CooMatrix::from_triplets(
+                5,
+                6,
+                vec![
+                    (0, 0, 1.0),
+                    (0, 1, 2.0),
+                    (0, 2, 3.0),
+                    (0, 5, 4.0),
+                    (2, 3, 5.0),
+                    (4, 0, 6.0),
+                    (4, 5, 7.0),
+                ],
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Deterministic fixture tensors (same idea, one dimension up).
+fn fixture_tensors() -> Vec<(&'static str, CooTensor3)> {
+    let full = CooTensor3::from_quads(
+        2,
+        2,
+        2,
+        (0..2)
+            .flat_map(|x| {
+                (0..2).flat_map(move |y| {
+                    (0..2).map(move |z| (x, y, z, (x * 4 + y * 2 + z + 1) as f64))
+                })
+            })
+            .collect(),
+    )
+    .unwrap();
+    vec![
+        ("empty", CooTensor3::from_quads(3, 4, 5, vec![]).unwrap()),
+        (
+            "corners",
+            CooTensor3::from_quads(3, 3, 3, vec![(0, 0, 0, 1.0), (2, 2, 2, -1.0)]).unwrap(),
+        ),
+        ("full_dense", full),
+        (
+            "one_fiber",
+            CooTensor3::from_quads(
+                4,
+                4,
+                4,
+                vec![(1, 2, 0, 1.0), (1, 2, 1, 2.0), (1, 2, 3, 3.0)],
+            )
+            .unwrap(),
+        ),
+        (
+            "scattered",
+            CooTensor3::from_quads(
+                5,
+                4,
+                6,
+                vec![
+                    (0, 0, 5, 1.0),
+                    (2, 1, 0, 2.0),
+                    (2, 3, 3, 3.0),
+                    (4, 0, 0, 4.0),
+                    (4, 3, 5, 5.0),
+                ],
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Look a fixture up by name, so tests don't depend on list order.
+fn matrix_fixture(name: &str) -> CooMatrix {
+    fixture_matrices()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("no matrix fixture named {name}"))
+        .1
+}
+
+#[test]
+fn every_matrix_variant_roundtrips_every_fixture() {
+    for (name, coo) in fixture_matrices() {
+        for fmt in every_matrix_format() {
+            let data = MatrixData::encode(&coo, &fmt)
+                .unwrap_or_else(|e| panic!("{fmt} failed to encode fixture {name}: {e}"));
+            assert_eq!(
+                data.to_coo(),
+                coo,
+                "roundtrip mismatch for {fmt} on fixture {name}"
+            );
+            assert_eq!(
+                data.nnz(),
+                coo.nnz(),
+                "nnz mismatch for {fmt} on fixture {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_matrix_variant_random_access_matches_dense() {
+    for (name, coo) in fixture_matrices() {
+        for fmt in every_matrix_format() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            for r in 0..coo.rows() {
+                for c in 0..coo.cols() {
+                    assert_eq!(
+                        data.get(r, c),
+                        coo.get(r, c),
+                        "{fmt} fixture {name} disagrees at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_tensor_variant_roundtrips_every_fixture() {
+    for (name, coo) in fixture_tensors() {
+        for fmt in every_tensor_format() {
+            let data = TensorData::encode(&coo, &fmt)
+                .unwrap_or_else(|e| panic!("{fmt} failed to encode fixture {name}: {e}"));
+            assert_eq!(
+                data.to_coo(),
+                coo,
+                "roundtrip mismatch for {fmt} on fixture {name}"
+            );
+            assert_eq!(
+                data.nnz(),
+                coo.nnz(),
+                "nnz mismatch for {fmt} on fixture {name}"
+            );
+        }
+    }
+}
+
+// Direct concrete-type round-trips for the formats the seed suites
+// exercise only through the MatrixData dispatcher.
+
+#[test]
+fn dia_direct_roundtrip_and_access() {
+    let banded = matrix_fixture("banded");
+    let dia = DiaMatrix::from_coo(&banded);
+    assert_eq!(dia.to_coo(), banded);
+    assert_eq!(dia.get(0, 0), 2.0);
+    assert_eq!(dia.get(0, 1), -1.0);
+    assert_eq!(dia.get(5, 0), 0.0);
+    // An anti-diagonal matrix stresses the offset bookkeeping: every
+    // nonzero sits on a distinct diagonal.
+    let anti = CooMatrix::from_triplets(4, 4, (0..4).map(|i| (i, 3 - i, 1.0 + i as f64)).collect())
+        .unwrap();
+    let dia = DiaMatrix::from_coo(&anti);
+    assert_eq!(dia.num_diagonals(), 4);
+    assert_eq!(dia.to_coo(), anti);
+}
+
+#[test]
+fn ell_direct_roundtrip_handles_ragged_rows() {
+    let ragged = matrix_fixture("ragged");
+    let ell = EllMatrix::from_coo(&ragged);
+    assert_eq!(ell.to_coo(), ragged);
+    // Longest row has 4 entries; padding must not leak into decode.
+    for r in 0..ragged.rows() {
+        for c in 0..ragged.cols() {
+            assert_eq!(ell.get(r, c), ragged.get(r, c), "({r},{c})");
+        }
+    }
+    let empty = CooMatrix::empty(3, 3);
+    assert_eq!(EllMatrix::from_coo(&empty).to_coo(), empty);
+}
+
+#[test]
+fn zvc_matrix_and_tensor_direct_roundtrip() {
+    for (name, coo) in fixture_matrices() {
+        let zvc = ZvcMatrix::from_coo(&coo);
+        assert_eq!(zvc.to_coo(), coo, "zvc matrix fixture {name}");
+    }
+    for (name, coo) in fixture_tensors() {
+        let zvc = ZvcTensor3::from_coo(&coo);
+        assert_eq!(zvc.to_coo(), coo, "zvc tensor fixture {name}");
+    }
+}
+
+#[test]
+fn hicoo_direct_roundtrip_across_block_sizes() {
+    for (name, coo) in fixture_tensors() {
+        for block in [1usize, 2, 4, 8] {
+            let hicoo = HiCooTensor::from_coo(&coo, block)
+                .unwrap_or_else(|e| panic!("block {block} fixture {name}: {e}"));
+            assert_eq!(hicoo.to_coo(), coo, "hicoo block {block} fixture {name}");
+            assert_eq!(hicoo.nnz(), coo.nnz());
+        }
+    }
+}
+
+#[test]
+fn hicoo_block_larger_than_tensor_degenerates_to_one_block() {
+    let coo = CooTensor3::from_quads(3, 3, 3, vec![(0, 1, 2, 1.0), (2, 0, 1, 2.0)]).unwrap();
+    let hicoo = HiCooTensor::from_coo(&coo, 8).unwrap();
+    assert_eq!(hicoo.to_coo(), coo);
+}

@@ -146,9 +146,7 @@ pub fn matrix_storage_bits_exact(data: &MatrixData, dtype: DataType) -> u64 {
         MatrixData::Dia(m) => {
             m.num_diagonals() as u64 * (rows * b + u64::from(ceil_log2(rows + cols)))
         }
-        MatrixData::Ell(m) => {
-            rows * m.width() as u64 * (b + u64::from(ceil_log2(cols)))
-        }
+        MatrixData::Ell(m) => rows * m.width() as u64 * (b + u64::from(ceil_log2(cols))),
         MatrixData::Rlc(m) => {
             // Trailing zeros are charged the extension entries a streaming
             // encoder would emit for them.
@@ -175,10 +173,7 @@ pub fn tensor_storage_bits(
     match *format {
         TensorFormat::Dense => total * b,
         TensorFormat::Coo => {
-            n * (b
-                + u64::from(ceil_log2(x))
-                + u64::from(ceil_log2(y))
-                + u64::from(ceil_log2(z)))
+            n * (b + u64::from(ceil_log2(x)) + u64::from(ceil_log2(y)) + u64::from(ceil_log2(z)))
         }
         TensorFormat::Csf => {
             if total == 0 {
@@ -200,8 +195,7 @@ pub fn tensor_storage_bits(
             }
             let bl = block as u64;
             let d = n as f64 / total as f64;
-            let nb =
-                (x.div_ceil(bl) * y.div_ceil(bl) * z.div_ceil(bl)) as f64;
+            let nb = (x.div_ceil(bl) * y.div_ceil(bl) * z.div_ceil(bl)) as f64;
             let p = 1.0 - (1.0 - d).powf((bl * bl * bl) as f64);
             let blocks = (nb * p).ceil() as u64;
             let bbits = u64::from(ceil_log2(x.div_ceil(bl)))
@@ -237,8 +231,14 @@ mod tests {
 
     #[test]
     fn dense_size_is_shape_times_bits() {
-        assert_eq!(matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, FP32), 10 * 20 * 32);
-        assert_eq!(matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, DataType::Int8), 10 * 20 * 8);
+        assert_eq!(
+            matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, FP32),
+            10 * 20 * 32
+        );
+        assert_eq!(
+            matrix_storage_bits(&MatrixFormat::Dense, 10, 20, 5, DataType::Int8),
+            10 * 20 * 8
+        );
     }
 
     #[test]
@@ -310,7 +310,10 @@ mod tests {
         );
         // Both crossovers live in a sensible band (Fig. 4a puts them
         // between ~30% and ~80% density).
-        assert!(cross32 > 0.3 && cross32 < 0.9, "fp32 crossover {cross32} out of band");
+        assert!(
+            cross32 > 0.3 && cross32 < 0.9,
+            "fp32 crossover {cross32} out of band"
+        );
     }
 
     #[test]
@@ -330,11 +333,19 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             30,
             40,
-            (0..57).map(|i| (i % 30, (i * 7) % 40, 1.0 + i as f64)).collect(),
+            (0..57)
+                .map(|i| (i % 30, (i * 7) % 40, 1.0 + i as f64))
+                .collect(),
         )
         .unwrap();
         let nnz = coo.nnz();
-        for fmt in [MatrixFormat::Dense, MatrixFormat::Coo, MatrixFormat::Csr, MatrixFormat::Csc, MatrixFormat::Zvc] {
+        for fmt in [
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Zvc,
+        ] {
             let data = MatrixData::encode(&coo, &fmt).unwrap();
             assert_eq!(
                 matrix_storage_bits_exact(&data, FP32),
@@ -358,7 +369,10 @@ mod tests {
         let data = MatrixData::encode(&coo, &MatrixFormat::Bsr { br: 4, bc: 4 }).unwrap();
         let exact = matrix_storage_bits_exact(&data, FP32);
         let analytic = matrix_storage_bits(&MatrixFormat::Bsr { br: 4, bc: 4 }, 64, 64, 16, FP32);
-        assert!(exact <= analytic, "clustered exact {exact} should be <= analytic {analytic}");
+        assert!(
+            exact <= analytic,
+            "clustered exact {exact} should be <= analytic {analytic}"
+        );
     }
 
     #[test]
@@ -379,12 +393,18 @@ mod tests {
         let nnz = 100 * 100 * 10; // every fiber holds ~10 nonzeros
         let csf = tensor_storage_bits(&TensorFormat::Csf, dims, nnz, FP32);
         let coo = tensor_storage_bits(&TensorFormat::Coo, dims, nnz, FP32);
-        assert!(csf < coo, "CSF {csf} should beat COO {coo} with shared fibers");
+        assert!(
+            csf < coo,
+            "CSF {csf} should beat COO {coo} with shared fibers"
+        );
     }
 
     #[test]
     fn bytes_rounds_up() {
         let bits = matrix_storage_bits(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8);
-        assert_eq!(matrix_storage_bytes(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8), bits.div_ceil(8));
+        assert_eq!(
+            matrix_storage_bytes(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8),
+            bits.div_ceil(8)
+        );
     }
 }

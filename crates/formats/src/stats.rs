@@ -44,11 +44,19 @@ impl MatrixStats {
             diags.insert(c as isize - r as isize);
         }
         let nnz = coo.nnz();
-        let mean = if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 };
+        let mean = if rows == 0 {
+            0.0
+        } else {
+            nnz as f64 / rows as f64
+        };
         let var = if rows == 0 {
             0.0
         } else {
-            row_counts.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / rows as f64
+            row_counts
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / rows as f64
         };
         let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
         MatrixStats {
@@ -131,7 +139,9 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             50,
             50,
-            (0..100).map(|i| ((i * 7) % 50, (i * 13) % 50, 1.0)).collect(),
+            (0..100)
+                .map(|i| ((i * 7) % 50, (i * 13) % 50, 1.0))
+                .collect(),
         )
         .unwrap();
         let s = MatrixStats::analyze(&coo);
@@ -153,12 +163,9 @@ mod tests {
         assert_eq!(blocks, 1);
         assert_eq!(fill, 1.0);
         // Same nnz scattered: many blocks, low fill.
-        let scattered = CooMatrix::from_triplets(
-            16,
-            16,
-            (0..16).map(|i| (i, (i * 5) % 16, 1.0)).collect(),
-        )
-        .unwrap();
+        let scattered =
+            CooMatrix::from_triplets(16, 16, (0..16).map(|i| (i, (i * 5) % 16, 1.0)).collect())
+                .unwrap();
         let (b2, f2) = MatrixStats::block_occupancy(&scattered, 4);
         assert!(b2 > 8);
         assert!(f2 < 0.2);
@@ -167,8 +174,7 @@ mod tests {
     #[test]
     fn row_balance_metrics() {
         // All nonzeros in one row: maximal imbalance.
-        let coo = CooMatrix::from_triplets(10, 20, (0..20).map(|c| (0, c, 1.0)).collect())
-            .unwrap();
+        let coo = CooMatrix::from_triplets(10, 20, (0..20).map(|c| (0, c, 1.0)).collect()).unwrap();
         let s = MatrixStats::analyze(&coo);
         assert_eq!(s.row_nnz_max, 20);
         assert_eq!(s.row_nnz_min, 0);

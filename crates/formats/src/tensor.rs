@@ -18,7 +18,10 @@ pub struct DenseTensor3 {
 impl DenseTensor3 {
     /// All-zeros tensor of the given shape.
     pub fn zeros(dx: usize, dy: usize, dz: usize) -> Self {
-        DenseTensor3 { dims: (dx, dy, dz), data: vec![0.0; dx * dy * dz] }
+        DenseTensor3 {
+            dims: (dx, dy, dz),
+            data: vec![0.0; dx * dy * dz],
+        }
     }
 
     /// Build from a flat buffer (z fastest). Fails on length mismatch.
@@ -35,7 +38,10 @@ impl DenseTensor3 {
                 actual: data.len(),
             });
         }
-        Ok(DenseTensor3 { dims: (dx, dy, dz), data })
+        Ok(DenseTensor3 {
+            dims: (dx, dy, dz),
+            data,
+        })
     }
 
     /// Flat backing buffer.
@@ -134,13 +140,25 @@ impl CooTensor3 {
     ) -> Result<Self, FormatError> {
         for &(x, y, z, _) in &quads {
             if x >= dx {
-                return Err(FormatError::IndexOutOfBounds { index: x, bound: dx, axis: 0 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: x,
+                    bound: dx,
+                    axis: 0,
+                });
             }
             if y >= dy {
-                return Err(FormatError::IndexOutOfBounds { index: y, bound: dy, axis: 1 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: y,
+                    bound: dy,
+                    axis: 1,
+                });
             }
             if z >= dz {
-                return Err(FormatError::IndexOutOfBounds { index: z, bound: dz, axis: 2 });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: z,
+                    bound: dz,
+                    axis: 2,
+                });
             }
         }
         quads.sort_unstable_by_key(|&(x, y, z, _)| (x, y, z));
@@ -328,8 +346,7 @@ mod tests {
 
     #[test]
     fn duplicate_cancellation() {
-        let t =
-            CooTensor3::from_quads(2, 2, 2, vec![(0, 1, 1, 2.0), (0, 1, 1, -2.0)]).unwrap();
+        let t = CooTensor3::from_quads(2, 2, 2, vec![(0, 1, 1, 2.0), (0, 1, 1, -2.0)]).unwrap();
         assert_eq!(t.nnz(), 0);
     }
 }

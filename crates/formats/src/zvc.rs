@@ -39,7 +39,12 @@ impl ZvcMatrix {
             mask[flat / 64] |= 1u64 << (flat % 64);
             values.push(v);
         }
-        ZvcMatrix { rows, cols, mask, values }
+        ZvcMatrix {
+            rows,
+            cols,
+            mask,
+            values,
+        }
     }
 
     /// Build from a raw mask and packed values (tests / MINT output).
@@ -61,7 +66,9 @@ impl ZvcMatrix {
         if !tail_bits.is_multiple_of(64) {
             if let Some(&last) = mask.last() {
                 if last >> (tail_bits % 64) != 0 {
-                    return Err(FormatError::MalformedPointer { what: "zvc mask tail bits set" });
+                    return Err(FormatError::MalformedPointer {
+                        what: "zvc mask tail bits set",
+                    });
                 }
             }
         }
@@ -73,7 +80,12 @@ impl ZvcMatrix {
                 actual: values.len(),
             });
         }
-        Ok(ZvcMatrix { rows, cols, mask, values })
+        Ok(ZvcMatrix {
+            rows,
+            cols,
+            mask,
+            values,
+        })
     }
 
     /// Packed mask words (row-major flat order, LSB first).
@@ -98,7 +110,10 @@ impl ZvcMatrix {
     /// gives the `values` index of a set position).
     pub fn rank(&self, i: usize) -> usize {
         let word = i / 64;
-        let mut count: usize = self.mask[..word].iter().map(|w| w.count_ones() as usize).sum();
+        let mut count: usize = self.mask[..word]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         if !i.is_multiple_of(64) {
             count += (self.mask[word] & ((1u64 << (i % 64)) - 1)).count_ones() as usize;
         }
@@ -158,7 +173,11 @@ impl ZvcTensor3 {
             mask[flat / 64] |= 1u64 << (flat % 64);
             values.push(v);
         }
-        ZvcTensor3 { dims: (dx, dy, dz), mask, values }
+        ZvcTensor3 {
+            dims: (dx, dy, dz),
+            mask,
+            values,
+        }
     }
 
     /// Packed mask words.
@@ -179,7 +198,10 @@ impl ZvcTensor3 {
 
     fn rank(&self, i: usize) -> usize {
         let word = i / 64;
-        let mut count: usize = self.mask[..word].iter().map(|w| w.count_ones() as usize).sum();
+        let mut count: usize = self.mask[..word]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         if !i.is_multiple_of(64) {
             count += (self.mask[word] & ((1u64 << (i % 64)) - 1)).count_ones() as usize;
         }
@@ -234,7 +256,14 @@ mod tests {
         CooMatrix::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 3, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (2, 2, 5.0),
+                (3, 3, 6.0),
+            ],
         )
         .unwrap()
     }
@@ -244,8 +273,8 @@ mod tests {
         // Fig. 3a ZVC mask: 1100 1100 0010 0001 over the flat stream.
         let zvc = ZvcMatrix::from_coo(&sample());
         let expected_bits = [
-            true, true, false, false, true, true, false, false, false, false, true, false,
-            false, false, false, true,
+            true, true, false, false, true, true, false, false, false, false, true, false, false,
+            false, false, true,
         ];
         for (i, &b) in expected_bits.iter().enumerate() {
             assert_eq!(zvc.bit(i), b, "bit {i}");
@@ -273,7 +302,9 @@ mod tests {
 
     #[test]
     fn large_matrix_crosses_word_boundaries() {
-        let triplets: Vec<_> = (0..100).map(|i| (i, (i * 7) % 100, (i + 1) as f64)).collect();
+        let triplets: Vec<_> = (0..100)
+            .map(|i| (i, (i * 7) % 100, (i + 1) as f64))
+            .collect();
         let coo = CooMatrix::from_triplets(100, 100, triplets).unwrap();
         let zvc = ZvcMatrix::from_coo(&coo);
         assert_eq!(zvc.to_coo(), coo);

@@ -156,7 +156,12 @@ pub fn estimate_mm(dev: &DeviceModel, alg: MmAlgorithm, n: usize, d: f64) -> MmE
     };
     let sm_util = (issued_flops / (time * dev.peak_flops)).min(1.0);
     let mem_util = (bytes / (time * dev.mem_bw)).min(1.0);
-    MmEstimate { time_s: time, sm_util, mem_util, energy_j: dev.energy(time) }
+    MmEstimate {
+        time_s: time,
+        sm_util,
+        mem_util,
+        energy_j: dev.energy(time),
+    }
 }
 
 /// Analytic conversion-time model for the library baselines of Fig. 10:
@@ -196,10 +201,16 @@ mod tests {
         let n = 11_000;
         let dense_hi = estimate_mm(&dev, MmAlgorithm::GemmDense, n, 0.5).time_s;
         let spgemm_hi = estimate_mm(&dev, MmAlgorithm::SpgemmCsr, n, 0.5).time_s;
-        assert!(dense_hi < spgemm_hi, "dense {dense_hi} vs spgemm {spgemm_hi} at 50%");
+        assert!(
+            dense_hi < spgemm_hi,
+            "dense {dense_hi} vs spgemm {spgemm_hi} at 50%"
+        );
         let dense_lo = estimate_mm(&dev, MmAlgorithm::GemmDense, n, 1e-8).time_s;
         let spgemm_lo = estimate_mm(&dev, MmAlgorithm::SpgemmCsr, n, 1e-8).time_s;
-        assert!(spgemm_lo < dense_lo, "spgemm {spgemm_lo} vs dense {dense_lo} at 1e-6%");
+        assert!(
+            spgemm_lo < dense_lo,
+            "spgemm {spgemm_lo} vs dense {dense_lo} at 1e-6%"
+        );
     }
 
     #[test]

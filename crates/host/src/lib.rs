@@ -28,5 +28,5 @@ pub mod offload;
 pub mod swconvert;
 
 pub use device::{DeviceModel, MmAlgorithm, MmEstimate};
-pub use offload::{OffloadModel, OffloadBreakdown};
+pub use offload::{OffloadBreakdown, OffloadModel};
 pub use swconvert::{time_conversion, ConversionTiming};

@@ -17,7 +17,10 @@ pub struct OffloadModel {
 impl OffloadModel {
     /// PCIe 3.0 x16 defaults.
     pub fn pcie3_x16() -> Self {
-        OffloadModel { pcie_bw: 16.0e9, transfer_latency_s: 10.0e-6 }
+        OffloadModel {
+            pcie_bw: 16.0e9,
+            transfer_latency_s: 10.0e-6,
+        }
     }
 
     /// Time to move `bytes` one way.

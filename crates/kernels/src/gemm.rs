@@ -93,7 +93,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             data.push(((state >> 33) % 17) as f64 - 8.0);
         }
         DenseMatrix::from_vec(rows, cols, data).unwrap()

@@ -41,7 +41,11 @@ impl ConvLayer {
     /// `M = batch * out_h * out_w`, `K = C*R*S`, `N = out_channels`.
     pub fn gemm_dims(&self, batch: usize) -> (usize, usize, usize) {
         let (oh, ow) = self.out_dims();
-        (batch * oh * ow, self.in_channels * self.filter_h * self.filter_w, self.out_channels)
+        (
+            batch * oh * ow,
+            self.in_channels * self.filter_h * self.filter_w,
+            self.out_channels,
+        )
     }
 }
 
@@ -165,7 +169,11 @@ mod tests {
         assert_eq!(l.out_dims(), (6, 6)); // same-padding 3x3 stride 1
         let l2 = ConvLayer { pad: 0, ..l };
         assert_eq!(l2.out_dims(), (4, 4));
-        let l3 = ConvLayer { stride: 2, pad: 0, ..l };
+        let l3 = ConvLayer {
+            stride: 2,
+            pad: 0,
+            ..l
+        };
         assert_eq!(l3.out_dims(), (2, 2));
     }
 
@@ -192,7 +200,9 @@ mod tests {
         let inp = input(&l);
         // Weights: K x (C*R*S) with a deterministic pattern.
         let kdim = l.in_channels * l.filter_h * l.filter_w;
-        let wdata: Vec<f64> = (0..l.out_channels * kdim).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let wdata: Vec<f64> = (0..l.out_channels * kdim)
+            .map(|i| ((i % 5) as f64) - 2.0)
+            .collect();
         let weights = DenseMatrix::from_vec(l.out_channels, kdim, wdata).unwrap();
 
         let cols = im2col(&inp, &l);

@@ -12,8 +12,16 @@ use sparseflex_formats::{CooTensor3, CsfTensor, DenseMatrix, SparseMatrix, Spars
 /// MTTKRP with the tensor in COO: one fused multiply per nonzero per
 /// output column.
 pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(a.dim_y(), b.rows(), "MTTKRP: B rows must match tensor mode-2");
-    assert_eq!(a.dim_z(), c.rows(), "MTTKRP: C rows must match tensor mode-3");
+    assert_eq!(
+        a.dim_y(),
+        b.rows(),
+        "MTTKRP: B rows must match tensor mode-2"
+    );
+    assert_eq!(
+        a.dim_z(),
+        c.rows(),
+        "MTTKRP: C rows must match tensor mode-3"
+    );
     assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);
@@ -34,8 +42,16 @@ pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatr
 /// reduces multiplies from `2 * nnz * J` to `(nnz + fibers) * J` plus the
 /// fiber scalings.
 pub fn mttkrp_csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(a.dim_y(), b.rows(), "MTTKRP: B rows must match tensor mode-2");
-    assert_eq!(a.dim_z(), c.rows(), "MTTKRP: C rows must match tensor mode-3");
+    assert_eq!(
+        a.dim_y(),
+        b.rows(),
+        "MTTKRP: B rows must match tensor mode-2"
+    );
+    assert_eq!(
+        a.dim_z(),
+        c.rows(),
+        "MTTKRP: C rows must match tensor mode-3"
+    );
     assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);

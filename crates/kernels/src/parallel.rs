@@ -8,7 +8,9 @@
 /// Number of worker threads to use: the machine's available parallelism,
 /// capped by the amount of work.
 pub fn worker_count(work_items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     hw.min(work_items).max(1)
 }
 
@@ -47,13 +49,12 @@ where
         }
         return;
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (off, chunk) in chunks {
             let f = &f;
-            s.spawn(move |_| f(off, chunk));
+            s.spawn(move || f(off, chunk));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

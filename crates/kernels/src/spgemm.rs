@@ -78,11 +78,11 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         .filter(|(s, e)| s < e)
         .collect();
 
-    let results: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = crossbeam::scope(|s| {
+    let results: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = std::thread::scope(|s| {
         let handles: Vec<_> = bands
             .iter()
             .map(|&(start, end)| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut acc = vec![0.0f64; n];
                     let mut touched = Vec::with_capacity(n);
                     let mut row_lens = Vec::with_capacity(end - start);
@@ -97,9 +97,11 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("spgemm worker panicked")).collect()
-    })
-    .expect("scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spgemm worker panicked"))
+            .collect()
+    });
 
     let mut row_ptr = Vec::with_capacity(m + 1);
     row_ptr.push(0usize);
@@ -113,8 +115,7 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         col_ids.extend_from_slice(&cs);
         values.extend_from_slice(&vs);
     }
-    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values)
-        .expect("stitched bands form valid CSR")
+    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values).expect("stitched bands form valid CSR")
 }
 
 /// SpGEMM with COO output (convenience for tensor pipelines).
@@ -133,11 +134,17 @@ mod tests {
         let mut state = seed;
         let mut triplets = Vec::new();
         for _ in 0..nnz {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (state >> 33) as usize % rows;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let c = (state >> 33) as usize % cols;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) % 9) as f64 - 4.0;
             if v != 0.0 {
                 triplets.push((r, c, v));

@@ -170,8 +170,9 @@ mod tests {
 
     #[test]
     fn parallel_handles_many_rows() {
-        let triplets: Vec<_> =
-            (0..200).map(|i| (i % 100, (i * 13) % 40, (i + 1) as f64)).collect();
+        let triplets: Vec<_> = (0..200)
+            .map(|i| (i % 100, (i * 13) % 40, (i + 1) as f64))
+            .collect();
         let a = CooMatrix::from_triplets(100, 40, triplets).unwrap();
         let b = {
             let data: Vec<f64> = (0..40 * 7).map(|i| (i % 11) as f64 - 5.0).collect();

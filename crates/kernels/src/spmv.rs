@@ -30,7 +30,13 @@ mod tests {
         let coo = CooMatrix::from_triplets(
             4,
             3,
-            vec![(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (3, 0, 1.0), (3, 2, 4.0)],
+            vec![
+                (0, 0, 2.0),
+                (0, 2, -1.0),
+                (1, 1, 3.0),
+                (3, 0, 1.0),
+                (3, 2, 4.0),
+            ],
         )
         .unwrap();
         let a = CsrMatrix::from_coo(&coo);

@@ -10,11 +10,17 @@
 //! `(X, Y, J)` (TTM outputs are near-dense along the contracted mode, so
 //! dense output is the standard choice).
 
-use sparseflex_formats::{CooTensor3, CsfTensor, DenseMatrix, DenseTensor3, SparseMatrix, SparseTensor3};
+use sparseflex_formats::{
+    CooTensor3, CsfTensor, DenseMatrix, DenseTensor3, SparseMatrix, SparseTensor3,
+};
 
 /// SpTTM with the tensor in COO: stream nonzeros, scatter row updates.
 pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
-    assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dimension must agree");
+    assert_eq!(
+        a.dim_z(),
+        b.rows(),
+        "SpTTM contraction dimension must agree"
+    );
     let j = b.cols();
     let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
     for (x, yy, z, v) in a.iter() {
@@ -31,7 +37,11 @@ pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
 /// is the access pattern that makes CSF the preferred tensor ACF in
 /// Table III's Crime/Uber rows.
 pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
-    assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dimension must agree");
+    assert_eq!(
+        a.dim_z(),
+        b.rows(),
+        "SpTTM contraction dimension must agree"
+    );
     let j = b.cols();
     let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
     let mut acc = vec![0.0f64; j];

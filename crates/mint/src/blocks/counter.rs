@@ -33,8 +33,17 @@ impl ClusterCounter {
 
     /// Count occurrences of each value in a (chunk-)sorted stream into a
     /// histogram of the given domain size, charging the report.
-    pub fn count_into(&self, sorted: &[u64], domain: usize, report: &mut ConversionReport) -> Vec<u64> {
-        report.charge(BlockKind::ClusterCounter, self.cycles(sorted.len() as u64), self.energy(sorted.len() as u64));
+    pub fn count_into(
+        &self,
+        sorted: &[u64],
+        domain: usize,
+        report: &mut ConversionReport,
+    ) -> Vec<u64> {
+        report.charge(
+            BlockKind::ClusterCounter,
+            self.cycles(sorted.len() as u64),
+            self.energy(sorted.len() as u64),
+        );
         let mut hist = vec![0u64; domain];
         for &v in sorted {
             hist[v as usize] += 1;

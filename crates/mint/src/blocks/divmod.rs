@@ -43,7 +43,12 @@ impl DivModArray {
 
     /// Functional divide+mod over a slice, charging the report once for
     /// the whole batch.
-    pub fn div_mod(&self, values: &[u64], divisor: u64, report: &mut ConversionReport) -> Vec<(u64, u64)> {
+    pub fn div_mod(
+        &self,
+        values: &[u64],
+        divisor: u64,
+        report: &mut ConversionReport,
+    ) -> Vec<(u64, u64)> {
         assert!(divisor > 0, "divide by zero in DivModArray");
         let n = values.len() as u64;
         report.charge(BlockKind::Divider, self.cycles(n), self.energy(n) / 2.0);
@@ -85,7 +90,11 @@ mod tests {
         let arr = DivModArray::mint_default();
         let mut r = ConversionReport::default();
         let _ = arr.div_mod(&[1, 2, 3], 2, &mut r);
-        assert!(r.block_cycles.contains_key(&crate::report::BlockKind::Divider));
-        assert!(r.block_cycles.contains_key(&crate::report::BlockKind::Modulo));
+        assert!(r
+            .block_cycles
+            .contains_key(&crate::report::BlockKind::Divider));
+        assert!(r
+            .block_cycles
+            .contains_key(&crate::report::BlockKind::Modulo));
     }
 }

@@ -16,7 +16,10 @@ pub struct MemController {
 impl MemController {
     /// MINT default: 16 elements/cycle (512-bit port), 4-cycle setup.
     pub fn mint_default() -> Self {
-        MemController { elems_per_cycle: 16, setup_latency: 4 }
+        MemController {
+            elems_per_cycle: 16,
+            setup_latency: 4,
+        }
     }
 
     /// Busy cycles to move `n` elements.

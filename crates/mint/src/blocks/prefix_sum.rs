@@ -43,7 +43,10 @@ pub struct PrefixSumUnit {
 impl PrefixSumUnit {
     /// The paper's MINT configuration: 32-wide highly parallel scan.
     pub fn mint_default() -> Self {
-        PrefixSumUnit { width: 32, design: PrefixSumDesign::HighlyParallel }
+        PrefixSumUnit {
+            width: 32,
+            design: PrefixSumDesign::HighlyParallel,
+        }
     }
 
     /// Pipeline fill latency in cycles.
@@ -102,7 +105,11 @@ impl PrefixSumUnit {
 
     /// Functional inclusive scan, charging the report.
     pub fn scan(&self, input: &[u64], report: &mut ConversionReport) -> Vec<u64> {
-        report.charge(BlockKind::PrefixSum, self.cycles(input.len() as u64), self.energy(input.len() as u64));
+        report.charge(
+            BlockKind::PrefixSum,
+            self.cycles(input.len() as u64),
+            self.energy(input.len() as u64),
+        );
         let mut out = Vec::with_capacity(input.len());
         let mut acc = 0u64;
         for &x in input {
@@ -114,7 +121,11 @@ impl PrefixSumUnit {
 
     /// Functional exclusive scan (shifted), charging the report.
     pub fn scan_exclusive(&self, input: &[u64], report: &mut ConversionReport) -> Vec<u64> {
-        report.charge(BlockKind::PrefixSum, self.cycles(input.len() as u64), self.energy(input.len() as u64));
+        report.charge(
+            BlockKind::PrefixSum,
+            self.cycles(input.len() as u64),
+            self.energy(input.len() as u64),
+        );
         let mut out = Vec::with_capacity(input.len());
         let mut acc = 0u64;
         for &x in input {
@@ -141,9 +152,18 @@ mod tests {
     #[test]
     fn latencies_match_fig9() {
         let w = 32;
-        let chain = PrefixSumUnit { width: w, design: PrefixSumDesign::SerialChain };
-        let work = PrefixSumUnit { width: w, design: PrefixSumDesign::WorkEfficient };
-        let par = PrefixSumUnit { width: w, design: PrefixSumDesign::HighlyParallel };
+        let chain = PrefixSumUnit {
+            width: w,
+            design: PrefixSumDesign::SerialChain,
+        };
+        let work = PrefixSumUnit {
+            width: w,
+            design: PrefixSumDesign::WorkEfficient,
+        };
+        let par = PrefixSumUnit {
+            width: w,
+            design: PrefixSumDesign::HighlyParallel,
+        };
         assert_eq!(chain.latency(), 32);
         assert_eq!(work.latency(), 10); // 2 * log2(32)
         assert_eq!(par.latency(), 5); // "latency of logN cycles"
@@ -153,16 +173,28 @@ mod tests {
     fn parallel_needs_more_adders_than_chain() {
         // Fig. 9c "requires more active adders and forwarding links".
         let w = 32;
-        let chain = PrefixSumUnit { width: w, design: PrefixSumDesign::SerialChain };
-        let par = PrefixSumUnit { width: w, design: PrefixSumDesign::HighlyParallel };
+        let chain = PrefixSumUnit {
+            width: w,
+            design: PrefixSumDesign::SerialChain,
+        };
+        let par = PrefixSumUnit {
+            width: w,
+            design: PrefixSumDesign::HighlyParallel,
+        };
         assert!(par.adder_count() > chain.adder_count());
     }
 
     #[test]
     fn pipelined_designs_sustain_block_per_cycle() {
-        let par = PrefixSumUnit { width: 32, design: PrefixSumDesign::HighlyParallel };
+        let par = PrefixSumUnit {
+            width: 32,
+            design: PrefixSumDesign::HighlyParallel,
+        };
         assert_eq!(par.cycles(3200), 100);
-        let work = PrefixSumUnit { width: 32, design: PrefixSumDesign::WorkEfficient };
+        let work = PrefixSumUnit {
+            width: 32,
+            design: PrefixSumDesign::WorkEfficient,
+        };
         assert_eq!(work.cycles(3200), 100 * work.latency());
         assert!(work.cycles(3200) > par.cycles(3200));
     }

@@ -56,7 +56,11 @@ impl SortingNetwork {
     /// Functionally sort chunks of `width` (chunk-local sort, exactly
     /// what the hardware produces), charging the report.
     pub fn sort_chunks(&self, input: &[u64], report: &mut ConversionReport) -> Vec<u64> {
-        report.charge(BlockKind::Sorter, self.cycles(input.len() as u64), self.energy(input.len() as u64));
+        report.charge(
+            BlockKind::Sorter,
+            self.cycles(input.len() as u64),
+            self.energy(input.len() as u64),
+        );
         let mut out = input.to_vec();
         for chunk in out.chunks_mut(self.width.max(1)) {
             chunk.sort_unstable();
@@ -96,6 +100,9 @@ mod tests {
 
     #[test]
     fn comparator_area_grows_with_width() {
-        assert!(SortingNetwork { width: 32 }.comparator_count() > SortingNetwork { width: 8 }.comparator_count());
+        assert!(
+            SortingNetwork { width: 32 }.comparator_count()
+                > SortingNetwork { width: 8 }.comparator_count()
+        );
     }
 }

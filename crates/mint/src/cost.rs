@@ -26,12 +26,18 @@ pub struct ConversionCost {
 impl ConversionCost {
     /// Zero cost (identity conversion).
     pub const fn free() -> Self {
-        ConversionCost { cycles: 0, energy: 0.0 }
+        ConversionCost {
+            cycles: 0,
+            energy: 0.0,
+        }
     }
 
     /// Sequential composition of two conversions.
     pub fn then(&self, other: &ConversionCost) -> ConversionCost {
-        ConversionCost { cycles: self.cycles + other.cycles, energy: self.energy + other.energy }
+        ConversionCost {
+            cycles: self.cycles + other.cycles,
+            energy: self.energy + other.energy,
+        }
     }
 }
 
@@ -48,8 +54,13 @@ fn stream_slots(fmt: &MatrixFormat, rows: usize, cols: usize, nnz: u64) -> u64 {
         MatrixFormat::Rlc { run_bits } => 2 * rlc_expected_entries(total, nnz, run_bits),
         MatrixFormat::Zvc => total.div_ceil(32) + nnz,
         MatrixFormat::Bsr { br, bc } => {
-            let blocks =
-                sparseflex_formats::size_model::bsr_expected_blocks(rows, cols, nnz as usize, br, bc);
+            let blocks = sparseflex_formats::size_model::bsr_expected_blocks(
+                rows,
+                cols,
+                nnz as usize,
+                br,
+                bc,
+            );
             blocks * (br * bc) as u64 + blocks + rows.div_ceil(br) as u64 + 1
         }
         MatrixFormat::Dia | MatrixFormat::Ell => {
@@ -63,7 +74,10 @@ fn stream_slots(fmt: &MatrixFormat, rows: usize, cols: usize, nnz: u64) -> u64 {
 /// Is this a "flat" format (positions implicit in the stream order,
 /// no explicit coordinates)?
 fn is_flat(fmt: &MatrixFormat) -> bool {
-    matches!(fmt, MatrixFormat::Dense | MatrixFormat::Zvc | MatrixFormat::Rlc { .. })
+    matches!(
+        fmt,
+        MatrixFormat::Dense | MatrixFormat::Zvc | MatrixFormat::Rlc { .. }
+    )
 }
 
 /// Divide/mod is needed only when recovering explicit coordinates from a
@@ -106,7 +120,11 @@ pub fn conversion_cost(
     let mem_cycles = engine.memctrl.cycles(in_slots + out_slots);
     let divmod_items = if needs_divmod(src, dst) { nnz } else { 0 };
     let divmod_cycles = engine.divmod.cycles(divmod_items);
-    let sort_items = if needs_sorter(src) || needs_sorter(dst) { nnz } else { 0 };
+    let sort_items = if needs_sorter(src) || needs_sorter(dst) {
+        nnz
+    } else {
+        0
+    };
     let sort_cycles = engine.sorter.cycles(sort_items);
     // Scan traffic: dense/ZVC decodes scan the whole bitmap/matrix;
     // pointer rebuilds scan one pointer array.
@@ -121,7 +139,11 @@ pub fn conversion_cost(
         + engine.sorter.latency()
         + engine.divmod.latency()
         + engine.memctrl.setup_latency;
-    let cycles = mem_cycles.max(divmod_cycles).max(sort_cycles).max(scan_cycles) + fill;
+    let cycles = mem_cycles
+        .max(divmod_cycles)
+        .max(sort_cycles)
+        .max(scan_cycles)
+        + fill;
 
     let energy = (in_slots + out_slots) as f64 * E_MEMCTRL_OP
         + divmod_items as f64 * E_DIVMOD_OP
@@ -160,7 +182,10 @@ pub fn tensor_conversion_cost(
     // Coordinate recovery (two div/mod rounds per nonzero) is needed only
     // when a flat stream must produce explicit coordinates.
     let flat = |f: &TensorFormat| {
-        matches!(f, TensorFormat::Dense | TensorFormat::Zvc | TensorFormat::Rlc { .. })
+        matches!(
+            f,
+            TensorFormat::Dense | TensorFormat::Zvc | TensorFormat::Rlc { .. }
+        )
     };
     let divmod_items = if flat(src) && !flat(dst) { 2 * nnz } else { 0 };
     let divmod_cycles = engine.divmod.cycles(divmod_items);
@@ -194,9 +219,22 @@ mod tests {
     #[test]
     fn cost_scales_with_nnz() {
         let eng = ConversionEngine::default();
-        let small = conversion_cost(&MatrixFormat::Csr, &MatrixFormat::Csc, 1000, 1000, 1_000, &eng);
-        let large =
-            conversion_cost(&MatrixFormat::Csr, &MatrixFormat::Csc, 1000, 1000, 100_000, &eng);
+        let small = conversion_cost(
+            &MatrixFormat::Csr,
+            &MatrixFormat::Csc,
+            1000,
+            1000,
+            1_000,
+            &eng,
+        );
+        let large = conversion_cost(
+            &MatrixFormat::Csr,
+            &MatrixFormat::Csc,
+            1000,
+            1000,
+            100_000,
+            &eng,
+        );
         assert!(large.cycles > small.cycles);
         assert!(large.energy > small.energy);
     }
@@ -204,10 +242,22 @@ mod tests {
     #[test]
     fn dense_conversions_pay_for_the_full_scan() {
         let eng = ConversionEngine::default();
-        let from_dense =
-            conversion_cost(&MatrixFormat::Dense, &MatrixFormat::Csr, 2000, 2000, 4_000, &eng);
-        let from_coo =
-            conversion_cost(&MatrixFormat::Coo, &MatrixFormat::Csr, 2000, 2000, 4_000, &eng);
+        let from_dense = conversion_cost(
+            &MatrixFormat::Dense,
+            &MatrixFormat::Csr,
+            2000,
+            2000,
+            4_000,
+            &eng,
+        );
+        let from_coo = conversion_cost(
+            &MatrixFormat::Coo,
+            &MatrixFormat::Csr,
+            2000,
+            2000,
+            4_000,
+            &eng,
+        );
         assert!(
             from_dense.cycles > 10 * from_coo.cycles,
             "dense {} vs coo {}",
@@ -225,8 +275,14 @@ mod tests {
         let coo = random_matrix(100, 120, 2_000, 3);
         let csr = sparseflex_formats::CsrMatrix::from_coo(&coo);
         let (_, rep) = eng.csr_to_csc(&csr);
-        let predicted =
-            conversion_cost(&MatrixFormat::Csr, &MatrixFormat::Csc, 100, 120, 2_000, &eng);
+        let predicted = conversion_cost(
+            &MatrixFormat::Csr,
+            &MatrixFormat::Csc,
+            100,
+            120,
+            2_000,
+            &eng,
+        );
         let measured = rep.pipelined_cycles();
         let ratio = predicted.cycles as f64 / measured as f64;
         assert!(
@@ -263,7 +319,14 @@ mod tests {
         // compute." Check the ratio for a speech2-sized workload.
         let eng = ConversionEngine::default();
         let (rows, cols, nnz) = (7_700, 2_600, 1_000_000u64);
-        let conv = conversion_cost(&MatrixFormat::Rlc { run_bits: 4 }, &MatrixFormat::Csr, rows, cols, nnz, &eng);
+        let conv = conversion_cost(
+            &MatrixFormat::Rlc { run_bits: 4 },
+            &MatrixFormat::Csr,
+            rows,
+            cols,
+            nnz,
+            &eng,
+        );
         // DRAM energy to move the same operand once (20 pJ/bit x ~36 bits/nnz).
         let dram = nnz as f64 * 36.0 * 20.0e-12;
         assert!(
@@ -276,9 +339,21 @@ mod tests {
 
     #[test]
     fn then_composes() {
-        let a = ConversionCost { cycles: 10, energy: 1.0 };
-        let b = ConversionCost { cycles: 5, energy: 0.5 };
-        assert_eq!(a.then(&b), ConversionCost { cycles: 15, energy: 1.5 });
+        let a = ConversionCost {
+            cycles: 10,
+            energy: 1.0,
+        };
+        let b = ConversionCost {
+            cycles: 5,
+            energy: 0.5,
+        };
+        assert_eq!(
+            a.then(&b),
+            ConversionCost {
+                cycles: 15,
+                energy: 1.5
+            }
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::blocks::{
 };
 use crate::report::{BlockKind, ConversionReport};
 use sparseflex_formats::{
-    BsrMatrix, CooMatrix, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix, DenseTensor3,
-    FormatError, MatrixData, MatrixFormat, RlcMatrix, SparseMatrix, SparseTensor3, ZvcMatrix,
+    BsrMatrix, CooMatrix, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix, DenseTensor3, FormatError,
+    MatrixData, MatrixFormat, RlcMatrix, SparseMatrix, SparseTensor3, ZvcMatrix,
 };
 
 /// A configured MINT instance (one of each merged building block).
@@ -75,8 +75,16 @@ impl ConversionEngine {
         // nonzero costs a read of (value, col_id), a col_ptr read +
         // increment (adders), and a write of (value, row_id).
         self.memctrl.transfer(2 * nnz, &mut rep);
-        rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
-        rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+        rep.charge(
+            BlockKind::Adders,
+            small_op_cycles(nnz),
+            nnz as f64 * E_SMALL_OP,
+        );
+        rep.charge(
+            BlockKind::Comparators,
+            small_op_cycles(nnz),
+            nnz as f64 * E_SMALL_OP,
+        );
         self.memctrl.transfer(2 * nnz, &mut rep);
         // Step 10: fix up and store col_ptr.
         self.memctrl.transfer(cols as u64 + 1, &mut rep);
@@ -117,7 +125,11 @@ impl ConversionEngine {
         let flats: Vec<u64> = prefix.iter().map(|p| p - 1).collect();
         let coords = self.divmod.div_mod(&flats, cols, &mut rep);
         // Extension-entry suppression (value == 0 emits nothing).
-        rep.charge(BlockKind::Comparators, small_op_cycles(n), n as f64 * E_SMALL_OP);
+        rep.charge(
+            BlockKind::Comparators,
+            small_op_cycles(n),
+            n as f64 * E_SMALL_OP,
+        );
         // Step 5: store values + coordinates.
         let mut triplets = Vec::with_capacity(rlc.nnz());
         for (i, e) in rlc.entries().iter().enumerate() {
@@ -144,11 +156,16 @@ impl ConversionEngine {
         let mut rep = self.fresh_report();
         let nnz = csr.nnz() as u64;
         // Step 1: read the CSR fields.
-        self.memctrl.transfer(2 * nnz + csr.rows() as u64 + 1, &mut rep);
+        self.memctrl
+            .transfer(2 * nnz + csr.rows() as u64 + 1, &mut rep);
         // Step 2: block-position mods and initialization comparators.
         let cols_u64: Vec<u64> = csr.col_ids().iter().map(|&c| c as u64).collect();
         let _ = self.divmod.div_mod(&cols_u64, bc.max(1) as u64, &mut rep);
-        rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+        rep.charge(
+            BlockKind::Comparators,
+            small_op_cycles(nnz),
+            nnz as f64 * E_SMALL_OP,
+        );
 
         let bsr = BsrMatrix::from_coo(&csr.to_coo(), br, bc)?;
         // Step 3: scatter values into padded block payloads (padding
@@ -167,7 +184,8 @@ impl ConversionEngine {
             self.prefix.cycles(nbr + 1),
             self.prefix.energy(nbr + 1),
         );
-        self.memctrl.transfer(nbr + 1 + bsr.num_blocks() as u64, &mut rep);
+        self.memctrl
+            .transfer(nbr + 1 + bsr.num_blocks() as u64, &mut rep);
         rep.elements += nnz;
         Ok((bsr, rep))
     }
@@ -182,8 +200,16 @@ impl ConversionEngine {
         // Step 1: stream the dense tensor.
         self.memctrl.transfer(total, &mut rep);
         // Step 2: zero-check comparators + indicator prefix sum.
-        rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
-        rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+        rep.charge(
+            BlockKind::Comparators,
+            small_op_cycles(total),
+            total as f64 * E_SMALL_OP,
+        );
+        rep.charge(
+            BlockKind::PrefixSum,
+            self.prefix.cycles(total),
+            self.prefix.energy(total),
+        );
         let coo = dense.to_coo();
         let nnz = coo.nnz() as u64;
         // Step 3: coordinate recovery: two divide/mod rounds per nonzero.
@@ -191,14 +217,20 @@ impl ConversionEngine {
             .iter()
             .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
             .collect();
-        let first = self.divmod.div_mod(&flats, (dy * dz).max(1) as u64, &mut rep);
+        let first = self
+            .divmod
+            .div_mod(&flats, (dy * dz).max(1) as u64, &mut rep);
         let rests: Vec<u64> = first.iter().map(|&(_, rem)| rem).collect();
         let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
         // Step 4: store the COO intermediate.
         self.memctrl.transfer(4 * nnz, &mut rep);
         // Steps 5-6: tree construction — boundary comparators over the
         // sorted coordinates and prefix sums for the pointer arrays.
-        rep.charge(BlockKind::Comparators, small_op_cycles(2 * nnz), 2.0 * nnz as f64 * E_SMALL_OP);
+        rep.charge(
+            BlockKind::Comparators,
+            small_op_cycles(2 * nnz),
+            2.0 * nnz as f64 * E_SMALL_OP,
+        );
         let csf = CsfTensor::from_coo(&coo);
         let ptr_elems = (csf.num_slices() + csf.num_fibers() + 2) as u64;
         rep.charge(
@@ -207,8 +239,7 @@ impl ConversionEngine {
             self.prefix.energy(ptr_elems),
         );
         // Step 7: store the CSF structure.
-        let csf_elems =
-            (2 * csf.nnz() + 2 * csf.num_fibers() + 2 * csf.num_slices() + 2) as u64;
+        let csf_elems = (2 * csf.nnz() + 2 * csf.num_fibers() + 2 * csf.num_slices() + 2) as u64;
         self.memctrl.transfer(csf_elems, &mut rep);
         rep.elements += total;
         (csf, rep)
@@ -231,14 +262,24 @@ impl ConversionEngine {
             MatrixData::Dense(d) => {
                 let total = (d.rows() * d.cols()) as u64;
                 self.memctrl.transfer(total, &mut rep);
-                rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+                rep.charge(
+                    BlockKind::Comparators,
+                    small_op_cycles(total),
+                    total as f64 * E_SMALL_OP,
+                );
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(total),
+                    self.prefix.energy(total),
+                );
                 let coo = d.to_coo();
                 let flats: Vec<u64> = coo
                     .iter()
                     .map(|(r, c, _)| (r * d.cols() + c) as u64)
                     .collect();
-                let _ = self.divmod.div_mod(&flats, d.cols().max(1) as u64, &mut rep);
+                let _ = self
+                    .divmod
+                    .div_mod(&flats, d.cols().max(1) as u64, &mut rep);
                 self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
                 coo
             }
@@ -246,13 +287,19 @@ impl ConversionEngine {
                 // Rank/select via prefix sums over mask popcounts.
                 let words = z.mask().len() as u64;
                 self.memctrl.transfer(words + z.nnz() as u64, &mut rep);
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(words), self.prefix.energy(words));
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(words),
+                    self.prefix.energy(words),
+                );
                 let coo = z.to_coo();
                 let flats: Vec<u64> = coo
                     .iter()
                     .map(|(r, c, _)| (r * z.cols() + c) as u64)
                     .collect();
-                let _ = self.divmod.div_mod(&flats, z.cols().max(1) as u64, &mut rep);
+                let _ = self
+                    .divmod
+                    .div_mod(&flats, z.cols().max(1) as u64, &mut rep);
                 self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
                 coo
             }
@@ -260,15 +307,21 @@ impl ConversionEngine {
                 // Row-pointer expansion: adders walk row_ptr while values
                 // and col ids stream through.
                 let nnz = c.nnz() as u64;
-                self.memctrl.transfer(2 * nnz + c.rows() as u64 + 1, &mut rep);
-                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                self.memctrl
+                    .transfer(2 * nnz + c.rows() as u64 + 1, &mut rep);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
                 self.memctrl.transfer(3 * nnz, &mut rep);
                 c.to_coo()
             }
             MatrixData::Csc(c) => {
                 // Column-major to row-major: counting sort on row ids.
                 let nnz = c.nnz() as u64;
-                self.memctrl.transfer(2 * nnz + c.cols() as u64 + 1, &mut rep);
+                self.memctrl
+                    .transfer(2 * nnz + c.cols() as u64 + 1, &mut rep);
                 let row_u64: Vec<u64> = c.row_ids().iter().map(|&r| r as u64).collect();
                 let sorted = self.sorter.sort_chunks(&row_u64, &mut rep);
                 let hist = self.counter.count_into(&sorted, c.rows(), &mut rep);
@@ -285,7 +338,11 @@ impl ConversionEngine {
                     _ => unreachable!("all unstructured formats handled above"),
                 };
                 self.memctrl.transfer(stored, &mut rep);
-                rep.charge(BlockKind::Comparators, small_op_cycles(stored), stored as f64 * E_SMALL_OP);
+                rep.charge(
+                    BlockKind::Comparators,
+                    small_op_cycles(stored),
+                    stored as f64 * E_SMALL_OP,
+                );
                 let coo = other.to_coo();
                 self.memctrl.transfer(3 * coo.nnz() as u64, &mut rep);
                 coo
@@ -313,7 +370,8 @@ impl ConversionEngine {
                 let rows_u64: Vec<u64> = coo.row_ids().iter().map(|&r| r as u64).collect();
                 let hist = self.counter.count_into(&rows_u64, coo.rows(), &mut rep);
                 let _ = self.prefix.scan_exclusive(&hist, &mut rep);
-                self.memctrl.transfer(2 * nnz + coo.rows() as u64 + 1, &mut rep);
+                self.memctrl
+                    .transfer(2 * nnz + coo.rows() as u64 + 1, &mut rep);
                 MatrixData::Csr(CsrMatrix::from_coo(coo))
             }
             MatrixFormat::Csc => {
@@ -321,8 +379,13 @@ impl ConversionEngine {
                 let sorted = self.sorter.sort_chunks(&cols_u64, &mut rep);
                 let hist = self.counter.count_into(&sorted, coo.cols(), &mut rep);
                 let _ = self.prefix.scan_exclusive(&hist, &mut rep);
-                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
-                self.memctrl.transfer(2 * nnz + coo.cols() as u64 + 1, &mut rep);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
+                self.memctrl
+                    .transfer(2 * nnz + coo.cols() as u64 + 1, &mut rep);
                 MatrixData::Csc(CscMatrix::from_coo(coo))
             }
             MatrixFormat::Dense => {
@@ -334,16 +397,30 @@ impl ConversionEngine {
             }
             MatrixFormat::Rlc { run_bits } => {
                 // Position deltas (adders) + run splitting (comparators).
-                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
-                rep.charge(BlockKind::Comparators, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
+                rep.charge(
+                    BlockKind::Comparators,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
                 let rlc = RlcMatrix::from_coo(coo, run_bits);
-                self.memctrl.transfer(2 * rlc.stored_entries() as u64, &mut rep);
+                self.memctrl
+                    .transfer(2 * rlc.stored_entries() as u64, &mut rep);
                 MatrixData::Rlc(rlc)
             }
             MatrixFormat::Zvc => {
                 let zvc = ZvcMatrix::from_coo(coo);
-                self.memctrl.transfer(zvc.mask().len() as u64 + nnz, &mut rep);
-                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                self.memctrl
+                    .transfer(zvc.mask().len() as u64 + nnz, &mut rep);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
                 MatrixData::Zvc(zvc)
             }
             MatrixFormat::Bsr { br, bc } => {
@@ -360,7 +437,11 @@ impl ConversionEngine {
                     MatrixData::Ell(e) => e.stored_values() as u64,
                     _ => unreachable!(),
                 };
-                rep.charge(BlockKind::Adders, small_op_cycles(nnz), nnz as f64 * E_SMALL_OP);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(nnz),
+                    nnz as f64 * E_SMALL_OP,
+                );
                 self.memctrl.transfer(stored, &mut rep);
                 data
             }
@@ -418,14 +499,24 @@ impl ConversionEngine {
             }
             TensorData::Dense(d) => {
                 self.memctrl.transfer(total, &mut rep);
-                rep.charge(BlockKind::Comparators, small_op_cycles(total), total as f64 * E_SMALL_OP);
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(total), self.prefix.energy(total));
+                rep.charge(
+                    BlockKind::Comparators,
+                    small_op_cycles(total),
+                    total as f64 * E_SMALL_OP,
+                );
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(total),
+                    self.prefix.energy(total),
+                );
                 let coo = d.to_coo();
                 let flats: Vec<u64> = coo
                     .iter()
                     .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
                     .collect();
-                let first = self.divmod.div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
+                let first = self
+                    .divmod
+                    .div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
                 let rests: Vec<u64> = first.iter().map(|&(_, r)| r).collect();
                 let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
                 self.memctrl.transfer(4 * coo.nnz() as u64, &mut rep);
@@ -434,10 +525,16 @@ impl ConversionEngine {
             TensorData::Zvc(z) => {
                 let words = z.mask().len() as u64;
                 self.memctrl.transfer(words + z.nnz() as u64, &mut rep);
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(words), self.prefix.energy(words));
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(words),
+                    self.prefix.energy(words),
+                );
                 let coo = z.to_coo();
                 let _ = self.divmod.div_mod(
-                    &coo.iter().map(|(x, y, zz, _)| ((x * dy + y) * dz + zz) as u64).collect::<Vec<_>>(),
+                    &coo.iter()
+                        .map(|(x, y, zz, _)| ((x * dy + y) * dz + zz) as u64)
+                        .collect::<Vec<_>>(),
                     ((dy * dz).max(1)) as u64,
                     &mut rep,
                 );
@@ -448,13 +545,19 @@ impl ConversionEngine {
                 let n = r.stored_entries() as u64;
                 self.memctrl.transfer(2 * n, &mut rep);
                 rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(n), self.prefix.energy(n));
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(n),
+                    self.prefix.energy(n),
+                );
                 let coo = r.to_coo();
                 let flats: Vec<u64> = coo
                     .iter()
                     .map(|(x, y, z, _)| ((x * dy + y) * dz + z) as u64)
                     .collect();
-                let first = self.divmod.div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
+                let first = self
+                    .divmod
+                    .div_mod(&flats, ((dy * dz).max(1)) as u64, &mut rep);
                 let rests: Vec<u64> = first.iter().map(|&(_, rr)| rr).collect();
                 let _ = self.divmod.div_mod(&rests, dz.max(1) as u64, &mut rep);
                 self.memctrl.transfer(4 * coo.nnz() as u64, &mut rep);
@@ -473,7 +576,11 @@ impl ConversionEngine {
                 // Block-id reconstruction: multiply-add per nonzero.
                 let n = h.nnz() as u64;
                 self.memctrl.transfer(4 * n, &mut rep);
-                rep.charge(BlockKind::Adders, small_op_cycles(3 * n), 3.0 * n as f64 * E_SMALL_OP);
+                rep.charge(
+                    BlockKind::Adders,
+                    small_op_cycles(3 * n),
+                    3.0 * n as f64 * E_SMALL_OP,
+                );
                 self.memctrl.transfer(4 * n, &mut rep);
                 h.to_coo()
             }
@@ -500,10 +607,18 @@ impl ConversionEngine {
             }
             TensorFormat::Csf => {
                 // Tree construction: boundary comparators + pointer scans.
-                rep.charge(BlockKind::Comparators, small_op_cycles(2 * n), 2.0 * n as f64 * E_SMALL_OP);
+                rep.charge(
+                    BlockKind::Comparators,
+                    small_op_cycles(2 * n),
+                    2.0 * n as f64 * E_SMALL_OP,
+                );
                 let csf = sparseflex_formats::CsfTensor::from_coo(coo);
                 let ptrs = (csf.num_slices() + csf.num_fibers() + 2) as u64;
-                rep.charge(BlockKind::PrefixSum, self.prefix.cycles(ptrs), self.prefix.energy(ptrs));
+                rep.charge(
+                    BlockKind::PrefixSum,
+                    self.prefix.cycles(ptrs),
+                    self.prefix.energy(ptrs),
+                );
                 self.memctrl.transfer(2 * n + 2 * ptrs, &mut rep);
                 TensorData::Csf(csf)
             }
@@ -515,7 +630,8 @@ impl ConversionEngine {
             TensorFormat::Rlc { run_bits } => {
                 rep.charge(BlockKind::Adders, small_op_cycles(n), n as f64 * E_SMALL_OP);
                 let rlc = sparseflex_formats::RlcTensor3::from_coo(coo, run_bits);
-                self.memctrl.transfer(2 * rlc.stored_entries() as u64, &mut rep);
+                self.memctrl
+                    .transfer(2 * rlc.stored_entries() as u64, &mut rep);
                 TensorData::Rlc(rlc)
             }
             TensorFormat::Zvc => {
@@ -529,7 +645,8 @@ impl ConversionEngine {
                 let flats: Vec<u64> = coo.x_ids().iter().map(|&x| x as u64).collect();
                 let _ = self.divmod.div_mod(&flats, block.max(1) as u64, &mut rep);
                 let h = sparseflex_formats::HiCooTensor::from_coo(coo, block)?;
-                self.memctrl.transfer((4 * h.num_blocks() + 4 * h.nnz()) as u64, &mut rep);
+                self.memctrl
+                    .transfer((4 * h.num_blocks() + 4 * h.nnz()) as u64, &mut rep);
                 TensorData::HiCoo(h)
             }
         };
@@ -651,7 +768,12 @@ mod tests {
             4,
             4,
             4,
-            vec![(0, 0, 0, 1.0), (0, 0, 1, 2.0), (1, 2, 2, 3.0), (3, 0, 3, 6.0)],
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 1, 2.0),
+                (1, 2, 2, 3.0),
+                (3, 0, 3, 6.0),
+            ],
         )
         .unwrap();
         let dense = coo.clone().into_dense();
@@ -673,7 +795,10 @@ mod tests {
                 if src == dst {
                     assert_eq!(rep.pipelined_cycles(), 0, "identity must be free");
                 } else {
-                    assert!(rep.pipelined_cycles() > 0, "{src} -> {dst} must cost cycles");
+                    assert!(
+                        rep.pipelined_cycles() > 0,
+                        "{src} -> {dst} must cost cycles"
+                    );
                 }
             }
         }

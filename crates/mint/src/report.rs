@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn pipelined_bounded_by_serialized() {
-        let mut r = ConversionReport { fill_latency: 7, ..Default::default() };
+        let mut r = ConversionReport {
+            fill_latency: 7,
+            ..Default::default()
+        };
         r.charge(BlockKind::Divider, 100, 0.0);
         r.charge(BlockKind::MemController, 80, 0.0);
         assert!(r.pipelined_cycles() <= r.serialized_cycles());

@@ -68,7 +68,11 @@ impl MintVariant {
 
     /// All variants in paper order.
     pub const fn all() -> [MintVariant; 3] {
-        [MintVariant::Baseline, MintVariant::Merged, MintVariant::MergedReuse]
+        [
+            MintVariant::Baseline,
+            MintVariant::Merged,
+            MintVariant::MergedReuse,
+        ]
     }
 
     /// Short name.
@@ -116,7 +120,10 @@ pub fn relative_to_accelerator(variant: MintVariant) -> (f64, f64) {
     // MINT_m; others scale by area/power ratios.
     let accel_area = MintVariant::Merged.area_mm2() / 0.005;
     let accel_power = MintVariant::Merged.power_w() / 0.004;
-    (variant.area_mm2() / accel_area, variant.power_w() / accel_power)
+    (
+        variant.area_mm2() / accel_area,
+        variant.power_w() / accel_power,
+    )
 }
 
 #[cfg(test)]

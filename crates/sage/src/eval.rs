@@ -33,7 +33,10 @@ pub enum ConversionMode {
 impl ConversionMode {
     /// The default host model used for `Flex_Flex_SW`.
     pub fn default_software() -> Self {
-        ConversionMode::Software { slowdown: 10.0, pcie_bits_per_cycle: 128.0 }
+        ConversionMode::Software {
+            slowdown: 10.0,
+            pcie_bits_per_cycle: 128.0,
+        }
     }
 }
 
@@ -124,7 +127,10 @@ impl Sage {
         if matches!(mode, ConversionMode::RequireIdentity)
             && (choice.mcf_a != choice.acf_a || choice.mcf_b != choice.acf_b)
         {
-            return Err(SimError::UnsupportedAcf { a: choice.acf_a, b: choice.acf_b });
+            return Err(SimError::UnsupportedAcf {
+                a: choice.acf_a,
+                b: choice.acf_b,
+            });
         }
 
         // ---- Cost model: DRAM traffic in the chosen MCFs.
@@ -139,8 +145,9 @@ impl Sage {
         // sparse outputs; identical across choices so it never flips a
         // comparison, but keeps absolute numbers honest.
         let nnz_o = w.expected_nnz_out() as usize;
-        let bits_o = matrix_storage_bits(&MatrixFormat::Dense, w.m, w.n, nnz_o, w.dtype)
-            .min(matrix_storage_bits(&MatrixFormat::Csr, w.m, w.n, nnz_o, w.dtype));
+        let bits_o = matrix_storage_bits(&MatrixFormat::Dense, w.m, w.n, nnz_o, w.dtype).min(
+            matrix_storage_bits(&MatrixFormat::Csr, w.m, w.n, nnz_o, w.dtype),
+        );
         let dram_cycles = self.dram.transfer_cycles(bits_a + bits_b + bits_o) as f64;
         let dram_energy = self.dram.transfer_energy(bits_a + bits_b + bits_o);
 
@@ -172,22 +179,24 @@ impl Sage {
                 // concurrently with the fetch and the consuming compute;
                 // only throughput excess surfaces as added latency.
                 let overlap = dram_cycles + est.cycles.total();
-                let added =
-                    ((conv_a.cycles + conv_b.cycles) as f64 - overlap).max(0.0);
+                let added = ((conv_a.cycles + conv_b.cycles) as f64 - overlap).max(0.0);
                 (added, conv_a.energy + conv_b.energy)
             }
-            ConversionMode::Software { slowdown, pcie_bits_per_cycle } => {
+            ConversionMode::Software {
+                slowdown,
+                pcie_bits_per_cycle,
+            } => {
                 // Host conversion: serialized, slowed, plus a PCIe round
                 // trip for each converted operand (H2D + D2H).
                 let mut cycles = 0.0;
                 let mut energy = 0.0;
                 for (conv, bits) in [(conv_a, bits_a), (conv_b, bits_b)] {
                     if conv.cycles > 0 {
-                        cycles += conv.cycles as f64 * slowdown
-                            + 2.0 * bits as f64 / pcie_bits_per_cycle;
+                        cycles +=
+                            conv.cycles as f64 * slowdown + 2.0 * bits as f64 / pcie_bits_per_cycle;
                         // Host DRAM traffic both ways dominates energy.
-                        energy += conv.energy * slowdown
-                            + 2.0 * bits as f64 * self.energy.dram_per_bit();
+                        energy +=
+                            conv.energy * slowdown + 2.0 * bits as f64 * self.energy.dram_per_bit();
                     }
                 }
                 (cycles, energy)
@@ -207,7 +216,12 @@ impl Sage {
     }
 
     /// Is this ACF pair executable for this kernel on the WS array?
-    pub fn acf_supported(&self, w: &SageWorkload, acf_a: MatrixFormat, acf_b: MatrixFormat) -> bool {
+    pub fn acf_supported(
+        &self,
+        w: &SageWorkload,
+        acf_a: MatrixFormat,
+        acf_b: MatrixFormat,
+    ) -> bool {
         let spgemm_pair = acf_a == MatrixFormat::Csr && acf_b == MatrixFormat::Csr;
         if spgemm_pair {
             // Gustavson needs a sparse B; pointless for dense B.
@@ -231,17 +245,36 @@ mod tests {
         acf_a: MatrixFormat,
         acf_b: MatrixFormat,
     ) -> FormatChoice {
-        FormatChoice { mcf_a, mcf_b, acf_a, acf_b }
+        FormatChoice {
+            mcf_a,
+            mcf_b,
+            acf_a,
+            acf_b,
+        }
     }
 
     #[test]
     fn identity_mode_rejects_mismatched_formats() {
         let sage = Sage::default();
         let w = SageWorkload::spmm(1000, 1000, 500, 10_000, DataType::Fp32);
-        let c = choice(MatrixFormat::Zvc, MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Dense);
-        assert!(sage.evaluate(&w, &c, ConversionMode::RequireIdentity).is_err());
-        let ok = choice(MatrixFormat::Csr, MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Dense);
-        assert!(sage.evaluate(&w, &ok, ConversionMode::RequireIdentity).is_ok());
+        let c = choice(
+            MatrixFormat::Zvc,
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Dense,
+        );
+        assert!(sage
+            .evaluate(&w, &c, ConversionMode::RequireIdentity)
+            .is_err());
+        let ok = choice(
+            MatrixFormat::Csr,
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Dense,
+        );
+        assert!(sage
+            .evaluate(&w, &ok, ConversionMode::RequireIdentity)
+            .is_ok());
     }
 
     #[test]
@@ -260,8 +293,12 @@ mod tests {
             MatrixFormat::Csr,
             MatrixFormat::Dense,
         );
-        let e_dense = sage.evaluate(&w, &dense_mcf, ConversionMode::Hardware).unwrap();
-        let e_csr = sage.evaluate(&w, &csr_mcf, ConversionMode::Hardware).unwrap();
+        let e_dense = sage
+            .evaluate(&w, &dense_mcf, ConversionMode::Hardware)
+            .unwrap();
+        let e_csr = sage
+            .evaluate(&w, &csr_mcf, ConversionMode::Hardware)
+            .unwrap();
         assert!(e_csr.dram_cycles < e_dense.dram_cycles);
         assert!(e_csr.total_energy() < e_dense.total_energy());
     }
@@ -277,7 +314,9 @@ mod tests {
             MatrixFormat::Dense,
         );
         let hw = sage.evaluate(&w, &c, ConversionMode::Hardware).unwrap();
-        let sw = sage.evaluate(&w, &c, ConversionMode::default_software()).unwrap();
+        let sw = sage
+            .evaluate(&w, &c, ConversionMode::default_software())
+            .unwrap();
         assert!(
             sw.conv_cycles > 10.0 * hw.conv_cycles.max(1.0),
             "sw {} vs hw {}",
@@ -291,7 +330,12 @@ mod tests {
     fn edp_scales_with_clock() {
         let sage = Sage::default();
         let w = SageWorkload::spmm(500, 500, 250, 5_000, DataType::Fp32);
-        let c = choice(MatrixFormat::Csr, MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Dense);
+        let c = choice(
+            MatrixFormat::Csr,
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Dense,
+        );
         let e = sage.evaluate(&w, &c, ConversionMode::Hardware).unwrap();
         assert!(e.edp(1e9) > e.edp(2e9));
         assert!(e.total_cycles() > 0.0);

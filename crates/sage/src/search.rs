@@ -71,8 +71,12 @@ impl Sage {
         mcf_set: &[MatrixFormat],
         mode: ConversionMode,
     ) -> Recommendation {
-        let acf_as =
-            [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc];
+        let acf_as = [
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Coo,
+            MatrixFormat::Csc,
+        ];
         let acf_bs = [MatrixFormat::Dense, MatrixFormat::Csc, MatrixFormat::Csr];
         let mcf_pairs: Vec<(MatrixFormat, MatrixFormat)> = match fixed_mcf {
             Some(p) => vec![p],
@@ -94,14 +98,17 @@ impl Sage {
                     if !self.acf_supported(w, acf_a, acf_b) {
                         continue;
                     }
-                    let choice = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                    let choice = FormatChoice {
+                        mcf_a,
+                        mcf_b,
+                        acf_a,
+                        acf_b,
+                    };
                     if let Ok(eval) = self.evaluate(w, &choice, mode) {
                         candidates += 1;
                         let better = match &best {
                             None => true,
-                            Some(b) => {
-                                eval.edp(self.accel.clock_hz) < b.edp(self.accel.clock_hz)
-                            }
+                            Some(b) => eval.edp(self.accel.clock_hz) < b.edp(self.accel.clock_hz),
                         };
                         if better {
                             best = Some(eval);
@@ -133,15 +140,19 @@ impl Sage {
         let mut candidates = 0;
         for &(mcf_a, mcf_b) in &class.mcfs {
             for &(acf_a, acf_b) in &class.acfs {
-                if class.conversion == ConversionSupport::None
-                    && (mcf_a != acf_a || mcf_b != acf_b)
+                if class.conversion == ConversionSupport::None && (mcf_a != acf_a || mcf_b != acf_b)
                 {
                     continue;
                 }
                 if !self.acf_supported(w, acf_a, acf_b) {
                     continue;
                 }
-                let choice = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                let choice = FormatChoice {
+                    mcf_a,
+                    mcf_b,
+                    acf_a,
+                    acf_b,
+                };
                 if let Ok(eval) = self.evaluate(w, &choice, mode) {
                     candidates += 1;
                     let better = match &best {
@@ -154,7 +165,10 @@ impl Sage {
                 }
             }
         }
-        best.map(|b| Recommendation { best: b, candidates })
+        best.map(|b| Recommendation {
+            best: b,
+            candidates,
+        })
     }
 
     /// Search tensor MCF/ACF combinations for a tensor kernel (SpTTM /
@@ -163,7 +177,10 @@ impl Sage {
         let mut best: Option<TensorEvaluation> = None;
         for mcf in TensorFormat::mcf_set() {
             for acf in TensorFormat::acf_set() {
-                let choice = TensorChoice { mcf_t: mcf, acf_t: acf };
+                let choice = TensorChoice {
+                    mcf_t: mcf,
+                    acf_t: acf,
+                };
                 let eval = evaluate_tensor(self, w, &choice);
                 let better = match &best {
                     None => true,
@@ -221,8 +238,18 @@ mod tests {
         let s = sage();
         let w = SageWorkload::spgemm(11_000, 11_000, 5_500, 6_600, 3_300, DataType::Fp32);
         let rec = s.recommend(&w);
-        assert_ne!(rec.best.choice.mcf_a, MatrixFormat::Dense, "{}", rec.best.choice);
-        assert_ne!(rec.best.choice.acf_a, MatrixFormat::Dense, "{}", rec.best.choice);
+        assert_ne!(
+            rec.best.choice.mcf_a,
+            MatrixFormat::Dense,
+            "{}",
+            rec.best.choice
+        );
+        assert_ne!(
+            rec.best.choice.acf_a,
+            MatrixFormat::Dense,
+            "{}",
+            rec.best.choice
+        );
     }
 
     #[test]
@@ -231,7 +258,12 @@ mod tests {
         let s = sage();
         let w = SageWorkload::spgemm(124, 124, 62, 12_068, 6_034, DataType::Fp32);
         let rec = s.recommend(&w);
-        assert_eq!(rec.best.choice.acf_b, MatrixFormat::Dense, "{}", rec.best.choice);
+        assert_eq!(
+            rec.best.choice.acf_b,
+            MatrixFormat::Dense,
+            "{}",
+            rec.best.choice
+        );
     }
 
     #[test]

@@ -44,15 +44,19 @@ pub fn rank_mcfs_exact(coo: &CooMatrix, dtype: DataType) -> Vec<McfCandidate> {
         let (_, fill) = MatrixStats::block_occupancy(coo, block);
         // Worth encoding only when occupied blocks are mostly full.
         if fill > 0.5 {
-            formats.push(MatrixFormat::Bsr { br: block, bc: block });
+            formats.push(MatrixFormat::Bsr {
+                br: block,
+                bc: block,
+            });
         }
     }
     let mut out: Vec<McfCandidate> = formats
         .into_iter()
         .filter_map(|f| {
-            MatrixData::encode(coo, &f)
-                .ok()
-                .map(|d| McfCandidate { format: f, bits: matrix_storage_bits_exact(&d, dtype) })
+            MatrixData::encode(coo, &f).ok().map(|d| McfCandidate {
+                format: f,
+                bits: matrix_storage_bits_exact(&d, dtype),
+            })
         })
         .collect();
     out.sort_by_key(|c| c.bits);
@@ -93,23 +97,30 @@ impl Sage {
         // ACF search with the MCFs pinned to the structure-exact winners.
         let mut best = None;
         let mut candidates = 0;
-        for acf_a in [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc]
-        {
+        for acf_a in [
+            MatrixFormat::Dense,
+            MatrixFormat::Csr,
+            MatrixFormat::Coo,
+            MatrixFormat::Csc,
+        ] {
             for acf_b in [MatrixFormat::Dense, MatrixFormat::Csc, MatrixFormat::Csr] {
                 if !self.acf_supported(&w, acf_a, acf_b) {
                     continue;
                 }
-                let choice = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                let choice = FormatChoice {
+                    mcf_a,
+                    mcf_b,
+                    acf_a,
+                    acf_b,
+                };
                 let exact = Some((rank_a[0].bits, rank_b[0].bits));
                 if let Ok(e) =
                     self.evaluate_with_operand_bits(&w, &choice, ConversionMode::Hardware, exact)
                 {
                     candidates += 1;
-                    let is_better = best
-                        .as_ref()
-                        .is_none_or(|prev: &crate::eval::Evaluation| {
-                            e.edp(self.accel.clock_hz) < prev.edp(self.accel.clock_hz)
-                        });
+                    let is_better = best.as_ref().is_none_or(|prev: &crate::eval::Evaluation| {
+                        e.edp(self.accel.clock_hz) < prev.edp(self.accel.clock_hz)
+                    });
                     if is_better {
                         best = Some(e);
                     }
@@ -117,7 +128,10 @@ impl Sage {
             }
         }
         (
-            Recommendation { best: best.expect("Dense ACFs always evaluate"), candidates },
+            Recommendation {
+                best: best.expect("Dense ACFs always evaluate"),
+                candidates,
+            },
             rank_a,
             rank_b,
         )
@@ -171,8 +185,7 @@ mod tests {
         let sage = Sage::default();
         let a = blocked_matrix(128, 128, 8, 0.15, 4);
         let b = random_matrix(128, 64, 128 * 64, 5); // dense factor
-        let (rec, rank_a, _) =
-            sage.recommend_structured(&a, &b, SageKernel::SpMm, DataType::Fp32);
+        let (rec, rank_a, _) = sage.recommend_structured(&a, &b, SageKernel::SpMm, DataType::Fp32);
         assert_eq!(rec.best.choice.mcf_a, rank_a[0].format);
         assert!(rec.candidates > 0);
         assert!(rec.best.total_cycles() > 0.0);

@@ -65,12 +65,12 @@ impl TensorEvaluation {
 /// Bus slots per streamed tensor element for each ACF.
 fn stream_slots_per_elem(acf: &TensorFormat) -> f64 {
     match acf {
-        TensorFormat::Coo => 4.0,            // value + 3 coordinates
-        TensorFormat::Csf => 2.5,            // value + z id + amortized fiber ids
-        TensorFormat::HiCoo { .. } => 3.0,   // value + 3 narrow offsets (amortized block ids)
-        TensorFormat::Rlc { .. } => 2.0,     // value + run
-        TensorFormat::Zvc => 1.2,            // value + amortized mask bits
-        TensorFormat::Dense => 1.0,          // raw stream (zeros included!)
+        TensorFormat::Coo => 4.0,          // value + 3 coordinates
+        TensorFormat::Csf => 2.5,          // value + z id + amortized fiber ids
+        TensorFormat::HiCoo { .. } => 3.0, // value + 3 narrow offsets (amortized block ids)
+        TensorFormat::Rlc { .. } => 2.0,   // value + run
+        TensorFormat::Zvc => 1.2,          // value + amortized mask bits
+        TensorFormat::Dense => 1.0,        // raw stream (zeros included!)
     }
 }
 
@@ -106,7 +106,11 @@ pub fn evaluate_tensor(sage: &Sage, w: &TensorWorkload, choice: &TensorChoice) -
         _ => w.nnz as f64,
     };
     let beats = streamed_elems * stream_slots_per_elem(&choice.acf_t) / bus;
-    let macs_per_elem = if w.mttkrp { 2.0 * w.rank as f64 } else { w.rank as f64 };
+    let macs_per_elem = if w.mttkrp {
+        2.0 * w.rank as f64
+    } else {
+        w.rank as f64
+    };
     let flops = w.nnz as f64 * macs_per_elem;
     let lanes = sage.accel.total_macs() as f64;
     let compute_cycles = beats.max(flops / lanes);
@@ -172,7 +176,10 @@ mod tests {
         let sage = Sage::default();
         let rec = sage.recommend_tensor(&brainq_like());
         assert!(
-            matches!(rec.choice.mcf_t, TensorFormat::Zvc | TensorFormat::Rlc { .. }),
+            matches!(
+                rec.choice.mcf_t,
+                TensorFormat::Zvc | TensorFormat::Rlc { .. }
+            ),
             "expected bitmap-style MCF for 29% density, got {}",
             rec.choice
         );
@@ -182,8 +189,14 @@ mod tests {
     fn mttkrp_costs_more_compute_than_spttm() {
         let sage = Sage::default();
         let spttm = uber_like();
-        let mttkrp = TensorWorkload { mttkrp: true, ..spttm };
-        let c = TensorChoice { mcf_t: TensorFormat::Coo, acf_t: TensorFormat::Csf };
+        let mttkrp = TensorWorkload {
+            mttkrp: true,
+            ..spttm
+        };
+        let c = TensorChoice {
+            mcf_t: TensorFormat::Coo,
+            acf_t: TensorFormat::Csf,
+        };
         let a = evaluate_tensor(&sage, &spttm, &c);
         let b = evaluate_tensor(&sage, &mttkrp, &c);
         assert!(b.compute_energy > a.compute_energy);
@@ -192,7 +205,10 @@ mod tests {
     #[test]
     fn identity_acf_has_no_conversion_cost() {
         let sage = Sage::default();
-        let c = TensorChoice { mcf_t: TensorFormat::Csf, acf_t: TensorFormat::Csf };
+        let c = TensorChoice {
+            mcf_t: TensorFormat::Csf,
+            acf_t: TensorFormat::Csf,
+        };
         let e = evaluate_tensor(&sage, &uber_like(), &c);
         assert_eq!(e.conv_cycles, 0.0);
         assert_eq!(e.conv_energy, 0.0);
@@ -200,6 +216,8 @@ mod tests {
 
     #[test]
     fn csf_streams_fewer_slots_than_coo() {
-        assert!(stream_slots_per_elem(&TensorFormat::Csf) < stream_slots_per_elem(&TensorFormat::Coo));
+        assert!(
+            stream_slots_per_elem(&TensorFormat::Csf) < stream_slots_per_elem(&TensorFormat::Coo)
+        );
     }
 }

@@ -34,12 +34,28 @@ pub struct SageWorkload {
 impl SageWorkload {
     /// SpMM workload (B fully dense).
     pub fn spmm(m: usize, k: usize, n: usize, nnz_a: u64, dtype: DataType) -> Self {
-        SageWorkload { kernel: SageKernel::SpMm, m, k, n, nnz_a, nnz_b: (k * n) as u64, dtype }
+        SageWorkload {
+            kernel: SageKernel::SpMm,
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b: (k * n) as u64,
+            dtype,
+        }
     }
 
     /// SpGEMM workload.
     pub fn spgemm(m: usize, k: usize, n: usize, nnz_a: u64, nnz_b: u64, dtype: DataType) -> Self {
-        SageWorkload { kernel: SageKernel::SpGemm, m, k, n, nnz_a, nnz_b, dtype }
+        SageWorkload {
+            kernel: SageKernel::SpGemm,
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            dtype,
+        }
     }
 
     /// Density of A.

@@ -24,7 +24,11 @@ pub enum PruningStrategy {
 impl PruningStrategy {
     /// All three strategies, in Fig. 14 order.
     pub const fn all() -> [PruningStrategy; 3] {
-        [PruningStrategy::Normal, PruningStrategy::LayerPrune50, PruningStrategy::GlobalPrune70]
+        [
+            PruningStrategy::Normal,
+            PruningStrategy::LayerPrune50,
+            PruningStrategy::GlobalPrune70,
+        ]
     }
 
     /// Short name for CSV output.
@@ -146,7 +150,12 @@ impl ResNetLayer {
 
     /// Synthesize the im2col'd activation matrix `M x K` at this layer's
     /// activation sparsity.
-    pub fn generate_activations(&self, batch: usize, strategy: PruningStrategy, seed: u64) -> CooMatrix {
+    pub fn generate_activations(
+        &self,
+        batch: usize,
+        strategy: PruningStrategy,
+        seed: u64,
+    ) -> CooMatrix {
         let (m, k, _) = self.gemm_dims(batch);
         let nnz = ((m as f64 * k as f64) * self.act_density(strategy)).round() as usize;
         random_matrix(m, k, nnz.min(m * k), seed)
@@ -187,9 +196,7 @@ mod tests {
     fn global_prune_concentrates_in_late_layers() {
         // Fig. 14a: "with global pruning, convolution layers 7 and 8 have
         // significantly higher weight sparsity than the other layers."
-        let late_min = RESNET_LAYERS[6]
-            .weight_sparsity[2]
-            .min(RESNET_LAYERS[7].weight_sparsity[2]);
+        let late_min = RESNET_LAYERS[6].weight_sparsity[2].min(RESNET_LAYERS[7].weight_sparsity[2]);
         for l in &RESNET_LAYERS[..6] {
             assert!(
                 l.weight_sparsity[2] < late_min,
@@ -218,7 +225,10 @@ mod tests {
         let w = l.generate_weights(PruningStrategy::GlobalPrune70, 9);
         let target = l.weight_density(PruningStrategy::GlobalPrune70);
         let got = w.density();
-        assert!((got - target).abs() < 0.01, "weight density {got} vs {target}");
+        assert!(
+            (got - target).abs() < 0.01,
+            "weight density {got} vs {target}"
+        );
     }
 
     #[test]

@@ -75,79 +75,121 @@ pub const TABLE_III: [WorkloadSpec; 13] = [
     WorkloadSpec {
         name: "journals",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 124, cols: 124 },
+        shape: WorkloadShape::Matrix {
+            rows: 124,
+            cols: 124,
+        },
         nnz: 12_068,
     },
     WorkloadSpec {
         name: "bibd_17_8",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 171, cols: 92_000 },
+        shape: WorkloadShape::Matrix {
+            rows: 171,
+            cols: 92_000,
+        },
         nnz: 3_300_000,
     },
     WorkloadSpec {
         name: "dendrimer",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 730, cols: 730 },
+        shape: WorkloadShape::Matrix {
+            rows: 730,
+            cols: 730,
+        },
         nnz: 63_000,
     },
     WorkloadSpec {
         name: "speech1",
         source: "deepbench",
-        shape: WorkloadShape::Matrix { rows: 11_000, cols: 3_600 },
+        shape: WorkloadShape::Matrix {
+            rows: 11_000,
+            cols: 3_600,
+        },
         nnz: 3_900_000,
     },
     WorkloadSpec {
         name: "speech2",
         source: "deepbench",
-        shape: WorkloadShape::Matrix { rows: 7_700, cols: 2_600 },
+        shape: WorkloadShape::Matrix {
+            rows: 7_700,
+            cols: 2_600,
+        },
         nnz: 1_000_000,
     },
     WorkloadSpec {
         name: "nd3k",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 9_000, cols: 9_000 },
+        shape: WorkloadShape::Matrix {
+            rows: 9_000,
+            cols: 9_000,
+        },
         nnz: 3_300_000,
     },
     WorkloadSpec {
         name: "cavity14",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 2_600, cols: 2_600 },
+        shape: WorkloadShape::Matrix {
+            rows: 2_600,
+            cols: 2_600,
+        },
         nnz: 76_000,
     },
     WorkloadSpec {
         name: "model3",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 1_600, cols: 4_600 },
+        shape: WorkloadShape::Matrix {
+            rows: 1_600,
+            cols: 4_600,
+        },
         nnz: 24_000,
     },
     WorkloadSpec {
         name: "cat_ears_4_4",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 5_200, cols: 13_200 },
+        shape: WorkloadShape::Matrix {
+            rows: 5_200,
+            cols: 13_200,
+        },
         nnz: 40_000,
     },
     WorkloadSpec {
         name: "m3plates",
         source: "suitesparse",
-        shape: WorkloadShape::Matrix { rows: 11_000, cols: 11_000 },
+        shape: WorkloadShape::Matrix {
+            rows: 11_000,
+            cols: 11_000,
+        },
         nnz: 6_600,
     },
     WorkloadSpec {
         name: "BrainQ",
         source: "brainq",
-        shape: WorkloadShape::Tensor { x: 60, y: 70_000, z: 9 },
+        shape: WorkloadShape::Tensor {
+            x: 60,
+            y: 70_000,
+            z: 9,
+        },
         nnz: 11_000_000,
     },
     WorkloadSpec {
         name: "Crime",
         source: "frostt",
-        shape: WorkloadShape::Tensor { x: 6_200, y: 24, z: 2_500 },
+        shape: WorkloadShape::Tensor {
+            x: 6_200,
+            y: 24,
+            z: 2_500,
+        },
         nnz: 5_200_000,
     },
     WorkloadSpec {
         name: "Uber",
         source: "frostt",
-        shape: WorkloadShape::Tensor { x: 4_400, y: 1_100, z: 1_700 },
+        shape: WorkloadShape::Tensor {
+            x: 4_400,
+            y: 1_100,
+            z: 1_700,
+        },
         nnz: 3_300_000,
     },
 ];
@@ -200,9 +242,7 @@ impl WorkloadSpec {
     /// Generate the sparse matrix operand (matrix workloads only).
     pub fn generate_matrix(&self, seed: u64) -> Option<CooMatrix> {
         match self.shape {
-            WorkloadShape::Matrix { rows, cols } => {
-                Some(random_matrix(rows, cols, self.nnz, seed))
-            }
+            WorkloadShape::Matrix { rows, cols } => Some(random_matrix(rows, cols, self.nnz, seed)),
             WorkloadShape::Tensor { .. } => None,
         }
     }
@@ -303,7 +343,10 @@ mod tests {
         let f = c.generate_sparse_factor(2).unwrap();
         let d_op = c.density();
         let d_f = f.density();
-        assert!((d_f - d_op).abs() / d_op < 0.05, "factor density {d_f} vs {d_op}");
+        assert!(
+            (d_f - d_op).abs() / d_op < 0.05,
+            "factor density {d_f} vs {d_op}"
+        );
     }
 
     #[test]
@@ -313,7 +356,11 @@ mod tests {
         let spec = WorkloadSpec {
             name: "mini",
             source: "test",
-            shape: WorkloadShape::Tensor { x: 30, y: 20, z: 10 },
+            shape: WorkloadShape::Tensor {
+                x: 30,
+                y: 20,
+                z: 10,
+            },
             nnz: 500,
         };
         let t = spec.generate_tensor(3).unwrap();

@@ -40,7 +40,13 @@ pub fn random_matrix(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatr
     let flats = sample_distinct(total, nnz as u64, &mut rng);
     let triplets: Vec<(usize, usize, f64)> = flats
         .into_iter()
-        .map(|f| ((f / cols as u64) as usize, (f % cols as u64) as usize, nonzero_value(&mut rng)))
+        .map(|f| {
+            (
+                (f / cols as u64) as usize,
+                (f % cols as u64) as usize,
+                nonzero_value(&mut rng),
+            )
+        })
         .collect();
     CooMatrix::from_sorted_triplets(rows, cols, triplets).expect("sampled flats are sorted")
 }
@@ -115,7 +121,10 @@ pub fn random_tensor3_density(
 /// populated — the DIA-favourable structure used by the structured-format
 /// ablation benches.
 pub fn banded_matrix(n: usize, bands: usize, seed: u64) -> CooMatrix {
-    assert!(bands % 2 == 1, "bands must be odd (symmetric around main diagonal)");
+    assert!(
+        bands % 2 == 1,
+        "bands must be odd (symmetric around main diagonal)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let half = (bands / 2) as isize;
     let mut triplets = Vec::new();

@@ -24,7 +24,11 @@ fn main() {
     let w_coo = random_matrix(k, n, (k * n) * 3 / 10, 1);
     let w_csr = CsrMatrix::from_coo(&w_coo);
     let x = random_dense_matrix(64, k, 2);
-    println!("weights: {k}x{n}, {} nnz ({:.0}% sparse)", w_csr.nnz(), 100.0 * (1.0 - w_csr.density()));
+    println!(
+        "weights: {k}x{n}, {} nnz ({:.0}% sparse)",
+        w_csr.nnz(),
+        100.0 * (1.0 - w_csr.density())
+    );
 
     // Forward pass: Y = X * W. (Stationary W in CSC = Fig. 6b's layout.)
     let w_csc_sw = convert::csr_to_csc(&w_csr);
@@ -36,7 +40,10 @@ fn main() {
     // conversion is exactly the transpose the backward GEMM wants.
     let engine = ConversionEngine::default();
     let (w_csc_hw, report) = engine.csr_to_csc(&w_csr);
-    assert_eq!(w_csc_hw, w_csc_sw, "hardware and software conversions must agree");
+    assert_eq!(
+        w_csc_hw, w_csc_sw,
+        "hardware and software conversions must agree"
+    );
     let wt_csr = w_csc_hw.transpose_as_csr();
     let dy = random_dense_matrix(n, 48, 3); // upstream gradient slice
     let dx = spmm_csr_dense(&wt_csr, &dy);
@@ -58,7 +65,11 @@ fn main() {
     );
     println!(
         "=> conversion {} the fetch window ({} busy blocks, {:.2e} J)",
-        if report.pipelined_cycles() <= fetch as u64 { "fits inside" } else { "exceeds" },
+        if report.pipelined_cycles() <= fetch as u64 {
+            "fits inside"
+        } else {
+            "exceeds"
+        },
         report.block_cycles.len(),
         report.total_energy()
     );

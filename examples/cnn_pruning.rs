@@ -39,9 +39,7 @@ fn main() {
                 layer.weight_density(strategy),
                 r.this_work
             );
-            if let Some((_, Some(tpu))) =
-                r.baselines.iter().find(|(n, _)| *n == "Fix_Fix_None")
-            {
+            if let Some((_, Some(tpu))) = r.baselines.iter().find(|(n, _)| *n == "Fix_Fix_None") {
                 tpu_ratio.push(tpu / r.this_work);
             }
         }

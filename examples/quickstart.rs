@@ -44,7 +44,10 @@ fn main() {
 
     // 1. SAGE searches the MCF x ACF space.
     let plan = system.plan(&w);
-    println!("\nSAGE searched {} candidates and chose: {}", plan.candidates, plan.evaluation.choice);
+    println!(
+        "\nSAGE searched {} candidates and chose: {}",
+        plan.candidates, plan.evaluation.choice
+    );
     println!(
         "  predicted: {:.0} DRAM + {:.0} conversion + {:.0} compute cycles, {:.3e} J, utilization {:.1}%",
         plan.evaluation.dram_cycles,
@@ -55,7 +58,9 @@ fn main() {
     );
 
     // 2-4. Encode in MCF, convert through MINT, execute on the simulator.
-    let run = system.run_functional(&a, &b, &w).expect("supported ACF pair");
+    let run = system
+        .run_functional(&a, &b, &w)
+        .expect("supported ACF pair");
     println!(
         "\nfunctional run: {} stream cycles, {} total cycles, {} MACs ({:.1}% effective)",
         run.sim.cycles.stream_a,
@@ -71,7 +76,10 @@ fn main() {
 
     // Verify against the software kernel.
     let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
-    assert!(run.sim.output.approx_eq(&expect, 1e-9), "accelerator output mismatch");
+    assert!(
+        run.sim.output.approx_eq(&expect, 1e-9),
+        "accelerator output mismatch"
+    );
     println!("\noutput verified against the software kernel ✓");
 
     // Compare against the fixed-format baseline classes.

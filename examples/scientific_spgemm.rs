@@ -18,7 +18,9 @@ fn main() {
         "workload", "density", "kernel", "SAGE choice", "worst base"
     );
     for spec in TABLE_III.iter().filter(|s| !s.is_tensor()) {
-        let WorkloadShape::Matrix { rows: m, cols: k } = spec.shape else { continue };
+        let WorkloadShape::Matrix { rows: m, cols: k } = spec.shape else {
+            continue;
+        };
         let (fr, fc) = spec.factor_dims();
         let nnz_b = ((fr as f64 * fc as f64) * spec.density()).round().max(1.0) as u64;
         let w = SageWorkload::spgemm(m, k, fc, spec.nnz as u64, nnz_b, DataType::Fp32);

@@ -18,7 +18,12 @@ fn main() {
     let csf = CsfTensor::from_coo(&tensor);
     println!(
         "tensor {}x{}x{}: nnz = {} ({:.3}% dense), {} fibers in CSF",
-        x, y, z, tensor.nnz(), 100.0 * tensor.density(), csf.num_fibers()
+        x,
+        y,
+        z,
+        tensor.nnz(),
+        100.0 * tensor.density(),
+        csf.num_fibers()
     );
 
     // SpTTM: contract the z mode with a dense factor.

@@ -5,7 +5,10 @@
 
 fn check(name: &str, rows: &[String]) {
     assert!(rows.len() >= 3, "{name}: too few rows ({})", rows.len());
-    assert!(rows[0].starts_with('#'), "{name}: first row must be a comment header");
+    assert!(
+        rows[0].starts_with('#'),
+        "{name}: first row must be a comment header"
+    );
     // Every non-comment, non-blank row in one block must have the same
     // column count as its block's header.
     let mut cols = None;

@@ -1,0 +1,92 @@
+//! Smoke test pinning the umbrella crate's public API surface: the exact
+//! call sequence of `examples/quickstart.rs` (plan -> run_functional ->
+//! normalized_edp) must keep compiling and producing verified results, so
+//! the example's API contract is enforced by the test suite rather than
+//! by docs alone.
+
+use sparseflex::formats::{DataType, SparseMatrix};
+use sparseflex::kernels::gemm::gemm_naive;
+use sparseflex::sage::SageWorkload;
+use sparseflex::system::FlexSystem;
+use sparseflex::workloads::synth::random_matrix;
+
+/// The quickstart scenario end-to-end, on a slightly smaller problem so
+/// the cycle-accurate simulator stays fast in debug builds.
+#[test]
+fn quickstart_path_end_to_end() {
+    let a = random_matrix(48, 64, 120, 1);
+    let b = random_matrix(64, 32, 120, 2);
+    assert_eq!(a.nnz(), 120);
+    assert_eq!(b.nnz(), 120);
+
+    let w = SageWorkload::spgemm(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.nnz() as u64,
+        b.nnz() as u64,
+        DataType::Fp32,
+    );
+    let mut system = FlexSystem::default();
+    system.sage.accel.num_pes = 16;
+    system.sage.accel.pe_buffer_elems = 32;
+
+    // 1. SAGE searches the MCF x ACF space.
+    let plan = system.plan(&w);
+    assert!(
+        plan.candidates > 0,
+        "SAGE searched an empty candidate space"
+    );
+    assert!(plan.evaluation.compute_cycles > 0.0);
+    assert!(plan.evaluation.total_energy() > 0.0);
+    assert!(
+        (0.0..=1.0).contains(&plan.evaluation.utilization),
+        "utilization {} out of range",
+        plan.evaluation.utilization
+    );
+
+    // 2-4. Encode in MCF, convert through MINT, execute on the simulator.
+    let run = system
+        .run_functional(&a, &b, &w)
+        .expect("supported ACF pair");
+    assert!(run.sim.cycles.total() > 0);
+    assert!(run.sim.counts.macs > 0);
+
+    // The accelerator output must match the software kernel exactly
+    // (integer-valued fixtures keep f64 arithmetic exact).
+    let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+    assert!(
+        run.sim.output.approx_eq(&expect, 1e-9),
+        "accelerator output mismatch"
+    );
+
+    // 5. Baseline-class comparison: this work is the 1.0x reference, so
+    // every runnable baseline normalizes to >= ~1.
+    let norms = system.normalized_edp(&w);
+    assert!(!norms.is_empty(), "no baseline classes reported");
+    let runnable = norms.iter().filter(|(_, n)| n.is_some()).count();
+    assert!(runnable > 0, "no baseline class could run the workload");
+    for (class, norm) in norms {
+        if let Some(x) = norm {
+            assert!(x >= 0.999, "{class} beats this work ({x}x)");
+        }
+    }
+}
+
+/// The quickstart example itself must stay runnable: `cargo test` builds
+/// all examples, and this guards the example's own verification assert
+/// by re-running its exact operand sizes through the library path.
+#[test]
+fn quickstart_operand_sizes_stay_supported() {
+    let a = random_matrix(96, 128, 250, 1);
+    let b = random_matrix(128, 64, 250, 2);
+    let w = SageWorkload::spgemm(96, 128, 64, 250, 250, DataType::Fp32);
+    let mut system = FlexSystem::default();
+    system.sage.accel.num_pes = 32;
+    system.sage.accel.pe_buffer_elems = 64;
+    let run = system
+        .run_functional(&a, &b, &w)
+        .expect("supported ACF pair");
+    let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+    assert!(run.sim.output.approx_eq(&expect, 1e-9));
+}

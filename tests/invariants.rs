@@ -23,7 +23,10 @@ fn csc_streaming_flushes_every_mac() {
     )
     .unwrap();
     assert_eq!(r.counts.output_flushes, r.counts.effective_macs);
-    assert_eq!(r.output, gemm_naive(&a.clone().into_dense(), &b.clone().into_dense()));
+    assert_eq!(
+        r.output,
+        gemm_naive(&a.clone().into_dense(), &b.clone().into_dense())
+    );
 }
 
 #[test]
@@ -34,7 +37,10 @@ fn narrower_bus_never_speeds_streaming() {
     let db = MatrixData::encode(&b, &MatrixFormat::Dense).unwrap();
     let mut prev = 0u64;
     for slots in [16usize, 9, 5, 3] {
-        let cfg = AccelConfig { bus_slots: slots, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            bus_slots: slots,
+            ..AccelConfig::walkthrough()
+        };
         let r = simulate_ws(&da, &db, &cfg).unwrap();
         assert!(
             r.cycles.stream_a >= prev,
@@ -53,9 +59,16 @@ fn bigger_buffers_never_increase_total_cycles() {
     let db = MatrixData::encode(&b, &MatrixFormat::Csc).unwrap();
     let mut prev = u64::MAX;
     for buf in [8usize, 16, 64, 256] {
-        let cfg = AccelConfig { pe_buffer_elems: buf, ..AccelConfig::walkthrough() };
+        let cfg = AccelConfig {
+            pe_buffer_elems: buf,
+            ..AccelConfig::walkthrough()
+        };
         let r = simulate_ws(&da, &db, &cfg).unwrap();
-        assert!(r.cycles.total() <= prev, "buffer {buf} raised cycles to {}", r.cycles.total());
+        assert!(
+            r.cycles.total() <= prev,
+            "buffer {buf} raised cycles to {}",
+            r.cycles.total()
+        );
         prev = r.cycles.total();
     }
 }
@@ -94,13 +107,9 @@ fn rlc_tensor_handles_all_boundary_positions() {
     // tiny run field forcing extension entries in between.
     let t = random_tensor3(3, 3, 3, 0, 1); // empty base
     assert_eq!(t.nnz(), 0);
-    let coo = sparseflex::formats::CooTensor3::from_quads(
-        3,
-        3,
-        3,
-        vec![(0, 0, 0, 1.5), (2, 2, 2, -2.5)],
-    )
-    .unwrap();
+    let coo =
+        sparseflex::formats::CooTensor3::from_quads(3, 3, 3, vec![(0, 0, 0, 1.5), (2, 2, 2, -2.5)])
+            .unwrap();
     let rlc = RlcTensor3::from_coo(&coo, 2); // max run = 3
     assert_eq!(rlc.get(0, 0, 0), 1.5);
     assert_eq!(rlc.get(2, 2, 2), -2.5);
@@ -133,6 +142,16 @@ fn utilization_is_bounded_and_ordered() {
         assert!((0.0..=1.0).contains(&u));
         utils.push(u);
     }
-    assert!(utils[0] >= utils[1], "csr-csc {} < csr-dense {}", utils[0], utils[1]);
-    assert!(utils[1] >= utils[2], "csr-dense {} < dense-dense {}", utils[1], utils[2]);
+    assert!(
+        utils[0] >= utils[1],
+        "csr-csc {} < csr-dense {}",
+        utils[0],
+        utils[1]
+    );
+    assert!(
+        utils[1] >= utils[2],
+        "csr-dense {} < dense-dense {}",
+        utils[1],
+        utils[2]
+    );
 }

@@ -3,7 +3,9 @@
 //! pair, and its metering must behave monotonically.
 
 use proptest::prelude::*;
-use sparseflex::formats::{convert, CooMatrix, CsrMatrix, MatrixData, MatrixFormat, RlcMatrix, SparseMatrix};
+use sparseflex::formats::{
+    convert, CooMatrix, CsrMatrix, MatrixData, MatrixFormat, RlcMatrix, SparseMatrix,
+};
 use sparseflex::mint::ConversionEngine;
 
 fn arb_matrix() -> impl Strategy<Value = CooMatrix> {

@@ -94,9 +94,19 @@ fn sage_recommendation_is_minimal_over_dense_grid() {
     let mut checked = 0;
     for mcf_a in MatrixFormat::mcf_set() {
         for mcf_b in MatrixFormat::mcf_set() {
-            for acf_a in [MatrixFormat::Dense, MatrixFormat::Csr, MatrixFormat::Coo, MatrixFormat::Csc] {
+            for acf_a in [
+                MatrixFormat::Dense,
+                MatrixFormat::Csr,
+                MatrixFormat::Coo,
+                MatrixFormat::Csc,
+            ] {
                 for acf_b in [MatrixFormat::Dense, MatrixFormat::Csc] {
-                    let c = FormatChoice { mcf_a, mcf_b, acf_a, acf_b };
+                    let c = FormatChoice {
+                        mcf_a,
+                        mcf_b,
+                        acf_a,
+                        acf_b,
+                    };
                     if let Ok(e) = sage.evaluate(&w, &c, ConversionMode::Hardware) {
                         assert!(
                             e.edp(sage.accel.clock_hz) >= best_edp * 0.999,
@@ -116,13 +126,18 @@ fn flexible_system_dominates_on_every_table3_matrix_workload() {
     use sparseflex::workloads::TABLE_III;
     let sys = FlexSystem::default();
     for spec in TABLE_III.iter().filter(|s| !s.is_tensor()) {
-        let sparseflex::workloads::WorkloadShape::Matrix { rows: m, cols: k } = spec.shape
-        else { continue };
+        let sparseflex::workloads::WorkloadShape::Matrix { rows: m, cols: k } = spec.shape else {
+            continue;
+        };
         let (_, fc) = spec.factor_dims();
         let w = SageWorkload::spmm(m, k, fc, spec.nnz as u64, DataType::Fp32);
         for (class, norm) in sys.normalized_edp(&w) {
             if let Some(x) = norm {
-                assert!(x >= 0.999, "{class} beats this work on {} (x={x})", spec.name);
+                assert!(
+                    x >= 0.999,
+                    "{class} beats this work on {} (x={x})",
+                    spec.name
+                );
             }
         }
     }

@@ -9,8 +9,12 @@ use sparseflex::kernels::gemm::gemm_naive;
 
 fn matrix_a() -> CooMatrix {
     // Matrix A (4x8): A@(0,0), B@(0,2), C@(0,4), H@(3,5).
-    CooMatrix::from_triplets(4, 8, vec![(0, 0, 1.0), (0, 2, 2.0), (0, 4, 3.0), (3, 5, 8.0)])
-        .unwrap()
+    CooMatrix::from_triplets(
+        4,
+        8,
+        vec![(0, 0, 1.0), (0, 2, 2.0), (0, 4, 3.0), (3, 5, 8.0)],
+    )
+    .unwrap()
 }
 
 fn matrix_b() -> CooMatrix {
@@ -44,7 +48,12 @@ fn run(fa: MatrixFormat, fb: MatrixFormat) -> sparseflex::accel::SimResult {
 
 #[test]
 fn dense_dense_takes_8_cycles_to_stream_a() {
-    assert_eq!(run(MatrixFormat::Dense, MatrixFormat::Dense).cycles.stream_a, 8);
+    assert_eq!(
+        run(MatrixFormat::Dense, MatrixFormat::Dense)
+            .cycles
+            .stream_a,
+        8
+    );
 }
 
 #[test]
@@ -54,7 +63,10 @@ fn csr_csc_takes_3_cycles_to_stream_a() {
 
 #[test]
 fn coo_dense_takes_4_cycles_to_stream_a() {
-    assert_eq!(run(MatrixFormat::Coo, MatrixFormat::Dense).cycles.stream_a, 4);
+    assert_eq!(
+        run(MatrixFormat::Coo, MatrixFormat::Dense).cycles.stream_a,
+        4
+    );
 }
 
 #[test]
@@ -73,7 +85,9 @@ fn all_three_walkthrough_runs_compute_the_same_product() {
 fn acf_ordering_matches_fig6_takeaway() {
     // "ACFs affect both buffer utilization and data streaming latency":
     // for this sparse A, CSR streams fastest, COO second, Dense slowest.
-    let dense = run(MatrixFormat::Dense, MatrixFormat::Dense).cycles.stream_a;
+    let dense = run(MatrixFormat::Dense, MatrixFormat::Dense)
+        .cycles
+        .stream_a;
     let coo = run(MatrixFormat::Coo, MatrixFormat::Dense).cycles.stream_a;
     let csr = run(MatrixFormat::Csr, MatrixFormat::Csc).cycles.stream_a;
     assert!(csr < coo && coo < dense);

@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the criterion 0.5 API that the
+//! workspace's `harness = false` bench targets use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, `Bencher::iter`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Semantics match criterion's command-line contract closely enough for
+//! cargo's two entry points:
+//!
+//! - `cargo bench` passes `--bench`: each benchmark runs `sample_size`
+//!   timed samples and prints mean / min per sample.
+//! - `cargo test --benches` does **not** pass `--bench`: each benchmark
+//!   body runs exactly once as a smoke test, unmeasured — the same
+//!   "test mode" real criterion uses, which keeps `cargo test` fast.
+//!
+//! No statistical analysis, plotting, or baseline comparison is
+//! performed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmark body (re-export shim over `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name` / `parameter` pair, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (criterion parity).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each sample (or once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // One untimed warm-up sample.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.test_mode {
+        println!("test-mode {name}: ok (1 iteration)");
+        return;
+    }
+    if b.results.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.results.iter().sum();
+    let mean = total / b.results.len() as u32;
+    let min = b.results.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {name}: mean {mean:?}, min {min:?} ({} samples)",
+        b.results.len()
+    );
+}
+
+/// Benchmark manager: entry point of every bench target.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test --benches does not.
+        // Absent the flag we are in criterion's "test mode": run each
+        // body once, unmeasured.
+        let bench_requested = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            test_mode: !bench_requested,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            test_mode: self.test_mode,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.samples = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.samples,
+            test_mode: self.criterion.test_mode,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (criterion parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group(c: &mut Criterion) -> usize {
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("plain", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        calls
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_samples: 10,
+        };
+        assert_eq!(run_group(&mut c), 1);
+    }
+
+    #[test]
+    fn bench_mode_runs_warmup_plus_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_samples: 10,
+        };
+        assert_eq!(run_group(&mut c), 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_samples: 10,
+        };
+        let mut g = c.benchmark_group("inputs");
+        let data = vec![1, 2, 3];
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| seen = d.iter().sum::<i32>())
+        });
+        g.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_slash_param() {
+        assert_eq!(BenchmarkId::new("scan", 42).to_string(), "scan/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
