@@ -2,8 +2,8 @@
 //! kernels across density regions (scaled to n=1024 so the sweep finishes
 //! in seconds). The model (`fig05`) covers the paper-scale n=11k.
 
-use sparseflex_formats::CsrMatrix;
-use sparseflex_kernels::{gemm_parallel, spgemm_parallel, spmm_csr_dense_parallel};
+use sparseflex_formats::{CsrMatrix, MatrixData};
+use sparseflex_kernels::{gemm_parallel, spgemm_parallel, spmm_parallel};
 use sparseflex_workloads::synth::{random_dense_matrix, random_matrix};
 use std::time::Instant;
 
@@ -33,13 +33,13 @@ pub fn rows() -> Vec<String> {
     });
     for dens in [1e-4, 1e-3, 1e-2, 1e-1] {
         let nnz = ((N * N) as f64 * dens) as usize;
-        let a = CsrMatrix::from_coo(&random_matrix(N, N, nnz.max(1), 3));
-        let b = CsrMatrix::from_coo(&random_matrix(N, N, nnz.max(1), 4));
+        let a = MatrixData::Csr(CsrMatrix::from_coo(&random_matrix(N, N, nnz.max(1), 3)));
+        let b = MatrixData::Csr(CsrMatrix::from_coo(&random_matrix(N, N, nnz.max(1), 4)));
         let spmm_t = best_of(2, || {
-            let _ = spmm_csr_dense_parallel(&a, &b_dense);
+            let _ = spmm_parallel(&a, &b_dense).expect("shapes agree");
         });
         let spgemm_t = best_of(2, || {
-            let _ = spgemm_parallel(&a, &b);
+            let _ = spgemm_parallel(&a, &b).expect("shapes agree");
         });
         out.push(format!(
             "{dens:.0e},{gemm_t:.4e},{spmm_t:.4e},{spgemm_t:.4e}"

@@ -4,7 +4,7 @@
 use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimError, SimResult};
 use sparseflex_accel::taxonomy::AcceleratorClass;
 use sparseflex_formats::{
-    CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
+    csr_from_stream, CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
 };
 use sparseflex_mint::{ConversionEngine, ConversionReport};
 use sparseflex_sage::eval::ConversionMode;
@@ -122,15 +122,17 @@ impl FlexSystem {
                     b: choice.acf_b,
                 })?;
 
-        // Execute.
+        // Execute. The SpGEMM simulator wants CSR operands; non-CSR ACFs
+        // are materialized with one pass over their fiber streams rather
+        // than a COO hub round-trip.
         let sim = if choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr {
             let a_csr = match &a_acf {
                 MatrixData::Csr(c) => c.clone(),
-                other => CsrMatrix::from_coo(&other.to_coo()),
+                other => csr_from_stream(other.rows(), other.cols(), other.row_stream()),
             };
             let b_csr = match &b_acf {
                 MatrixData::Csr(c) => c.clone(),
-                other => CsrMatrix::from_coo(&other.to_coo()),
+                other => csr_from_stream(other.rows(), other.cols(), other.row_stream()),
             };
             simulate_spgemm(&a_csr, &b_csr, &self.sage.accel)?
         } else {
@@ -147,9 +149,9 @@ impl FlexSystem {
 
     /// Software reference output for verification.
     pub fn reference_output(a: &CooMatrix, b: &CooMatrix) -> DenseMatrix {
-        let a_csr = CsrMatrix::from_coo(a);
+        let a_csr = MatrixData::Csr(CsrMatrix::from_coo(a));
         let b_dense = b.clone().into_dense();
-        sparseflex_kernels::spmm_csr_dense(&a_csr, &b_dense)
+        sparseflex_kernels::spmm(&a_csr, &b_dense).expect("operand shapes agree by construction")
     }
 
     /// Normalized-EDP table (Fig. 13): every class's best EDP divided by

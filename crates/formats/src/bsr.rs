@@ -281,6 +281,19 @@ mod tests {
     }
 
     #[test]
+    fn padding_zeros_do_not_count_as_nonzeros() {
+        // Incomplete blocks store explicit zeros; the traits.rs contract
+        // says nnz()/density() count stored nonzeros only, matching
+        // to_coo() element-for-element.
+        let coo = CooMatrix::from_triplets(5, 5, vec![(0, 0, 1.0), (4, 4, 2.0)]).unwrap();
+        let bsr = BsrMatrix::from_coo(&coo, 2, 2).unwrap();
+        assert!(bsr.stored_values() > bsr.nnz(), "blocks must be padded");
+        assert_eq!(bsr.nnz(), 2);
+        assert_eq!(bsr.nnz(), bsr.to_coo().nnz());
+        assert!((bsr.density() - 2.0 / 25.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn get_outside_blocks_is_zero() {
         let bsr = BsrMatrix::from_coo(&fig3a(), 2, 2).unwrap();
         assert_eq!(bsr.get(0, 2), 0.0);

@@ -226,6 +226,25 @@ mod tests {
     }
 
     #[test]
+    fn strip_padding_does_not_count_as_nonzeros() {
+        // A strip slot can be (a) outside the matrix or (b) an explicit
+        // zero inside it; neither counts toward nnz() under the traits.rs
+        // "stored nonzeros, no explicit zeros" contract.
+        let dia = DiaMatrix::from_parts(
+            3,
+            3,
+            vec![-1, 0],
+            // offset -1 strip: [pad, 4.0, 0.0]; main diagonal: [1.0, 0.0, 3.0].
+            vec![9.0, 4.0, 0.0, 1.0, 0.0, 3.0],
+        )
+        .unwrap();
+        assert_eq!(dia.stored_values(), 6);
+        assert_eq!(dia.nnz(), 3);
+        assert_eq!(dia.nnz(), dia.to_coo().nnz());
+        assert!((dia.density() - 3.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn from_parts_validates() {
         // Wrong payload length.
         assert!(DiaMatrix::from_parts(3, 3, vec![0], vec![1.0; 2]).is_err());

@@ -87,7 +87,12 @@ impl EllMatrix {
                         axis: 1,
                     });
                 }
-                nnz += 1;
+                // The `nnz()` contract (traits.rs) counts stored *nonzeros*
+                // only: an occupied slot carrying an explicit zero is
+                // padding-equivalent and must not count.
+                if values[r * width + w] != 0.0 {
+                    nnz += 1;
+                }
             }
         }
         Ok(EllMatrix {
@@ -228,5 +233,17 @@ mod tests {
         assert!(EllMatrix::from_parts(2, 2, 1, vec![0, 9], vec![1.0, 2.0]).is_err());
         let ok = EllMatrix::from_parts(2, 2, 1, vec![0, ELL_PAD], vec![1.0, 0.0]).unwrap();
         assert_eq!(ok.nnz(), 1);
+    }
+
+    #[test]
+    fn explicit_zero_slots_do_not_count_as_nonzeros() {
+        // An occupied slot carrying value 0.0 is padding-equivalent: the
+        // "stored nonzeros, no explicit zeros" contract in traits.rs says
+        // nnz()/density() must ignore it, matching to_coo().
+        let ell = EllMatrix::from_parts(2, 3, 2, vec![0, 2, 1, ELL_PAD], vec![1.0, 0.0, 2.0, 0.0])
+            .unwrap();
+        assert_eq!(ell.nnz(), 2);
+        assert_eq!(ell.nnz(), ell.to_coo().nnz());
+        assert!((ell.density() - 2.0 / 6.0).abs() < 1e-15);
     }
 }

@@ -34,6 +34,11 @@
 //! all format pairs (used both as the `Flex_Flex_SW` baseline and as the
 //! functional oracle for the MINT hardware converter).
 //!
+//! The [`traverse`] module exposes every format as a **fiber stream**
+//! ([`RowMajorStream`] / [`FiberStream3`]): the uniform streaming traversal
+//! the format-generic kernels in `sparseflex-kernels` consume, so a kernel
+//! written once runs over any of these formats without pre-conversion.
+//!
 //! ## Example
 //!
 //! ```
@@ -80,6 +85,7 @@ pub mod size_model;
 pub mod stats;
 pub mod tensor;
 pub mod traits;
+pub mod traverse;
 pub mod zvc;
 
 pub use bsr::BsrMatrix;
@@ -97,6 +103,7 @@ pub use hicoo::HiCooTensor;
 pub use rlc::{RlcMatrix, RlcTensor3};
 pub use tensor::{CooTensor3, DenseTensor3};
 pub use traits::{SparseMatrix, SparseTensor3};
+pub use traverse::{csr_from_stream, FiberStream3, RowMajorStream};
 pub use zvc::{ZvcMatrix, ZvcTensor3};
 
 /// Scalar element type used for all functional (value-carrying) storage.

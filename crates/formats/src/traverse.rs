@@ -1,0 +1,789 @@
+//! Fiber-stream traversal: one streaming interface over every format.
+//!
+//! The paper's central claim is that a sparse tensor accelerator should
+//! consume operands in *any* compression format (Fig. 3). The natural unit
+//! of consumption is the **fiber** — Fig. 3's terminology for a
+//! one-dimensional slice of the operand holding all stored elements that
+//! share their remaining coordinates. For a matrix streamed row-major, a
+//! fiber is one compressed row (`row_id`, the sorted column ids, and the
+//! stored values); for a 3-D tensor it is one `(x, y)` mode-z fiber —
+//! exactly the runs CSF's tree levels point at (Fig. 3b) and the order the
+//! paper's Algorithm 1 consumes nonzeros in.
+//!
+//! [`RowMajorStream`] and [`FiberStream3`] expose that traversal uniformly:
+//! every matrix format can push its fibers row-major, and every 3-D tensor
+//! format can push its mode-z fibers x-major, regardless of how the bits
+//! are laid out. Formats whose storage *is* fiber-shaped (CSR's rows, COO's
+//! sorted runs, CSF's level-2 slices, ZVC's packed per-row values) stream
+//! zero-copy; padded or transposed layouts (BSR, ELL, DIA, CSC, RLC, Dense)
+//! assemble each fiber in a small scratch buffer as they walk their native
+//! structure — no COO hub round-trip, no format conversion.
+//!
+//! Kernels written against these traits run unchanged over every format
+//! (see `sparseflex-kernels`' format-generic `spmv`/`spmm`/`spgemm`/
+//! `mttkrp`/`spttm`), which is the software analogue of the paper's
+//! flexible-ACF accelerator: implement one traversal per format, get every
+//! kernel for free.
+//!
+//! # Ordering contract
+//!
+//! Implementations **must** emit exactly the elements their `to_coo()`
+//! produces (stored nonzeros only — padding slots and explicit zeros are
+//! skipped), grouped into non-empty fibers, with fiber ids strictly
+//! ascending and coordinates strictly ascending within each fiber. This
+//! makes the stream a drop-in replacement for the COO hub in any
+//! order-sensitive consumer (CSR construction, merge-joins, the
+//! weight-stationary dataflow).
+
+use crate::bsr::BsrMatrix;
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::csf::CsfTensor;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::dia::DiaMatrix;
+use crate::ell::{EllMatrix, ELL_PAD};
+use crate::formats::{MatrixData, TensorData};
+use crate::hicoo::HiCooTensor;
+use crate::rlc::{RlcMatrix, RlcTensor3};
+use crate::tensor::{CooTensor3, DenseTensor3};
+use crate::zvc::{ZvcMatrix, ZvcTensor3};
+use crate::Value;
+
+/// Callback consuming one matrix row fiber: `(row, col_ids, values)`.
+pub type RowFiberSink<'a> = dyn FnMut(usize, &[usize], &[Value]) + 'a;
+
+/// Callback consuming one tensor mode-z fiber: `(x, y, z_ids, values)`.
+pub type FiberSink3<'a> = dyn FnMut(usize, usize, &[usize], &[Value]) + 'a;
+
+/// Row-major fiber traversal over any 2-D format.
+///
+/// One call to [`for_each_fiber`](Self::for_each_fiber) pushes every stored
+/// row fiber `(row, cols, vals)` through the callback, rows ascending and
+/// columns ascending within each row — the order the paper's streaming
+/// dataflows (Alg. 1, Fig. 6) consume the operand in. Hub-only consumers
+/// that want individual nonzeros can use the derived triple stream
+/// [`for_each_nnz`](Self::for_each_nnz) instead.
+pub trait RowMajorStream {
+    /// Push each non-empty row fiber `(row, col_ids, values)` in row-major
+    /// order. `col_ids` and `values` are parallel slices (borrowed from the
+    /// format where the layout allows, from a scratch buffer otherwise) and
+    /// are only valid for the duration of the callback.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>);
+
+    /// Push individual `(row, col, value)` triples in row-major order — the
+    /// nnz stream view of the same traversal.
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
+        self.for_each_fiber(&mut |r, cols, vals| {
+            for (&c, &v) in cols.iter().zip(vals) {
+                emit(r, c, v);
+            }
+        });
+    }
+}
+
+/// Mode-z fiber traversal over any 3-D tensor format.
+///
+/// One call to [`for_each_fiber`](Self::for_each_fiber) pushes every
+/// non-empty `(x, y)` fiber — the z-direction runs of Fig. 3b that CSF's
+/// tree levels index — with `(x, y)` lexicographically ascending and z
+/// ascending within each fiber.
+pub trait FiberStream3 {
+    /// Push each non-empty fiber `(x, y, z_ids, values)` in `(x, y)`
+    /// lexicographic order. `z_ids` and `values` are parallel slices valid
+    /// only for the duration of the callback.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>);
+
+    /// Push individual `(x, y, z, value)` quads in x-major order.
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
+        self.for_each_fiber(&mut |x, y, zs, vals| {
+            for (&z, &v) in zs.iter().zip(vals) {
+                emit(x, y, z, v);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix implementations
+// ---------------------------------------------------------------------------
+
+impl RowMajorStream for CsrMatrix {
+    /// Zero-copy: CSR rows *are* fibers.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        for r in 0..self.rows() {
+            let (cols, vals) = self.row(r);
+            if !cols.is_empty() {
+                emit(r, cols, vals);
+            }
+        }
+    }
+}
+
+impl RowMajorStream for CooMatrix {
+    /// Zero-copy: the hub arrays are row-major sorted, so each row's
+    /// entries form a contiguous run.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        let rids = self.row_ids();
+        let mut s = 0;
+        while s < rids.len() {
+            let r = rids[s];
+            let mut e = s + 1;
+            while e < rids.len() && rids[e] == r {
+                e += 1;
+            }
+            emit(r, &self.col_ids()[s..e], &self.values()[s..e]);
+            s = e;
+        }
+    }
+
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
+        for (r, c, v) in self.iter() {
+            emit(r, c, v);
+        }
+    }
+}
+
+impl RowMajorStream for DenseMatrix {
+    /// Small-scratch: compacts each dense row's nonzeros into one fiber
+    /// (the stream equivalent of `to_coo`'s row scan).
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let mut cols: Vec<usize> = Vec::with_capacity(self.cols());
+        let mut vals: Vec<Value> = Vec::with_capacity(self.cols());
+        for r in 0..self.rows() {
+            cols.clear();
+            vals.clear();
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            if !cols.is_empty() {
+                emit(r, &cols, &vals);
+            }
+        }
+    }
+}
+
+impl RowMajorStream for CscMatrix {
+    /// Small-scratch counting-sort transpose: one O(nnz) bucketing pass
+    /// (the same algorithm MINT's CSC→CSR pipeline runs in hardware,
+    /// Fig. 8c), then a zero-copy walk of the transposed runs.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let nnz = self.values().len();
+        let mut row_ptr = vec![0usize; self.rows() + 1];
+        for &r in self.row_ids() {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..self.rows() {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut cols = vec![0usize; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = row_ptr.clone();
+        // Column-major scan fills each row bucket in ascending column order.
+        for (r, c, v) in self.iter_col_major() {
+            let slot = next[r];
+            next[r] += 1;
+            cols[slot] = c;
+            vals[slot] = v;
+        }
+        for r in 0..self.rows() {
+            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
+            if s < e {
+                emit(r, &cols[s..e], &vals[s..e]);
+            }
+        }
+    }
+}
+
+impl RowMajorStream for BsrMatrix {
+    /// Small-scratch: walks each block row once, merging the stored blocks'
+    /// local rows (block columns are sorted, so concatenation is already
+    /// column-ascending) and skipping padding zeros.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let (br_h, bc_w) = self.block_shape();
+        let mut cols: Vec<usize> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+        for br in 0..self.num_block_rows() {
+            for lr in 0..br_h {
+                let r = br * br_h + lr;
+                if r >= self.rows() {
+                    break;
+                }
+                cols.clear();
+                vals.clear();
+                for i in self.row_ptr()[br]..self.row_ptr()[br + 1] {
+                    let bc = self.col_ids()[i];
+                    let blk = self.block(i);
+                    for lc in 0..bc_w {
+                        let c = bc * bc_w + lc;
+                        if c >= self.cols() {
+                            break;
+                        }
+                        let v = blk[lr * bc_w + lc];
+                        if v != 0.0 {
+                            cols.push(c);
+                            vals.push(v);
+                        }
+                    }
+                }
+                if !cols.is_empty() {
+                    emit(r, &cols, &vals);
+                }
+            }
+        }
+    }
+}
+
+impl RowMajorStream for EllMatrix {
+    /// Small-scratch: drops each padded row's sentinel slots and explicit
+    /// zeros, sorting by column (builders may supply unsorted slots).
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let mut fiber: Vec<(usize, Value)> = Vec::with_capacity(self.width());
+        let mut cols: Vec<usize> = Vec::with_capacity(self.width());
+        let mut vals: Vec<Value> = Vec::with_capacity(self.width());
+        for r in 0..self.rows() {
+            let (cs, vs) = self.row(r);
+            fiber.clear();
+            for (&c, &v) in cs.iter().zip(vs) {
+                if c != ELL_PAD && v != 0.0 {
+                    fiber.push((c, v));
+                }
+            }
+            if fiber.is_empty() {
+                continue;
+            }
+            fiber.sort_unstable_by_key(|&(c, _)| c);
+            cols.clear();
+            vals.clear();
+            for &(c, v) in &fiber {
+                cols.push(c);
+                vals.push(v);
+            }
+            emit(r, &cols, &vals);
+        }
+    }
+}
+
+impl RowMajorStream for DiaMatrix {
+    /// Small-scratch: per row, the sorted diagonal offsets yield columns in
+    /// ascending order directly (`col = row + offset`); out-of-bounds strip
+    /// slots and padding zeros are skipped.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let mut cols: Vec<usize> = Vec::with_capacity(self.num_diagonals());
+        let mut vals: Vec<Value> = Vec::with_capacity(self.num_diagonals());
+        for r in 0..self.rows() {
+            cols.clear();
+            vals.clear();
+            for (d, &k) in self.offsets().iter().enumerate() {
+                let c = r as isize + k;
+                if c < 0 || c as usize >= self.cols() {
+                    continue;
+                }
+                let v = self.data()[d * self.rows() + r];
+                if v != 0.0 {
+                    cols.push(c as usize);
+                    vals.push(v);
+                }
+            }
+            if !cols.is_empty() {
+                emit(r, &cols, &vals);
+            }
+        }
+    }
+}
+
+impl RowMajorStream for RlcMatrix {
+    /// Native stream: decodes the run-length entries in flat order (which
+    /// is row-major by construction), batching each row into one fiber.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let cols_n = self.cols();
+        let mut cur_row = usize::MAX;
+        let mut cols: Vec<usize> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+        let mut cursor = 0u64;
+        for e in self.entries() {
+            let pos = cursor + e.zeros;
+            cursor = pos + 1;
+            if e.value == 0.0 {
+                continue; // run-extension entry
+            }
+            let r = (pos as usize) / cols_n;
+            if r != cur_row {
+                if !cols.is_empty() {
+                    emit(cur_row, &cols, &vals);
+                    cols.clear();
+                    vals.clear();
+                }
+                cur_row = r;
+            }
+            cols.push((pos as usize) % cols_n);
+            vals.push(e.value);
+        }
+        if !cols.is_empty() {
+            emit(cur_row, &cols, &vals);
+        }
+    }
+}
+
+impl RowMajorStream for ZvcMatrix {
+    /// Half zero-copy: values are packed row-major, so each row's values
+    /// form a contiguous slice; only the column ids are decoded from the
+    /// bitmask into scratch.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        let (rows, cols_n) = (self.rows(), self.cols());
+        let mut cols: Vec<usize> = Vec::with_capacity(cols_n);
+        let mut vi = 0usize;
+        for r in 0..rows {
+            cols.clear();
+            let start = vi;
+            for c in 0..cols_n {
+                if self.bit(r * cols_n + c) {
+                    cols.push(c);
+                    vi += 1;
+                }
+            }
+            if !cols.is_empty() {
+                emit(r, &cols, &self.values()[start..vi]);
+            }
+        }
+    }
+}
+
+impl RowMajorStream for MatrixData {
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        self.row_stream().for_each_fiber(emit);
+    }
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
+        self.row_stream().for_each_nnz(emit);
+    }
+}
+
+impl MatrixData {
+    /// Borrow the payload as a row-major fiber stream — the format-agnostic
+    /// traversal every generic kernel consumes.
+    pub fn row_stream(&self) -> &dyn RowMajorStream {
+        match self {
+            MatrixData::Dense(m) => m,
+            MatrixData::Coo(m) => m,
+            MatrixData::Csr(m) => m,
+            MatrixData::Csc(m) => m,
+            MatrixData::Bsr(m) => m,
+            MatrixData::Dia(m) => m,
+            MatrixData::Ell(m) => m,
+            MatrixData::Rlc(m) => m,
+            MatrixData::Zvc(m) => m,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor implementations
+// ---------------------------------------------------------------------------
+
+impl FiberStream3 for CooTensor3 {
+    /// Zero-copy: the hub arrays are x-major sorted, so each `(x, y)`
+    /// fiber's entries form a contiguous run.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        let (xs, ys) = (self.x_ids(), self.y_ids());
+        let mut s = 0;
+        while s < xs.len() {
+            let (x, y) = (xs[s], ys[s]);
+            let mut e = s + 1;
+            while e < xs.len() && xs[e] == x && ys[e] == y {
+                e += 1;
+            }
+            emit(x, y, &self.z_ids()[s..e], &self.values()[s..e]);
+            s = e;
+        }
+    }
+
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
+        for (x, y, z, v) in self.iter() {
+            emit(x, y, z, v);
+        }
+    }
+}
+
+impl FiberStream3 for CsfTensor {
+    /// Zero-copy tree walk: CSF's level-2 slices *are* the fibers — each
+    /// `y_ptr` range is one `(x, y)` fiber's z ids and values.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        for (si, &x) in self.x_fids().iter().enumerate() {
+            for fi in self.x_ptr()[si]..self.x_ptr()[si + 1] {
+                let (s, e) = (self.y_ptr()[fi], self.y_ptr()[fi + 1]);
+                if s < e {
+                    emit(
+                        x,
+                        self.y_fids()[fi],
+                        &self.z_fids()[s..e],
+                        &self.values()[s..e],
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl FiberStream3 for DenseTensor3 {
+    /// Small-scratch: each `(x, y)` run of the flat buffer (z fastest) is
+    /// one fiber; zeros are compacted away.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let mut zs: Vec<usize> = Vec::with_capacity(dz);
+        let mut vals: Vec<Value> = Vec::with_capacity(dz);
+        for x in 0..dx {
+            for y in 0..dy {
+                let base = (x * dy + y) * dz;
+                zs.clear();
+                vals.clear();
+                for (z, &v) in self.data()[base..base + dz].iter().enumerate() {
+                    if v != 0.0 {
+                        zs.push(z);
+                        vals.push(v);
+                    }
+                }
+                if !zs.is_empty() {
+                    emit(x, y, &zs, &vals);
+                }
+            }
+        }
+    }
+}
+
+impl FiberStream3 for HiCooTensor {
+    /// Scratch sort: HiCOO clusters nonzeros by spatial block, so one
+    /// `(x, y)` fiber may be split across blocks; the walk decodes the
+    /// block-relative coordinates and re-sorts them x-major once (O(nnz
+    /// log nnz)) before emitting fibers.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        let mut quads: Vec<(usize, usize, usize, Value)> = self.iter().collect();
+        quads.sort_unstable_by_key(|&(x, y, z, _)| (x, y, z));
+        let mut zs: Vec<usize> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+        let mut s = 0;
+        while s < quads.len() {
+            let (x, y) = (quads[s].0, quads[s].1);
+            zs.clear();
+            vals.clear();
+            let mut e = s;
+            while e < quads.len() && quads[e].0 == x && quads[e].1 == y {
+                zs.push(quads[e].2);
+                vals.push(quads[e].3);
+                e += 1;
+            }
+            emit(x, y, &zs, &vals);
+            s = e;
+        }
+    }
+}
+
+impl FiberStream3 for RlcTensor3 {
+    /// Native stream: the flattened run-length entries decode in `(x, y, z)`
+    /// order; consecutive same-`(x, y)` elements batch into one fiber.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        let (dy, dz) = (self.dim_y(), self.dim_z());
+        let mut cur: Option<(usize, usize)> = None;
+        let mut zs: Vec<usize> = Vec::new();
+        let mut vals: Vec<Value> = Vec::new();
+        let mut cursor = 0u64;
+        for e in self.entries() {
+            let pos = cursor + e.zeros;
+            cursor = pos + 1;
+            if e.value == 0.0 {
+                continue; // run-extension entry
+            }
+            let p = pos as usize;
+            let xy = (p / (dy * dz), (p / dz) % dy);
+            if cur != Some(xy) {
+                if let Some((x, y)) = cur {
+                    if !zs.is_empty() {
+                        emit(x, y, &zs, &vals);
+                        zs.clear();
+                        vals.clear();
+                    }
+                }
+                cur = Some(xy);
+            }
+            zs.push(p % dz);
+            vals.push(e.value);
+        }
+        if let Some((x, y)) = cur {
+            if !zs.is_empty() {
+                emit(x, y, &zs, &vals);
+            }
+        }
+    }
+}
+
+impl FiberStream3 for ZvcTensor3 {
+    /// Half zero-copy: values are packed in flat order, so each `(x, y)`
+    /// fiber's values are contiguous; z ids decode from the bitmask.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let mut zs: Vec<usize> = Vec::with_capacity(dz);
+        let mut vi = 0usize;
+        for x in 0..dx {
+            for y in 0..dy {
+                let base = (x * dy + y) * dz;
+                zs.clear();
+                let start = vi;
+                for z in 0..dz {
+                    if self.bit(base + z) {
+                        zs.push(z);
+                        vi += 1;
+                    }
+                }
+                if !zs.is_empty() {
+                    emit(x, y, &zs, &self.values()[start..vi]);
+                }
+            }
+        }
+    }
+}
+
+impl FiberStream3 for TensorData {
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        self.fiber_stream().for_each_fiber(emit);
+    }
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
+        self.fiber_stream().for_each_nnz(emit);
+    }
+}
+
+impl TensorData {
+    /// Borrow the payload as a mode-z fiber stream — the format-agnostic
+    /// traversal the generic tensor kernels consume.
+    pub fn fiber_stream(&self) -> &dyn FiberStream3 {
+        match self {
+            TensorData::Dense(t) => t,
+            TensorData::Coo(t) => t,
+            TensorData::Csf(t) => t,
+            TensorData::HiCoo(t) => t,
+            TensorData::Rlc(t) => t,
+            TensorData::Zvc(t) => t,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream consumers
+// ---------------------------------------------------------------------------
+
+/// Materialize any row-major stream as CSR in one pass — the streaming
+/// replacement for the `to_coo()` hub round-trip when a consumer needs
+/// random row access (Gustavson SpGEMM, the weight-stationary simulator).
+pub fn csr_from_stream(rows: usize, cols: usize, stream: &dyn RowMajorStream) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0usize);
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+    stream.for_each_fiber(&mut |r, cs, vs| {
+        while row_ptr.len() <= r {
+            row_ptr.push(col_ids.len());
+        }
+        col_ids.extend_from_slice(cs);
+        values.extend_from_slice(vs);
+    });
+    while row_ptr.len() <= rows {
+        row_ptr.push(col_ids.len());
+    }
+    CsrMatrix::from_parts(rows, cols, row_ptr, col_ids, values)
+        .expect("the stream ordering contract yields valid CSR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::{MatrixFormat, TensorFormat};
+    use crate::traits::SparseMatrix;
+
+    fn all_matrix_formats() -> Vec<MatrixFormat> {
+        vec![
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Bsr { br: 2, bc: 2 },
+            MatrixFormat::Dia,
+            MatrixFormat::Ell,
+            MatrixFormat::Rlc { run_bits: 3 },
+            MatrixFormat::Zvc,
+        ]
+    }
+
+    fn all_tensor_formats() -> Vec<TensorFormat> {
+        vec![
+            TensorFormat::Dense,
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::HiCoo { block: 2 },
+            TensorFormat::Rlc { run_bits: 3 },
+            TensorFormat::Zvc,
+        ]
+    }
+
+    fn sample_matrix() -> CooMatrix {
+        CooMatrix::from_triplets(
+            7,
+            6,
+            vec![
+                (0, 0, 1.0),
+                (0, 5, 2.0),
+                (1, 2, 3.0),
+                (3, 0, 4.0),
+                (3, 1, 5.0),
+                (3, 5, 6.0),
+                (6, 3, -7.0),
+                (6, 4, 8.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_tensor() -> CooTensor3 {
+        CooTensor3::from_quads(
+            4,
+            3,
+            5,
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 4, 2.0),
+                (0, 2, 1, 3.0),
+                (2, 1, 0, 4.0),
+                (2, 1, 3, -5.0),
+                (3, 2, 2, 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Streaming any format must enumerate exactly `to_coo()`'s triples in
+    /// the same order — the core traversal contract.
+    #[test]
+    fn matrix_streams_match_coo_hub_for_every_format() {
+        let coo = sample_matrix();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let mut streamed: Vec<(usize, usize, Value)> = Vec::new();
+            data.for_each_nnz(&mut |r, c, v| streamed.push((r, c, v)));
+            let expect: Vec<_> = coo.iter().collect();
+            assert_eq!(streamed, expect, "nnz stream mismatch for {fmt}");
+
+            // Fiber view: rows strictly ascending, cols strictly ascending.
+            let mut last_row = None;
+            data.for_each_fiber(&mut |r, cs, vs| {
+                assert!(!cs.is_empty(), "{fmt} emitted an empty fiber");
+                assert_eq!(cs.len(), vs.len());
+                assert!(last_row.is_none_or(|lr| lr < r), "{fmt} rows not ascending");
+                assert!(
+                    cs.windows(2).all(|w| w[0] < w[1]),
+                    "{fmt} cols not ascending in row {r}"
+                );
+                assert!(vs.iter().all(|&v| v != 0.0), "{fmt} emitted explicit zero");
+                last_row = Some(r);
+            });
+        }
+    }
+
+    #[test]
+    fn tensor_streams_match_coo_hub_for_every_format() {
+        let coo = sample_tensor();
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&coo, &fmt).unwrap();
+            let mut streamed: Vec<(usize, usize, usize, Value)> = Vec::new();
+            data.for_each_nnz(&mut |x, y, z, v| streamed.push((x, y, z, v)));
+            let expect: Vec<_> = coo.iter().collect();
+            assert_eq!(streamed, expect, "nnz stream mismatch for {fmt}");
+
+            let mut last_fiber = None;
+            data.for_each_fiber(&mut |x, y, zs, vs| {
+                assert!(!zs.is_empty(), "{fmt} emitted an empty fiber");
+                assert_eq!(zs.len(), vs.len());
+                assert!(
+                    last_fiber.is_none_or(|lf| lf < (x, y)),
+                    "{fmt} fibers not ascending"
+                );
+                assert!(zs.windows(2).all(|w| w[0] < w[1]));
+                last_fiber = Some((x, y));
+            });
+        }
+    }
+
+    #[test]
+    fn empty_operands_stream_nothing() {
+        let coo = CooMatrix::empty(5, 4);
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            data.for_each_fiber(&mut |_, _, _| panic!("empty matrix emitted a fiber"));
+        }
+        let tco = CooTensor3::empty(3, 3, 3);
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&tco, &fmt).unwrap();
+            data.for_each_fiber(&mut |_, _, _, _| panic!("empty tensor emitted a fiber"));
+        }
+    }
+
+    /// RLC saturating runs insert zero-valued extension entries; the stream
+    /// must skip them (they are metadata, not elements).
+    #[test]
+    fn rlc_extension_entries_are_skipped() {
+        let coo = CooMatrix::from_triplets(2, 40, vec![(0, 39, 9.0), (1, 20, 3.0)]).unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Rlc { run_bits: 3 }).unwrap();
+        let mut streamed = Vec::new();
+        data.for_each_nnz(&mut |r, c, v| streamed.push((r, c, v)));
+        assert_eq!(streamed, vec![(0, 39, 9.0), (1, 20, 3.0)]);
+    }
+
+    #[test]
+    fn csr_from_stream_round_trips_every_format() {
+        let coo = sample_matrix();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let csr = csr_from_stream(data.rows(), data.cols(), data.row_stream());
+            assert_eq!(csr, CsrMatrix::from_coo(&coo), "csr_from_stream for {fmt}");
+        }
+        // Trailing empty rows must still be pointed at.
+        let tall = CooMatrix::from_triplets(6, 3, vec![(1, 1, 2.0)]).unwrap();
+        let csr = csr_from_stream(6, 3, &tall);
+        assert_eq!(csr.row_ptr(), &[0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    /// A non-cubic HiCOO block assignment splits (x, y) fibers across
+    /// blocks; the stream must still emit them merged and ordered.
+    #[test]
+    fn hicoo_reorders_block_clustered_elements() {
+        let coo = CooTensor3::from_quads(
+            8,
+            8,
+            8,
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 7, 2.0), // same fiber, different z-block
+                (7, 7, 1, 3.0),
+                (0, 7, 0, 4.0),
+            ],
+        )
+        .unwrap();
+        let data = TensorData::encode(&coo, &TensorFormat::HiCoo { block: 2 }).unwrap();
+        let mut fibers: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        data.for_each_fiber(&mut |x, y, zs, _| fibers.push((x, y, zs.to_vec())));
+        assert_eq!(
+            fibers,
+            vec![(0, 0, vec![0, 7]), (0, 7, vec![0]), (7, 7, vec![1]),]
+        );
+    }
+}

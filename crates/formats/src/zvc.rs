@@ -192,7 +192,10 @@ impl ZvcTensor3 {
         &self.values
     }
 
-    fn bit(&self, i: usize) -> bool {
+    /// Is the bit for flat position `i` set? (Shared with the fiber-stream
+    /// traversal in `traverse`.)
+    #[inline]
+    pub(crate) fn bit(&self, i: usize) -> bool {
         (self.mask[i / 64] >> (i % 64)) & 1 == 1
     }
 

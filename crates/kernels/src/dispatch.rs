@@ -1,0 +1,504 @@
+//! Format-generic kernel entry points.
+//!
+//! Each kernel is written **once** against the fiber-stream traversal of
+//! `sparseflex_formats::traverse`
+//! ([`RowMajorStream`](sparseflex_formats::traverse::RowMajorStream) /
+//! [`FiberStream3`](sparseflex_formats::traverse::FiberStream3)),
+//! so it consumes an operand in *any* of the paper's compression formats
+//! (Fig. 3) without pre-conversion — the software analogue of the paper's
+//! flexible-ACF accelerator. Dispatch keeps the tuned concrete
+//! implementations as specializations: when the operand arrives in the
+//! format a fast path was written for (CSR SpMV/SpMM, COO Alg. 1, CSF
+//! fiber kernels, CSC-stationary SpMM), that path runs; every other format
+//! flows through the generic stream consumer, which produces identical
+//! results.
+//!
+//! All entry points validate operand shapes and return
+//! [`KernelError::ShapeMismatch`] instead of panicking.
+//!
+//! The `*_via_stream` variants force the generic stream path even when a
+//! fast path exists; they exist so tests can pin `generic == specialized`
+//! and benches can price the dispatch/stream overhead (the `kernels_stream`
+//! criterion group).
+
+use crate::error::{check_dim, KernelError};
+use crate::{
+    mttkrp as mttkrp_mod, spgemm as spgemm_mod, spmm as spmm_mod, spmv as spmv_mod,
+    spttm as spttm_mod,
+};
+use sparseflex_formats::traverse::csr_from_stream;
+use sparseflex_formats::{
+    CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, SparseMatrix, SparseTensor3, TensorData,
+    Value,
+};
+use std::borrow::Cow;
+
+// ---------------------------------------------------------------------------
+// SpMV
+// ---------------------------------------------------------------------------
+
+/// SpMV over any matrix format: `y = A * x`.
+///
+/// CSR operands take the tuned row loop; every other format streams its
+/// row fibers through the same accumulation.
+pub fn spmv(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
+    check_dim("spmv", "A cols vs x len", a.cols(), x.len())?;
+    match a {
+        MatrixData::Csr(m) => Ok(spmv_mod::csr(m, x)),
+        _ => spmv_stream(a, x),
+    }
+}
+
+/// SpMV forced through the generic fiber stream (no fast-path dispatch).
+pub fn spmv_via_stream(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
+    check_dim("spmv", "A cols vs x len", a.cols(), x.len())?;
+    spmv_stream(a, x)
+}
+
+fn spmv_stream(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
+    let mut y = vec![0.0; a.rows()];
+    a.row_stream().for_each_fiber(&mut |r, cols, vals| {
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        y[r] = acc;
+    });
+    Ok(y)
+}
+
+// ---------------------------------------------------------------------------
+// SpMM (sparse A, dense B)
+// ---------------------------------------------------------------------------
+
+/// SpMM over any matrix format: `O = A * B` with dense `B`.
+///
+/// CSR takes the row loop, COO takes the paper's Algorithm 1 nnz stream;
+/// every other format streams its row fibers — same accumulation order,
+/// identical output.
+pub fn spmm(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
+    check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
+    match a {
+        MatrixData::Csr(m) => Ok(spmm_mod::csr_dense(m, b)),
+        MatrixData::Coo(m) => Ok(spmm_mod::coo_dense(m, b)),
+        _ => spmm_stream(a, b),
+    }
+}
+
+/// SpMM forced through the generic fiber stream (no fast-path dispatch).
+pub fn spmm_via_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
+    check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
+    spmm_stream(a, b)
+}
+
+/// Multithreaded SpMM over any matrix format.
+///
+/// CSR operands run the row-partitioned parallel fast path; other formats
+/// fall back to the sequential generic stream (their traversals are
+/// push-based and single-pass).
+pub fn spmm_parallel(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
+    check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
+    match a {
+        MatrixData::Csr(m) => Ok(spmm_mod::csr_dense_parallel(m, b)),
+        _ => spmm_stream(a, b),
+    }
+}
+
+fn spmm_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
+    let n = b.cols();
+    let mut o = DenseMatrix::zeros(a.rows(), n);
+    a.row_stream().for_each_fiber(&mut |r, cols, vals| {
+        let orow = &mut o.data_mut()[r * n..(r + 1) * n];
+        for (&c, &v) in cols.iter().zip(vals) {
+            for (ov, bv) in orow.iter_mut().zip(b.row(c)) {
+                *ov += v * bv;
+            }
+        }
+    });
+    Ok(o)
+}
+
+/// SpMM with the sparse operand on the right: `O = A * B` with dense `A`
+/// and `B` in any format.
+///
+/// CSC operands take the stationary-column fast path (Fig. 6b's
+/// weight-stationary layout); every other format streams `B` row-major,
+/// scattering each fiber against the matching dense column of `A`.
+pub fn spmm_sparse_b(a: &DenseMatrix, b: &MatrixData) -> Result<DenseMatrix, KernelError> {
+    check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
+    match b {
+        MatrixData::Csc(m) => Ok(spmm_mod::dense_csc(a, m)),
+        _ => {
+            let (m, n) = (a.rows(), b.cols());
+            let mut o = DenseMatrix::zeros(m, n);
+            b.row_stream().for_each_fiber(&mut |k, cols, vals| {
+                for i in 0..m {
+                    let aik = a.row(i)[k];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        o.add_assign(i, j, aik * v);
+                    }
+                }
+            });
+            Ok(o)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpGEMM (sparse A, sparse B)
+// ---------------------------------------------------------------------------
+
+/// Gustavson SpGEMM over any pair of matrix formats: `O = A * B` in CSR.
+///
+/// `A` streams its row fibers directly into the sparse accumulator; `B`
+/// needs random row access, so a non-CSR `B` is materialized once via
+/// [`csr_from_stream`] (a single stream pass — no COO hub round-trip).
+pub fn spgemm(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
+    check_dim("spgemm", "A cols vs B rows", a.cols(), b.rows())?;
+    let b_csr = csr_view(b);
+    if let MatrixData::Csr(m) = a {
+        return Ok(spgemm_mod::csr_csr(m, &b_csr));
+    }
+    let (rows, n) = (a.rows(), b.cols());
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0usize);
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+    let mut scratch = spgemm_mod::Accumulator::new(n);
+    a.row_stream().for_each_fiber(&mut |r, acols, avals| {
+        while row_ptr.len() <= r {
+            row_ptr.push(values.len());
+        }
+        spgemm_mod::gustavson_row(
+            acols,
+            avals,
+            &b_csr,
+            &mut scratch,
+            &mut col_ids,
+            &mut values,
+        );
+    });
+    while row_ptr.len() <= rows {
+        row_ptr.push(values.len());
+    }
+    Ok(CsrMatrix::from_parts(rows, n, row_ptr, col_ids, values)
+        .expect("Gustavson over an ordered stream emits valid CSR"))
+}
+
+/// Row-parallel Gustavson SpGEMM over any pair of matrix formats.
+///
+/// Non-CSR operands are materialized via one stream pass, then the banded
+/// parallel fast path runs.
+pub fn spgemm_parallel(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
+    check_dim("spgemm", "A cols vs B rows", a.cols(), b.rows())?;
+    let a_csr = csr_view(a);
+    let b_csr = csr_view(b);
+    Ok(spgemm_mod::csr_csr_parallel(&a_csr, &b_csr))
+}
+
+/// Borrow `m` as CSR when it already is, else materialize through the
+/// fiber stream.
+fn csr_view(m: &MatrixData) -> Cow<'_, CsrMatrix> {
+    match m {
+        MatrixData::Csr(c) => Cow::Borrowed(c),
+        _ => Cow::Owned(csr_from_stream(m.rows(), m.cols(), m.row_stream())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MTTKRP
+// ---------------------------------------------------------------------------
+
+/// MTTKRP over any 3-D tensor format:
+/// `O[i][j] = Σ_{k,l} A[i][k][l] * B[k][j] * C[l][j]`.
+///
+/// COO and CSF operands take their tuned fast paths; every other format
+/// streams its mode-z fibers through the CSF-style factored accumulation
+/// (partial sum over `l` per fiber, then one scaling by `B[k][j]`).
+pub fn mttkrp(
+    a: &TensorData,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    mttkrp_mod::check_factors(a.dim_y(), a.dim_z(), b, c)?;
+    match a {
+        TensorData::Coo(t) => Ok(mttkrp_mod::coo(t, b, c)),
+        TensorData::Csf(t) => Ok(mttkrp_mod::csf(t, b, c)),
+        _ => mttkrp_stream(a, b, c),
+    }
+}
+
+/// MTTKRP forced through the generic fiber stream (no fast-path dispatch).
+pub fn mttkrp_via_stream(
+    a: &TensorData,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    mttkrp_mod::check_factors(a.dim_y(), a.dim_z(), b, c)?;
+    mttkrp_stream(a, b, c)
+}
+
+fn mttkrp_stream(
+    a: &TensorData,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    let j = b.cols();
+    let mut o = DenseMatrix::zeros(a.dim_x(), j);
+    let mut fiber_acc = vec![0.0f64; j];
+    a.fiber_stream().for_each_fiber(&mut |i, k, zs, vals| {
+        fiber_acc.iter_mut().for_each(|v| *v = 0.0);
+        for (&l, &v) in zs.iter().zip(vals) {
+            for (av, cv) in fiber_acc.iter_mut().zip(c.row(l)) {
+                *av += v * cv;
+            }
+        }
+        let brow = b.row(k);
+        let orow = &mut o.data_mut()[i * j..(i + 1) * j];
+        for ((ov, av), bv) in orow.iter_mut().zip(&fiber_acc).zip(brow) {
+            *ov += av * bv;
+        }
+    });
+    Ok(o)
+}
+
+// ---------------------------------------------------------------------------
+// SpTTM
+// ---------------------------------------------------------------------------
+
+/// SpTTM over any 3-D tensor format:
+/// `Y[x][y][j] = Σ_z A[x][y][z] * B[z][j]`.
+///
+/// COO and CSF operands take their tuned fast paths; every other format
+/// streams its mode-z fibers through the CSF-style fiber-at-a-time
+/// accumulation.
+pub fn spttm(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
+    check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())?;
+    match a {
+        TensorData::Coo(t) => Ok(spttm_mod::coo(t, b)),
+        TensorData::Csf(t) => Ok(spttm_mod::csf(t, b)),
+        _ => spttm_stream(a, b),
+    }
+}
+
+/// SpTTM forced through the generic fiber stream (no fast-path dispatch).
+pub fn spttm_via_stream(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
+    check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())?;
+    spttm_stream(a, b)
+}
+
+fn spttm_stream(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
+    let j = b.cols();
+    let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
+    let mut acc = vec![0.0f64; j];
+    a.fiber_stream().for_each_fiber(&mut |x, yy, zs, vals| {
+        acc.iter_mut().for_each(|v| *v = 0.0);
+        for (&z, &v) in zs.iter().zip(vals) {
+            for (av, bv) in acc.iter_mut().zip(b.row(z)) {
+                *av += v * bv;
+            }
+        }
+        for (jj, &av) in acc.iter().enumerate() {
+            if av != 0.0 {
+                y.add_assign(x, yy, jj, av);
+            }
+        }
+    });
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+    use sparseflex_formats::{CooMatrix, CooTensor3, MatrixFormat, TensorFormat};
+
+    fn all_matrix_formats() -> Vec<MatrixFormat> {
+        vec![
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Bsr { br: 2, bc: 2 },
+            MatrixFormat::Dia,
+            MatrixFormat::Ell,
+            MatrixFormat::Rlc { run_bits: 4 },
+            MatrixFormat::Zvc,
+        ]
+    }
+
+    fn all_tensor_formats() -> Vec<TensorFormat> {
+        vec![
+            TensorFormat::Dense,
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::HiCoo { block: 2 },
+            TensorFormat::Rlc { run_bits: 4 },
+            TensorFormat::Zvc,
+        ]
+    }
+
+    fn sample_a() -> CooMatrix {
+        CooMatrix::from_triplets(
+            5,
+            4,
+            vec![
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+                (4, 3, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_b_dense() -> DenseMatrix {
+        DenseMatrix::from_vec(4, 3, (0..12).map(|i| (i % 7) as f64 - 3.0).collect()).unwrap()
+    }
+
+    #[test]
+    fn spmv_agrees_across_all_formats() {
+        let coo = sample_a();
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        let reference = spmv(&MatrixData::Csr(CsrMatrix::from_coo(&coo)), &x).unwrap();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            assert_eq!(spmv(&data, &x).unwrap(), reference, "spmv({fmt})");
+            assert_eq!(
+                spmv_via_stream(&data, &x).unwrap(),
+                reference,
+                "spmv_via_stream({fmt})"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_across_all_formats() {
+        let coo = sample_a();
+        let b = sample_b_dense();
+        let reference = gemm_naive(&coo.clone().into_dense(), &b);
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            assert_eq!(spmm(&data, &b).unwrap(), reference, "spmm({fmt})");
+            assert_eq!(
+                spmm_via_stream(&data, &b).unwrap(),
+                reference,
+                "spmm_via_stream({fmt})"
+            );
+            assert_eq!(
+                spmm_parallel(&data, &b).unwrap(),
+                reference,
+                "spmm_parallel({fmt})"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_sparse_b_agrees_across_all_formats() {
+        let b_coo = sample_a(); // 5x4 sparse B
+        let a =
+            DenseMatrix::from_vec(3, 5, (0..15).map(|i| (i % 5) as f64 - 2.0).collect()).unwrap();
+        let reference = gemm_naive(&a, &b_coo.clone().into_dense());
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&b_coo, &fmt).unwrap();
+            assert_eq!(
+                spmm_sparse_b(&a, &data).unwrap(),
+                reference,
+                "spmm_sparse_b({fmt})"
+            );
+        }
+    }
+
+    #[test]
+    fn spgemm_agrees_across_all_format_pairs() {
+        let a_coo = sample_a(); // 5x4
+        let b_coo = CooMatrix::from_triplets(
+            4,
+            6,
+            vec![(0, 0, 1.0), (0, 5, -2.0), (2, 3, 3.0), (3, 1, 4.0)],
+        )
+        .unwrap();
+        let reference = gemm_naive(&a_coo.clone().into_dense(), &b_coo.clone().into_dense());
+        for fa in all_matrix_formats() {
+            for fb in all_matrix_formats() {
+                let a = MatrixData::encode(&a_coo, &fa).unwrap();
+                let b = MatrixData::encode(&b_coo, &fb).unwrap();
+                let o = spgemm(&a, &b).unwrap();
+                assert_eq!(o.to_dense(), reference, "spgemm({fa}, {fb})");
+                let op = spgemm_parallel(&a, &b).unwrap();
+                assert_eq!(op.to_dense(), reference, "spgemm_parallel({fa}, {fb})");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_kernels_agree_across_all_formats() {
+        let coo = CooTensor3::from_quads(
+            4,
+            3,
+            5,
+            vec![
+                (0, 0, 0, 1.0),
+                (0, 0, 2, 2.0),
+                (1, 1, 1, 3.0),
+                (2, 2, 4, -2.0),
+                (3, 0, 3, 0.5),
+                (3, 2, 3, 1.5),
+            ],
+        )
+        .unwrap();
+        let b = DenseMatrix::from_vec(3, 2, (0..6).map(|i| i as f64 + 1.0).collect()).unwrap();
+        let c = DenseMatrix::from_vec(5, 2, (0..10).map(|i| (i as f64) - 4.0).collect()).unwrap();
+        let ref_mttkrp = mttkrp(
+            &TensorData::Csf(sparseflex_formats::CsfTensor::from_coo(&coo)),
+            &b,
+            &c,
+        )
+        .unwrap();
+        let ref_spttm = spttm(&TensorData::Coo(coo.clone()), &c).unwrap();
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&coo, &fmt).unwrap();
+            let o = mttkrp_via_stream(&data, &b, &c).unwrap();
+            assert!(o.approx_eq(&ref_mttkrp, 1e-12), "mttkrp({fmt})");
+            assert_eq!(spttm(&data, &c).unwrap(), ref_spttm, "spttm({fmt})");
+            assert_eq!(
+                spttm_via_stream(&data, &c).unwrap(),
+                ref_spttm,
+                "spttm_via_stream({fmt})"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_surface_as_errors_not_panics() {
+        let a = MatrixData::Coo(CooMatrix::empty(3, 5));
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(matches!(
+            spmm(&a, &b),
+            Err(KernelError::ShapeMismatch {
+                kernel: "spmm",
+                expected: 5,
+                actual: 4,
+                ..
+            })
+        ));
+        assert!(spmv(&a, &[0.0; 4]).is_err());
+        assert!(spgemm(&a, &MatrixData::Coo(CooMatrix::empty(4, 2))).is_err());
+        let t = TensorData::Coo(CooTensor3::empty(2, 3, 4));
+        assert!(spttm(&t, &DenseMatrix::zeros(5, 2)).is_err());
+        assert!(mttkrp(&t, &DenseMatrix::zeros(3, 2), &DenseMatrix::zeros(4, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_operands_yield_zero_outputs() {
+        let a = MatrixData::Coo(CooMatrix::empty(3, 4));
+        let b = sample_b_dense();
+        assert_eq!(spmm(&a, &b).unwrap(), DenseMatrix::zeros(3, 3));
+        assert_eq!(spmv(&a, &[1.0; 4]).unwrap(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Typed kernel errors.
+//!
+//! The format-generic entry points validate operand shapes up front and
+//! return [`KernelError`] instead of panicking, so a host scheduler (or the
+//! SAGE → MINT → accelerator pipeline) can reject a malformed launch
+//! without unwinding.
+
+/// Why a kernel launch was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Two operand dimensions that must agree do not.
+    ShapeMismatch {
+        /// Kernel name (`"spmv"`, `"spmm"`, ...).
+        kernel: &'static str,
+        /// Which dimension pair disagrees (e.g. `"A cols vs x len"`).
+        what: &'static str,
+        /// The dimension the left-hand operand implies.
+        expected: usize,
+        /// The dimension actually supplied.
+        actual: usize,
+    },
+    /// The operand arrived in a format this kernel (or backend) cannot
+    /// consume — the software analogue of launching on an accelerator
+    /// whose ACF set excludes the format (Table II's `Fix_*` classes).
+    UnsupportedFormat {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Display name of the offending format.
+        format: String,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ShapeMismatch {
+                kernel,
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{kernel}: dimension mismatch ({what}: expected {expected}, got {actual})"
+            ),
+            KernelError::UnsupportedFormat { kernel, format } => {
+                write!(f, "{kernel}: unsupported operand format {format}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Shape-check helper shared by the generic entry points.
+#[inline]
+pub(crate) fn check_dim(
+    kernel: &'static str,
+    what: &'static str,
+    expected: usize,
+    actual: usize,
+) -> Result<(), KernelError> {
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(KernelError::ShapeMismatch {
+            kernel,
+            what,
+            expected,
+            actual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_kernel_and_dimensions() {
+        let e = KernelError::ShapeMismatch {
+            kernel: "spmv",
+            what: "A cols vs x len",
+            expected: 4,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("spmv") && msg.contains("expected 4") && msg.contains("got 3"));
+
+        let u = KernelError::UnsupportedFormat {
+            kernel: "spmm",
+            format: "BSR2x2".to_string(),
+        };
+        assert!(u.to_string().contains("unsupported operand format BSR2x2"));
+    }
+
+    #[test]
+    fn check_dim_round_trips() {
+        assert!(check_dim("spmv", "x", 3, 3).is_ok());
+        assert!(matches!(
+            check_dim("spmv", "x", 3, 4),
+            Err(KernelError::ShapeMismatch { actual: 4, .. })
+        ));
+    }
+}

@@ -1,28 +1,44 @@
 //! # sparseflex-kernels
 //!
 //! Software reference implementations of the tensor-algebra kernels the
-//! paper's accelerator targets (Fig. 2):
+//! paper's accelerator targets (Fig. 2), redesigned around **format-generic
+//! fiber streams**: each sparse kernel has one public entry point that
+//! takes a [`MatrixData`](sparseflex_formats::MatrixData) /
+//! [`TensorData`](sparseflex_formats::TensorData) operand in *any* of the
+//! paper's compression formats and consumes it through the
+//! `sparseflex_formats::traverse` streaming traversal — no pre-conversion
+//! to a blessed format.
 //!
 //! - **GEMM** — dense matrix × dense matrix ([`mod@gemm`]).
-//! - **SpMV** — sparse matrix × dense vector ([`mod@spmv`]).
-//! - **SpMM** — sparse matrix × dense matrix in several ACFs: the COO
-//!   streaming form of the paper's Alg. 1, the CSR row form, and the
-//!   CSC-stationary form ([`spmm`]).
-//! - **SpGEMM** — sparse × sparse (Gustavson) ([`mod@spgemm`]).
-//! - **SpTTM** — sparse tensor × dense matrix ([`spttm`]).
-//! - **MTTKRP** — matricized tensor times Khatri-Rao product ([`mttkrp`]).
+//! - **SpMV** — any-format matrix × dense vector ([`spmv()`]).
+//! - **SpMM** — any-format matrix × dense matrix ([`spmm()`],
+//!   [`spmm_parallel()`]), or dense × any-format stationary operand
+//!   ([`spmm_sparse_b()`], Fig. 6b's layout).
+//! - **SpGEMM** — any-format × any-format (Gustavson) ([`spgemm()`],
+//!   [`spgemm_parallel()`]).
+//! - **SpTTM** — any-format tensor × dense matrix ([`spttm()`]).
+//! - **MTTKRP** — any-format tensor Khatri-Rao product ([`mttkrp()`]).
 //! - **im2col** — convolution → GEMM rearrangement used by the ResNet case
 //!   study ([`mod@im2col`]).
 //!
-//! Every kernel has a sequential and (where profitable) a multithreaded
-//! variant built on `crossbeam::scope` with disjoint output-row ownership,
-//! so results are bit-identical to the sequential path. These kernels are
-//! used three ways across the workspace: as the functional oracle for the
-//! accelerator simulator, as the measured software baseline standing in
-//! for cuBLAS/cuSPARSE/MKL (Fig. 5 and Fig. 10), and inside the examples.
+//! Dispatch retains the tuned concrete implementations (CSR row loops,
+//! COO Algorithm 1, CSF fiber kernels, CSC-stationary SpMM) as
+//! specializations behind the generic entry points; formats without a
+//! dedicated path stream through the same accumulation and produce
+//! identical results. Shape mismatches surface as [`KernelError`] values
+//! rather than panics. The previous per-format function zoo
+//! (`spmm_csr_dense`, `mttkrp_coo`, ...) survives one release as
+//! `#[deprecated]` shims inside the kernel modules.
+//!
+//! These kernels are used three ways across the workspace: as the
+//! functional oracle for the accelerator simulator, as the measured
+//! software baseline standing in for cuBLAS/cuSPARSE/MKL (Fig. 5 and
+//! Fig. 10), and inside the examples.
 
 #![warn(missing_docs)]
 
+pub mod dispatch;
+pub mod error;
 pub mod gemm;
 pub mod im2col;
 pub mod mttkrp;
@@ -32,10 +48,20 @@ pub mod spmm;
 pub mod spmv;
 pub mod spttm;
 
+pub use dispatch::{
+    mttkrp, mttkrp_via_stream, spgemm, spgemm_parallel, spmm, spmm_parallel, spmm_sparse_b,
+    spmm_via_stream, spmv, spmv_via_stream, spttm, spttm_via_stream,
+};
+pub use error::KernelError;
 pub use gemm::{gemm, gemm_parallel};
 pub use im2col::{im2col, ConvLayer};
+
+// Deprecated per-format shims, re-exported for one release so downstream
+// `use sparseflex_kernels::spmm_csr_dense`-style imports keep resolving
+// (with a deprecation warning at the caller).
+#[allow(deprecated)]
 pub use mttkrp::{mttkrp_coo, mttkrp_csf};
-pub use spgemm::{spgemm, spgemm_parallel};
+#[allow(deprecated)]
 pub use spmm::{spmm_coo_dense, spmm_csr_dense, spmm_csr_dense_parallel, spmm_dense_csc};
-pub use spmv::spmv;
+#[allow(deprecated)]
 pub use spttm::{spttm_coo, spttm_csf};

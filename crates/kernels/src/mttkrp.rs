@@ -6,23 +6,18 @@
 //! factor matrices `B (K, J)`, `C (L, J)`:
 //!
 //! `O[i][j] = sum_{k,l} A[i][k][l] * B[k][j] * C[l][j]`
+//!
+//! The format-generic entry point is [`crate::mttkrp()`]; this module holds
+//! the retained COO and CSF fast paths.
 
 use sparseflex_formats::{CooTensor3, CsfTensor, DenseMatrix, SparseMatrix, SparseTensor3};
 
 /// MTTKRP with the tensor in COO: one fused multiply per nonzero per
 /// output column.
-pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(
-        a.dim_y(),
-        b.rows(),
-        "MTTKRP: B rows must match tensor mode-2"
-    );
-    assert_eq!(
-        a.dim_z(),
-        c.rows(),
-        "MTTKRP: C rows must match tensor mode-3"
-    );
-    assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
+pub(crate) fn coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.dim_y(), b.rows(), "MTTKRP: B rows must match mode-2");
+    debug_assert_eq!(a.dim_z(), c.rows(), "MTTKRP: C rows must match mode-3");
+    debug_assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);
     for (i, k, l, v) in a.iter() {
@@ -40,19 +35,12 @@ pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatr
 /// partial sum over `l` within a fiber is computed once, then scaled by
 /// `B[k][j]` — the classic CSF MTTKRP optimization (Smith & Karypis) that
 /// reduces multiplies from `2 * nnz * J` to `(nnz + fibers) * J` plus the
-/// fiber scalings.
-pub fn mttkrp_csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(
-        a.dim_y(),
-        b.rows(),
-        "MTTKRP: B rows must match tensor mode-2"
-    );
-    assert_eq!(
-        a.dim_z(),
-        c.rows(),
-        "MTTKRP: C rows must match tensor mode-3"
-    );
-    assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
+/// fiber scalings. The generic stream dispatcher runs this same
+/// factored form over *any* tensor format's fiber stream.
+pub(crate) fn csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.dim_y(), b.rows(), "MTTKRP: B rows must match mode-2");
+    debug_assert_eq!(a.dim_z(), c.rows(), "MTTKRP: C rows must match mode-3");
+    debug_assert_eq!(b.cols(), c.cols(), "MTTKRP: factor ranks must agree");
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);
     let mut fiber_acc = vec![0.0f64; j];
@@ -75,6 +63,37 @@ pub fn mttkrp_csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatri
         }
     }
     o
+}
+
+pub(crate) fn check_factors(
+    dim_y: usize,
+    dim_z: usize,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<(), crate::KernelError> {
+    crate::error::check_dim("mttkrp", "B rows vs tensor mode-2", dim_y, b.rows())?;
+    crate::error::check_dim("mttkrp", "C rows vs tensor mode-3", dim_z, c.rows())?;
+    crate::error::check_dim("mttkrp", "factor ranks", b.cols(), c.cols())
+}
+
+/// COO MTTKRP.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `mttkrp(&TensorData, b, c)` entry point"
+)]
+pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
+    check_factors(a.dim_y(), a.dim_z(), b, c).unwrap_or_else(|e| panic!("{e}"));
+    coo(a, b, c)
+}
+
+/// CSF MTTKRP with fiber-level factoring.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `mttkrp(&TensorData, b, c)` entry point"
+)]
+pub fn mttkrp_csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
+    check_factors(a.dim_y(), a.dim_z(), b, c).unwrap_or_else(|e| panic!("{e}"));
+    csf(a, b, c)
 }
 
 #[cfg(test)]
@@ -126,16 +145,16 @@ mod tests {
     fn coo_matches_naive() {
         let a = tensor();
         let (b, c) = factors();
-        assert_eq!(mttkrp_coo(&a, &b, &c), naive(&a, &b, &c));
+        assert_eq!(coo(&a, &b, &c), naive(&a, &b, &c));
     }
 
     #[test]
     fn csf_matches_coo() {
         let a = tensor();
         let (b, c) = factors();
-        let csf = CsfTensor::from_coo(&a);
-        let coo_result = mttkrp_coo(&a, &b, &c);
-        let csf_result = mttkrp_csf(&csf, &b, &c);
+        let t = CsfTensor::from_coo(&a);
+        let coo_result = coo(&a, &b, &c);
+        let csf_result = csf(&t, &b, &c);
         assert!(csf_result.approx_eq(&coo_result, 1e-12));
     }
 
@@ -143,24 +162,30 @@ mod tests {
     fn empty_tensor_gives_zero() {
         let a = CooTensor3::empty(3, 3, 5);
         let (b, c) = factors();
-        assert_eq!(mttkrp_coo(&a, &b, &c), DenseMatrix::zeros(3, 2));
+        assert_eq!(coo(&a, &b, &c), DenseMatrix::zeros(3, 2));
     }
 
     #[test]
-    #[should_panic(expected = "factor ranks")]
-    fn rank_mismatch_panics() {
+    fn rank_mismatch_is_a_shape_error() {
         let a = tensor();
         let b = DenseMatrix::zeros(3, 2);
         let c = DenseMatrix::zeros(5, 3);
-        let _ = mttkrp_coo(&a, &b, &c);
+        assert!(matches!(
+            check_factors(a.dim_y(), a.dim_z(), &b, &c),
+            Err(crate::KernelError::ShapeMismatch {
+                what: "factor ranks",
+                ..
+            })
+        ));
     }
 
     #[test]
     #[should_panic(expected = "mode-2")]
-    fn mode2_mismatch_panics() {
+    fn deprecated_shim_preserves_panic_on_mismatch() {
         let a = tensor();
         let b = DenseMatrix::zeros(7, 2);
         let c = DenseMatrix::zeros(5, 2);
+        #[allow(deprecated)]
         let _ = mttkrp_coo(&a, &b, &c);
     }
 }

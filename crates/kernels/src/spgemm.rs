@@ -3,17 +3,21 @@
 //! "SpGEMM dominates the setup times of applications that use multigrid
 //! methods" (§II). The CSR(A)-CSR(B)-CSR(O) ACF is the one the paper's
 //! Fig. 5 shows winning at extreme sparsity on GPUs.
+//!
+//! The format-generic entry points are [`crate::spgemm()`] /
+//! [`crate::spgemm_parallel`]; this module holds the retained CSR×CSR fast
+//! paths and the Gustavson row routine the generic stream consumer shares.
 
 use crate::parallel::worker_count;
-use sparseflex_formats::{CooMatrix, CsrMatrix, SparseMatrix};
+use sparseflex_formats::{CooMatrix, CsrMatrix, SparseMatrix, Value};
 
-/// Gustavson SpGEMM: `O = A * B`, all three in CSR.
+/// Gustavson SpGEMM fast path: `O = A * B`, all three in CSR.
 ///
 /// Row `i` of `O` is the sparse linear combination of the rows of `B`
 /// selected by row `i` of `A`, accumulated in a dense scratch row (the
 /// classic sparse accumulator).
-pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
+pub(crate) fn csr_csr(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
     let m = a.rows();
     let n = b.cols();
     let mut row_ptr = Vec::with_capacity(m + 1);
@@ -21,56 +25,80 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     let mut col_ids = Vec::new();
     let mut values = Vec::new();
 
-    let mut acc = vec![0.0f64; n];
-    let mut touched: Vec<usize> = Vec::with_capacity(n);
+    let mut scratch = Accumulator::new(n);
     for i in 0..m {
-        spgemm_row(a, b, i, &mut acc, &mut touched, &mut col_ids, &mut values);
+        let (acols, avals) = a.row(i);
+        gustavson_row(acols, avals, b, &mut scratch, &mut col_ids, &mut values);
         row_ptr.push(values.len());
     }
     CsrMatrix::from_parts(m, n, row_ptr, col_ids, values)
         .expect("Gustavson emits sorted valid CSR rows")
 }
 
-/// One Gustavson row: accumulate into `acc`, emit sorted nonzeros.
-fn spgemm_row(
-    a: &CsrMatrix,
+/// Sparse-accumulator scratch reused across output rows: the dense value
+/// row, an occupancy stamp per column (so first-touch detection is O(1)
+/// even when cancellation leaves `acc[j] == 0.0` mid-row), and the touched
+/// column list.
+pub(crate) struct Accumulator {
+    acc: Vec<f64>,
+    occupied: Vec<bool>,
+    touched: Vec<usize>,
+}
+
+impl Accumulator {
+    /// Scratch for output rows of width `n`.
+    pub(crate) fn new(n: usize) -> Self {
+        Accumulator {
+            acc: vec![0.0; n],
+            occupied: vec![false; n],
+            touched: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// One Gustavson row — the sparse-accumulator step the generic stream
+/// dispatcher also drives, one fiber of `A` at a time: accumulate
+/// `Σ A[i][k] * B[k][:]` into the scratch row, emit sorted nonzeros.
+pub(crate) fn gustavson_row(
+    acols: &[usize],
+    avals: &[Value],
     b: &CsrMatrix,
-    i: usize,
-    acc: &mut [f64],
-    touched: &mut Vec<usize>,
+    scratch: &mut Accumulator,
     col_ids: &mut Vec<usize>,
     values: &mut Vec<f64>,
 ) {
-    let (acols, avals) = a.row(i);
     for (k, av) in acols.iter().zip(avals) {
         let (bcols, bvals) = b.row(*k);
         for (j, bv) in bcols.iter().zip(bvals) {
-            if acc[*j] == 0.0 && !touched.contains(j) {
-                touched.push(*j);
+            if !scratch.occupied[*j] {
+                scratch.occupied[*j] = true;
+                scratch.touched.push(*j);
             }
-            acc[*j] += av * bv;
+            scratch.acc[*j] += av * bv;
         }
     }
-    touched.sort_unstable();
-    for &j in touched.iter() {
-        if acc[j] != 0.0 {
+    scratch.touched.sort_unstable();
+    for &j in &scratch.touched {
+        if scratch.acc[j] != 0.0 {
             col_ids.push(j);
-            values.push(acc[j]);
+            values.push(scratch.acc[j]);
         }
-        acc[j] = 0.0;
+        scratch.acc[j] = 0.0;
+        scratch.occupied[j] = false;
     }
-    touched.clear();
+    scratch.touched.clear();
 }
 
-/// Row-parallel Gustavson SpGEMM: each thread computes a contiguous band
-/// of output rows into private buffers, then the bands are stitched.
-pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
+/// Row-parallel Gustavson SpGEMM fast path: each thread computes a
+/// contiguous band of output rows into private buffers, then the bands are
+/// stitched.
+pub(crate) fn csr_csr_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
     let m = a.rows();
     let n = b.cols();
     let workers = worker_count(m);
     if workers <= 1 || m < 32 {
-        return spgemm(a, b);
+        return csr_csr(a, b);
     }
     let rows_per = m.div_ceil(workers);
     let bands: Vec<(usize, usize)> = (0..workers)
@@ -83,14 +111,14 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
             .iter()
             .map(|&(start, end)| {
                 s.spawn(move || {
-                    let mut acc = vec![0.0f64; n];
-                    let mut touched = Vec::with_capacity(n);
+                    let mut scratch = Accumulator::new(n);
                     let mut row_lens = Vec::with_capacity(end - start);
                     let mut col_ids = Vec::new();
                     let mut values = Vec::new();
                     for i in start..end {
                         let before = values.len();
-                        spgemm_row(a, b, i, &mut acc, &mut touched, &mut col_ids, &mut values);
+                        let (acols, avals) = a.row(i);
+                        gustavson_row(acols, avals, b, &mut scratch, &mut col_ids, &mut values);
                         row_lens.push(values.len() - before);
                     }
                     (row_lens, col_ids, values)
@@ -118,10 +146,39 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     CsrMatrix::from_parts(m, n, row_ptr, col_ids, values).expect("stitched bands form valid CSR")
 }
 
+fn check_inner(a_cols: usize, b_rows: usize) {
+    crate::error::check_dim("spgemm", "A cols vs B rows", a_cols, b_rows)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Gustavson SpGEMM: `O = A * B`, all three in CSR.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spgemm(&MatrixData, &MatrixData)` entry point"
+)]
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    check_inner(a.cols(), b.rows());
+    csr_csr(a, b)
+}
+
+/// Row-parallel Gustavson SpGEMM.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spgemm_parallel(&MatrixData, &MatrixData)` entry point"
+)]
+pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    check_inner(a.cols(), b.rows());
+    csr_csr_parallel(a, b)
+}
+
 /// SpGEMM with COO output (convenience for tensor pipelines).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spgemm` and convert via `to_coo()`"
+)]
 pub fn spgemm_to_coo(a: &CsrMatrix, b: &CsrMatrix) -> CooMatrix {
-    use sparseflex_formats::SparseMatrix;
-    spgemm(a, b).to_coo()
+    check_inner(a.cols(), b.rows());
+    csr_csr(a, b).to_coo()
 }
 
 #[cfg(test)]
@@ -157,7 +214,7 @@ mod tests {
     fn matches_dense_reference() {
         let a = mk(8, 10, 1, 20);
         let b = mk(10, 6, 2, 18);
-        let o = spgemm(&a, &b);
+        let o = csr_csr(&a, &b);
         let expect = gemm_naive(&a.to_dense(), &b.to_dense());
         assert_eq!(o.to_dense(), expect);
     }
@@ -166,7 +223,7 @@ mod tests {
     fn parallel_matches_sequential() {
         let a = mk(120, 80, 3, 600);
         let b = mk(80, 90, 4, 500);
-        assert_eq!(spgemm_parallel(&a, &b), spgemm(&a, &b));
+        assert_eq!(csr_csr_parallel(&a, &b), csr_csr(&a, &b));
     }
 
     #[test]
@@ -178,7 +235,7 @@ mod tests {
         let b = CsrMatrix::from_coo(
             &CooMatrix::from_triplets(2, 1, vec![(0, 0, 5.0), (1, 0, -5.0)]).unwrap(),
         );
-        let o = spgemm(&a, &b);
+        let o = csr_csr(&a, &b);
         assert_eq!(o.nnz(), 0);
     }
 
@@ -189,22 +246,22 @@ mod tests {
             let t: Vec<_> = (0..12).map(|i| (i, i, 1.0)).collect();
             CsrMatrix::from_coo(&CooMatrix::from_triplets(12, 12, t).unwrap())
         };
-        assert_eq!(spgemm(&a, &id).to_dense(), a.to_dense());
-        assert_eq!(spgemm(&id, &a).to_dense(), a.to_dense());
+        assert_eq!(csr_csr(&a, &id).to_dense(), a.to_dense());
+        assert_eq!(csr_csr(&id, &a).to_dense(), a.to_dense());
     }
 
     #[test]
     fn empty_operand_yields_empty() {
         let a = CsrMatrix::from_coo(&CooMatrix::empty(4, 5));
         let b = mk(5, 3, 6, 8);
-        assert_eq!(spgemm(&a, &b).nnz(), 0);
+        assert_eq!(csr_csr(&a, &b).nnz(), 0);
     }
 
     #[test]
     fn output_rows_are_sorted() {
         let a = mk(20, 20, 7, 80);
         let b = mk(20, 20, 8, 80);
-        let o = spgemm(&a, &b);
+        let o = csr_csr(&a, &b);
         for r in 0..o.rows() {
             let (cols, _) = o.row(r);
             assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} unsorted");

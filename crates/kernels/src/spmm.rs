@@ -1,5 +1,11 @@
 //! SpMM: sparse matrix × dense matrix, in the ACF variants the paper
 //! contrasts (§III-B, Fig. 5).
+//!
+//! The format-generic entry points are [`crate::spmm()`] /
+//! [`crate::spmm_parallel`] / [`crate::spmm_sparse_b`]; this module holds
+//! the retained concrete fast paths the dispatcher specializes to. Shapes
+//! are validated by the dispatcher, so the inner routines only
+//! debug-assert.
 
 use crate::parallel::{par_chunks, worker_count};
 use sparseflex_formats::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, SparseMatrix};
@@ -7,8 +13,8 @@ use sparseflex_formats::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, SparseMat
 /// SpMM with the streaming operand in COO — a faithful implementation of
 /// the paper's **Algorithm 1**: iterate the nonzeros of `A`, multiply each
 /// against the matching dense row of `B`, accumulate into dense `O`.
-pub fn spmm_coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+pub(crate) fn coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
     let n = b.cols();
     let mut o = DenseMatrix::zeros(a.rows(), n);
     // Alg. 1: for i in 0..nnz { for j in 0..N { O[rid][j] += val * B[cid][j] } }
@@ -23,8 +29,8 @@ pub fn spmm_coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
 }
 
 /// SpMM with the streaming operand in CSR: row-at-a-time accumulation.
-pub fn spmm_csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+pub(crate) fn csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
     let n = b.cols();
     let mut o = DenseMatrix::zeros(a.rows(), n);
     for r in 0..a.rows() {
@@ -41,8 +47,8 @@ pub fn spmm_csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
 }
 
 /// Multithreaded CSR SpMM: output rows partitioned across threads.
-pub fn spmm_csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+pub(crate) fn csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
     let m = a.rows();
     let n = b.cols();
     let mut o = DenseMatrix::zeros(m, n);
@@ -70,8 +76,8 @@ pub fn spmm_csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
 /// `O = A * B` where `B` is sparse-by-column — the Dense(A)-CSC(B) ACF the
 /// paper's Fig. 6b maps onto the weight-stationary PEs (each PE holds one
 /// compressed column of `B`).
-pub fn spmm_dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
-    assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
+pub(crate) fn dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
     let (m, n) = (a.rows(), b.cols());
     let mut o = DenseMatrix::zeros(m, n);
     for j in 0..n {
@@ -86,6 +92,51 @@ pub fn spmm_dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
         }
     }
     o
+}
+
+fn check_inner(a_cols: usize, b_rows: usize) {
+    crate::error::check_dim("spmm", "A cols vs B rows", a_cols, b_rows)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// COO-streaming SpMM (the paper's Algorithm 1).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spmm(&MatrixData, b)` entry point"
+)]
+pub fn spmm_coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
+    check_inner(a.cols(), b.rows());
+    coo_dense(a, b)
+}
+
+/// CSR-streaming SpMM.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spmm(&MatrixData, b)` entry point"
+)]
+pub fn spmm_csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    check_inner(a.cols(), b.rows());
+    csr_dense(a, b)
+}
+
+/// Multithreaded CSR SpMM.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spmm_parallel(&MatrixData, b)` entry point"
+)]
+pub fn spmm_csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
+    check_inner(a.cols(), b.rows());
+    csr_dense_parallel(a, b)
+}
+
+/// Dense × CSC-stationary SpMM.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spmm_sparse_b(a, &MatrixData)` entry point"
+)]
+pub fn spmm_dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
+    check_inner(a.cols(), b.rows());
+    dense_csc(a, b)
 }
 
 #[cfg(test)]
@@ -125,7 +176,7 @@ mod tests {
         let a = sparse_a();
         let b = dense_b();
         let expect = gemm_naive(&a.to_dense(), &b);
-        assert_eq!(spmm_coo_dense(&a, &b), expect);
+        assert_eq!(coo_dense(&a, &b), expect);
     }
 
     #[test]
@@ -134,8 +185,8 @@ mod tests {
         let b = dense_b();
         let csr = CsrMatrix::from_coo(&a);
         let expect = gemm_naive(&a.to_dense(), &b);
-        assert_eq!(spmm_csr_dense(&csr, &b), expect);
-        assert_eq!(spmm_csr_dense_parallel(&csr, &b), expect);
+        assert_eq!(csr_dense(&csr, &b), expect);
+        assert_eq!(csr_dense_parallel(&csr, &b), expect);
     }
 
     #[test]
@@ -149,22 +200,23 @@ mod tests {
         .unwrap();
         let csc = CscMatrix::from_coo(&b_sparse);
         let expect = gemm_naive(&a_dense, &b_sparse.to_dense());
-        assert_eq!(spmm_dense_csc(&a_dense, &csc), expect);
+        assert_eq!(dense_csc(&a_dense, &csc), expect);
     }
 
     #[test]
     fn empty_sparse_gives_zeros() {
         let a = CooMatrix::empty(3, 4);
         let b = dense_b();
-        let o = spmm_coo_dense(&a, &b);
+        let o = coo_dense(&a, &b);
         assert_eq!(o, DenseMatrix::zeros(3, 3));
     }
 
     #[test]
-    #[should_panic(expected = "inner dimensions")]
-    fn mismatch_panics() {
+    #[should_panic(expected = "dimension mismatch")]
+    fn deprecated_shim_preserves_panic_on_mismatch() {
         let a = CooMatrix::empty(3, 5);
         let b = dense_b();
+        #[allow(deprecated)]
         let _ = spmm_coo_dense(&a, &b);
     }
 
@@ -179,6 +231,6 @@ mod tests {
             DenseMatrix::from_vec(40, 7, data).unwrap()
         };
         let csr = CsrMatrix::from_coo(&a);
-        assert_eq!(spmm_csr_dense_parallel(&csr, &b), spmm_csr_dense(&csr, &b));
+        assert_eq!(csr_dense_parallel(&csr, &b), csr_dense(&csr, &b));
     }
 }

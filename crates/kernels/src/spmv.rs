@@ -1,13 +1,17 @@
 //! SpMV: sparse matrix × dense vector.
+//!
+//! The format-generic entry point is [`crate::spmv()`]; this module holds the
+//! retained CSR fast path the dispatcher specializes to.
 
-use sparseflex_formats::{CsrMatrix, SparseMatrix};
+use sparseflex_formats::{CsrMatrix, SparseMatrix, Value};
 
-/// CSR SpMV: `y = A * x`.
+/// CSR SpMV fast path: `y = A * x`.
 ///
 /// "SpMM and SpMV ... are the key computational kernels in an iterative
-/// solver for sparse linear systems" (§II).
-pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
-    assert_eq!(a.cols(), x.len(), "SpMV dimension mismatch");
+/// solver for sparse linear systems" (§II). Shapes are validated by the
+/// generic dispatcher; this inner routine only debug-asserts.
+pub(crate) fn csr(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
+    debug_assert_eq!(a.cols(), x.len(), "SpMV dimension mismatch");
     let mut y = vec![0.0; a.rows()];
     for (r, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
@@ -18,6 +22,17 @@ pub fn spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
         *out = acc;
     }
     y
+}
+
+/// CSR SpMV: `y = A * x`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spmv(&MatrixData, x)` entry point"
+)]
+pub fn spmv(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
+    crate::error::check_dim("spmv", "A cols vs x len", a.cols(), x.len())
+        .unwrap_or_else(|e| panic!("{e}"));
+    csr(a, x)
 }
 
 #[cfg(test)]
@@ -41,7 +56,7 @@ mod tests {
         .unwrap();
         let a = CsrMatrix::from_coo(&coo);
         let x = vec![1.0, 2.0, 3.0];
-        let y = spmv(&a, &x);
+        let y = csr(&a, &x);
         let dense = a.to_dense();
         for (r, got) in y.iter().enumerate() {
             let expect: f64 = (0..3).map(|c| dense.get(r, c) * x[c]).sum();
@@ -52,13 +67,14 @@ mod tests {
     #[test]
     fn empty_matrix_gives_zero_vector() {
         let a = CsrMatrix::from_coo(&CooMatrix::empty(5, 4));
-        assert_eq!(spmv(&a, &[1.0; 4]), vec![0.0; 5]);
+        assert_eq!(csr(&a, &[1.0; 4]), vec![0.0; 5]);
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
-    fn wrong_vector_length_panics() {
+    fn deprecated_shim_preserves_panic_on_mismatch() {
         let a = CsrMatrix::from_coo(&CooMatrix::empty(2, 3));
+        #[allow(deprecated)]
         let _ = spmv(&a, &[1.0; 2]);
     }
 }

@@ -9,18 +9,17 @@
 //! with `A` sparse `(X, Y, Z)`, `B` dense `(Z, J)` and `Y` dense
 //! `(X, Y, J)` (TTM outputs are near-dense along the contracted mode, so
 //! dense output is the standard choice).
+//!
+//! The format-generic entry point is [`crate::spttm()`]; this module holds
+//! the retained COO and CSF fast paths.
 
 use sparseflex_formats::{
     CooTensor3, CsfTensor, DenseMatrix, DenseTensor3, SparseMatrix, SparseTensor3,
 };
 
 /// SpTTM with the tensor in COO: stream nonzeros, scatter row updates.
-pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
-    assert_eq!(
-        a.dim_z(),
-        b.rows(),
-        "SpTTM contraction dimension must agree"
-    );
+pub(crate) fn coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
+    debug_assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dim must agree");
     let j = b.cols();
     let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
     for (x, yy, z, v) in a.iter() {
@@ -35,13 +34,10 @@ pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
 /// SpTTM with the tensor in CSF: fiber-at-a-time accumulation. Each
 /// `(x, y)` fiber accumulates its full output row before moving on, which
 /// is the access pattern that makes CSF the preferred tensor ACF in
-/// Table III's Crime/Uber rows.
-pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
-    assert_eq!(
-        a.dim_z(),
-        b.rows(),
-        "SpTTM contraction dimension must agree"
-    );
+/// Table III's Crime/Uber rows. The generic stream dispatcher runs this
+/// same fiber-at-a-time form over *any* tensor format's fiber stream.
+pub(crate) fn csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
+    debug_assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dim must agree");
     let j = b.cols();
     let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
     let mut acc = vec![0.0f64; j];
@@ -64,6 +60,28 @@ pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
         }
     }
     y
+}
+
+/// COO SpTTM.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spttm(&TensorData, b)` entry point"
+)]
+pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
+    crate::error::check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())
+        .unwrap_or_else(|e| panic!("{e}"));
+    coo(a, b)
+}
+
+/// CSF SpTTM with fiber-at-a-time accumulation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the format-generic `spttm(&TensorData, b)` entry point"
+)]
+pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
+    crate::error::check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())
+        .unwrap_or_else(|e| panic!("{e}"));
+    csf(a, b)
 }
 
 #[cfg(test)]
@@ -112,29 +130,30 @@ mod tests {
     fn coo_matches_naive() {
         let a = tensor();
         let b = dense_b();
-        assert_eq!(spttm_coo(&a, &b), naive(&a, &b));
+        assert_eq!(coo(&a, &b), naive(&a, &b));
     }
 
     #[test]
     fn csf_matches_coo() {
         let a = tensor();
         let b = dense_b();
-        let csf = CsfTensor::from_coo(&a);
-        assert_eq!(spttm_csf(&csf, &b), spttm_coo(&a, &b));
+        let t = CsfTensor::from_coo(&a);
+        assert_eq!(csf(&t, &b), coo(&a, &b));
     }
 
     #[test]
     fn empty_tensor_gives_zero_output() {
         let a = CooTensor3::empty(2, 2, 5);
         let b = dense_b();
-        assert_eq!(spttm_coo(&a, &b), DenseTensor3::zeros(2, 2, 3));
+        assert_eq!(coo(&a, &b), DenseTensor3::zeros(2, 2, 3));
     }
 
     #[test]
-    #[should_panic(expected = "contraction dimension")]
-    fn mismatch_panics() {
+    #[should_panic(expected = "dimension mismatch")]
+    fn deprecated_shim_preserves_panic_on_mismatch() {
         let a = CooTensor3::empty(2, 2, 4);
         let b = dense_b();
+        #[allow(deprecated)]
         let _ = spttm_coo(&a, &b);
     }
 }

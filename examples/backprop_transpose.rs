@@ -13,8 +13,8 @@
 
 use sparseflex::accel::DramModel;
 use sparseflex::formats::size_model::matrix_storage_bits;
-use sparseflex::formats::{convert, CsrMatrix, DataType, MatrixFormat, SparseMatrix};
-use sparseflex::kernels::{spmm_csr_dense, spmm_dense_csc};
+use sparseflex::formats::{convert, CsrMatrix, DataType, MatrixData, MatrixFormat, SparseMatrix};
+use sparseflex::kernels::spmm_sparse_b;
 use sparseflex::mint::ConversionEngine;
 use sparseflex::workloads::synth::{random_dense_matrix, random_matrix};
 
@@ -30,9 +30,10 @@ fn main() {
         100.0 * (1.0 - w_csr.density())
     );
 
-    // Forward pass: Y = X * W. (Stationary W in CSC = Fig. 6b's layout.)
+    // Forward pass: Y = X * W. (Stationary W in CSC = Fig. 6b's layout;
+    // the format-generic entry point dispatches to that fast path.)
     let w_csc_sw = convert::csr_to_csc(&w_csr);
-    let y = spmm_dense_csc(&x, &w_csc_sw);
+    let y = spmm_sparse_b(&x, &MatrixData::Csc(w_csc_sw.clone())).expect("K dims agree");
     println!("forward:  Y = X*W -> {}x{}", y.rows(), y.cols());
 
     // Backward pass needs W^T: convert CSR -> CSC through MINT. A CSC
@@ -44,10 +45,13 @@ fn main() {
         w_csc_hw, w_csc_sw,
         "hardware and software conversions must agree"
     );
-    let wt_csr = w_csc_hw.transpose_as_csr();
-    let dy = random_dense_matrix(n, 48, 3); // upstream gradient slice
-    let dx = spmm_csr_dense(&wt_csr, &dy);
-    println!("backward: dX = W^T*dY -> {}x{}", dx.rows(), dx.cols());
+    // (The seed version multiplied W^T by a gradient with mismatched inner
+    // dims — a latent panic the typed KernelError now surfaces; the
+    // backward GEMM is dX = dY * W^T with dY shaped like Y.)
+    let wt_csr = MatrixData::Csr(w_csc_hw.transpose_as_csr());
+    let dy = random_dense_matrix(64, n, 3); // upstream gradient dL/dY
+    let dx = spmm_sparse_b(&dy, &wt_csr).expect("dY cols match W^T rows");
+    println!("backward: dX = dY*W^T -> {}x{}", dx.rows(), dx.cols());
 
     // MINT's conversion hides behind the fetch: compare cycle costs.
     let dram = DramModel::paper();

@@ -6,8 +6,8 @@
 //! cargo run --release --example tensor_decomposition
 //! ```
 
-use sparseflex::formats::{CsfTensor, DataType, SparseTensor3};
-use sparseflex::kernels::{mttkrp_coo, mttkrp_csf, spttm_coo, spttm_csf};
+use sparseflex::formats::{CsfTensor, DataType, SparseTensor3, TensorData};
+use sparseflex::kernels::{mttkrp, spttm};
 use sparseflex::sage::{Sage, TensorWorkload};
 use sparseflex::workloads::synth::{random_dense_matrix, random_tensor3};
 
@@ -26,14 +26,18 @@ fn main() {
         csf.num_fibers()
     );
 
-    // SpTTM: contract the z mode with a dense factor.
+    // SpTTM: contract the z mode with a dense factor. One format-generic
+    // entry point serves both encodings — dispatch picks the COO Alg. 1
+    // stream or the CSF fiber walk from the operand itself.
+    let t_coo = TensorData::Coo(tensor.clone());
+    let t_csf = TensorData::Csf(csf);
     let rank = 16;
     let factor = random_dense_matrix(z, rank, 2);
     let t0 = std::time::Instant::now();
-    let y_coo = spttm_coo(&tensor, &factor);
+    let y_coo = spttm(&t_coo, &factor).expect("contraction dims agree");
     let coo_time = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let y_csf = spttm_csf(&csf, &factor);
+    let y_csf = spttm(&t_csf, &factor).expect("contraction dims agree");
     let csf_time = t0.elapsed();
     assert_eq!(y_coo, y_csf);
     println!("\nSpTTM  (rank {rank}): COO {coo_time:?} vs CSF {csf_time:?} — identical outputs");
@@ -41,8 +45,8 @@ fn main() {
     // MTTKRP with two dense factors.
     let b = random_dense_matrix(y, rank, 3);
     let c = random_dense_matrix(z, rank, 4);
-    let o_coo = mttkrp_coo(&tensor, &b, &c);
-    let o_csf = mttkrp_csf(&csf, &b, &c);
+    let o_coo = mttkrp(&t_coo, &b, &c).expect("factor dims agree");
+    let o_csf = mttkrp(&t_csf, &b, &c).expect("factor dims agree");
     assert!(o_coo.approx_eq(&o_csf, 1e-9));
     println!("MTTKRP (rank {rank}): COO and CSF paths agree");
 

@@ -10,7 +10,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`formats`] | every compression format of Fig. 3, conversions, size models |
-//! | [`kernels`] | GEMM / SpMM / SpGEMM / SpMV / SpTTM / MTTKRP / im2col |
+//! | [`kernels`] | format-generic GEMM / SpMM / SpGEMM / SpMV / SpTTM / MTTKRP / im2col over fiber streams |
 //! | [`workloads`] | Table III suite, ResNet Fig. 14a layers, synthetic generators |
 //! | [`accel`] | cycle-level weight-stationary accelerator with flexible ACFs (§IV) |
 //! | [`mint`] | the MINT hardware format converter (§V) |
@@ -25,6 +25,7 @@ pub use sparseflex_core as system;
 pub use sparseflex_formats as formats;
 pub use sparseflex_host as host;
 pub use sparseflex_kernels as kernels;
+pub use sparseflex_kernels::KernelError;
 pub use sparseflex_mint as mint;
 pub use sparseflex_sage as sage;
 pub use sparseflex_workloads as workloads;

@@ -1,15 +1,15 @@
-//! Property tests on the software kernels: sparse kernels agree with the
-//! dense reference, parallel variants agree with sequential ones, and
-//! algebraic identities hold.
+//! Property tests on the software kernels: the format-generic entry points
+//! agree with the dense reference, parallel variants agree with sequential
+//! ones, and algebraic identities hold.
 
 use proptest::prelude::*;
 use sparseflex::formats::{
-    CooMatrix, CooTensor3, CscMatrix, CsfTensor, CsrMatrix, DenseMatrix, SparseMatrix,
+    CooMatrix, CooTensor3, CsfTensor, CsrMatrix, DenseMatrix, MatrixData, SparseMatrix, TensorData,
 };
 use sparseflex::kernels::gemm::gemm_naive;
 use sparseflex::kernels::{
-    gemm, gemm_parallel, mttkrp_coo, mttkrp_csf, spgemm, spgemm_parallel, spmm_coo_dense,
-    spmm_csr_dense, spmm_csr_dense_parallel, spmm_dense_csc, spmv, spttm_coo, spttm_csf,
+    gemm, gemm_parallel, mttkrp, spgemm, spgemm_parallel, spmm, spmm_parallel, spmm_sparse_b, spmv,
+    spttm,
 };
 
 fn arb_sparse(rows: usize, cols: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
@@ -35,10 +35,11 @@ proptest! {
         b in arb_dense(17, 9),
     ) {
         let expect = gemm_naive(&a.clone().into_dense(), &b);
-        let csr = CsrMatrix::from_coo(&a);
-        prop_assert_eq!(spmm_coo_dense(&a, &b), expect.clone());
-        prop_assert_eq!(spmm_csr_dense(&csr, &b), expect.clone());
-        prop_assert_eq!(spmm_csr_dense_parallel(&csr, &b), expect);
+        let coo = MatrixData::Coo(a.clone());
+        let csr = MatrixData::Csr(CsrMatrix::from_coo(&a));
+        prop_assert_eq!(spmm(&coo, &b).unwrap(), expect.clone());
+        prop_assert_eq!(spmm(&csr, &b).unwrap(), expect.clone());
+        prop_assert_eq!(spmm_parallel(&csr, &b).unwrap(), expect);
     }
 
     #[test]
@@ -47,9 +48,11 @@ proptest! {
         b in arb_sparse(14, 10, 50),
     ) {
         let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
-        let o = spgemm(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b));
+        let a = MatrixData::Csr(CsrMatrix::from_coo(&a));
+        let b = MatrixData::Csr(CsrMatrix::from_coo(&b));
+        let o = spgemm(&a, &b).unwrap();
         prop_assert_eq!(o.to_dense(), expect.clone());
-        let op = spgemm_parallel(&CsrMatrix::from_coo(&a), &CsrMatrix::from_coo(&b));
+        let op = spgemm_parallel(&a, &b).unwrap();
         prop_assert_eq!(op.to_dense(), expect);
     }
 
@@ -59,7 +62,8 @@ proptest! {
         b in arb_sparse(12, 8, 40),
     ) {
         let expect = gemm_naive(&a, &b.clone().into_dense());
-        prop_assert_eq!(spmm_dense_csc(&a, &CscMatrix::from_coo(&b)), expect);
+        let b_csc = MatrixData::encode(&b, &sparseflex::formats::MatrixFormat::Csc).unwrap();
+        prop_assert_eq!(spmm_sparse_b(&a, &b_csc).unwrap(), expect);
     }
 
     #[test]
@@ -75,10 +79,10 @@ proptest! {
     #[test]
     fn spmv_is_spmm_with_one_column(a in arb_sparse(10, 12, 40), x in proptest::collection::vec(-8i32..8, 12)) {
         let xf: Vec<f64> = x.into_iter().map(|v| v as f64).collect();
-        let csr = CsrMatrix::from_coo(&a);
-        let y = spmv(&csr, &xf);
+        let csr = MatrixData::Csr(CsrMatrix::from_coo(&a));
+        let y = spmv(&csr, &xf).unwrap();
         let b = DenseMatrix::from_vec(12, 1, xf).unwrap();
-        let o = spmm_csr_dense(&csr, &b);
+        let o = spmm(&csr, &b).unwrap();
         for (i, yi) in y.iter().enumerate() {
             prop_assert_eq!(*yi, o.get(i, 0));
         }
@@ -94,9 +98,9 @@ proptest! {
         let mut sum_triplets: Vec<(usize, usize, f64)> = a1.iter().collect();
         sum_triplets.extend(a2.iter());
         let a_sum = CooMatrix::from_triplets(8, 8, sum_triplets).unwrap();
-        let left = spmm_coo_dense(&a_sum, &b);
-        let r1 = spmm_coo_dense(&a1, &b);
-        let r2 = spmm_coo_dense(&a2, &b);
+        let left = spmm(&MatrixData::Coo(a_sum), &b).unwrap();
+        let r1 = spmm(&MatrixData::Coo(a1), &b).unwrap();
+        let r2 = spmm(&MatrixData::Coo(a2), &b).unwrap();
         for i in 0..8 {
             for j in 0..6 {
                 prop_assert!((left.get(i, j) - (r1.get(i, j) + r2.get(i, j))).abs() < 1e-9);
@@ -118,12 +122,13 @@ proptest! {
         b2 in proptest::collection::vec(-5i32..5, 7 * 4),
     ) {
         let t = CooTensor3::from_quads(6, 7, 8, quads).unwrap();
-        let csf = CsfTensor::from_coo(&t);
+        let coo = TensorData::Coo(t.clone());
+        let csf = TensorData::Csf(CsfTensor::from_coo(&t));
         let f = DenseMatrix::from_vec(8, 4, factor.into_iter().map(|v| v as f64).collect()).unwrap();
-        prop_assert_eq!(spttm_coo(&t, &f), spttm_csf(&csf, &f));
+        prop_assert_eq!(spttm(&coo, &f).unwrap(), spttm(&csf, &f).unwrap());
         let b = DenseMatrix::from_vec(7, 4, b2.into_iter().map(|v| v as f64).collect()).unwrap();
-        let o1 = mttkrp_coo(&t, &b, &f);
-        let o2 = mttkrp_csf(&csf, &b, &f);
+        let o1 = mttkrp(&coo, &b, &f).unwrap();
+        let o2 = mttkrp(&csf, &b, &f).unwrap();
         prop_assert!(o1.approx_eq(&o2, 1e-9));
     }
 }
