@@ -29,6 +29,19 @@ fn main() -> std::io::Result<()> {
         let rows = job();
         fs::write(dir.join(format!("{name}.csv")), rows.join("\n") + "\n")?;
     }
-    eprintln!("wrote results/*.csv");
+    // The pipeline exhibit is measured once and rendered twice: the CSV
+    // series alongside the other exhibits, and the machine-readable perf
+    // snapshot CI uploads so the trajectory is tracked across PRs.
+    eprintln!("generating pipeline + BENCH_pipeline.json ...");
+    let measured = sparseflex_bench::pipeline::measure();
+    fs::write(
+        dir.join("pipeline.csv"),
+        sparseflex_bench::pipeline::rows_from(&measured).join("\n") + "\n",
+    )?;
+    fs::write(
+        dir.join("BENCH_pipeline.json"),
+        sparseflex_bench::pipeline::json_from(&measured) + "\n",
+    )?;
+    eprintln!("wrote results/*.csv + results/BENCH_pipeline.json");
     Ok(())
 }

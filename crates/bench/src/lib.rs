@@ -21,6 +21,7 @@
 //! | [`table1`] | Table I — MCF/ACF taxonomy |
 //! | [`table2`] | Table II — evaluated accelerator configs |
 //! | [`table3`] | Table III — workloads + SAGE format selections |
+//! | [`pipeline`] | tile-grained runtime — overlapped vs serial vs batched |
 
 #![warn(missing_docs)]
 
@@ -36,6 +37,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod pipeline;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -6,22 +6,31 @@
 //! hardware beside the datapath (§V) and SAGE choosing the MCF/ACF
 //! combination per workload (§VI).
 //!
-//! Two execution paths are provided:
+//! Three execution paths are provided:
 //!
 //! - [`FlexSystem::plan`] / [`FlexSystem::compare_classes`] — the
 //!   analytic path used by the Fig. 12/13/14 benches: SAGE searches the
 //!   format space and returns full cycle/energy/EDP breakdowns for this
 //!   work and for every Table II baseline class.
-//! - [`FlexSystem::run_functional`] — the end-to-end functional path used
-//!   by tests and examples: real operands are encoded in the chosen MCFs,
-//!   converted through the MINT block engine, executed on the
+//! - [`FlexSystem::run_functional`] — the monolithic functional path:
+//!   real operands are encoded in the chosen MCFs, converted through the
+//!   MINT block engine strictly before compute, executed on the
 //!   cycle-accurate simulator, and the output matrix is returned (and
 //!   verified against the software kernels in tests).
+//! - [`FlexSystem::run_pipelined`] / [`FlexSystem::run_batch`] — the
+//!   tile-grained [`pipeline`] runtime: the stationary operand is cut
+//!   into scratchpad-sized column tiles and MINT converts tile *t+1*
+//!   while the array computes tile *t* (double-buffered), lifting the
+//!   one-residency operand limit and exposing overlapped vs serial cycle
+//!   totals; the batch front-end serves many workloads across parallel
+//!   virtual accelerator instances with a SAGE [`PlanCache`].
 
 #![warn(missing_docs)]
 
 pub mod casestudy;
+pub mod pipeline;
 pub mod system;
 
 pub use casestudy::{layer_edp, LayerEdp};
-pub use system::{ClassComparison, FlexSystem, FunctionalRun, SystemPlan};
+pub use pipeline::{BatchJob, BatchRun, PipelineRun, PlanCache, TileTrace};
+pub use system::{ClassComparison, FlexSystem, FunctionalRun, RunError, SystemPlan};

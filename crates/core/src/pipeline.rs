@@ -1,0 +1,619 @@
+//! The tile-grained pipelined runtime: plan → convert → execute with
+//! double-buffering, plus the batched serving front-end.
+//!
+//! [`FlexSystem::run_functional`] converts a whole operand and only then
+//! computes — the overlap the paper's Fig. 12 prices never happens, and
+//! operands are bounded by one scratchpad residency. This module replaces
+//! that one-shot call with a **stage machine** over column tiles of the
+//! stationary operand:
+//!
+//! ```text
+//!            ┌────────┐   tiles    ┌─────────┐  ACF tile  ┌─────────┐
+//!  workload →│  PLAN  │──────────→ │ CONVERT │──────────→ │ EXECUTE │→ O
+//!            │ (SAGE) │  (tiler)   │ (MINT)  │ ping/pong  │  (accel)│
+//!            └────────┘            └─────────┘  buffers   └─────────┘
+//!                       tile t+1 converts while tile t computes
+//! ```
+//!
+//! The stationary operand is cut into scratchpad-sized column tiles by
+//! `sparseflex_formats::tiler` (every format tiles through its fiber
+//! stream — no densification), each tile is converted MCF→ACF through the
+//! metered MINT engine, and the cycle-accurate simulator executes it
+//! while — in the modeled schedule — the converter prepares the next
+//! tile in the other staging buffer. [`PipelineRun`] reports both the
+//! overlapped and the serial (convert-then-compute) cycle totals, so the
+//! paper's "conversion is cheap because it overlaps" claim is measured
+//! end-to-end rather than assumed.
+//!
+//! Tiling also lifts the residency limit: a stationary operand whose
+//! compressed rows overflow a PE buffer (the recoverable
+//! [`RunError::StationaryTooLarge`]) is split until every stationary unit
+//! fits, so workloads the monolithic path rejects run here.
+//!
+//! On top of the pipeline, [`FlexSystem::run_batch`] serves many
+//! independent workloads across parallel *virtual accelerator instances*
+//! (one scoped worker thread each) with a shared SAGE [`PlanCache`], so
+//! repeated workload shapes skip the MCF×ACF search entirely.
+
+use crate::system::{FlexSystem, RunError};
+use sparseflex_accel::exec::{
+    simulate_spgemm, simulate_ws, ActivityCounts, CycleBreakdown, SimResult,
+};
+use sparseflex_formats::tiler::{bounded_column_ranges, tile_column_ranges, uniform_column_ranges};
+use sparseflex_formats::{
+    csr_cow, CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
+};
+use sparseflex_kernels::parallel::{par_chunks, worker_count};
+use sparseflex_mint::tiled::{overlap_schedule, OverlapSchedule};
+use sparseflex_mint::ConversionReport;
+use sparseflex_sage::{Evaluation, SageKernel, SageWorkload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-tile record of the convert and execute stages.
+#[derive(Debug, Clone)]
+pub struct TileTrace {
+    /// First stationary column of the tile.
+    pub col_start: usize,
+    /// One past the last stationary column of the tile.
+    pub col_end: usize,
+    /// MINT report for converting this tile MCF→ACF.
+    pub conv: ConversionReport,
+    /// Accelerator cycle breakdown for executing this tile.
+    pub compute: CycleBreakdown,
+    /// Accelerator activity counters for this tile.
+    pub counts: ActivityCounts,
+}
+
+/// Result of a tile-grained pipelined run.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The evaluation (SAGE-planned or caller-pinned) the run executed.
+    pub evaluation: Evaluation,
+    /// The full output matrix, stitched from the per-tile outputs.
+    pub output: DenseMatrix,
+    /// Conversion report for the streaming operand A (converted once, in
+    /// the pipeline prologue).
+    pub conv_a: ConversionReport,
+    /// One trace per stationary column tile, in execution order.
+    pub tiles: Vec<TileTrace>,
+    /// The double-buffered vs serial cycle totals over the tile stream.
+    pub schedule: OverlapSchedule,
+    /// Whether the plan came from a [`PlanCache`] hit (always `false`
+    /// outside [`FlexSystem::run_batch`]).
+    pub plan_cached: bool,
+}
+
+impl PipelineRun {
+    /// Wall-clock cycles with conversion overlapped behind compute
+    /// (prologue A conversion + the double-buffered tile schedule).
+    pub fn overlapped_cycles(&self) -> u64 {
+        self.conv_a.pipelined_cycles() + self.schedule.overlapped_cycles
+    }
+
+    /// Wall-clock cycles of the serial convert-then-compute discipline —
+    /// what the monolithic [`FlexSystem::run_functional`] models.
+    pub fn serial_cycles(&self) -> u64 {
+        self.conv_a.pipelined_cycles() + self.schedule.serial_cycles
+    }
+
+    /// Total accelerator compute cycles across all tiles.
+    pub fn compute_cycles(&self) -> u64 {
+        self.tiles.iter().map(|t| t.compute.total()).sum()
+    }
+
+    /// Total MINT conversion cycles (A prologue + every B tile).
+    pub fn conversion_cycles(&self) -> u64 {
+        self.conv_a.pipelined_cycles()
+            + self
+                .tiles
+                .iter()
+                .map(|t| t.conv.pipelined_cycles())
+                .sum::<u64>()
+    }
+}
+
+/// Key identifying a workload shape for plan reuse: kernel, dimensions,
+/// nonzero counts and datatype — exactly the statistics SAGE's models
+/// consume, so equal keys provably yield equal plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    kernel: SageKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz_a: u64,
+    nnz_b: u64,
+    dtype: sparseflex_formats::DataType,
+}
+
+impl From<&SageWorkload> for PlanKey {
+    fn from(w: &SageWorkload) -> Self {
+        PlanKey {
+            kernel: w.kernel,
+            m: w.m,
+            k: w.k,
+            n: w.n,
+            nnz_a: w.nnz_a,
+            nnz_b: w.nnz_b,
+            dtype: w.dtype,
+        }
+    }
+}
+
+/// Thread-safe cache of SAGE plans keyed by workload statistics.
+///
+/// The MCF×ACF search is the most expensive part of serving a small
+/// workload; batches with repeated shapes (the common serving pattern —
+/// e.g. the same pruned layer across requests) pay it once.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Evaluation>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PlanCache {
+    /// Fetch the plan for `w`, running the SAGE search only on a miss.
+    /// Returns the evaluation and whether it was served from cache.
+    pub fn plan(&self, system: &FlexSystem, w: &SageWorkload) -> (Evaluation, bool) {
+        let key = PlanKey::from(w);
+        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
+        let eval = system.plan(w).evaluation;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(key, eval.clone());
+        (eval, false)
+    }
+
+    /// Searches skipped thanks to the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Full SAGE searches performed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct workload shapes cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One independent workload in a batch: operands plus the statistics
+/// SAGE plans from.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Streaming operand.
+    pub a: CooMatrix,
+    /// Stationary operand.
+    pub b: CooMatrix,
+    /// Workload statistics (the plan-cache key).
+    pub workload: SageWorkload,
+}
+
+impl BatchJob {
+    /// Build a job, deriving the SpGEMM workload statistics from the
+    /// operands themselves.
+    pub fn spgemm(a: CooMatrix, b: CooMatrix, dtype: sparseflex_formats::DataType) -> Self {
+        let workload = SageWorkload::spgemm(
+            a.rows(),
+            a.cols(),
+            b.cols(),
+            a.nnz() as u64,
+            b.nnz() as u64,
+            dtype,
+        );
+        BatchJob { a, b, workload }
+    }
+}
+
+/// Result of serving one batch through the pipelined runtime.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<Result<PipelineRun, RunError>>,
+    /// SAGE searches skipped via the plan cache.
+    pub plan_cache_hits: usize,
+    /// SAGE searches actually performed.
+    pub plans_computed: usize,
+    /// Virtual accelerator instances (worker threads) used.
+    pub workers: usize,
+}
+
+impl BatchRun {
+    /// Jobs that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Sum of overlapped cycles across successful jobs (the batch's
+    /// modeled service time on one instance; divide by `workers` for the
+    /// parallel estimate).
+    pub fn total_overlapped_cycles(&self) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(PipelineRun::overlapped_cycles)
+            .sum()
+    }
+}
+
+impl FlexSystem {
+    /// Tile-grained pipelined run: SAGE plans, the stationary operand is
+    /// tiled, and MINT converts tile *t+1* while the array computes tile
+    /// *t*. See the [module docs](self) for the stage machine.
+    pub fn run_pipelined(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+    ) -> Result<PipelineRun, RunError> {
+        let evaluation = self.plan(w).evaluation;
+        self.run_pipelined_with_evaluation(a, b, evaluation, false)
+    }
+
+    /// [`run_pipelined`](Self::run_pipelined) with the format choice
+    /// pinned by the caller (used by the property suite to exercise every
+    /// MCF×ACF pair, and by [`run_batch`](Self::run_batch) with cached
+    /// plans).
+    pub fn run_pipelined_with_evaluation(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        evaluation: Evaluation,
+        plan_cached: bool,
+    ) -> Result<PipelineRun, RunError> {
+        if a.cols() != b.rows() {
+            return Err(RunError::ShapeMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            });
+        }
+        let choice = &evaluation.choice;
+        let engine = &self.sage.mint;
+        let accel = &self.sage.accel;
+        let spgemm = choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr;
+
+        // ---- PLAN (operand side): store in MCF, cut the stationary
+        // operand into scratchpad-sized column tiles.
+        let a_mem = MatrixData::encode(a, &choice.mcf_a)?;
+        let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
+        let residency = accel.num_pes.max(1);
+        let ranges = if spgemm {
+            // Gustavson PEs buffer whole compressed row segments (2 slots
+            // per entry): bound per-row entries per tile so no stationary
+            // unit can overflow a buffer.
+            let max_row_entries = accel.pe_buffer_elems / 2;
+            bounded_column_ranges(&b_mem, max_row_entries, residency).ok_or(
+                RunError::StationaryTooLarge {
+                    needed: 2,
+                    available: accel.pe_buffer_elems,
+                },
+            )?
+        } else {
+            // WS tiles are one array residency wide (`num_pes` stationary
+            // columns); the simulator splits K internally.
+            uniform_column_ranges(b_mem.cols(), residency)
+        };
+        let tiles_mem = tile_column_ranges(&b_mem, &ranges)?;
+
+        // ---- Prologue: convert the streaming operand once.
+        let (a_acf, conv_a) = engine.convert_matrix(&a_mem, &choice.acf_a)?;
+        let a_csr = if spgemm { Some(csr_cow(&a_acf)) } else { None };
+
+        // ---- CONVERT ∥ EXECUTE: the double-buffered stage machine. Two
+        // staging slots ping-pong: while the array executes the tile in
+        // slot `t % 2`, MINT fills slot `(t+1) % 2` with the next tile.
+        let mut slots: [Option<(MatrixData, ConversionReport)>; 2] = [None, None];
+        if let Some(first) = tiles_mem.first() {
+            // Pipeline fill: tile 0 converts with no compute to hide it.
+            slots[0] = Some(engine.convert_matrix(&first.data, &choice.acf_b)?);
+        }
+        let mut output = DenseMatrix::zeros(a.rows(), b_mem.cols());
+        let mut tiles = Vec::with_capacity(tiles_mem.len());
+        for (t, tile) in tiles_mem.iter().enumerate() {
+            let (tile_acf, conv) = slots[t % 2]
+                .take()
+                .expect("the stage machine keeps the current slot filled");
+            // Converter stage: prepare tile t+1 while tile t executes.
+            if let Some(next) = tiles_mem.get(t + 1) {
+                slots[(t + 1) % 2] = Some(engine.convert_matrix(&next.data, &choice.acf_b)?);
+            }
+            // Execute stage.
+            let sim = self.execute_tile(&a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
+            stitch_columns(&mut output, &sim.output, tile.col_start);
+            tiles.push(TileTrace {
+                col_start: tile.col_start,
+                col_end: tile.col_end,
+                conv,
+                compute: sim.cycles,
+                counts: sim.counts,
+            });
+        }
+
+        let conv_cycles: Vec<u64> = tiles.iter().map(|t| t.conv.pipelined_cycles()).collect();
+        let compute_cycles: Vec<u64> = tiles.iter().map(|t| t.compute.total()).collect();
+        let schedule = overlap_schedule(&conv_cycles, &compute_cycles);
+        Ok(PipelineRun {
+            evaluation,
+            output,
+            conv_a,
+            tiles,
+            schedule,
+            plan_cached,
+        })
+    }
+
+    fn execute_tile(
+        &self,
+        a_acf: &MatrixData,
+        a_csr: Option<&CsrMatrix>,
+        tile_acf: &MatrixData,
+        spgemm: bool,
+    ) -> Result<SimResult, RunError> {
+        let sim = if spgemm {
+            let a = a_csr.expect("CSR A is materialized for SpGEMM runs");
+            simulate_spgemm(a, &csr_cow(tile_acf), &self.sage.accel)?
+        } else {
+            simulate_ws(a_acf, tile_acf, &self.sage.accel)?
+        };
+        Ok(sim)
+    }
+
+    /// Serve a batch of independent workloads across parallel virtual
+    /// accelerator instances, sharing one SAGE [`PlanCache`].
+    ///
+    /// Jobs are partitioned into contiguous chunks, one scoped worker
+    /// thread per chunk (each thread simulates its own accelerator
+    /// instance); results come back in submission order. Repeated
+    /// workload shapes hit the plan cache and skip the MCF×ACF search.
+    pub fn run_batch(&self, jobs: &[BatchJob]) -> BatchRun {
+        let cache = PlanCache::default();
+        self.run_batch_with_cache(jobs, &cache)
+    }
+
+    /// [`run_batch`](Self::run_batch) against a caller-owned cache, so
+    /// plan reuse extends across batches of a long-lived service.
+    pub fn run_batch_with_cache(&self, jobs: &[BatchJob], cache: &PlanCache) -> BatchRun {
+        let workers = worker_count(jobs.len());
+        let mut results: Vec<Option<Result<PipelineRun, RunError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        par_chunks(&mut results, workers, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let job = &jobs[offset + i];
+                let (evaluation, cached) = cache.plan(self, &job.workload);
+                *slot =
+                    Some(self.run_pipelined_with_evaluation(&job.a, &job.b, evaluation, cached));
+            }
+        });
+        BatchRun {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every job slot is filled by its worker"))
+                .collect(),
+            plan_cache_hits: cache.hits(),
+            plans_computed: cache.misses(),
+            workers,
+        }
+    }
+}
+
+/// Copy a tile's `m x width` output into the full output at column
+/// `col_start` (tiles cover disjoint column ranges).
+fn stitch_columns(output: &mut DenseMatrix, tile_out: &DenseMatrix, col_start: usize) {
+    for r in 0..tile_out.rows() {
+        let row = tile_out.row(r);
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                output.set(r, col_start + j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::DataType;
+    use sparseflex_kernels::gemm::gemm_naive;
+    use sparseflex_sage::FormatChoice;
+    use sparseflex_workloads::synth::random_matrix;
+
+    fn small_system() -> FlexSystem {
+        let mut sys = FlexSystem::default();
+        sys.sage.accel.num_pes = 8;
+        sys.sage.accel.pe_buffer_elems = 64;
+        sys
+    }
+
+    fn spgemm_workload(a: &CooMatrix, b: &CooMatrix) -> SageWorkload {
+        SageWorkload::spgemm(
+            a.rows(),
+            a.cols(),
+            b.cols(),
+            a.nnz() as u64,
+            b.nnz() as u64,
+            DataType::Fp32,
+        )
+    }
+
+    fn pinned_eval(sys: &FlexSystem, w: &SageWorkload, choice: FormatChoice) -> Evaluation {
+        sys.sage
+            .evaluate(w, &choice, sparseflex_sage::eval::ConversionMode::Hardware)
+            .expect("pinned choice evaluates")
+    }
+
+    #[test]
+    fn pipelined_output_matches_monolithic_run() {
+        let sys = small_system();
+        let a = random_matrix(24, 32, 90, 1);
+        let b = random_matrix(32, 40, 120, 2);
+        let w = spgemm_workload(&a, &b);
+        let mono = sys.run_functional(&a, &b, &w).unwrap();
+        let piped = sys.run_pipelined(&a, &b, &w).unwrap();
+        assert_eq!(piped.output, mono.sim.output, "tiling changed the product");
+        assert!(piped.tiles.len() > 1, "operand should span several tiles");
+    }
+
+    #[test]
+    fn oversized_stationary_rows_recover_through_the_pipeline() {
+        // One B row holds 16 entries; 8-slot PE buffers (4 pairs) cannot
+        // hold it, so the monolithic SpGEMM path fails with the typed,
+        // recoverable error — and the tiler splits it until it fits.
+        let mut sys = FlexSystem::default();
+        sys.sage.accel.num_pes = 4;
+        sys.sage.accel.pe_buffer_elems = 8;
+        let b = CooMatrix::from_triplets(4, 16, (0..16).map(|j| (0, j, (j + 1) as f64)).collect())
+            .unwrap();
+        let a =
+            CooMatrix::from_triplets(3, 4, vec![(0, 0, 1.0), (1, 0, 2.0), (2, 3, 3.0)]).unwrap();
+        let w = spgemm_workload(&a, &b);
+        let choice = FormatChoice {
+            mcf_a: MatrixFormat::Csr,
+            mcf_b: MatrixFormat::Csr,
+            acf_a: MatrixFormat::Csr,
+            acf_b: MatrixFormat::Csr,
+        };
+        let eval = pinned_eval(&sys, &w, choice);
+
+        let mono = sys.run_with_choice(&a, &b, eval.clone());
+        match mono {
+            Err(ref e @ RunError::StationaryTooLarge { needed, available }) => {
+                assert_eq!(needed, 32);
+                assert_eq!(available, 8);
+                assert!(e.is_recoverable());
+            }
+            other => panic!("expected StationaryTooLarge, got {other:?}"),
+        }
+
+        let piped = sys
+            .run_pipelined_with_evaluation(&a, &b, eval, false)
+            .expect("the tiler renders the rejection unreachable");
+        let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+        assert!(piped.output.approx_eq(&expect, 1e-9));
+        // Every tile's stationary rows now fit 4 pairs.
+        assert!(piped.tiles.iter().all(|t| t.col_end - t.col_start <= 4));
+    }
+
+    #[test]
+    fn overlap_beats_serial_when_conversion_is_nontrivial() {
+        // Fig. 12-class shape: compressed MCF != ACF so every tile pays a
+        // real conversion, spread over many tiles.
+        let sys = small_system();
+        let a = random_matrix(40, 48, 300, 5);
+        let b = random_matrix(48, 64, 900, 6);
+        let w = spgemm_workload(&a, &b);
+        let choice = FormatChoice {
+            mcf_a: MatrixFormat::Csr,
+            mcf_b: MatrixFormat::Csr,
+            acf_a: MatrixFormat::Csr,
+            acf_b: MatrixFormat::Csc,
+        };
+        let eval = pinned_eval(&sys, &w, choice);
+        let run = sys
+            .run_pipelined_with_evaluation(&a, &b, eval, false)
+            .unwrap();
+        assert!(run.tiles.len() >= 2);
+        assert!(
+            run.overlapped_cycles() < run.serial_cycles(),
+            "overlap {} !< serial {}",
+            run.overlapped_cycles(),
+            run.serial_cycles()
+        );
+        let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+        assert!(run.output.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn batch_serves_jobs_and_caches_plans() {
+        let sys = small_system();
+        let mut jobs = Vec::new();
+        // 6 jobs over 2 distinct shapes -> at most 2 searches... but the
+        // racing workers may each miss once; at least half must hit.
+        for i in 0..3u64 {
+            jobs.push(BatchJob::spgemm(
+                random_matrix(16, 20, 60, 10 + i),
+                random_matrix(20, 24, 80, 20 + i),
+                DataType::Fp32,
+            ));
+            jobs.push(BatchJob::spgemm(
+                random_matrix(12, 16, 40, 30 + i),
+                random_matrix(16, 18, 50, 40 + i),
+                DataType::Fp32,
+            ));
+        }
+        let cache = PlanCache::default();
+        let batch = sys.run_batch_with_cache(&jobs, &cache);
+        assert_eq!(batch.results.len(), 6);
+        assert_eq!(batch.succeeded(), 6);
+        assert!(batch.workers >= 1);
+        assert_eq!(cache.len(), 2, "two distinct shapes");
+        assert!(
+            batch.plan_cache_hits + batch.plans_computed == 6,
+            "every job either hits or computes"
+        );
+        assert!(batch.plan_cache_hits >= 2, "repeated shapes must hit");
+        // Every job's output is correct.
+        for (job, res) in jobs.iter().zip(&batch.results) {
+            let run = res.as_ref().unwrap();
+            let expect = gemm_naive(&job.a.clone().into_dense(), &job.b.clone().into_dense());
+            assert!(run.output.approx_eq(&expect, 1e-9));
+        }
+        assert!(batch.total_overlapped_cycles() > 0);
+    }
+
+    #[test]
+    fn sub_pair_buffers_are_unrecoverable() {
+        // A 1-slot PE buffer cannot hold even one compressed pair; no
+        // tiling fixes that, so the pipeline fails with the same typed
+        // error flagged *unrecoverable* (no retry loop).
+        let mut sys = FlexSystem::default();
+        sys.sage.accel.num_pes = 4;
+        sys.sage.accel.pe_buffer_elems = 1;
+        let a = random_matrix(4, 6, 8, 1);
+        let b = random_matrix(6, 8, 12, 2);
+        let w = spgemm_workload(&a, &b);
+        let choice = FormatChoice {
+            mcf_a: MatrixFormat::Csr,
+            mcf_b: MatrixFormat::Csr,
+            acf_a: MatrixFormat::Csr,
+            acf_b: MatrixFormat::Csr,
+        };
+        let eval = pinned_eval(&sys, &w, choice);
+        match sys.run_pipelined_with_evaluation(&a, &b, eval, false) {
+            Err(e @ RunError::StationaryTooLarge { .. }) => {
+                assert!(!e.is_recoverable(), "no tiling can fix a 1-slot buffer")
+            }
+            other => panic!("expected unrecoverable StationaryTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let sys = small_system();
+        let a = random_matrix(4, 5, 6, 1);
+        let b = random_matrix(7, 3, 6, 2);
+        let w = SageWorkload::spgemm(4, 5, 3, 6, 6, DataType::Fp32);
+        assert!(matches!(
+            sys.run_pipelined(&a, &b, &w),
+            Err(RunError::ShapeMismatch {
+                a_cols: 5,
+                b_rows: 7
+            })
+        ));
+    }
+}

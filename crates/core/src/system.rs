@@ -4,11 +4,109 @@
 use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimError, SimResult};
 use sparseflex_accel::taxonomy::AcceleratorClass;
 use sparseflex_formats::{
-    csr_from_stream, CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
+    csr_cow, CooMatrix, CsrMatrix, DenseMatrix, FormatError, MatrixData, MatrixFormat,
 };
-use sparseflex_mint::{ConversionEngine, ConversionReport};
+use sparseflex_mint::ConversionReport;
 use sparseflex_sage::eval::ConversionMode;
 use sparseflex_sage::{Evaluation, Sage, SageWorkload};
+use std::fmt;
+
+/// Errors an end-to-end run can raise, typed so callers can distinguish
+/// the recoverable cases from genuine misconfiguration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// An indivisible stationary unit (one compressed column or row of
+    /// the stationary operand) needs more PE-buffer slots than exist.
+    ///
+    /// Usually **recoverable** (see [`RunError::is_recoverable`]): the
+    /// tile-grained pipeline ([`FlexSystem::run_pipelined`] /
+    /// [`FlexSystem::run_batch`]) splits the stationary operand into
+    /// column tiles until every unit fits, so the same workload runs
+    /// there. Only a buffer too small for even a single compressed pair
+    /// (`available < 2`) cannot be tiled around.
+    StationaryTooLarge {
+        /// Slots the indivisible unit requires.
+        needed: usize,
+        /// Slots one PE buffer provides.
+        available: usize,
+    },
+    /// The planned ACF pair is not executable on the WS array.
+    UnsupportedChoice {
+        /// Streaming-operand compute format.
+        a: MatrixFormat,
+        /// Stationary-operand compute format.
+        b: MatrixFormat,
+    },
+    /// Operand shapes disagree (`A` columns vs `B` rows).
+    ShapeMismatch {
+        /// Columns of A.
+        a_cols: usize,
+        /// Rows of B.
+        b_rows: usize,
+    },
+    /// Encoding or converting an operand failed structurally.
+    Format(FormatError),
+}
+
+impl RunError {
+    /// True when retrying through the tiled pipeline can succeed: the
+    /// stationary operand merely exceeded one scratchpad residency, and
+    /// the buffer can hold at least one compressed `(index, value)` pair
+    /// — the narrowest unit column tiling can produce. A buffer below two
+    /// slots cannot be fixed by any tiling, so it is reported as
+    /// unrecoverable (retry loops would fail identically forever).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, RunError::StationaryTooLarge { available, .. } if *available >= 2)
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StationaryTooLarge { needed, available } => {
+                let hint = if *available >= 2 {
+                    " (recoverable: run through the tiled pipeline)"
+                } else {
+                    ""
+                };
+                write!(
+                    f,
+                    "stationary unit needs {needed} slots, PE buffer has {available}{hint}"
+                )
+            }
+            RunError::UnsupportedChoice { a, b } => {
+                write!(f, "unsupported ACF pair {a}(A)-{b}(B) on the WS array")
+            }
+            RunError::ShapeMismatch { a_cols, b_rows } => {
+                write!(
+                    f,
+                    "dimension mismatch: A has {a_cols} cols, B has {b_rows} rows"
+                )
+            }
+            RunError::Format(e) => write!(f, "operand encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::BufferTooSmall { needed, available } => {
+                RunError::StationaryTooLarge { needed, available }
+            }
+            SimError::UnsupportedAcf { a, b } => RunError::UnsupportedChoice { a, b },
+            SimError::DimMismatch { a_cols, b_rows } => RunError::ShapeMismatch { a_cols, b_rows },
+        }
+    }
+}
+
+impl From<FormatError> for RunError {
+    fn from(e: FormatError) -> Self {
+        RunError::Format(e)
+    }
+}
 
 /// The `Flex_Flex_HW` system: SAGE + MINT + the flexible-ACF accelerator.
 #[derive(Debug, Clone, Default)]
@@ -84,63 +182,56 @@ impl FlexSystem {
     /// 1. SAGE plans MCF/ACF.
     /// 2. Operands are *stored* in their MCFs (as they would arrive from
     ///    DRAM).
-    /// 3. MINT's block engine converts MCF → ACF.
+    /// 3. MINT's block engine converts MCF → ACF — the **whole** operand
+    ///    at once, strictly before compute.
     /// 4. The cycle-accurate WS simulator executes the kernel.
+    ///
+    /// This is the monolithic (serial) path: operands must fit one
+    /// scratchpad residency, or the run fails with the recoverable
+    /// [`RunError::StationaryTooLarge`] — which the tile-grained
+    /// [`FlexSystem::run_pipelined`] renders unreachable by splitting the
+    /// stationary operand.
     pub fn run_functional(
         &self,
         a: &CooMatrix,
         b: &CooMatrix,
         w: &SageWorkload,
-    ) -> Result<FunctionalRun, SimError> {
+    ) -> Result<FunctionalRun, RunError> {
         let plan = self.plan(w);
-        let choice = &plan.evaluation.choice;
-        let engine = ConversionEngine::default();
+        self.run_with_choice(a, b, plan.evaluation)
+    }
+
+    /// [`run_functional`](Self::run_functional) with the format choice
+    /// pinned by the caller instead of planned by SAGE (the evaluation is
+    /// carried through to the result unchanged).
+    pub fn run_with_choice(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        evaluation: Evaluation,
+    ) -> Result<FunctionalRun, RunError> {
+        let choice = &evaluation.choice;
+        let engine = &self.sage.mint;
 
         // Store in MCF.
-        let a_mem = MatrixData::encode(a, &choice.mcf_a).map_err(|_| SimError::UnsupportedAcf {
-            a: choice.mcf_a,
-            b: choice.mcf_b,
-        })?;
-        let b_mem = MatrixData::encode(b, &choice.mcf_b).map_err(|_| SimError::UnsupportedAcf {
-            a: choice.mcf_a,
-            b: choice.mcf_b,
-        })?;
+        let a_mem = MatrixData::encode(a, &choice.mcf_a)?;
+        let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
 
         // MINT: MCF -> ACF.
-        let (a_acf, conv_a) =
-            engine
-                .convert_matrix(&a_mem, &choice.acf_a)
-                .map_err(|_| SimError::UnsupportedAcf {
-                    a: choice.acf_a,
-                    b: choice.acf_b,
-                })?;
-        let (b_acf, conv_b) =
-            engine
-                .convert_matrix(&b_mem, &choice.acf_b)
-                .map_err(|_| SimError::UnsupportedAcf {
-                    a: choice.acf_a,
-                    b: choice.acf_b,
-                })?;
+        let (a_acf, conv_a) = engine.convert_matrix(&a_mem, &choice.acf_a)?;
+        let (b_acf, conv_b) = engine.convert_matrix(&b_mem, &choice.acf_b)?;
 
         // Execute. The SpGEMM simulator wants CSR operands; non-CSR ACFs
         // are materialized with one pass over their fiber streams rather
         // than a COO hub round-trip.
         let sim = if choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr {
-            let a_csr = match &a_acf {
-                MatrixData::Csr(c) => c.clone(),
-                other => csr_from_stream(other.rows(), other.cols(), other.row_stream()),
-            };
-            let b_csr = match &b_acf {
-                MatrixData::Csr(c) => c.clone(),
-                other => csr_from_stream(other.rows(), other.cols(), other.row_stream()),
-            };
-            simulate_spgemm(&a_csr, &b_csr, &self.sage.accel)?
+            simulate_spgemm(&csr_cow(&a_acf), &csr_cow(&b_acf), &self.sage.accel)?
         } else {
             simulate_ws(&a_acf, &b_acf, &self.sage.accel)?
         };
 
         Ok(FunctionalRun {
-            evaluation: plan.evaluation,
+            evaluation,
             conv_a,
             conv_b,
             sim,
@@ -174,7 +265,7 @@ impl FlexSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparseflex_formats::DataType;
+    use sparseflex_formats::{DataType, SparseMatrix};
     use sparseflex_workloads::synth::random_matrix;
 
     fn workload_from(a: &CooMatrix, b: &CooMatrix, spgemm: bool) -> SageWorkload {

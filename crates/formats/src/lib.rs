@@ -39,6 +39,10 @@
 //! the format-generic kernels in `sparseflex-kernels` consume, so a kernel
 //! written once runs over any of these formats without pre-conversion.
 //!
+//! The [`tiler`] module cuts any [`MatrixData`] into scratchpad-sized
+//! column tiles over those same streams — the unit of work the pipelined
+//! runtime in `sparseflex-core` converts and computes on in overlap.
+//!
 //! ## Example
 //!
 //! ```
@@ -84,6 +88,7 @@ mod roundtrip_tests;
 pub mod size_model;
 pub mod stats;
 pub mod tensor;
+pub mod tiler;
 pub mod traits;
 pub mod traverse;
 pub mod zvc;
@@ -102,8 +107,9 @@ pub use formats::{MatrixData, MatrixFormat, TensorData, TensorFormat};
 pub use hicoo::HiCooTensor;
 pub use rlc::{RlcMatrix, RlcTensor3};
 pub use tensor::{CooTensor3, DenseTensor3};
+pub use tiler::{bounded_column_ranges, tile_column_ranges, uniform_column_ranges, MatrixTile};
 pub use traits::{SparseMatrix, SparseTensor3};
-pub use traverse::{csr_from_stream, FiberStream3, RowMajorStream};
+pub use traverse::{csr_cow, csr_from_stream, FiberStream3, RowMajorStream};
 pub use zvc::{ZvcMatrix, ZvcTensor3};
 
 /// Scalar element type used for all functional (value-carrying) storage.

@@ -1,0 +1,267 @@
+//! Operand tiling: partition a [`MatrixData`] into scratchpad-sized
+//! column tiles without densifying.
+//!
+//! The pipelined runtime in `sparseflex-core` overlaps MINT conversion
+//! with accelerator compute at **tile** granularity: while the array
+//! computes on stationary tile *t*, the converter prepares tile *t+1*.
+//! That only works if every format can be sliced into column ranges
+//! cheaply — which is exactly what the [`RowMajorStream`](crate::traverse::RowMajorStream) traversal
+//! already provides. A tile is extracted with one pass over the operand's
+//! fibers (columns filtered to the range and rebased), then re-encoded in
+//! the operand's own format, so tiling never round-trips through a dense
+//! intermediate.
+//!
+//! Two planners are provided:
+//!
+//! - [`uniform_column_ranges`] — fixed-width strips, the geometry of one
+//!   weight-stationary array residency (`num_pes` columns at a time).
+//! - [`bounded_column_ranges`] — greedy strips sized so that no stationary
+//!   unit (a row segment of the tile, as held by one Gustavson PE buffer)
+//!   exceeds a slot budget. This is what renders the accelerator's
+//!   "stationary unit needs N slots" rejection unreachable: any operand
+//!   whose individual rows overflow a PE buffer is split until every
+//!   segment fits.
+
+use crate::coo::CooMatrix;
+use crate::error::FormatError;
+use crate::formats::MatrixData;
+use crate::traits::SparseMatrix;
+
+/// One column tile of a matrix operand.
+#[derive(Debug, Clone)]
+pub struct MatrixTile {
+    /// First column (inclusive) of the tile in the original operand.
+    pub col_start: usize,
+    /// One past the last column of the tile in the original operand.
+    pub col_end: usize,
+    /// The tile payload, columns rebased to `0..width()`, encoded in the
+    /// same format as the operand it was cut from.
+    pub data: MatrixData,
+}
+
+impl MatrixTile {
+    /// Number of columns in the tile.
+    pub fn width(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    /// Stored nonzeros in the tile (may be zero for degenerate tiles).
+    pub fn nnz(&self) -> usize {
+        self.data.nnz()
+    }
+}
+
+/// Fixed-width column ranges covering `0..cols`.
+///
+/// The last range is narrower when `width` does not divide `cols`. An
+/// empty matrix (`cols == 0`) yields no ranges.
+pub fn uniform_column_ranges(cols: usize, width: usize) -> Vec<(usize, usize)> {
+    let width = width.max(1);
+    let mut out = Vec::with_capacity(cols.div_ceil(width));
+    let mut c0 = 0;
+    while c0 < cols {
+        let c1 = (c0 + width).min(cols);
+        out.push((c0, c1));
+        c0 = c1;
+    }
+    out
+}
+
+/// Greedy column ranges such that within every range, **every row** of the
+/// operand stores at most `max_row_entries` nonzeros (and no range is wider
+/// than `max_width` columns).
+///
+/// This is the planner for stationary operands consumed row-at-a-time
+/// (the Gustavson SpGEMM dataflow, where one PE buffers one compressed row
+/// segment): capping per-row entries per tile caps the per-PE footprint.
+/// Returns `None` only when `max_row_entries == 0` — a single stored
+/// element already overflows the budget, which no tiling can fix.
+pub fn bounded_column_ranges(
+    data: &MatrixData,
+    max_row_entries: usize,
+    max_width: usize,
+) -> Option<Vec<(usize, usize)>> {
+    if max_row_entries == 0 {
+        return None;
+    }
+    let cols = data.cols();
+    let max_width = max_width.max(1);
+    // Invert to per-column row lists (one stream pass), then widen each
+    // range greedily with incremental per-row counts — O(nnz + cols)
+    // overall: each column's entries are touched once when the column
+    // joins a range, once when the range closes.
+    let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); cols];
+    data.row_stream().for_each_fiber(&mut |r, cs, _| {
+        for &c in cs {
+            col_rows[c].push(r);
+        }
+    });
+
+    let mut count = vec![0usize; data.rows()];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut ranges = Vec::new();
+    let mut c0 = 0usize;
+    while c0 < cols {
+        let mut c1 = c0;
+        while c1 < cols && c1 - c0 < max_width {
+            // A single column holds at most one entry per row, so the
+            // first column always fits (max_row_entries >= 1).
+            let fits = c1 == c0 || col_rows[c1].iter().all(|&r| count[r] < max_row_entries);
+            if !fits {
+                break;
+            }
+            for &r in &col_rows[c1] {
+                if count[r] == 0 {
+                    touched.push(r);
+                }
+                count[r] += 1;
+            }
+            c1 += 1;
+        }
+        ranges.push((c0, c1));
+        for r in touched.drain(..) {
+            count[r] = 0;
+        }
+        c0 = c1;
+    }
+    Some(ranges)
+}
+
+/// Cut every range in `ranges` out of `data` in **one** stream pass
+/// (requires the ranges sorted ascending and disjoint, as the planners
+/// produce them): each stored entry is bucketed into its destination
+/// tile, then every bucket is encoded — O(nnz + tiles), not
+/// O(tiles × nnz).
+pub fn tile_column_ranges(
+    data: &MatrixData,
+    ranges: &[(usize, usize)],
+) -> Result<Vec<MatrixTile>, FormatError> {
+    debug_assert!(
+        ranges.windows(2).all(|w| w[0].1 <= w[1].0),
+        "ranges must be sorted ascending and disjoint"
+    );
+    let mut buckets: Vec<Vec<(usize, usize, crate::Value)>> = vec![Vec::new(); ranges.len()];
+    data.row_stream().for_each_fiber(&mut |r, cs, vs| {
+        for (&c, &v) in cs.iter().zip(vs) {
+            // Last range starting at or before c (ranges may have gaps).
+            let i = ranges.partition_point(|&(c0, _)| c0 <= c);
+            if i > 0 && c < ranges[i - 1].1 {
+                buckets[i - 1].push((r, c - ranges[i - 1].0, v));
+            }
+        }
+    });
+    ranges
+        .iter()
+        .zip(buckets)
+        .map(|(&(c0, c1), triplets)| {
+            // Stream order is row-major with ascending columns, so each
+            // bucket's triplets arrive already sorted.
+            let coo = CooMatrix::from_sorted_triplets(data.rows(), c1 - c0, triplets)?;
+            Ok(MatrixTile {
+                col_start: c0,
+                col_end: c1,
+                data: MatrixData::encode(&coo, &data.format())?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::MatrixFormat;
+
+    fn sample() -> CooMatrix {
+        CooMatrix::from_triplets(
+            5,
+            11,
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (0, 10, 3.0),
+                (1, 5, 4.0),
+                (2, 2, 5.0),
+                (2, 6, 6.0),
+                (2, 7, 7.0),
+                (4, 9, 8.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_ranges_cover_all_columns() {
+        assert_eq!(uniform_column_ranges(11, 4), vec![(0, 4), (4, 8), (8, 11)]);
+        assert_eq!(uniform_column_ranges(0, 4), vec![]);
+        assert_eq!(uniform_column_ranges(3, 0), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn tiles_reassemble_to_the_original_in_every_format() {
+        let coo = sample();
+        for fmt in [
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Bsr { br: 2, bc: 2 },
+            MatrixFormat::Dia,
+            MatrixFormat::Ell,
+            MatrixFormat::Rlc { run_bits: 4 },
+            MatrixFormat::Zvc,
+        ] {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let ranges = uniform_column_ranges(data.cols(), 3);
+            let tiles = tile_column_ranges(&data, &ranges).unwrap();
+            // Each tile keeps the operand's format and rebases columns.
+            let mut reassembled = Vec::new();
+            for t in &tiles {
+                assert_eq!(t.data.format(), fmt, "{fmt}");
+                for (r, c, v) in t.data.to_coo().iter() {
+                    reassembled.push((r, c + t.col_start, v));
+                }
+            }
+            reassembled.sort_by_key(|&(r, c, _)| (r, c));
+            let expect: Vec<_> = coo.iter().collect();
+            assert_eq!(reassembled, expect, "{fmt} tiles lose data");
+        }
+    }
+
+    #[test]
+    fn degenerate_empty_tiles_are_valid() {
+        let coo = CooMatrix::from_triplets(3, 9, vec![(1, 8, 1.0)]).unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        let tiles = tile_column_ranges(&data, &uniform_column_ranges(9, 3)).unwrap();
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0].nnz(), 0);
+        assert_eq!(tiles[1].nnz(), 0);
+        assert_eq!(tiles[2].nnz(), 1);
+        assert_eq!(tiles[2].width(), 3);
+    }
+
+    #[test]
+    fn bounded_ranges_cap_row_segments() {
+        // Row 0 holds 8 entries in 8 consecutive columns; a budget of 2
+        // entries per row forces 4-wide-or-narrower tiles there.
+        let coo = CooMatrix::from_triplets(2, 8, (0..8).map(|c| (0, c, (c + 1) as f64)).collect())
+            .unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        let ranges = bounded_column_ranges(&data, 2, usize::MAX).unwrap();
+        for &(c0, c1) in &ranges {
+            assert!(c1 - c0 <= 2, "range ({c0},{c1}) exceeds the row budget");
+        }
+        let covered: usize = ranges.iter().map(|&(a, b)| b - a).sum();
+        assert_eq!(covered, 8);
+        assert!(bounded_column_ranges(&data, 0, 4).is_none());
+    }
+
+    #[test]
+    fn bounded_ranges_respect_max_width() {
+        let coo = CooMatrix::from_triplets(2, 10, vec![(0, 0, 1.0), (1, 9, 2.0)]).unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Coo).unwrap();
+        let ranges = bounded_column_ranges(&data, 64, 4).unwrap();
+        assert!(ranges.iter().all(|&(a, b)| b - a <= 4));
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 10);
+    }
+}

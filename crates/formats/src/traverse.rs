@@ -605,6 +605,21 @@ pub fn csr_from_stream(rows: usize, cols: usize, stream: &dyn RowMajorStream) ->
         .expect("the stream ordering contract yields valid CSR")
 }
 
+/// Borrow the operand's CSR payload when it already is CSR, else
+/// materialize one via [`csr_from_stream`] — the zero-copy view shared by
+/// the kernel dispatchers and the accelerator runtimes.
+pub fn csr_cow(data: &MatrixData) -> std::borrow::Cow<'_, CsrMatrix> {
+    use crate::traits::SparseMatrix;
+    match data {
+        MatrixData::Csr(c) => std::borrow::Cow::Borrowed(c),
+        other => std::borrow::Cow::Owned(csr_from_stream(
+            other.rows(),
+            other.cols(),
+            other.row_stream(),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,7 +26,6 @@ use crate::{
     mttkrp as mttkrp_mod, spgemm as spgemm_mod, spmm as spmm_mod, spmv as spmv_mod,
     spttm as spttm_mod,
 };
-use sparseflex_formats::traverse::csr_from_stream;
 use sparseflex_formats::{
     CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, SparseMatrix, SparseTensor3, TensorData,
     Value,
@@ -155,7 +154,8 @@ pub fn spmm_sparse_b(a: &DenseMatrix, b: &MatrixData) -> Result<DenseMatrix, Ker
 ///
 /// `A` streams its row fibers directly into the sparse accumulator; `B`
 /// needs random row access, so a non-CSR `B` is materialized once via
-/// [`csr_from_stream`] (a single stream pass — no COO hub round-trip).
+/// [`csr_from_stream`](sparseflex_formats::csr_from_stream) (a single
+/// stream pass — no COO hub round-trip).
 pub fn spgemm(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
     check_dim("spgemm", "A cols vs B rows", a.cols(), b.rows())?;
     let b_csr = csr_view(b);
@@ -200,12 +200,9 @@ pub fn spgemm_parallel(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, Kern
 }
 
 /// Borrow `m` as CSR when it already is, else materialize through the
-/// fiber stream.
+/// fiber stream (shared with the accelerator runtimes).
 fn csr_view(m: &MatrixData) -> Cow<'_, CsrMatrix> {
-    match m {
-        MatrixData::Csr(c) => Cow::Borrowed(c),
-        _ => Cow::Owned(csr_from_stream(m.rows(), m.cols(), m.row_stream())),
-    }
+    sparseflex_formats::csr_cow(m)
 }
 
 // ---------------------------------------------------------------------------

@@ -26,9 +26,10 @@
 //! specializations behind the generic entry points; formats without a
 //! dedicated path stream through the same accumulation and produce
 //! identical results. Shape mismatches surface as [`KernelError`] values
-//! rather than panics. The previous per-format function zoo
-//! (`spmm_csr_dense`, `mttkrp_coo`, ...) survives one release as
-//! `#[deprecated]` shims inside the kernel modules.
+//! rather than panics. (The transitional per-format function zoo —
+//! `spmm_csr_dense`, `mttkrp_coo`, ... — kept one release as
+//! `#[deprecated]` shims has been removed; call the dispatch entry
+//! points.)
 //!
 //! These kernels are used three ways across the workspace: as the
 //! functional oracle for the accelerator simulator, as the measured
@@ -55,13 +56,3 @@ pub use dispatch::{
 pub use error::KernelError;
 pub use gemm::{gemm, gemm_parallel};
 pub use im2col::{im2col, ConvLayer};
-
-// Deprecated per-format shims, re-exported for one release so downstream
-// `use sparseflex_kernels::spmm_csr_dense`-style imports keep resolving
-// (with a deprecation warning at the caller).
-#[allow(deprecated)]
-pub use mttkrp::{mttkrp_coo, mttkrp_csf};
-#[allow(deprecated)]
-pub use spmm::{spmm_coo_dense, spmm_csr_dense, spmm_csr_dense_parallel, spmm_dense_csc};
-#[allow(deprecated)]
-pub use spttm::{spttm_coo, spttm_csf};

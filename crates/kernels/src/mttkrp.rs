@@ -76,26 +76,6 @@ pub(crate) fn check_factors(
     crate::error::check_dim("mttkrp", "factor ranks", b.cols(), c.cols())
 }
 
-/// COO MTTKRP.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `mttkrp(&TensorData, b, c)` entry point"
-)]
-pub fn mttkrp_coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    check_factors(a.dim_y(), a.dim_z(), b, c).unwrap_or_else(|e| panic!("{e}"));
-    coo(a, b, c)
-}
-
-/// CSF MTTKRP with fiber-level factoring.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `mttkrp(&TensorData, b, c)` entry point"
-)]
-pub fn mttkrp_csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
-    check_factors(a.dim_y(), a.dim_z(), b, c).unwrap_or_else(|e| panic!("{e}"));
-    csf(a, b, c)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,15 +157,5 @@ mod tests {
                 ..
             })
         ));
-    }
-
-    #[test]
-    #[should_panic(expected = "mode-2")]
-    fn deprecated_shim_preserves_panic_on_mismatch() {
-        let a = tensor();
-        let b = DenseMatrix::zeros(7, 2);
-        let c = DenseMatrix::zeros(5, 2);
-        #[allow(deprecated)]
-        let _ = mttkrp_coo(&a, &b, &c);
     }
 }

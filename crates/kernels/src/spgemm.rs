@@ -9,7 +9,7 @@
 //! paths and the Gustavson row routine the generic stream consumer shares.
 
 use crate::parallel::worker_count;
-use sparseflex_formats::{CooMatrix, CsrMatrix, SparseMatrix, Value};
+use sparseflex_formats::{CsrMatrix, SparseMatrix, Value};
 
 /// Gustavson SpGEMM fast path: `O = A * B`, all three in CSR.
 ///
@@ -146,46 +146,11 @@ pub(crate) fn csr_csr_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     CsrMatrix::from_parts(m, n, row_ptr, col_ids, values).expect("stitched bands form valid CSR")
 }
 
-fn check_inner(a_cols: usize, b_rows: usize) {
-    crate::error::check_dim("spgemm", "A cols vs B rows", a_cols, b_rows)
-        .unwrap_or_else(|e| panic!("{e}"));
-}
-
-/// Gustavson SpGEMM: `O = A * B`, all three in CSR.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spgemm(&MatrixData, &MatrixData)` entry point"
-)]
-pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    check_inner(a.cols(), b.rows());
-    csr_csr(a, b)
-}
-
-/// Row-parallel Gustavson SpGEMM.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spgemm_parallel(&MatrixData, &MatrixData)` entry point"
-)]
-pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    check_inner(a.cols(), b.rows());
-    csr_csr_parallel(a, b)
-}
-
-/// SpGEMM with COO output (convenience for tensor pipelines).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spgemm` and convert via `to_coo()`"
-)]
-pub fn spgemm_to_coo(a: &CsrMatrix, b: &CsrMatrix) -> CooMatrix {
-    check_inner(a.cols(), b.rows());
-    csr_csr(a, b).to_coo()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gemm::gemm_naive;
-    use sparseflex_formats::SparseMatrix;
+    use sparseflex_formats::{CooMatrix, SparseMatrix};
 
     fn mk(rows: usize, cols: usize, seed: u64, nnz: usize) -> CsrMatrix {
         let mut state = seed;

@@ -94,51 +94,6 @@ pub(crate) fn dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
     o
 }
 
-fn check_inner(a_cols: usize, b_rows: usize) {
-    crate::error::check_dim("spmm", "A cols vs B rows", a_cols, b_rows)
-        .unwrap_or_else(|e| panic!("{e}"));
-}
-
-/// COO-streaming SpMM (the paper's Algorithm 1).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spmm(&MatrixData, b)` entry point"
-)]
-pub fn spmm_coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
-    check_inner(a.cols(), b.rows());
-    coo_dense(a, b)
-}
-
-/// CSR-streaming SpMM.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spmm(&MatrixData, b)` entry point"
-)]
-pub fn spmm_csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
-    check_inner(a.cols(), b.rows());
-    csr_dense(a, b)
-}
-
-/// Multithreaded CSR SpMM.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spmm_parallel(&MatrixData, b)` entry point"
-)]
-pub fn spmm_csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
-    check_inner(a.cols(), b.rows());
-    csr_dense_parallel(a, b)
-}
-
-/// Dense × CSC-stationary SpMM.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spmm_sparse_b(a, &MatrixData)` entry point"
-)]
-pub fn spmm_dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
-    check_inner(a.cols(), b.rows());
-    dense_csc(a, b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,15 +164,6 @@ mod tests {
         let b = dense_b();
         let o = coo_dense(&a, &b);
         assert_eq!(o, DenseMatrix::zeros(3, 3));
-    }
-
-    #[test]
-    #[should_panic(expected = "dimension mismatch")]
-    fn deprecated_shim_preserves_panic_on_mismatch() {
-        let a = CooMatrix::empty(3, 5);
-        let b = dense_b();
-        #[allow(deprecated)]
-        let _ = spmm_coo_dense(&a, &b);
     }
 
     #[test]

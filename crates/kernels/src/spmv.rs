@@ -24,17 +24,6 @@ pub(crate) fn csr(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
     y
 }
 
-/// CSR SpMV: `y = A * x`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spmv(&MatrixData, x)` entry point"
-)]
-pub fn spmv(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
-    crate::error::check_dim("spmv", "A cols vs x len", a.cols(), x.len())
-        .unwrap_or_else(|e| panic!("{e}"));
-    csr(a, x)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,13 +57,5 @@ mod tests {
     fn empty_matrix_gives_zero_vector() {
         let a = CsrMatrix::from_coo(&CooMatrix::empty(5, 4));
         assert_eq!(csr(&a, &[1.0; 4]), vec![0.0; 5]);
-    }
-
-    #[test]
-    #[should_panic(expected = "dimension mismatch")]
-    fn deprecated_shim_preserves_panic_on_mismatch() {
-        let a = CsrMatrix::from_coo(&CooMatrix::empty(2, 3));
-        #[allow(deprecated)]
-        let _ = spmv(&a, &[1.0; 2]);
     }
 }

@@ -62,28 +62,6 @@ pub(crate) fn csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
     y
 }
 
-/// COO SpTTM.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spttm(&TensorData, b)` entry point"
-)]
-pub fn spttm_coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
-    crate::error::check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())
-        .unwrap_or_else(|e| panic!("{e}"));
-    coo(a, b)
-}
-
-/// CSF SpTTM with fiber-at-a-time accumulation.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the format-generic `spttm(&TensorData, b)` entry point"
-)]
-pub fn spttm_csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
-    crate::error::check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())
-        .unwrap_or_else(|e| panic!("{e}"));
-    csf(a, b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,14 +124,5 @@ mod tests {
         let a = CooTensor3::empty(2, 2, 5);
         let b = dense_b();
         assert_eq!(coo(&a, &b), DenseTensor3::zeros(2, 2, 3));
-    }
-
-    #[test]
-    #[should_panic(expected = "dimension mismatch")]
-    fn deprecated_shim_preserves_panic_on_mismatch() {
-        let a = CooTensor3::empty(2, 2, 4);
-        let b = dense_b();
-        #[allow(deprecated)]
-        let _ = spttm_coo(&a, &b);
     }
 }

@@ -24,7 +24,9 @@
 //! converted operand, verified against the software oracle in
 //! `sparseflex-formats`) and metered (returns per-block cycle and energy
 //! usage). A generic any→any path routes through COO. The [`cost`] module
-//! provides the closed-form cost model SAGE queries.
+//! provides the closed-form cost model SAGE queries, and the [`tiled`]
+//! module adds the per-tile conversion API plus the double-buffered
+//! overlap schedule shared by the pipelined runtime and SAGE.
 
 #![warn(missing_docs)]
 
@@ -32,9 +34,11 @@ pub mod blocks;
 pub mod cost;
 pub mod engine;
 pub mod report;
+pub mod tiled;
 pub mod variants;
 
 pub use cost::{conversion_cost, tensor_conversion_cost, ConversionCost};
 pub use engine::ConversionEngine;
 pub use report::{BlockKind, ConversionReport};
+pub use tiled::{added_hardware_cycles, overlap_schedule, OverlapSchedule, TiledConversion};
 pub use variants::{MintVariant, PrefixSumOverlay};

@@ -1,0 +1,273 @@
+//! Per-tile conversion and the overlap schedule model.
+//!
+//! "MINT is pipelined to start conversion while streaming in data from
+//! memory" (§V-B) — and the system-level consequence the paper's Fig. 12
+//! prices is that conversion of the *next* operand tile overlaps compute
+//! on the *current* one. This module provides the two halves of that
+//! story:
+//!
+//! - [`ConversionEngine::convert_tiles`] converts a sequence of operand
+//!   tiles one by one, returning a [`TiledConversion`] whose per-tile
+//!   [`ConversionReport`]s compose into the whole-operand report (the
+//!   composition is exact: tile reports merged equal the metered cost of
+//!   converting the tiles sequentially).
+//! - [`overlap_schedule`] folds per-tile conversion and compute cycle
+//!   vectors into the double-buffered pipeline total (convert tile `t+1`
+//!   while computing tile `t`) alongside the serial convert-then-compute
+//!   total, so callers (the `sparseflex-core` stage machine, SAGE's
+//!   conversion model) price the overlap instead of assuming it.
+
+use crate::engine::ConversionEngine;
+use crate::report::ConversionReport;
+use sparseflex_formats::{FormatError, MatrixData, MatrixFormat};
+
+/// The result of converting one operand tile sequence MCF → ACF.
+#[derive(Debug, Clone, Default)]
+pub struct TiledConversion {
+    /// Converted tiles, in input order, encoded in the target ACF.
+    pub tiles: Vec<MatrixData>,
+    /// One metered report per tile (degenerate tiles report near-zero
+    /// cost; identity conversions report exactly zero).
+    pub reports: Vec<ConversionReport>,
+}
+
+impl TiledConversion {
+    /// Whole-operand report: the sequential composition of every per-tile
+    /// report (same accounting `convert_matrix` on the unsplit operand
+    /// would produce, up to per-tile pipeline fills).
+    pub fn composed_report(&self) -> ConversionReport {
+        let mut total = ConversionReport::default();
+        for r in &self.reports {
+            total.merge(r);
+        }
+        total
+    }
+
+    /// Per-tile pipelined wall-clock cycles (the conversion lane of the
+    /// overlap schedule).
+    pub fn tile_cycles(&self) -> Vec<u64> {
+        self.reports
+            .iter()
+            .map(ConversionReport::pipelined_cycles)
+            .collect()
+    }
+}
+
+impl ConversionEngine {
+    /// Convert each tile in `tiles` to `target`, metering every tile
+    /// separately so the runtime can schedule tile `t+1`'s conversion
+    /// against tile `t`'s compute.
+    pub fn convert_tiles(
+        &self,
+        tiles: &[MatrixData],
+        target: &MatrixFormat,
+    ) -> Result<TiledConversion, FormatError> {
+        let mut out = TiledConversion {
+            tiles: Vec::with_capacity(tiles.len()),
+            reports: Vec::with_capacity(tiles.len()),
+        };
+        for tile in tiles {
+            let (converted, report) = self.convert_matrix(tile, target)?;
+            out.tiles.push(converted);
+            out.reports.push(report);
+        }
+        Ok(out)
+    }
+}
+
+/// Cycle totals of a tiled plan→convert→execute run under the two
+/// disciplines the acceptance comparison needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapSchedule {
+    /// Double-buffered total: tile `t+1` converts while tile `t`
+    /// computes, so each step costs `max(compute_t, conv_{t+1})` and only
+    /// the first tile's conversion is exposed as pipeline fill.
+    pub overlapped_cycles: u64,
+    /// Serial total: every conversion strictly precedes its compute.
+    pub serial_cycles: u64,
+}
+
+impl OverlapSchedule {
+    /// Cycles the overlap hides (`serial - overlapped`).
+    pub fn hidden_cycles(&self) -> u64 {
+        self.serial_cycles - self.overlapped_cycles
+    }
+
+    /// Serial-over-overlapped speedup (1.0 when nothing overlaps).
+    pub fn speedup(&self) -> f64 {
+        if self.overlapped_cycles == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.overlapped_cycles as f64
+        }
+    }
+}
+
+/// Fold per-tile conversion and compute cycles into the double-buffered
+/// schedule.
+///
+/// `conv[t]` is the pipelined conversion cost of tile `t`; `compute[t]`
+/// its accelerator cycles. Both slices must be the same length (one entry
+/// per tile). With double buffering the machine converts tile 0, then at
+/// each step computes tile `t` while converting tile `t+1`:
+///
+/// ```text
+/// overlapped = conv[0] + sum_t max(compute[t], conv[t+1])   (conv[T] = 0)
+/// serial     = sum_t (conv[t] + compute[t])
+/// ```
+pub fn overlap_schedule(conv: &[u64], compute: &[u64]) -> OverlapSchedule {
+    assert_eq!(
+        conv.len(),
+        compute.len(),
+        "one conversion entry per compute tile"
+    );
+    if conv.is_empty() {
+        return OverlapSchedule::default();
+    }
+    let mut overlapped = conv[0];
+    for (t, &compute_t) in compute.iter().enumerate() {
+        let next_conv = conv.get(t + 1).copied().unwrap_or(0);
+        overlapped += compute_t.max(next_conv);
+    }
+    let serial = conv.iter().sum::<u64>() + compute.iter().sum::<u64>();
+    OverlapSchedule {
+        overlapped_cycles: overlapped,
+        serial_cycles: serial,
+    }
+}
+
+/// SAGE's analytic view of the tile-grained pipeline: predict the
+/// conversion cycles that stay exposed after the overlap the runtime
+/// actually schedules, from whole-operand statistics split into `tiles`
+/// equal stationary tiles.
+///
+/// The model mirrors `run_pipelined`'s stage machine tile for tile:
+///
+/// - **Prologue / fill**: the streaming operand converts once up front
+///   and the first stationary tile converts before any compute exists to
+///   hide it — together they overlap only the fetch streaming in under
+///   them (`dram_a` plus tile 0's share of `dram_b`, §V-B).
+/// - **Steady state**: each later stationary tile's conversion
+///   double-buffers against the previous tile's compute on top of its
+///   own fetch share.
+///
+/// Only the per-phase excess surfaces as latency, so — unlike the old
+/// whole-operand closed form `max(0, conv - dram - compute)` — the
+/// prediction genuinely depends on the tile count: more tiles shrink the
+/// exposed fill, and a conversion-bound steady state exposes its excess
+/// once per tile.
+pub fn added_hardware_cycles(
+    conv_a: f64,
+    dram_a: f64,
+    conv_b: f64,
+    dram_b: f64,
+    compute_total: f64,
+    tiles: usize,
+) -> f64 {
+    let t = tiles.max(1) as f64;
+    let fill_exposed = (conv_a + conv_b / t - (dram_a + dram_b / t)).max(0.0);
+    let steady_exposed = ((conv_b - dram_b - compute_total) / t).max(0.0);
+    fill_exposed + (t - 1.0) * steady_exposed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::{tile_column_ranges, uniform_column_ranges, SparseMatrix};
+    use sparseflex_workloads::synth::random_matrix;
+
+    #[test]
+    fn tile_reports_compose_to_the_whole_operand() {
+        let eng = ConversionEngine::default();
+        let coo = random_matrix(32, 40, 200, 11);
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        let ranges = uniform_column_ranges(40, 8);
+        let raw_tiles: Vec<MatrixData> = tile_column_ranges(&data, &ranges)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.data)
+            .collect();
+        let tiled = eng.convert_tiles(&raw_tiles, &MatrixFormat::Csc).unwrap();
+        assert_eq!(tiled.tiles.len(), ranges.len());
+        // Functional: every tile converted exactly.
+        for (tile, raw) in tiled.tiles.iter().zip(&raw_tiles) {
+            assert_eq!(tile.format(), MatrixFormat::Csc);
+            assert_eq!(tile.to_coo(), raw.to_coo());
+        }
+        // Composition: merged tile reports account for every nonzero.
+        let composed = tiled.composed_report();
+        assert_eq!(composed.elements, coo.nnz() as u64);
+        assert_eq!(
+            composed.serialized_cycles(),
+            tiled
+                .reports
+                .iter()
+                .map(ConversionReport::serialized_cycles)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn identity_tiles_are_free() {
+        let eng = ConversionEngine::default();
+        let coo = random_matrix(10, 10, 20, 3);
+        let data = MatrixData::encode(&coo, &MatrixFormat::Coo).unwrap();
+        let tiled = eng
+            .convert_tiles(std::slice::from_ref(&data), &MatrixFormat::Coo)
+            .unwrap();
+        assert_eq!(tiled.composed_report().serialized_cycles(), 0);
+        assert_eq!(tiled.tile_cycles(), vec![0]);
+    }
+
+    #[test]
+    fn overlap_schedule_hides_conversion_behind_compute() {
+        // 4 tiles, conversion 10 each, compute 25 each: all but tile 0's
+        // conversion hides behind compute.
+        let s = overlap_schedule(&[10, 10, 10, 10], &[25, 25, 25, 25]);
+        assert_eq!(s.serial_cycles, 140);
+        assert_eq!(s.overlapped_cycles, 10 + 25 * 4);
+        assert_eq!(s.hidden_cycles(), 30);
+        assert!(s.speedup() > 1.0);
+    }
+
+    #[test]
+    fn conversion_bound_pipelines_degrade_gracefully() {
+        // Conversion slower than compute: the converter is the bottleneck
+        // but compute still hides behind it.
+        let s = overlap_schedule(&[30, 30], &[10, 10]);
+        assert_eq!(s.serial_cycles, 80);
+        assert_eq!(s.overlapped_cycles, 30 + 30 + 10);
+        assert!(s.overlapped_cycles < s.serial_cycles);
+    }
+
+    #[test]
+    fn empty_and_single_tile_schedules() {
+        assert_eq!(overlap_schedule(&[], &[]), OverlapSchedule::default());
+        let one = overlap_schedule(&[7], &[9]);
+        assert_eq!(one.overlapped_cycles, 16);
+        assert_eq!(one.serial_cycles, 16);
+        assert_eq!(one.hidden_cycles(), 0);
+    }
+
+    #[test]
+    fn added_cycles_track_the_pipeline_phases() {
+        // Everything hides: conversions fit their fetch windows.
+        assert_eq!(
+            added_hardware_cycles(50.0, 500.0, 100.0, 800.0, 500.0, 8),
+            0.0
+        );
+        // Untiled, a conversion-heavy stationary operand is exposed above
+        // the prologue fetch window (compute cannot hide the single
+        // tile's fill): 2000 - (300 + 300).
+        let untiled = added_hardware_cycles(0.0, 300.0, 2_000.0, 300.0, 10_000.0, 1);
+        assert_eq!(untiled, 1_400.0);
+        // Tiling shrinks the exposed fill: with 4 tiles only tile 0's
+        // share converts before compute exists to hide the rest.
+        let tiled = added_hardware_cycles(0.0, 300.0, 2_000.0, 300.0, 10_000.0, 4);
+        assert!(tiled < untiled, "tiled {tiled} !< untiled {untiled}");
+        // Streaming-operand conversion is prologue work: it can hide only
+        // behind its own fetch, regardless of tiling.
+        let prologue = added_hardware_cycles(900.0, 100.0, 0.0, 0.0, 10_000.0, 16);
+        assert_eq!(prologue, 800.0);
+    }
+}

@@ -148,6 +148,8 @@ impl Sage {
         let bits_o = matrix_storage_bits(&MatrixFormat::Dense, w.m, w.n, nnz_o, w.dtype).min(
             matrix_storage_bits(&MatrixFormat::Csr, w.m, w.n, nnz_o, w.dtype),
         );
+        let dram_a_cycles = self.dram.transfer_cycles(bits_a) as f64;
+        let dram_b_cycles = self.dram.transfer_cycles(bits_b) as f64;
         let dram_cycles = self.dram.transfer_cycles(bits_a + bits_b + bits_o) as f64;
         let dram_energy = self.dram.transfer_energy(bits_a + bits_b + bits_o);
 
@@ -175,11 +177,22 @@ impl Sage {
             ConversionMode::RequireIdentity => (0.0, 0.0),
             ConversionMode::Hardware => {
                 // "MINT is pipelined to start conversion while streaming
-                // in data from memory" (SV-B): the converter runs
-                // concurrently with the fetch and the consuming compute;
-                // only throughput excess surfaces as added latency.
-                let overlap = dram_cycles + est.cycles.total();
-                let added = ((conv_a.cycles + conv_b.cycles) as f64 - overlap).max(0.0);
+                // in data from memory" (SV-B), and the tiled runtime in
+                // `sparseflex-core` additionally converts stationary tile
+                // t+1 while the array computes tile t. Price that exact
+                // schedule: A's conversion is prologue work hidden only
+                // by its own fetch; B's spreads over the stationary tiles,
+                // with tile 0 as pipeline fill and later tiles hidden
+                // behind the previous tile's compute.
+                let tiles = self.stationary_tiles(w);
+                let added = sparseflex_mint::tiled::added_hardware_cycles(
+                    conv_a.cycles as f64,
+                    dram_a_cycles,
+                    conv_b.cycles as f64,
+                    dram_b_cycles,
+                    est.cycles.total(),
+                    tiles,
+                );
                 (added, conv_a.energy + conv_b.energy)
             }
             ConversionMode::Software {
@@ -213,6 +226,13 @@ impl Sage {
             compute_energy: est.energy(&self.energy).total(),
             utilization: est.utilization(),
         })
+    }
+
+    /// Stationary tiles the pipelined runtime cuts a workload into: one
+    /// weight-stationary array residency (`num_pes` stationary columns)
+    /// per tile, clamped to keep the model O(1).
+    pub fn stationary_tiles(&self, w: &SageWorkload) -> usize {
+        w.n.div_ceil(self.accel.num_pes.max(1)).clamp(1, 4096)
     }
 
     /// Is this ACF pair executable for this kernel on the WS array?

@@ -81,3 +81,8 @@ fn tables_are_well_formed() {
 fn ablation_rows_are_well_formed() {
     check("ablation", &sparseflex_bench::ablation::rows());
 }
+
+#[test]
+fn pipeline_rows_are_well_formed() {
+    check("pipeline", &sparseflex_bench::pipeline::rows());
+}
