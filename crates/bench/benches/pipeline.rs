@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sparseflex_bench::pipeline::{batch_jobs, bench_system, exhibit_operands, exhibit_run};
-use sparseflex_core::PlanCache;
+use sparseflex_core::Planner;
 use sparseflex_formats::{DataType, SparseMatrix};
 use sparseflex_sage::SageWorkload;
 use sparseflex_workloads::synth::random_matrix;
@@ -35,16 +35,17 @@ fn bench_batch_throughput(c: &mut Criterion) {
     let jobs = batch_jobs();
     let mut g = c.benchmark_group("pipeline_batch");
     g.sample_size(10);
-    // Cold cache: every shape pays one SAGE search.
+    // Cold cache: every shape pays one SAGE search (a fresh planner per
+    // call isolates the cold case from the system's persistent cache).
     g.bench_function("batch_12_jobs_cold_cache", |bench| {
-        bench.iter(|| sys.run_batch(&jobs))
+        bench.iter(|| sys.run_batch_with_planner(&jobs, &Planner::default()))
     });
     // Warm cache: the serving steady state — repeated shapes skip the
     // MCF x ACF search entirely.
-    let cache = PlanCache::default();
-    sys.run_batch_with_cache(&jobs, &cache);
+    let planner = Planner::default();
+    sys.run_batch_with_planner(&jobs, &planner);
     g.bench_function("batch_12_jobs_warm_cache", |bench| {
-        bench.iter(|| sys.run_batch_with_cache(&jobs, &cache))
+        bench.iter(|| sys.run_batch_with_planner(&jobs, &planner))
     });
     g.finish();
 }

@@ -42,6 +42,18 @@ fn main() -> std::io::Result<()> {
         dir.join("BENCH_pipeline.json"),
         sparseflex_bench::pipeline::json_from(&measured) + "\n",
     )?;
-    eprintln!("wrote results/*.csv + results/BENCH_pipeline.json");
+    // The planner exhibit follows the same pattern: one measurement,
+    // rendered as the CSV series and the JSON perf snapshot.
+    eprintln!("generating planner + BENCH_planner.json ...");
+    let planner_measured = sparseflex_bench::planner::measure();
+    fs::write(
+        dir.join("planner.csv"),
+        sparseflex_bench::planner::rows_from(&planner_measured).join("\n") + "\n",
+    )?;
+    fs::write(
+        dir.join("BENCH_planner.json"),
+        sparseflex_bench::planner::json_from(&planner_measured) + "\n",
+    )?;
+    eprintln!("wrote results/*.csv + results/BENCH_pipeline.json + results/BENCH_planner.json");
     Ok(())
 }

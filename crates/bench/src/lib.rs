@@ -38,6 +38,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod pipeline;
+pub mod planner;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -48,7 +48,7 @@ pub struct BatchPoint {
     /// Virtual accelerator instances used.
     pub workers: usize,
     /// SAGE searches skipped via the plan cache.
-    pub plan_cache_hits: usize,
+    pub plan_cache_hits: u64,
     /// Modeled single-instance service cycles (sum of overlapped totals).
     pub total_overlapped_cycles: u64,
 }

@@ -6,31 +6,43 @@
 //! hardware beside the datapath (§V) and SAGE choosing the MCF/ACF
 //! combination per workload (§VI).
 //!
-//! Three execution paths are provided:
+//! Planning and execution are split into two layers, exactly where the
+//! paper splits them (Fig. 1b): a [`planner::Planner`] turns a workload
+//! into a typed [`plan::ExecutionPlan`] (MCF/ACF choice, column-tile
+//! schedule, predicted cycle budget — cached in a bounded LRU
+//! [`planner::PlanCache`] keyed on workload statistics + hardware
+//! fingerprint), and one shared executor runs plans on the accelerator,
+//! yielding a [`plan::PlanTrace`] of predicted vs measured cycles.
+//!
+//! Every run path is a thin front-end over that pair:
 //!
 //! - [`FlexSystem::plan`] / [`FlexSystem::compare_classes`] — the
 //!   analytic path used by the Fig. 12/13/14 benches: SAGE searches the
 //!   format space and returns full cycle/energy/EDP breakdowns for this
 //!   work and for every Table II baseline class.
-//! - [`FlexSystem::run_functional`] — the monolithic functional path:
-//!   real operands are encoded in the chosen MCFs, converted through the
-//!   MINT block engine strictly before compute, executed on the
-//!   cycle-accurate simulator, and the output matrix is returned (and
-//!   verified against the software kernels in tests).
+//! - [`FlexSystem::run_functional`] — the monolithic functional path: a
+//!   single-tile plan (whole-operand conversion strictly before
+//!   compute), executed on the cycle-accurate simulator and verified
+//!   against the software kernels in tests.
 //! - [`FlexSystem::run_pipelined`] / [`FlexSystem::run_batch`] — the
 //!   tile-grained [`pipeline`] runtime: the stationary operand is cut
 //!   into scratchpad-sized column tiles and MINT converts tile *t+1*
 //!   while the array computes tile *t* (double-buffered), lifting the
 //!   one-residency operand limit and exposing overlapped vs serial cycle
 //!   totals; the batch front-end serves many workloads across parallel
-//!   virtual accelerator instances with a SAGE [`PlanCache`].
+//!   virtual accelerator instances, sharing the system planner's cache
+//!   across jobs, threads and successive batch calls.
 
 #![warn(missing_docs)]
 
 pub mod casestudy;
 pub mod pipeline;
+pub mod plan;
+pub mod planner;
 pub mod system;
 
 pub use casestudy::{layer_edp, LayerEdp};
-pub use pipeline::{BatchJob, BatchRun, PipelineRun, PlanCache, TileTrace};
+pub use pipeline::{BatchJob, BatchRun, PipelineRun, TileTrace};
+pub use plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace, TileCompare};
+pub use planner::{CacheCounters, PlanCache, PlanDiscipline, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use system::{ClassComparison, FlexSystem, FunctionalRun, RunError, SystemPlan};

@@ -1,55 +1,38 @@
-//! The tile-grained pipelined runtime: plan → convert → execute with
-//! double-buffering, plus the batched serving front-end.
+//! The pipelined and batched front-ends over the planner layer.
 //!
-//! [`FlexSystem::run_functional`] converts a whole operand and only then
-//! computes — the overlap the paper's Fig. 12 prices never happens, and
-//! operands are bounded by one scratchpad residency. This module replaces
-//! that one-shot call with a **stage machine** over column tiles of the
-//! stationary operand:
-//!
-//! ```text
-//!            ┌────────┐   tiles    ┌─────────┐  ACF tile  ┌─────────┐
-//!  workload →│  PLAN  │──────────→ │ CONVERT │──────────→ │ EXECUTE │→ O
-//!            │ (SAGE) │  (tiler)   │ (MINT)  │ ping/pong  │  (accel)│
-//!            └────────┘            └─────────┘  buffers   └─────────┘
-//!                       tile t+1 converts while tile t computes
-//! ```
-//!
-//! The stationary operand is cut into scratchpad-sized column tiles by
-//! `sparseflex_formats::tiler` (every format tiles through its fiber
-//! stream — no densification), each tile is converted MCF→ACF through the
-//! metered MINT engine, and the cycle-accurate simulator executes it
-//! while — in the modeled schedule — the converter prepares the next
-//! tile in the other staging buffer. [`PipelineRun`] reports both the
-//! overlapped and the serial (convert-then-compute) cycle totals, so the
-//! paper's "conversion is cheap because it overlaps" claim is measured
-//! end-to-end rather than assumed.
+//! [`FlexSystem::run_pipelined`] plans a tile-grained job
+//! ([`Planner::plan_job`] with [`PlanDiscipline::Pipelined`]) and hands
+//! the [`ExecutionPlan`] to the shared
+//! executor ([`Planner::execute_plan`]): the stationary operand is cut
+//! into scratchpad-sized column tiles and MINT converts tile *t+1* while
+//! the array computes tile *t* (double-buffered). [`PipelineRun`]
+//! reports both the overlapped and serial cycle totals, so the paper's
+//! "conversion is cheap because it overlaps" claim is measured
+//! end-to-end rather than assumed — and carries the
+//! [`PlanTrace`](crate::plan::PlanTrace) comparing the plan's predicted
+//! cycles against what the simulator measured.
 //!
 //! Tiling also lifts the residency limit: a stationary operand whose
 //! compressed rows overflow a PE buffer (the recoverable
-//! [`RunError::StationaryTooLarge`]) is split until every stationary unit
-//! fits, so workloads the monolithic path rejects run here.
+//! [`RunError::StationaryTooLarge`]) is split until every stationary
+//! unit fits, so workloads the monolithic path rejects run here.
 //!
 //! On top of the pipeline, [`FlexSystem::run_batch`] serves many
 //! independent workloads across parallel *virtual accelerator instances*
-//! (one scoped worker thread each) with a shared SAGE [`PlanCache`], so
-//! repeated workload shapes skip the MCF×ACF search entirely.
+//! (one scoped worker thread each), sharing the system's own
+//! [`Planner`] — and therefore its bounded plan cache — across jobs,
+//! threads **and successive batch calls**, so a long-lived service pays
+//! each workload shape's MCF×ACF search once.
 
+use crate::plan::ExecutionPlan;
+use crate::planner::{PlanDiscipline, Planner};
 use crate::system::{FlexSystem, RunError};
-use sparseflex_accel::exec::{
-    simulate_spgemm, simulate_ws, ActivityCounts, CycleBreakdown, SimResult,
-};
-use sparseflex_formats::tiler::{bounded_column_ranges, tile_column_ranges, uniform_column_ranges};
-use sparseflex_formats::{
-    csr_cow, CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, SparseMatrix,
-};
+use sparseflex_accel::exec::{ActivityCounts, CycleBreakdown};
+use sparseflex_formats::{CooMatrix, DenseMatrix, SparseMatrix};
 use sparseflex_kernels::parallel::{par_chunks, worker_count};
-use sparseflex_mint::tiled::{overlap_schedule, OverlapSchedule};
+use sparseflex_mint::tiled::OverlapSchedule;
 use sparseflex_mint::ConversionReport;
-use sparseflex_sage::{Evaluation, SageKernel, SageWorkload};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use sparseflex_sage::{Evaluation, SageWorkload};
 
 /// Per-tile record of the convert and execute stages.
 #[derive(Debug, Clone)]
@@ -64,13 +47,19 @@ pub struct TileTrace {
     pub compute: CycleBreakdown,
     /// Accelerator activity counters for this tile.
     pub counts: ActivityCounts,
+    /// Column tiles the WS array split this tile into internally.
+    pub array_col_tiles: usize,
+    /// K-range passes the simulator made across those internal tiles.
+    pub k_passes: usize,
 }
 
-/// Result of a tile-grained pipelined run.
+/// Result of executing one [`ExecutionPlan`] (tile-grained or
+/// monolithic — a monolithic run is simply a one-tile plan).
 #[derive(Debug, Clone)]
 pub struct PipelineRun {
-    /// The evaluation (SAGE-planned or caller-pinned) the run executed.
-    pub evaluation: Evaluation,
+    /// The executed plan: format choice, tile schedule, predicted
+    /// budget, and whether the evaluation came from the plan cache.
+    pub plan: ExecutionPlan,
     /// The full output matrix, stitched from the per-tile outputs.
     pub output: DenseMatrix,
     /// Conversion report for the streaming operand A (converted once, in
@@ -78,24 +67,38 @@ pub struct PipelineRun {
     pub conv_a: ConversionReport,
     /// One trace per stationary column tile, in execution order.
     pub tiles: Vec<TileTrace>,
-    /// The double-buffered vs serial cycle totals over the tile stream.
-    pub schedule: OverlapSchedule,
-    /// Whether the plan came from a [`PlanCache`] hit (always `false`
-    /// outside [`FlexSystem::run_batch`]).
-    pub plan_cached: bool,
+    /// Predicted vs measured cycles, tile by tile (the measured
+    /// double-buffered schedule lives in `trace.measured_schedule`).
+    pub trace: crate::plan::PlanTrace,
 }
 
 impl PipelineRun {
+    /// The evaluation the run executed (SAGE-planned or caller-pinned).
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.plan.evaluation
+    }
+
+    /// Whether the plan's evaluation was served from the plan cache.
+    pub fn plan_cached(&self) -> bool {
+        self.plan.from_cache
+    }
+
+    /// The measured double-buffered vs serial cycle totals over the
+    /// tile stream.
+    pub fn schedule(&self) -> OverlapSchedule {
+        self.trace.measured_schedule
+    }
+
     /// Wall-clock cycles with conversion overlapped behind compute
     /// (prologue A conversion + the double-buffered tile schedule).
     pub fn overlapped_cycles(&self) -> u64 {
-        self.conv_a.pipelined_cycles() + self.schedule.overlapped_cycles
+        self.conv_a.pipelined_cycles() + self.schedule().overlapped_cycles
     }
 
     /// Wall-clock cycles of the serial convert-then-compute discipline —
     /// what the monolithic [`FlexSystem::run_functional`] models.
     pub fn serial_cycles(&self) -> u64 {
-        self.conv_a.pipelined_cycles() + self.schedule.serial_cycles
+        self.conv_a.pipelined_cycles() + self.schedule().serial_cycles
     }
 
     /// Total accelerator compute cycles across all tiles.
@@ -111,85 +114,6 @@ impl PipelineRun {
                 .iter()
                 .map(|t| t.conv.pipelined_cycles())
                 .sum::<u64>()
-    }
-}
-
-/// Key identifying a workload shape for plan reuse: kernel, dimensions,
-/// nonzero counts and datatype — exactly the statistics SAGE's models
-/// consume, so equal keys provably yield equal plans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct PlanKey {
-    kernel: SageKernel,
-    m: usize,
-    k: usize,
-    n: usize,
-    nnz_a: u64,
-    nnz_b: u64,
-    dtype: sparseflex_formats::DataType,
-}
-
-impl From<&SageWorkload> for PlanKey {
-    fn from(w: &SageWorkload) -> Self {
-        PlanKey {
-            kernel: w.kernel,
-            m: w.m,
-            k: w.k,
-            n: w.n,
-            nnz_a: w.nnz_a,
-            nnz_b: w.nnz_b,
-            dtype: w.dtype,
-        }
-    }
-}
-
-/// Thread-safe cache of SAGE plans keyed by workload statistics.
-///
-/// The MCF×ACF search is the most expensive part of serving a small
-/// workload; batches with repeated shapes (the common serving pattern —
-/// e.g. the same pruned layer across requests) pay it once.
-#[derive(Debug, Default)]
-pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Evaluation>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-}
-
-impl PlanCache {
-    /// Fetch the plan for `w`, running the SAGE search only on a miss.
-    /// Returns the evaluation and whether it was served from cache.
-    pub fn plan(&self, system: &FlexSystem, w: &SageWorkload) -> (Evaluation, bool) {
-        let key = PlanKey::from(w);
-        if let Some(hit) = self.plans.lock().expect("plan cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (hit.clone(), true);
-        }
-        let eval = system.plan(w).evaluation;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, eval.clone());
-        (eval, false)
-    }
-
-    /// Searches skipped thanks to the cache.
-    pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Full SAGE searches performed.
-    pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
-    }
-
-    /// Distinct workload shapes cached.
-    pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
-    }
-
-    /// True when no plan has been cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
     }
 }
 
@@ -226,10 +150,12 @@ impl BatchJob {
 pub struct BatchRun {
     /// Per-job outcomes, in submission order.
     pub results: Vec<Result<PipelineRun, RunError>>,
-    /// SAGE searches skipped via the plan cache.
-    pub plan_cache_hits: usize,
-    /// SAGE searches actually performed.
-    pub plans_computed: usize,
+    /// SAGE searches skipped via the plan cache **during this batch**.
+    pub plan_cache_hits: u64,
+    /// SAGE searches actually performed during this batch.
+    pub plans_computed: u64,
+    /// Plan-cache entries evicted (LRU) during this batch.
+    pub plan_cache_evictions: u64,
     /// Virtual accelerator instances (worker threads) used.
     pub workers: usize,
 }
@@ -253,23 +179,26 @@ impl BatchRun {
 }
 
 impl FlexSystem {
-    /// Tile-grained pipelined run: SAGE plans, the stationary operand is
-    /// tiled, and MINT converts tile *t+1* while the array computes tile
-    /// *t*. See the [module docs](self) for the stage machine.
+    /// Tile-grained pipelined run: the planner produces an
+    /// [`ExecutionPlan`] (cache-aware SAGE evaluation + column-tile
+    /// schedule + cycle prediction) and the shared executor runs it with
+    /// MINT converting tile *t+1* while the array computes tile *t*.
     pub fn run_pipelined(
         &self,
         a: &CooMatrix,
         b: &CooMatrix,
         w: &SageWorkload,
     ) -> Result<PipelineRun, RunError> {
-        let evaluation = self.plan(w).evaluation;
-        self.run_pipelined_with_evaluation(a, b, evaluation, false)
+        let plan = self
+            .planner
+            .plan_job(&self.sage, a, b, w, PlanDiscipline::Pipelined)?;
+        self.planner.execute_plan(&self.sage, &plan, a, b)
     }
 
     /// [`run_pipelined`](Self::run_pipelined) with the format choice
     /// pinned by the caller (used by the property suite to exercise every
-    /// MCF×ACF pair, and by [`run_batch`](Self::run_batch) with cached
-    /// plans).
+    /// MCF×ACF pair); `plan_cached` is carried into the plan so batch
+    /// callers can report cache provenance.
     pub fn run_pipelined_with_evaluation(
         &self,
         a: &CooMatrix,
@@ -277,150 +206,73 @@ impl FlexSystem {
         evaluation: Evaluation,
         plan_cached: bool,
     ) -> Result<PipelineRun, RunError> {
-        if a.cols() != b.rows() {
-            return Err(RunError::ShapeMismatch {
-                a_cols: a.cols(),
-                b_rows: b.rows(),
-            });
-        }
-        let choice = &evaluation.choice;
-        let engine = &self.sage.mint;
-        let accel = &self.sage.accel;
-        let spgemm = choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr;
-
-        // ---- PLAN (operand side): store in MCF, cut the stationary
-        // operand into scratchpad-sized column tiles.
-        let a_mem = MatrixData::encode(a, &choice.mcf_a)?;
-        let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
-        let residency = accel.num_pes.max(1);
-        let ranges = if spgemm {
-            // Gustavson PEs buffer whole compressed row segments (2 slots
-            // per entry): bound per-row entries per tile so no stationary
-            // unit can overflow a buffer.
-            let max_row_entries = accel.pe_buffer_elems / 2;
-            bounded_column_ranges(&b_mem, max_row_entries, residency).ok_or(
-                RunError::StationaryTooLarge {
-                    needed: 2,
-                    available: accel.pe_buffer_elems,
-                },
-            )?
-        } else {
-            // WS tiles are one array residency wide (`num_pes` stationary
-            // columns); the simulator splits K internally.
-            uniform_column_ranges(b_mem.cols(), residency)
-        };
-        let tiles_mem = tile_column_ranges(&b_mem, &ranges)?;
-
-        // ---- Prologue: convert the streaming operand once.
-        let (a_acf, conv_a) = engine.convert_matrix(&a_mem, &choice.acf_a)?;
-        let a_csr = if spgemm { Some(csr_cow(&a_acf)) } else { None };
-
-        // ---- CONVERT ∥ EXECUTE: the double-buffered stage machine. Two
-        // staging slots ping-pong: while the array executes the tile in
-        // slot `t % 2`, MINT fills slot `(t+1) % 2` with the next tile.
-        let mut slots: [Option<(MatrixData, ConversionReport)>; 2] = [None, None];
-        if let Some(first) = tiles_mem.first() {
-            // Pipeline fill: tile 0 converts with no compute to hide it.
-            slots[0] = Some(engine.convert_matrix(&first.data, &choice.acf_b)?);
-        }
-        let mut output = DenseMatrix::zeros(a.rows(), b_mem.cols());
-        let mut tiles = Vec::with_capacity(tiles_mem.len());
-        for (t, tile) in tiles_mem.iter().enumerate() {
-            let (tile_acf, conv) = slots[t % 2]
-                .take()
-                .expect("the stage machine keeps the current slot filled");
-            // Converter stage: prepare tile t+1 while tile t executes.
-            if let Some(next) = tiles_mem.get(t + 1) {
-                slots[(t + 1) % 2] = Some(engine.convert_matrix(&next.data, &choice.acf_b)?);
-            }
-            // Execute stage.
-            let sim = self.execute_tile(&a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
-            stitch_columns(&mut output, &sim.output, tile.col_start);
-            tiles.push(TileTrace {
-                col_start: tile.col_start,
-                col_end: tile.col_end,
-                conv,
-                compute: sim.cycles,
-                counts: sim.counts,
-            });
-        }
-
-        let conv_cycles: Vec<u64> = tiles.iter().map(|t| t.conv.pipelined_cycles()).collect();
-        let compute_cycles: Vec<u64> = tiles.iter().map(|t| t.compute.total()).collect();
-        let schedule = overlap_schedule(&conv_cycles, &compute_cycles);
-        Ok(PipelineRun {
-            evaluation,
-            output,
-            conv_a,
-            tiles,
-            schedule,
-            plan_cached,
-        })
-    }
-
-    fn execute_tile(
-        &self,
-        a_acf: &MatrixData,
-        a_csr: Option<&CsrMatrix>,
-        tile_acf: &MatrixData,
-        spgemm: bool,
-    ) -> Result<SimResult, RunError> {
-        let sim = if spgemm {
-            let a = a_csr.expect("CSR A is materialized for SpGEMM runs");
-            simulate_spgemm(a, &csr_cow(tile_acf), &self.sage.accel)?
-        } else {
-            simulate_ws(a_acf, tile_acf, &self.sage.accel)?
-        };
-        Ok(sim)
+        let w = Planner::derive_workload(&self.sage, a, b, &evaluation.choice);
+        let mut plan =
+            self.planner
+                .plan_pinned(&self.sage, a, b, w, evaluation, PlanDiscipline::Pipelined)?;
+        plan.from_cache = plan_cached;
+        self.planner.execute_plan(&self.sage, &plan, a, b)
     }
 
     /// Serve a batch of independent workloads across parallel virtual
-    /// accelerator instances, sharing one SAGE [`PlanCache`].
+    /// accelerator instances, sharing the system's own [`Planner`].
     ///
     /// Jobs are partitioned into contiguous chunks, one scoped worker
     /// thread per chunk (each thread simulates its own accelerator
     /// instance); results come back in submission order. Repeated
-    /// workload shapes hit the plan cache and skip the MCF×ACF search.
+    /// workload shapes hit the bounded plan cache and skip the MCF×ACF
+    /// search — **including shapes cached by earlier `run_batch` calls**
+    /// on the same system, since the planner (and its cache) persists.
     pub fn run_batch(&self, jobs: &[BatchJob]) -> BatchRun {
-        let cache = PlanCache::default();
-        self.run_batch_with_cache(jobs, &cache)
+        self.run_batch_with_planner(jobs, &self.planner)
     }
 
-    /// [`run_batch`](Self::run_batch) against a caller-owned cache, so
-    /// plan reuse extends across batches of a long-lived service.
-    pub fn run_batch_with_cache(&self, jobs: &[BatchJob], cache: &PlanCache) -> BatchRun {
+    /// [`run_batch`](Self::run_batch) against a caller-owned planner, so
+    /// several systems can share one plan cache (or a bench can isolate
+    /// a cold cache).
+    pub fn run_batch_with_planner(&self, jobs: &[BatchJob], planner: &Planner) -> BatchRun {
+        let before = planner.cache.counters();
         let workers = worker_count(jobs.len());
+        // Hit/miss counts are tallied from this batch's own plans (the
+        // `from_cache` bit), not from global cache-counter deltas, so
+        // concurrent batches sharing one planner never misattribute each
+        // other's searches: every job either hits or computes, exactly.
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        let misses = std::sync::atomic::AtomicU64::new(0);
         let mut results: Vec<Option<Result<PipelineRun, RunError>>> =
             (0..jobs.len()).map(|_| None).collect();
         par_chunks(&mut results, workers, |offset, chunk| {
             for (i, slot) in chunk.iter_mut().enumerate() {
                 let job = &jobs[offset + i];
-                let (evaluation, cached) = cache.plan(self, &job.workload);
-                *slot =
-                    Some(self.run_pipelined_with_evaluation(&job.a, &job.b, evaluation, cached));
+                *slot = Some(
+                    planner
+                        .plan_job(
+                            &self.sage,
+                            &job.a,
+                            &job.b,
+                            &job.workload,
+                            PlanDiscipline::Pipelined,
+                        )
+                        .and_then(|plan| {
+                            let counter = if plan.from_cache { &hits } else { &misses };
+                            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            planner.execute_plan(&self.sage, &plan, &job.a, &job.b)
+                        }),
+                );
             }
         });
+        // Evictions cannot be pinned to a single job; the global delta is
+        // exact for the common one-batch-at-a-time serving pattern.
+        let delta = planner.cache.counters().since(before);
         BatchRun {
             results: results
                 .into_iter()
                 .map(|r| r.expect("every job slot is filled by its worker"))
                 .collect(),
-            plan_cache_hits: cache.hits(),
-            plans_computed: cache.misses(),
+            plan_cache_hits: hits.into_inner(),
+            plans_computed: misses.into_inner(),
+            plan_cache_evictions: delta.evictions,
             workers,
-        }
-    }
-}
-
-/// Copy a tile's `m x width` output into the full output at column
-/// `col_start` (tiles cover disjoint column ranges).
-fn stitch_columns(output: &mut DenseMatrix, tile_out: &DenseMatrix, col_start: usize) {
-    for r in 0..tile_out.rows() {
-        let row = tile_out.row(r);
-        for (j, &v) in row.iter().enumerate() {
-            if v != 0.0 {
-                output.set(r, col_start + j, v);
-            }
         }
     }
 }
@@ -428,7 +280,7 @@ fn stitch_columns(output: &mut DenseMatrix, tile_out: &DenseMatrix, col_start: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparseflex_formats::DataType;
+    use sparseflex_formats::{DataType, MatrixFormat};
     use sparseflex_kernels::gemm::gemm_naive;
     use sparseflex_sage::FormatChoice;
     use sparseflex_workloads::synth::random_matrix;
@@ -467,6 +319,8 @@ mod tests {
         let piped = sys.run_pipelined(&a, &b, &w).unwrap();
         assert_eq!(piped.output, mono.sim.output, "tiling changed the product");
         assert!(piped.tiles.len() > 1, "operand should span several tiles");
+        // The second planning of the same workload stats hit the cache.
+        assert!(piped.plan_cached(), "second run of the shape must hit");
     }
 
     #[test]
@@ -556,12 +410,11 @@ mod tests {
                 DataType::Fp32,
             ));
         }
-        let cache = PlanCache::default();
-        let batch = sys.run_batch_with_cache(&jobs, &cache);
+        let batch = sys.run_batch(&jobs);
         assert_eq!(batch.results.len(), 6);
         assert_eq!(batch.succeeded(), 6);
         assert!(batch.workers >= 1);
-        assert_eq!(cache.len(), 2, "two distinct shapes");
+        assert_eq!(sys.planner.cache.len(), 2, "two distinct shapes");
         assert!(
             batch.plan_cache_hits + batch.plans_computed == 6,
             "every job either hits or computes"
@@ -574,6 +427,30 @@ mod tests {
             assert!(run.output.approx_eq(&expect, 1e-9));
         }
         assert!(batch.total_overlapped_cycles() > 0);
+    }
+
+    #[test]
+    fn batch_cache_persists_across_calls() {
+        // Satellite + acceptance: the batch front-end must reuse the
+        // system planner's cache across successive run_batch calls.
+        let sys = small_system();
+        let jobs = vec![BatchJob::spgemm(
+            random_matrix(16, 20, 60, 77),
+            random_matrix(20, 24, 80, 78),
+            DataType::Fp32,
+        )];
+        let first = sys.run_batch(&jobs);
+        assert_eq!(first.plans_computed, 1, "cold cache must search");
+        let second = sys.run_batch(&jobs);
+        assert!(
+            second.plan_cache_hits > 0,
+            "the second batch call must hit the persistent cache"
+        );
+        assert_eq!(second.plans_computed, 0);
+        assert_eq!(
+            second.results[0].as_ref().unwrap().output,
+            first.results[0].as_ref().unwrap().output
+        );
     }
 
     #[test]

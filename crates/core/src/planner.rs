@@ -1,0 +1,723 @@
+//! The planning layer: one `Planner` producing [`ExecutionPlan`]s for
+//! every run path, backed by a bounded LRU [`PlanCache`].
+//!
+//! Before this layer existed, each `FlexSystem` entry point re-derived
+//! SAGE evaluations, tiling and MINT schedules inline. Now planning and
+//! execution are split exactly where the paper splits them (Fig. 1b):
+//!
+//! ```text
+//!               ┌───────────────────────────┐
+//!   workload ──→│          PLANNER          │──→ ExecutionPlan
+//!   operands    │ PlanCache ─ SAGE search   │      (typed IR)
+//!               │ tiler schedule ─ overlap  │        │
+//!               └───────────────────────────┘        ▼
+//!               ┌───────────────────────────┐   execute_plan
+//!               │  EXECUTOR (stage machine) │──→ PipelineRun + PlanTrace
+//!               │  MINT convert ∥ accel     │
+//!               └───────────────────────────┘
+//! ```
+//!
+//! [`Planner::plan_job`] consults the cache (keyed on workload statistics
+//! **and** the hardware fingerprint, so config changes invalidate
+//! naturally), runs the SAGE search only on a miss, cuts the stationary
+//! operand's column-tile schedule, and fills the per-tile cycle
+//! prediction. [`Planner::execute_plan`] is the *only* place operands
+//! meet the accelerator: the double-buffered convert∥compute stage
+//! machine, shared verbatim by the monolithic, pipelined and batched
+//! front-ends — which therefore cannot diverge.
+
+use crate::pipeline::{PipelineRun, TileTrace};
+use crate::plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace, TileCompare};
+use crate::system::RunError;
+use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimResult};
+use sparseflex_formats::{
+    csr_cow, plan_column_schedule, tile_column_ranges, ColumnSchedule, CooMatrix, CsrMatrix,
+    DenseMatrix, MatrixData, MatrixFormat, MatrixTile, SparseMatrix, TilePolicy,
+};
+use sparseflex_mint::tiled::{overlap_schedule, split_cycles};
+use sparseflex_mint::{conversion_cost, ConversionReport};
+use sparseflex_sage::eval::Evaluation;
+use sparseflex_sage::{Sage, SageKernel, SageWorkload};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Which tiling discipline a plan should schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDiscipline {
+    /// One tile spanning the whole stationary operand (the classic
+    /// convert-everything-then-compute path; operands must fit one
+    /// scratchpad residency or execution fails recoverably).
+    Monolithic,
+    /// Scratchpad-sized column tiles with double-buffered conversion
+    /// (the pipelined runtime; lifts the residency limit).
+    Pipelined,
+}
+
+/// Key identifying a cached plan: the workload statistics SAGE's models
+/// consume plus the hardware-configuration fingerprint — equal keys
+/// provably yield equal evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    kernel: SageKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz_a: u64,
+    nnz_b: u64,
+    dtype: sparseflex_formats::DataType,
+    hw: u64,
+}
+
+impl PlanKey {
+    fn new(w: &SageWorkload, hw: u64) -> Self {
+        PlanKey {
+            kernel: w.kernel,
+            m: w.m,
+            k: w.k,
+            n: w.n,
+            nnz_a: w.nnz_a,
+            nnz_b: w.nnz_b,
+            dtype: w.dtype,
+            hw,
+        }
+    }
+}
+
+/// Monotonic cache counters (snapshot with [`PlanCache::counters`];
+/// subtract snapshots with [`CacheCounters::since`] to scope them to one
+/// batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Searches skipped because the evaluation was cached.
+    pub hits: u64,
+    /// Full SAGE searches performed.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// The delta between this snapshot and an `earlier` one.
+    pub fn since(&self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LruState {
+    /// Value plus last-touched tick per key.
+    map: HashMap<PlanKey, (Evaluation, u64)>,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+/// Thread-safe **bounded** cache of SAGE evaluations with LRU eviction.
+///
+/// The MCF×ACF search is the most expensive part of serving a small
+/// workload; batches with repeated shapes (the common serving pattern)
+/// pay it once. Unlike its unbounded predecessor, the cache holds at
+/// most `capacity` distinct shapes under sustained traffic: inserting
+/// beyond capacity evicts the least-recently-*used* entry (lookups
+/// refresh recency, so hot shapes survive cold scans).
+#[derive(Debug)]
+pub struct PlanCache {
+    state: Mutex<LruState>,
+    capacity: usize,
+}
+
+/// Default number of distinct workload shapes a plan cache retains.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        PlanCache {
+            state: Mutex::new(self.state.lock().expect("plan cache poisoned").clone()),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl PlanCache {
+    /// A cache bounded to `capacity` entries (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            state: Mutex::new(LruState::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lookup(&self, key: &PlanKey) -> Option<Evaluation> {
+        let mut s = self.state.lock().expect("plan cache poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(key) {
+            Some((eval, touched)) => {
+                *touched = tick;
+                let hit = eval.clone();
+                s.counters.hits += 1;
+                Some(hit)
+            }
+            None => {
+                s.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: PlanKey, eval: Evaluation) {
+        let mut s = self.state.lock().expect("plan cache poisoned");
+        s.tick += 1;
+        let tick = s.tick;
+        if !s.map.contains_key(&key) && s.map.len() >= self.capacity {
+            // Evict the least-recently-used entry (smallest tick).
+            if let Some(oldest) = s
+                .map
+                .iter()
+                .min_by_key(|(_, (_, touched))| *touched)
+                .map(|(k, _)| *k)
+            {
+                s.map.remove(&oldest);
+                s.counters.evictions += 1;
+            }
+        }
+        s.map.insert(key, (eval, tick));
+    }
+
+    /// Searches skipped thanks to the cache.
+    pub fn hits(&self) -> u64 {
+        self.counters().hits
+    }
+
+    /// Full SAGE searches performed.
+    pub fn misses(&self) -> u64 {
+        self.counters().misses
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.counters().evictions
+    }
+
+    /// Snapshot of all counters at once.
+    pub fn counters(&self) -> CacheCounters {
+        self.state.lock().expect("plan cache poisoned").counters
+    }
+
+    /// Distinct workload shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("plan cache poisoned").map.len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The SAGE-driven planner: turns (operands, workload) into an
+/// [`ExecutionPlan`] and executes plans on the accelerator. One planner
+/// (and its cache) is shared by every `FlexSystem` run path and across
+/// batch worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    /// The bounded evaluation cache.
+    pub cache: PlanCache,
+    /// Cost model filling plan predictions ([`CostModel::Stats`] unless
+    /// the caller opts into the dry-run validation oracle).
+    pub cost_model: CostModel,
+}
+
+impl Planner {
+    /// A planner with an explicit cache capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Planner {
+            cache: PlanCache::with_capacity(capacity),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// A planner using the given cost model for predictions.
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
+        Planner {
+            cache: PlanCache::default(),
+            cost_model,
+        }
+    }
+
+    /// Fetch the evaluation for `w`, running the SAGE MCF×ACF search
+    /// only on a cache miss. Returns the evaluation and whether it was
+    /// served from cache. Keys include [`Sage::config_fingerprint`], so
+    /// a reconfigured accelerator never reuses stale plans.
+    pub fn evaluate_cached(&self, sage: &Sage, w: &SageWorkload) -> (Evaluation, bool) {
+        let key = PlanKey::new(w, sage.config_fingerprint());
+        if let Some(hit) = self.cache.lookup(&key) {
+            return (hit, true);
+        }
+        let eval = sage.recommend(w).best;
+        self.cache.insert(key, eval.clone());
+        (eval, false)
+    }
+
+    /// Plan one job end-to-end: cached-or-searched SAGE evaluation, then
+    /// the tile schedule and cycle prediction for the chosen discipline.
+    pub fn plan_job(
+        &self,
+        sage: &Sage,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+        discipline: PlanDiscipline,
+    ) -> Result<ExecutionPlan, RunError> {
+        let (evaluation, from_cache) = self.evaluate_cached(sage, w);
+        let mut plan = self.plan_pinned(sage, a, b, *w, evaluation, discipline)?;
+        plan.from_cache = from_cache;
+        Ok(plan)
+    }
+
+    /// Plan with the evaluation pinned by the caller instead of searched
+    /// (used by the `run_with_choice` / `run_pipelined_with_evaluation`
+    /// front-ends and the property suites). The returned plan is marked
+    /// `from_cache: false`; callers relaying a cached evaluation set the
+    /// field themselves.
+    pub fn plan_pinned(
+        &self,
+        sage: &Sage,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        workload: SageWorkload,
+        evaluation: Evaluation,
+        discipline: PlanDiscipline,
+    ) -> Result<ExecutionPlan, RunError> {
+        if a.cols() != b.rows() {
+            return Err(RunError::ShapeMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            });
+        }
+        let choice = &evaluation.choice;
+        let accel = &sage.accel;
+        let spgemm = choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr;
+        let dataflow = if spgemm {
+            Dataflow::GustavsonSpGemm
+        } else {
+            Dataflow::WeightStationary
+        };
+
+        // ---- Tile schedule: cut the stationary operand per discipline.
+        let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
+        let residency = accel.num_pes.max(1);
+        let policy = match (discipline, dataflow) {
+            (PlanDiscipline::Monolithic, _) => TilePolicy::Whole,
+            (PlanDiscipline::Pipelined, Dataflow::GustavsonSpGemm) => TilePolicy::Bounded {
+                // Gustavson PEs buffer whole compressed row segments (2
+                // slots per entry): cap per-row entries per tile so no
+                // stationary unit can overflow a buffer.
+                max_row_entries: accel.pe_buffer_elems / 2,
+                max_width: residency,
+            },
+            // WS tiles are one array residency wide (`num_pes` stationary
+            // columns); the simulator splits K internally.
+            (PlanDiscipline::Pipelined, Dataflow::WeightStationary) => {
+                TilePolicy::Uniform { width: residency }
+            }
+        };
+        let schedule =
+            plan_column_schedule(&b_mem, policy).ok_or(RunError::StationaryTooLarge {
+                needed: 2,
+                available: accel.pe_buffer_elems,
+            })?;
+
+        // ---- Cycle prediction.
+        let predicted = match self.cost_model {
+            CostModel::Stats => predict_stats(sage, a, b, &evaluation, &schedule),
+            CostModel::Structure => predict_structure(sage, a, b, &evaluation, &schedule, spgemm)?,
+        };
+
+        Ok(ExecutionPlan {
+            workload,
+            evaluation,
+            dataflow,
+            schedule,
+            predicted,
+            from_cache: false,
+        })
+    }
+
+    /// Workload statistics derived from the operands and the pinned
+    /// choice, for front-ends that pin an evaluation without supplying a
+    /// [`SageWorkload`]. The kernel is inferred from what actually runs:
+    /// a CSR×CSR ACF pair executes Gustavson SpGEMM, a fully dense B is
+    /// an SpMM, anything else a sparse×sparse product. The datatype is
+    /// the accelerator's configured element type — [`Evaluation`] does
+    /// not carry one, so these stats label the plan record rather than
+    /// drive any decision (pinned plans never search or cache).
+    pub fn derive_workload(
+        sage: &Sage,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        choice: &sparseflex_sage::FormatChoice,
+    ) -> SageWorkload {
+        let spgemm_pair = choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr;
+        let b_dense = b.nnz() == b.rows() * b.cols();
+        if !spgemm_pair && b_dense {
+            SageWorkload::spmm(
+                a.rows(),
+                a.cols(),
+                b.cols(),
+                a.nnz() as u64,
+                sage.accel.dtype,
+            )
+        } else {
+            SageWorkload::spgemm(
+                a.rows(),
+                a.cols(),
+                b.cols(),
+                a.nnz() as u64,
+                b.nnz() as u64,
+                sage.accel.dtype,
+            )
+        }
+    }
+
+    /// Execute an [`ExecutionPlan`] on real operands: encode in the
+    /// MCFs, convert the streaming operand once (pipeline prologue),
+    /// then convert∥execute every scheduled stationary tile — on the
+    /// modeled machine, MINT fills one staging buffer with tile *t+1*
+    /// while the array computes tile *t*, a double-buffered overlap
+    /// priced by the per-tile cycle lanes folded into the run's
+    /// [`OverlapSchedule`](sparseflex_mint::OverlapSchedule). Every run
+    /// path funnels through this one executor, and every run yields a
+    /// [`PlanTrace`] comparing the plan's prediction against the
+    /// measured cycles.
+    pub fn execute_plan(
+        &self,
+        sage: &Sage,
+        plan: &ExecutionPlan,
+        a: &CooMatrix,
+        b: &CooMatrix,
+    ) -> Result<PipelineRun, RunError> {
+        let choice = plan.choice();
+        let spgemm = plan.dataflow == Dataflow::GustavsonSpGemm;
+        let (a_acf, conv_a, tiles_mem, b_cols) =
+            prepare_operands(sage, choice, &plan.schedule.ranges, a, b)?;
+        let executed = convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem)?;
+
+        let mut output = DenseMatrix::zeros(a.rows(), b_cols);
+        let mut tiles = Vec::with_capacity(tiles_mem.len());
+        for (tile, (conv, sim)) in tiles_mem.iter().zip(executed) {
+            stitch_columns(&mut output, &sim.output, tile.col_start);
+            tiles.push(TileTrace {
+                col_start: tile.col_start,
+                col_end: tile.col_end,
+                conv,
+                compute: sim.cycles,
+                counts: sim.counts,
+                array_col_tiles: sim.n_tiles,
+                k_passes: sim.k_passes,
+            });
+        }
+
+        let conv_cycles: Vec<u64> = tiles.iter().map(|t| t.conv.pipelined_cycles()).collect();
+        let compute_cycles: Vec<u64> = tiles.iter().map(|t| t.compute.total()).collect();
+        let schedule = overlap_schedule(&conv_cycles, &compute_cycles);
+        let trace = build_trace(plan, &tiles, schedule);
+        Ok(PipelineRun {
+            plan: plan.clone(),
+            output,
+            conv_a,
+            tiles,
+            trace,
+        })
+    }
+}
+
+/// Encode both operands in their MCFs, cut the stationary operand into
+/// the scheduled tiles, and convert the streaming operand (the pipeline
+/// prologue). A schedule consisting of one range spanning every column
+/// (the monolithic discipline) uses the encoded operand directly instead
+/// of round-tripping it through triplet extraction.
+#[allow(clippy::type_complexity)]
+fn prepare_operands(
+    sage: &Sage,
+    choice: &sparseflex_sage::FormatChoice,
+    ranges: &[(usize, usize)],
+    a: &CooMatrix,
+    b: &CooMatrix,
+) -> Result<(MatrixData, ConversionReport, Vec<MatrixTile>, usize), RunError> {
+    let a_mem = MatrixData::encode(a, &choice.mcf_a)?;
+    let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
+    let b_cols = b_mem.cols();
+    let tiles_mem = if ranges == [(0, b_cols)] {
+        vec![MatrixTile {
+            col_start: 0,
+            col_end: b_cols,
+            data: b_mem,
+        }]
+    } else {
+        tile_column_ranges(&b_mem, ranges)?
+    };
+    let (a_acf, conv_a) = sage.mint.convert_matrix(&a_mem, &choice.acf_a)?;
+    Ok((a_acf, conv_a, tiles_mem, b_cols))
+}
+
+/// Convert each scheduled tile MCF→ACF and run it on the cycle-accurate
+/// simulator. This is the **one** per-tile sequence shared by
+/// `execute_plan` and the structure-model oracle, so the oracle's
+/// cycle-exactness guarantee cannot drift from what execution does.
+fn convert_and_execute_tiles(
+    sage: &Sage,
+    choice: &sparseflex_sage::FormatChoice,
+    spgemm: bool,
+    a_acf: &MatrixData,
+    tiles_mem: &[MatrixTile],
+) -> Result<Vec<(ConversionReport, SimResult)>, RunError> {
+    let a_csr = if spgemm { Some(csr_cow(a_acf)) } else { None };
+    tiles_mem
+        .iter()
+        .map(|tile| {
+            let (tile_acf, conv) = sage.mint.convert_matrix(&tile.data, &choice.acf_b)?;
+            let sim = execute_tile(sage, a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
+            Ok((conv, sim))
+        })
+        .collect()
+}
+
+/// Stats-model prediction: SAGE's whole-operand analytic totals split
+/// across tiles by stored-nonzero weight.
+fn predict_stats(
+    sage: &Sage,
+    a: &CooMatrix,
+    b: &CooMatrix,
+    evaluation: &Evaluation,
+    schedule: &ColumnSchedule,
+) -> PlanPrediction {
+    let choice = &evaluation.choice;
+    let conv_a = conversion_cost(
+        &choice.mcf_a,
+        &choice.acf_a,
+        a.rows(),
+        a.cols(),
+        a.nnz() as u64,
+        &sage.mint,
+    )
+    .cycles;
+    let conv_b = conversion_cost(
+        &choice.mcf_b,
+        &choice.acf_b,
+        b.rows(),
+        b.cols(),
+        b.nnz() as u64,
+        &sage.mint,
+    )
+    .cycles;
+    let per_tile_conv = split_cycles(conv_b as f64, &schedule.tile_nnz);
+    let per_tile_compute = split_cycles(evaluation.compute_cycles, &schedule.tile_nnz);
+    PlanPrediction {
+        cost_model: CostModel::Stats,
+        conv_a_cycles: conv_a,
+        schedule: overlap_schedule(&per_tile_conv, &per_tile_compute),
+        per_tile_conv,
+        per_tile_compute,
+    }
+}
+
+/// Structure-model prediction: a planning-time dry run over the actual
+/// operand structure — every tile is converted and simulated once, so
+/// predicted cycles equal the measured execution exactly. The
+/// model-validation oracle; costs one extra execution per plan.
+fn predict_structure(
+    sage: &Sage,
+    a: &CooMatrix,
+    b: &CooMatrix,
+    evaluation: &Evaluation,
+    schedule: &ColumnSchedule,
+    spgemm: bool,
+) -> Result<PlanPrediction, RunError> {
+    let choice = &evaluation.choice;
+    let (a_acf, conv_a, tiles_mem, _) = prepare_operands(sage, choice, &schedule.ranges, a, b)?;
+    let executed = convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem)?;
+    let per_tile_conv: Vec<u64> = executed
+        .iter()
+        .map(|(conv, _)| conv.pipelined_cycles())
+        .collect();
+    let per_tile_compute: Vec<u64> = executed.iter().map(|(_, sim)| sim.cycles.total()).collect();
+    Ok(PlanPrediction {
+        cost_model: CostModel::Structure,
+        conv_a_cycles: conv_a.pipelined_cycles(),
+        schedule: overlap_schedule(&per_tile_conv, &per_tile_compute),
+        per_tile_conv,
+        per_tile_compute,
+    })
+}
+
+/// Run one converted stationary tile on the cycle-accurate simulator.
+fn execute_tile(
+    sage: &Sage,
+    a_acf: &MatrixData,
+    a_csr: Option<&CsrMatrix>,
+    tile_acf: &MatrixData,
+    spgemm: bool,
+) -> Result<SimResult, RunError> {
+    let sim = if spgemm {
+        let a = a_csr.expect("CSR A is materialized for SpGEMM runs");
+        simulate_spgemm(a, &csr_cow(tile_acf), &sage.accel)?
+    } else {
+        simulate_ws(a_acf, tile_acf, &sage.accel)?
+    };
+    Ok(sim)
+}
+
+/// Fold the measured tile traces against the plan's prediction.
+fn build_trace(
+    plan: &ExecutionPlan,
+    tiles: &[TileTrace],
+    measured: sparseflex_mint::OverlapSchedule,
+) -> PlanTrace {
+    let compares = tiles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TileCompare {
+            col_start: t.col_start,
+            col_end: t.col_end,
+            predicted_conv_cycles: plan.predicted.per_tile_conv.get(i).copied().unwrap_or(0),
+            measured_conv_cycles: t.conv.pipelined_cycles(),
+            predicted_compute_cycles: plan.predicted.per_tile_compute.get(i).copied().unwrap_or(0),
+            measured_compute_cycles: t.compute.total(),
+        })
+        .collect();
+    PlanTrace {
+        cost_model: plan.predicted.cost_model,
+        tiles: compares,
+        predicted_schedule: plan.predicted.schedule,
+        measured_schedule: measured,
+    }
+}
+
+/// Copy a tile's `m x width` output into the full output at column
+/// `col_start` (tiles cover disjoint column ranges).
+fn stitch_columns(output: &mut DenseMatrix, tile_out: &DenseMatrix, col_start: usize) {
+    for r in 0..tile_out.rows() {
+        let row = tile_out.row(r);
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                output.set(r, col_start + j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseflex_formats::DataType;
+
+    fn workload(seed: usize) -> SageWorkload {
+        // Distinct shapes per seed so each gets its own cache key.
+        SageWorkload::spgemm(
+            100 + seed,
+            100,
+            50,
+            1_000 + seed as u64,
+            500,
+            DataType::Fp32,
+        )
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let sage = Sage::default();
+        let planner = Planner::default();
+        let (e1, cached1) = planner.evaluate_cached(&sage, &workload(0));
+        assert!(!cached1);
+        let (e2, cached2) = planner.evaluate_cached(&sage, &workload(0));
+        assert!(cached2);
+        assert_eq!(e1, e2, "cached evaluation must be the searched one");
+        let c = planner.cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions), (1, 1, 0));
+        assert_eq!(planner.cache.len(), 1);
+    }
+
+    #[test]
+    fn hardware_changes_invalidate_cached_plans() {
+        let mut sage = Sage::default();
+        let planner = Planner::default();
+        planner.evaluate_cached(&sage, &workload(0));
+        // Same workload, different hardware: must be a fresh search.
+        sage.accel.num_pes /= 2;
+        let (_, cached) = planner.evaluate_cached(&sage, &workload(0));
+        assert!(!cached, "reconfigured hardware must not reuse stale plans");
+        assert_eq!(planner.cache.len(), 2, "two distinct hardware keys");
+    }
+
+    #[test]
+    fn eviction_is_lru_ordered() {
+        let sage = Sage::default();
+        let planner = Planner::with_capacity(2);
+        // Fill: w0, w1.
+        planner.evaluate_cached(&sage, &workload(0));
+        planner.evaluate_cached(&sage, &workload(1));
+        assert_eq!(planner.cache.evictions(), 0);
+        // Insert w2 at capacity: w0 is the least recently used -> evicted.
+        planner.evaluate_cached(&sage, &workload(2));
+        assert_eq!(planner.cache.evictions(), 1);
+        assert_eq!(planner.cache.len(), 2);
+        let (_, w1_cached) = planner.evaluate_cached(&sage, &workload(1));
+        assert!(w1_cached, "w1 must have survived the eviction");
+        let (_, w0_cached) = planner.evaluate_cached(&sage, &workload(0));
+        assert!(!w0_cached, "w0 was the LRU entry and must be gone");
+    }
+
+    #[test]
+    fn lookups_refresh_recency() {
+        let sage = Sage::default();
+        let planner = Planner::with_capacity(2);
+        planner.evaluate_cached(&sage, &workload(0)); // miss: {w0}
+        planner.evaluate_cached(&sage, &workload(1)); // miss: {w0, w1}
+        planner.evaluate_cached(&sage, &workload(0)); // hit: w0 now hot
+        planner.evaluate_cached(&sage, &workload(2)); // evicts w1, not w0
+        let (_, w0_cached) = planner.evaluate_cached(&sage, &workload(0));
+        assert!(w0_cached, "the refreshed entry must survive");
+        let (_, w1_cached) = planner.evaluate_cached(&sage, &workload(1));
+        assert!(!w1_cached, "the stale entry must be the one evicted");
+        assert_eq!(planner.cache.evictions(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_sustained_traffic() {
+        let sage = Sage::default();
+        let planner = Planner::with_capacity(4);
+        for i in 0..32 {
+            planner.evaluate_cached(&sage, &workload(i));
+        }
+        assert_eq!(planner.cache.len(), 4, "cache must never exceed capacity");
+        assert_eq!(planner.cache.evictions(), 28);
+        assert_eq!(planner.cache.capacity(), 4);
+    }
+
+    #[test]
+    fn counter_snapshots_subtract() {
+        let sage = Sage::default();
+        let planner = Planner::default();
+        planner.evaluate_cached(&sage, &workload(0));
+        let before = planner.cache.counters();
+        planner.evaluate_cached(&sage, &workload(0));
+        planner.evaluate_cached(&sage, &workload(1));
+        let delta = planner.cache.counters().since(before);
+        assert_eq!((delta.hits, delta.misses), (1, 1));
+    }
+}

@@ -1,10 +1,12 @@
 //! The integrated system: SAGE planning, MINT conversion, accelerator
 //! execution.
 
-use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimError, SimResult};
+use crate::plan::{ExecutionPlan, PlanTrace};
+use crate::planner::{PlanDiscipline, Planner};
+use sparseflex_accel::exec::{SimError, SimResult};
 use sparseflex_accel::taxonomy::AcceleratorClass;
 use sparseflex_formats::{
-    csr_cow, CooMatrix, CsrMatrix, DenseMatrix, FormatError, MatrixData, MatrixFormat,
+    CooMatrix, CsrMatrix, DenseMatrix, FormatError, MatrixData, MatrixFormat,
 };
 use sparseflex_mint::ConversionReport;
 use sparseflex_sage::eval::ConversionMode;
@@ -113,6 +115,11 @@ impl From<FormatError> for RunError {
 pub struct FlexSystem {
     /// The SAGE predictor (owns the accelerator/DRAM/MINT models).
     pub sage: Sage,
+    /// The planning layer every run path routes through: produces
+    /// [`ExecutionPlan`]s, owns the bounded LRU plan cache (shared
+    /// across entry points, batch calls and worker threads), and
+    /// executes plans on the accelerator.
+    pub planner: Planner,
 }
 
 /// The analytic plan SAGE produces for a workload.
@@ -139,20 +146,32 @@ pub struct ClassComparison {
 /// Result of a functional end-to-end run.
 #[derive(Debug)]
 pub struct FunctionalRun {
-    /// The format choice SAGE made.
-    pub evaluation: Evaluation,
     /// MINT conversion report for operand A (empty when MCF == ACF).
     pub conv_a: ConversionReport,
     /// MINT conversion report for operand B.
     pub conv_b: ConversionReport,
     /// Cycle-accurate simulation result (output + cycles + activity).
     pub sim: SimResult,
+    /// The monolithic (single-tile) plan the run executed.
+    pub plan: ExecutionPlan,
+    /// Predicted vs measured cycles for the executed plan.
+    pub trace: PlanTrace,
+}
+
+impl FunctionalRun {
+    /// The evaluation the run executed (SAGE's choice or the caller's).
+    pub fn evaluation(&self) -> &Evaluation {
+        &self.plan.evaluation
+    }
 }
 
 impl FlexSystem {
     /// Build a system around a configured SAGE instance.
     pub fn new(sage: Sage) -> Self {
-        FlexSystem { sage }
+        FlexSystem {
+            sage,
+            planner: Planner::default(),
+        }
     }
 
     /// Analytic plan: SAGE searches the full MCF x ACF space.
@@ -179,7 +198,8 @@ impl FlexSystem {
 
     /// Functional end-to-end run on real (small) operands:
     ///
-    /// 1. SAGE plans MCF/ACF.
+    /// 1. The [`Planner`] plans the job: SAGE's MCF/ACF choice (cached
+    ///    or searched) captured in a single-tile [`ExecutionPlan`].
     /// 2. Operands are *stored* in their MCFs (as they would arrive from
     ///    DRAM).
     /// 3. MINT's block engine converts MCF → ACF — the **whole** operand
@@ -190,15 +210,19 @@ impl FlexSystem {
     /// scratchpad residency, or the run fails with the recoverable
     /// [`RunError::StationaryTooLarge`] — which the tile-grained
     /// [`FlexSystem::run_pipelined`] renders unreachable by splitting the
-    /// stationary operand.
+    /// stationary operand. Internally it is the same planner + executor
+    /// as every other run path, scheduled with one tile spanning all
+    /// stationary columns.
     pub fn run_functional(
         &self,
         a: &CooMatrix,
         b: &CooMatrix,
         w: &SageWorkload,
     ) -> Result<FunctionalRun, RunError> {
-        let plan = self.plan(w);
-        self.run_with_choice(a, b, plan.evaluation)
+        let plan = self
+            .planner
+            .plan_job(&self.sage, a, b, w, PlanDiscipline::Monolithic)?;
+        self.execute_monolithic(&plan, a, b)
     }
 
     /// [`run_functional`](Self::run_functional) with the format choice
@@ -210,31 +234,44 @@ impl FlexSystem {
         b: &CooMatrix,
         evaluation: Evaluation,
     ) -> Result<FunctionalRun, RunError> {
-        let choice = &evaluation.choice;
-        let engine = &self.sage.mint;
-
-        // Store in MCF.
-        let a_mem = MatrixData::encode(a, &choice.mcf_a)?;
-        let b_mem = MatrixData::encode(b, &choice.mcf_b)?;
-
-        // MINT: MCF -> ACF.
-        let (a_acf, conv_a) = engine.convert_matrix(&a_mem, &choice.acf_a)?;
-        let (b_acf, conv_b) = engine.convert_matrix(&b_mem, &choice.acf_b)?;
-
-        // Execute. The SpGEMM simulator wants CSR operands; non-CSR ACFs
-        // are materialized with one pass over their fiber streams rather
-        // than a COO hub round-trip.
-        let sim = if choice.acf_a == MatrixFormat::Csr && choice.acf_b == MatrixFormat::Csr {
-            simulate_spgemm(&csr_cow(&a_acf), &csr_cow(&b_acf), &self.sage.accel)?
-        } else {
-            simulate_ws(&a_acf, &b_acf, &self.sage.accel)?
-        };
-
-        Ok(FunctionalRun {
+        let w = Planner::derive_workload(&self.sage, a, b, &evaluation.choice);
+        let plan = self.planner.plan_pinned(
+            &self.sage,
+            a,
+            b,
+            w,
             evaluation,
-            conv_a,
-            conv_b,
-            sim,
+            PlanDiscipline::Monolithic,
+        )?;
+        self.execute_monolithic(&plan, a, b)
+    }
+
+    /// Execute a monolithic (single-tile) plan and repackage the one
+    /// tile's results in the classic [`FunctionalRun`] shape.
+    fn execute_monolithic(
+        &self,
+        plan: &ExecutionPlan,
+        a: &CooMatrix,
+        b: &CooMatrix,
+    ) -> Result<FunctionalRun, RunError> {
+        let run = self.planner.execute_plan(&self.sage, plan, a, b)?;
+        let tile = run
+            .tiles
+            .into_iter()
+            .next()
+            .expect("a monolithic plan schedules exactly one tile");
+        Ok(FunctionalRun {
+            conv_a: run.conv_a,
+            conv_b: tile.conv,
+            sim: SimResult {
+                output: run.output,
+                cycles: tile.compute,
+                counts: tile.counts,
+                n_tiles: tile.array_col_tiles,
+                k_passes: tile.k_passes,
+            },
+            plan: run.plan,
+            trace: run.trace,
         })
     }
 
@@ -299,7 +336,7 @@ mod tests {
         assert!(
             run.sim.output.approx_eq(&expect, 1e-9),
             "functional output mismatch for choice {}",
-            run.evaluation.choice
+            run.evaluation().choice
         );
     }
 
@@ -317,7 +354,7 @@ mod tests {
         assert!(run.sim.output.approx_eq(&expect, 1e-9));
         // SpMM with dense B: SAGE must not pick a compressed ACF for B
         // (nothing to compress).
-        assert_eq!(run.evaluation.choice.acf_b, MatrixFormat::Dense);
+        assert_eq!(run.evaluation().choice.acf_b, MatrixFormat::Dense);
     }
 
     #[test]

@@ -127,6 +127,118 @@ pub fn bounded_column_ranges(
     Some(ranges)
 }
 
+/// How a planner cuts the stationary operand into column tiles.
+///
+/// This is the *exported* tile-schedule vocabulary: the planning layer in
+/// `sparseflex-core` records the policy it chose inside an execution
+/// plan, so a plan dump names the discipline (`whole` / `uniform` /
+/// `bounded`) instead of an anonymous range list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TilePolicy {
+    /// One tile spanning every column — the monolithic discipline (the
+    /// whole stationary operand must fit one scratchpad residency).
+    Whole,
+    /// Fixed-width strips ([`uniform_column_ranges`]): the geometry of
+    /// one weight-stationary array residency.
+    Uniform {
+        /// Columns per tile.
+        width: usize,
+    },
+    /// Greedy strips capped so no row segment exceeds a slot budget
+    /// ([`bounded_column_ranges`]): the Gustavson SpGEMM discipline.
+    Bounded {
+        /// Per-row stored-entry budget within one tile.
+        max_row_entries: usize,
+        /// Upper bound on tile width in columns.
+        max_width: usize,
+    },
+}
+
+impl std::fmt::Display for TilePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TilePolicy::Whole => write!(f, "whole (monolithic)"),
+            TilePolicy::Uniform { width } => write!(f, "uniform width {width}"),
+            TilePolicy::Bounded {
+                max_row_entries,
+                max_width,
+            } => write!(
+                f,
+                "bounded ({max_row_entries} entries/row, <= {max_width} wide)"
+            ),
+        }
+    }
+}
+
+/// The column-tile schedule a planner produced for one stationary
+/// operand: the policy, the covered ranges, and each tile's stored
+/// nonzero count (the weight a cost model splits whole-operand cycle
+/// predictions by).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSchedule {
+    /// The policy that produced the ranges.
+    pub policy: TilePolicy,
+    /// Sorted, disjoint column ranges covering the operand.
+    pub ranges: Vec<(usize, usize)>,
+    /// Stored nonzeros per range (same length as `ranges`).
+    pub tile_nnz: Vec<usize>,
+}
+
+impl ColumnSchedule {
+    /// Number of tiles in the schedule.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the schedule holds no tiles (a zero-column operand).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total stored nonzeros across all tiles.
+    pub fn total_nnz(&self) -> usize {
+        self.tile_nnz.iter().sum()
+    }
+
+    /// Widest tile in columns (0 for an empty schedule).
+    pub fn max_width(&self) -> usize {
+        self.ranges.iter().map(|&(a, b)| b - a).max().unwrap_or(0)
+    }
+}
+
+/// Plan a [`ColumnSchedule`] for `data` under `policy`.
+///
+/// Returns `None` only for [`TilePolicy::Bounded`] with
+/// `max_row_entries == 0` (a single stored element already overflows the
+/// budget; no tiling can fix that). Per-tile nonzero counts are gathered
+/// in one extra stream pass.
+pub fn plan_column_schedule(data: &MatrixData, policy: TilePolicy) -> Option<ColumnSchedule> {
+    let ranges = match policy {
+        // `Whole` keeps exactly one range even for a zero-column operand,
+        // so the monolithic executor always has one tile to run.
+        TilePolicy::Whole => vec![(0, data.cols())],
+        TilePolicy::Uniform { width } => uniform_column_ranges(data.cols(), width),
+        TilePolicy::Bounded {
+            max_row_entries,
+            max_width,
+        } => bounded_column_ranges(data, max_row_entries, max_width)?,
+    };
+    let mut tile_nnz = vec![0usize; ranges.len()];
+    data.row_stream().for_each_fiber(&mut |_, cs, _| {
+        for &c in cs {
+            let i = ranges.partition_point(|&(c0, _)| c0 <= c);
+            if i > 0 && c < ranges[i - 1].1 {
+                tile_nnz[i - 1] += 1;
+            }
+        }
+    });
+    Some(ColumnSchedule {
+        policy,
+        ranges,
+        tile_nnz,
+    })
+}
+
 /// Cut every range in `ranges` out of `data` in **one** stream pass
 /// (requires the ranges sorted ascending and disjoint, as the planners
 /// produce them): each stored entry is bucketed into its destination
@@ -253,6 +365,44 @@ mod tests {
         let covered: usize = ranges.iter().map(|&(a, b)| b - a).sum();
         assert_eq!(covered, 8);
         assert!(bounded_column_ranges(&data, 0, 4).is_none());
+    }
+
+    #[test]
+    fn column_schedules_cover_and_count() {
+        let coo = sample();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        // Whole: one tile, all nonzeros.
+        let whole = plan_column_schedule(&data, TilePolicy::Whole).unwrap();
+        assert_eq!(whole.ranges, vec![(0, 11)]);
+        assert_eq!(whole.tile_nnz, vec![8]);
+        assert_eq!(whole.total_nnz(), 8);
+        // Uniform: per-tile counts sum to the operand's nnz.
+        let uni = plan_column_schedule(&data, TilePolicy::Uniform { width: 4 }).unwrap();
+        assert_eq!(uni.ranges, uniform_column_ranges(11, 4));
+        assert_eq!(uni.total_nnz(), 8);
+        assert_eq!(uni.len(), 3);
+        assert!(uni.max_width() <= 4);
+        // Bounded: impossible budget is a typed rejection.
+        assert!(plan_column_schedule(
+            &data,
+            TilePolicy::Bounded {
+                max_row_entries: 0,
+                max_width: 4
+            }
+        )
+        .is_none());
+        // Policy renders for plan dumps.
+        assert!(format!("{}", uni.policy).contains("uniform"));
+    }
+
+    #[test]
+    fn whole_schedule_on_zero_columns_keeps_one_tile() {
+        let coo = CooMatrix::from_triplets(3, 0, vec![]).unwrap();
+        let data = MatrixData::encode(&coo, &MatrixFormat::Coo).unwrap();
+        let s = plan_column_schedule(&data, TilePolicy::Whole).unwrap();
+        assert_eq!(s.ranges, vec![(0, 0)]);
+        assert_eq!(s.tile_nnz, vec![0]);
+        assert!(!s.is_empty());
     }
 
     #[test]

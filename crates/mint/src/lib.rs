@@ -40,5 +40,7 @@ pub mod variants;
 pub use cost::{conversion_cost, tensor_conversion_cost, ConversionCost};
 pub use engine::ConversionEngine;
 pub use report::{BlockKind, ConversionReport};
-pub use tiled::{added_hardware_cycles, overlap_schedule, OverlapSchedule, TiledConversion};
+pub use tiled::{
+    added_hardware_cycles, overlap_schedule, split_cycles, OverlapSchedule, TiledConversion,
+};
 pub use variants::{MintVariant, PrefixSumOverlay};

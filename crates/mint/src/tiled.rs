@@ -136,6 +136,32 @@ pub fn overlap_schedule(conv: &[u64], compute: &[u64]) -> OverlapSchedule {
     }
 }
 
+/// Split a predicted whole-operand cycle total across tiles in
+/// proportion to `weights` (per-tile stored nonzeros, as exported by the
+/// tiler's column schedule), falling back to an even split when every
+/// weight is zero.
+///
+/// This is the planning-time counterpart of the per-tile cycle vectors
+/// the runtime measures: a planner holding only whole-operand cost-model
+/// totals uses it to materialize the per-tile conversion and compute
+/// lanes that [`overlap_schedule`] folds into a *predicted*
+/// [`OverlapSchedule`], which execution then compares against the
+/// measured one.
+pub fn split_cycles(total: f64, weights: &[usize]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let sum: usize = weights.iter().sum();
+    if sum == 0 {
+        let even = (total / weights.len() as f64).round().max(0.0) as u64;
+        return vec![even; weights.len()];
+    }
+    weights
+        .iter()
+        .map(|&w| (total * w as f64 / sum as f64).round().max(0.0) as u64)
+        .collect()
+}
+
 /// SAGE's analytic view of the tile-grained pipeline: predict the
 /// conversion cycles that stay exposed after the overlap the runtime
 /// actually schedules, from whole-operand statistics split into `tiles`
@@ -247,6 +273,20 @@ mod tests {
         assert_eq!(one.overlapped_cycles, 16);
         assert_eq!(one.serial_cycles, 16);
         assert_eq!(one.hidden_cycles(), 0);
+    }
+
+    #[test]
+    fn split_cycles_follows_weights() {
+        // Proportional: weights 1:3 split 400 cycles 100/300.
+        assert_eq!(split_cycles(400.0, &[10, 30]), vec![100, 300]);
+        // All-zero weights (empty tiles) fall back to an even split.
+        assert_eq!(split_cycles(90.0, &[0, 0, 0]), vec![30, 30, 30]);
+        // No tiles, no cycles.
+        assert_eq!(split_cycles(1_000.0, &[]), Vec::<u64>::new());
+        // The split feeds straight into the overlap fold.
+        let conv = split_cycles(40.0, &[1, 1, 1, 1]);
+        let s = overlap_schedule(&conv, &[25, 25, 25, 25]);
+        assert_eq!(s.overlapped_cycles, 10 + 25 * 4);
     }
 
     #[test]

@@ -228,6 +228,34 @@ impl Sage {
         })
     }
 
+    /// Stable fingerprint of the full hardware configuration this
+    /// predictor evaluates against (accelerator, DRAM, MINT, energy
+    /// constants).
+    ///
+    /// Two `Sage` instances with equal fingerprints provably produce
+    /// equal [`Evaluation`]s for equal workloads, so the fingerprint is
+    /// the hardware half of a plan-cache key: cached evaluations are
+    /// reused only while the configuration they were searched under
+    /// stays in force (mutating `sage.accel` naturally invalidates them).
+    pub fn config_fingerprint(&self) -> u64 {
+        use std::fmt::Write;
+        use std::hash::Hasher;
+        // The Debug rendering covers every model parameter, including
+        // float fields that cannot implement `Hash` directly; it is
+        // streamed straight into the hasher (no intermediate string),
+        // since this runs on the warm plan-cache lookup path.
+        struct HashWriter(std::collections::hash_map::DefaultHasher);
+        impl Write for HashWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+        let mut w = HashWriter(std::collections::hash_map::DefaultHasher::new());
+        write!(w, "{self:?}").expect("hashing never fails");
+        w.0.finish()
+    }
+
     /// Stationary tiles the pipelined runtime cuts a workload into: one
     /// weight-stationary array residency (`num_pes` stationary columns)
     /// per tile, clamped to keep the model O(1).
@@ -360,6 +388,17 @@ mod tests {
         assert!(e.edp(1e9) > e.edp(2e9));
         assert!(e.total_cycles() > 0.0);
         assert!(e.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_hardware_changes() {
+        let a = Sage::default();
+        let mut b = Sage::default();
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        b.accel.num_pes = a.accel.num_pes / 2;
+        assert_ne!(a.config_fingerprint(), b.config_fingerprint());
+        b.accel.num_pes = a.accel.num_pes;
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
     }
 
     #[test]

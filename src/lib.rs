@@ -16,7 +16,7 @@
 //! | [`mint`] | the MINT hardware format converter (§V) |
 //! | [`sage`] | the SAGE MCF/ACF predictor (§VI) |
 //! | [`host`] | CPU/GPU offload baseline models (§VII-B) |
-//! | [`system`] | the integrated `Flex_Flex_HW` system (§VII-C/D) |
+//! | [`system`] | the integrated `Flex_Flex_HW` system (§VII-C/D): planner layer (`ExecutionPlan` IR, bounded LRU plan cache) + shared executor |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 

@@ -7,7 +7,7 @@
 use sparseflex::formats::{DataType, SparseMatrix};
 use sparseflex::kernels::gemm::gemm_naive;
 use sparseflex::sage::SageWorkload;
-use sparseflex::system::FlexSystem;
+use sparseflex::system::{FlexSystem, PlanDiscipline};
 use sparseflex::workloads::synth::random_matrix;
 
 /// The quickstart scenario end-to-end, on a slightly smaller problem so
@@ -71,6 +71,45 @@ fn quickstart_path_end_to_end() {
             assert!(x >= 0.999, "{class} beats this work ({x}x)");
         }
     }
+}
+
+/// The `examples/plan_explain.rs` scenario end-to-end: plan a
+/// dense-regime and a hyper-sparse workload through the planner, check
+/// the rendered explanation, execute both plans, and confirm the second
+/// planning of each shape is served from the bounded plan cache.
+#[test]
+fn plan_explain_path_end_to_end() {
+    let mut sys = FlexSystem::default();
+    sys.sage.accel.num_pes = 8;
+    sys.sage.accel.pe_buffer_elems = 64;
+    // (label fragment, m, k, n, nnz_a) — the example's two regimes,
+    // slightly shrunk for debug-build speed.
+    for (m, k, n, nnz) in [(32usize, 32usize, 40usize, 800usize), (96, 96, 80, 120)] {
+        let a = random_matrix(m, k, nnz, 1);
+        let b = random_matrix(k, n, nnz / 2 + 1, 2);
+        let w = SageWorkload::spgemm(m, k, n, a.nnz() as u64, b.nnz() as u64, DataType::Fp32);
+        let plan = sys
+            .planner
+            .plan_job(&sys.sage, &a, &b, &w, PlanDiscipline::Pipelined)
+            .expect("workload plans");
+        let text = plan.explain();
+        assert!(text.contains(&format!("SpGEMM {m}x{k}x{n}")), "{text}");
+        assert!(text.contains("searched"), "first plan must be a search");
+        let run = sys
+            .planner
+            .execute_plan(&sys.sage, &plan, &a, &b)
+            .expect("plan executes");
+        let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
+        assert!(run.output.approx_eq(&expect, 1e-9));
+        // Replanning the same shape hits the cache, and explain says so.
+        let again = sys
+            .planner
+            .plan_job(&sys.sage, &a, &b, &w, PlanDiscipline::Pipelined)
+            .expect("workload replans");
+        assert!(again.from_cache);
+        assert!(again.explain().contains("plan-cache hit"));
+    }
+    assert_eq!(sys.planner.cache.len(), 2, "two regimes cached");
 }
 
 /// The quickstart example itself must stay runnable: `cargo test` builds

@@ -76,7 +76,7 @@ proptest! {
         let piped = sys.run_pipelined(&a, &b, &w).unwrap();
         prop_assert_eq!(
             &piped.output, &mono.sim.output,
-            "pipeline diverged under choice {}", piped.evaluation.choice
+            "pipeline diverged under choice {}", piped.evaluation().choice
         );
         // And both match the software oracle.
         let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());

@@ -48,7 +48,7 @@ proptest! {
         let expect = gemm_naive(&a.clone().into_dense(), &b.clone().into_dense());
         prop_assert!(
             run.sim.output.approx_eq(&expect, 1e-9),
-            "wrong product under choice {}", run.evaluation.choice
+            "wrong product under choice {}", run.evaluation().choice
         );
     }
 
