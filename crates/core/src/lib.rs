@@ -45,4 +45,4 @@ pub use casestudy::{layer_edp, LayerEdp};
 pub use pipeline::{BatchJob, BatchRun, PipelineRun, TileTrace};
 pub use plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace, TileCompare};
 pub use planner::{CacheCounters, PlanCache, PlanDiscipline, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
-pub use system::{ClassComparison, FlexSystem, FunctionalRun, RunError, SystemPlan};
+pub use system::{ClassComparison, CustomRun, FlexSystem, FunctionalRun, RunError, SystemPlan};

@@ -124,6 +124,14 @@ impl ExecutionPlan {
         &self.evaluation.choice
     }
 
+    /// Stable fingerprint of the plan's four format descriptors — the
+    /// format identity plan caches and persisted artifacts key on (equal
+    /// for the enum and descriptor spellings of the same choice, and
+    /// independent of the legacy enums' representation).
+    pub fn choice_fingerprint(&self) -> u64 {
+        self.evaluation.choice.descriptor_fingerprint()
+    }
+
     /// Number of stationary column tiles the plan schedules.
     pub fn tiles(&self) -> usize {
         self.schedule.len()
@@ -155,13 +163,14 @@ impl ExecutionPlan {
         );
         let _ = writeln!(
             out,
-            "  choice     : {}  [{}]",
+            "  choice     : {}  [{}]  fp 0x{:016x}",
             e.choice,
             if self.from_cache {
                 "plan-cache hit"
             } else {
                 "searched"
-            }
+            },
+            self.choice_fingerprint()
         );
         let _ = writeln!(out, "  dataflow   : {}", self.dataflow);
         let _ = writeln!(

@@ -54,8 +54,12 @@ pub enum PlanDiscipline {
 }
 
 /// Key identifying a cached plan: the workload statistics SAGE's models
-/// consume plus the hardware-configuration fingerprint — equal keys
-/// provably yield equal evaluations.
+/// consume, the hardware-configuration fingerprint, and — for pinned
+/// choices — the **format-descriptor fingerprint** of the choice. Equal
+/// keys provably yield equal evaluations. Keying the format half on
+/// descriptors (not the legacy enums) means the enum and descriptor
+/// entry points share cache rows, and cached plans survive the enum's
+/// deprecation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PlanKey {
     kernel: SageKernel,
@@ -66,6 +70,9 @@ struct PlanKey {
     nnz_b: u64,
     dtype: sparseflex_formats::DataType,
     hw: u64,
+    /// `None` for free-search plans; the choice's
+    /// [`FormatChoice::descriptor_fingerprint`] when pinned.
+    choice: Option<u64>,
 }
 
 impl PlanKey {
@@ -79,6 +86,14 @@ impl PlanKey {
             nnz_b: w.nnz_b,
             dtype: w.dtype,
             hw,
+            choice: None,
+        }
+    }
+
+    fn pinned(w: &SageWorkload, hw: u64, choice_fingerprint: u64) -> Self {
+        PlanKey {
+            choice: Some(choice_fingerprint),
+            ..PlanKey::new(w, hw)
         }
     }
 }
@@ -271,6 +286,52 @@ impl Planner {
         let eval = sage.recommend(w).best;
         self.cache.insert(key, eval.clone());
         (eval, false)
+    }
+
+    /// Fetch the evaluation for `w` with the format choice pinned,
+    /// running SAGE's single-choice evaluator only on a cache miss. The
+    /// cache row is keyed on the choice's **descriptor fingerprint**, so
+    /// the legacy-enum and descriptor entry points hit the same rows for
+    /// the same formats.
+    pub fn evaluate_pinned_cached(
+        &self,
+        sage: &Sage,
+        w: &SageWorkload,
+        choice: &sparseflex_sage::FormatChoice,
+    ) -> Result<(Evaluation, bool), RunError> {
+        let key = PlanKey::pinned(
+            w,
+            sage.config_fingerprint(),
+            choice.descriptor_fingerprint(),
+        );
+        if let Some(hit) = self.cache.lookup(&key) {
+            return Ok((hit, true));
+        }
+        let eval = sage
+            .evaluate(w, choice, sparseflex_sage::eval::ConversionMode::Hardware)
+            .map_err(RunError::from)?;
+        self.cache.insert(key, eval.clone());
+        Ok((eval, false))
+    }
+
+    /// Plan one job with the format choice pinned by the caller: the
+    /// cached-or-evaluated budget for that exact choice, then the tile
+    /// schedule and prediction — the caching complement of
+    /// [`plan_pinned`](Self::plan_pinned) (which takes a pre-computed
+    /// evaluation and never consults the cache).
+    pub fn plan_with_formats(
+        &self,
+        sage: &Sage,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+        choice: &sparseflex_sage::FormatChoice,
+        discipline: PlanDiscipline,
+    ) -> Result<ExecutionPlan, RunError> {
+        let (evaluation, from_cache) = self.evaluate_pinned_cached(sage, w, choice)?;
+        let mut plan = self.plan_pinned(sage, a, b, *w, evaluation, discipline)?;
+        plan.from_cache = from_cache;
+        Ok(plan)
     }
 
     /// Plan one job end-to-end: cached-or-searched SAGE evaluation, then

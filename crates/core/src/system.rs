@@ -3,14 +3,15 @@
 
 use crate::plan::{ExecutionPlan, PlanTrace};
 use crate::planner::{PlanDiscipline, Planner};
-use sparseflex_accel::exec::{SimError, SimResult};
+use sparseflex_accel::exec::{simulate_ws, SimError, SimResult};
 use sparseflex_accel::taxonomy::AcceleratorClass;
 use sparseflex_formats::{
-    CooMatrix, CsrMatrix, DenseMatrix, FormatError, MatrixData, MatrixFormat,
+    csr_from_stream, encode_with_descriptor, CooMatrix, CsrMatrix, DenseMatrix, FormatDescriptor,
+    FormatError, MatrixData, MatrixEncoding, MatrixFormat, SparseMatrix,
 };
 use sparseflex_mint::ConversionReport;
 use sparseflex_sage::eval::ConversionMode;
-use sparseflex_sage::{Evaluation, Sage, SageWorkload};
+use sparseflex_sage::{DescriptorChoice, Evaluation, FormatChoice, Sage, SageWorkload};
 use std::fmt;
 
 /// Errors an end-to-end run can raise, typed so callers can distinguish
@@ -165,6 +166,29 @@ impl FunctionalRun {
     }
 }
 
+/// Result of an end-to-end run whose memory formats were open
+/// descriptor compositions (see [`FlexSystem::run_custom_mcf`]).
+#[derive(Debug)]
+pub struct CustomRun {
+    /// Operand A as encoded per its memory descriptor.
+    pub mcf_a: MatrixEncoding,
+    /// Operand B as encoded per its memory descriptor.
+    pub mcf_b: MatrixEncoding,
+    /// Exact storage footprint of A's memory encoding (bits).
+    pub mcf_a_bits: u64,
+    /// Exact storage footprint of B's memory encoding (bits).
+    pub mcf_b_bits: u64,
+    /// Cycle-accurate simulation result (output + cycles + activity).
+    pub sim: SimResult,
+}
+
+impl CustomRun {
+    /// The computed output.
+    pub fn output(&self) -> &DenseMatrix {
+        &self.sim.output
+    }
+}
+
 impl FlexSystem {
     /// Build a system around a configured SAGE instance.
     pub fn new(sage: Sage) -> Self {
@@ -244,6 +268,92 @@ impl FlexSystem {
             PlanDiscipline::Monolithic,
         )?;
         self.execute_monolithic(&plan, a, b)
+    }
+
+    /// [`run_functional`](Self::run_functional) with the four formats
+    /// pinned by the caller: SAGE evaluates (or serves from cache) that
+    /// exact choice instead of searching. Cache rows are keyed on the
+    /// choice's descriptor fingerprint, so this entry point and
+    /// [`run_with_descriptors`](Self::run_with_descriptors) share them.
+    pub fn run_with_formats(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+        choice: &FormatChoice,
+    ) -> Result<FunctionalRun, RunError> {
+        let plan = self.planner.plan_with_formats(
+            &self.sage,
+            a,
+            b,
+            w,
+            choice,
+            PlanDiscipline::Monolithic,
+        )?;
+        self.execute_monolithic(&plan, a, b)
+    }
+
+    /// The descriptor spelling of [`run_with_formats`](Self::run_with_formats):
+    /// preset descriptors translate to the legacy choice and hit the
+    /// same plan-cache rows. Open (non-preset) compositions are MCF-only
+    /// constructs — run them through
+    /// [`run_custom_mcf`](Self::run_custom_mcf) instead.
+    pub fn run_with_descriptors(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        w: &SageWorkload,
+        choice: &DescriptorChoice,
+    ) -> Result<FunctionalRun, RunError> {
+        let legacy =
+            choice
+                .to_format_choice()
+                .ok_or(RunError::Format(FormatError::Unsupported(
+                    "open compositions have no compute-format mapping; use run_custom_mcf",
+                )))?;
+        self.run_with_formats(a, b, w, &legacy)
+    }
+
+    /// Execute a workload whose **memory formats** are open descriptor
+    /// compositions (no legacy enum name required): each operand is
+    /// encoded exactly per its descriptor
+    /// ([`CustomMatrix`](sparseflex_formats::CustomMatrix) level
+    /// storage for non-presets), decoded through the format-agnostic
+    /// fiber stream into the accelerator's CSR×Dense compute formats,
+    /// and run on the cycle-accurate weight-stationary simulator.
+    pub fn run_custom_mcf(
+        &self,
+        a: &CooMatrix,
+        b: &CooMatrix,
+        mcf_a: &FormatDescriptor,
+        mcf_b: &FormatDescriptor,
+    ) -> Result<CustomRun, RunError> {
+        if a.cols() != b.rows() {
+            return Err(RunError::ShapeMismatch {
+                a_cols: a.cols(),
+                b_rows: b.rows(),
+            });
+        }
+        let a_mem = encode_with_descriptor(a, mcf_a)?;
+        let b_mem = encode_with_descriptor(b, mcf_b)?;
+        let dtype = self.sage.accel.dtype;
+        let (mcf_a_bits, mcf_b_bits) = (a_mem.storage_bits(dtype), b_mem.storage_bits(dtype));
+        // MCF -> ACF: decode each operand's fiber stream into the
+        // compute formats (CSR streaming, dense stationary).
+        let a_acf = MatrixData::Csr(csr_from_stream(a.rows(), a.cols(), a_mem.row_stream()));
+        let mut b_dense = DenseMatrix::zeros(b.rows(), b.cols());
+        b_mem.row_stream().for_each_nnz(&mut |r, c, v| {
+            b_dense.set(r, c, v);
+        });
+        let b_acf = MatrixData::Dense(b_dense);
+        let sim = simulate_ws(&a_acf, &b_acf, &self.sage.accel)?;
+        Ok(CustomRun {
+            mcf_a: a_mem,
+            mcf_b: b_mem,
+            mcf_a_bits,
+            mcf_b_bits,
+            sim,
+        })
     }
 
     /// Execute a monolithic (single-tile) plan and repackage the one

@@ -12,6 +12,7 @@ use crate::csc::CscMatrix;
 use crate::csf::CsfTensor;
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
+use crate::descriptor::FormatDescriptor;
 use crate::dia::DiaMatrix;
 use crate::ell::EllMatrix;
 use crate::error::FormatError;
@@ -58,8 +59,24 @@ pub enum MatrixFormat {
 }
 
 impl MatrixFormat {
+    /// The per-rank [`FormatDescriptor`] this named format is a preset
+    /// of — the canonical format identity (the enum is a thin wrapper
+    /// kept for one release; see [`crate::descriptor`]).
+    pub fn descriptor(&self) -> FormatDescriptor {
+        FormatDescriptor::from(*self)
+    }
+
+    /// Recover the named preset from a descriptor (`None` for open
+    /// compositions that have no legacy name).
+    pub fn from_descriptor(desc: &FormatDescriptor) -> Option<MatrixFormat> {
+        desc.to_matrix_format()
+    }
+
     /// The six MCF choices evaluated in the paper (§VII-A), with default
-    /// structural parameters.
+    /// structural parameters. This is the
+    /// [`SearchSpace::McfPaper`](crate::descriptor::SearchSpace) filter
+    /// of the descriptor space rendered as enum values (pinned equal by
+    /// the descriptor round-trip tests).
     pub const fn mcf_set() -> [MatrixFormat; 6] {
         [
             MatrixFormat::Dense,
@@ -73,7 +90,9 @@ impl MatrixFormat {
         ]
     }
 
-    /// The four ACF choices evaluated in the paper (§VII-A).
+    /// The four ACF choices evaluated in the paper (§VII-A) — the
+    /// [`SearchSpace::AcfPaper`](crate::descriptor::SearchSpace) filter
+    /// of the descriptor space.
     pub const fn acf_set() -> [MatrixFormat; 4] {
         [
             MatrixFormat::Dense,
@@ -143,6 +162,17 @@ pub enum TensorFormat {
 }
 
 impl TensorFormat {
+    /// The per-rank [`FormatDescriptor`] this named format is a preset
+    /// of (see [`crate::descriptor`]).
+    pub fn descriptor(&self) -> FormatDescriptor {
+        FormatDescriptor::from(*self)
+    }
+
+    /// Recover the named preset from a descriptor.
+    pub fn from_descriptor(desc: &FormatDescriptor) -> Option<TensorFormat> {
+        desc.to_tensor_format()
+    }
+
     /// Tensor MCF choices used in the Table III tensor rows.
     pub const fn mcf_set() -> [TensorFormat; 5] {
         [
@@ -208,7 +238,33 @@ pub enum MatrixData {
 }
 
 impl MatrixData {
-    /// The format descriptor of this payload.
+    /// The canonical per-rank descriptor of this payload (see
+    /// [`crate::descriptor`]).
+    pub fn descriptor(&self) -> FormatDescriptor {
+        FormatDescriptor::from(self.format())
+    }
+
+    /// Value slots this encoding physically stores, padding and explicit
+    /// zeros included — the **one** place the BSR/DIA/ELL (and Dense/RLC)
+    /// explicit-zero accounting lives. Always `>=` [`Self::logical_nnz`];
+    /// equal for the compact encodings (COO/CSR/CSC/ZVC).
+    pub fn stored_elements(&self) -> u64 {
+        crate::size_model::descriptor_matrix_bits(
+            &self.descriptor(),
+            &crate::size_model::MatrixStructure::exact(self),
+            crate::dtype::DataType::Fp32, // slot counts are dtype-independent
+        )
+        .expect("every preset descriptor has a size model")
+        .stored_elements
+    }
+
+    /// Stored nonzeros — the [`SparseMatrix::nnz`] contract (explicit
+    /// zeros and padding slots are never counted).
+    pub fn logical_nnz(&self) -> u64 {
+        self.nnz() as u64
+    }
+
+    /// The named format of this payload.
     pub fn format(&self) -> MatrixFormat {
         match self {
             MatrixData::Dense(_) => MatrixFormat::Dense,
@@ -304,7 +360,12 @@ pub enum TensorData {
 }
 
 impl TensorData {
-    /// The format descriptor of this payload.
+    /// The canonical per-rank descriptor of this payload.
+    pub fn descriptor(&self) -> FormatDescriptor {
+        FormatDescriptor::from(self.format())
+    }
+
+    /// The named format of this payload.
     pub fn format(&self) -> TensorFormat {
         match self {
             TensorData::Dense(_) => TensorFormat::Dense,

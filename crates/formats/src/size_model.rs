@@ -1,21 +1,35 @@
-//! Storage-size (compactness) model — §III-A of the paper.
+//! Storage-size (compactness) model — §III-A of the paper — computed
+//! **generically from per-rank level descriptors**.
 //!
-//! Two layers are provided:
+//! The model charges each rank of a [`FormatDescriptor`] for the
+//! metadata its [`Level`] keeps (coordinate arrays, offset/pointer
+//! arrays, presence bitmasks, run fields) and the values for their
+//! [`ValuesLayout`] (contiguous, padded fibers, dense blocks); the sum
+//! over ranks is the footprint. The legacy per-format entry points
+//! ([`matrix_storage_bits`], [`tensor_storage_bits`],
+//! [`matrix_storage_bits_exact`]) are thin wrappers that translate the
+//! enum to its descriptor — they are pinned **bit-identical** to the
+//! paper's closed-form per-format formulas by the
+//! `tests/descriptor_properties.rs` suite, so nothing downstream (SAGE's
+//! cost model, the Fig. 4 sweeps, the Table III selections) moves.
 //!
-//! 1. **Analytic** ([`matrix_storage_bits`], [`tensor_storage_bits`]):
-//!    closed-form expected sizes given only `(dims, nnz, datatype)`,
-//!    assuming the paper's uniform-random nonzero distribution. These
-//!    drive the Fig. 4 sweeps and SAGE's cost model.
-//! 2. **Exact** ([`matrix_storage_bits_exact`]): measures an actual encoded
-//!    payload, including structure-dependent quantities (BSR block count,
-//!    DIA diagonal count, ELL width, actual RLC extension entries).
+//! Two structure sources feed the per-level quantities:
 //!
-//! Bit accounting follows the paper's rule: every metadata field is charged
-//! `ceil(log2(max_possible_value))` bits ([`crate::ceil_log2`]), every
-//! element the [`DataType`] width.
+//! 1. **Analytic** ([`MatrixStructure::analytic`]): closed-form expected
+//!    counts (occupied blocks, diagonals, ELL width, RLC entries) under
+//!    the paper's uniform-random nonzero assumption, given only
+//!    `(dims, nnz)`.
+//! 2. **Exact** ([`MatrixStructure::exact`]): counts measured from an
+//!    actual encoded payload.
+//!
+//! Bit accounting follows the paper's rule: every metadata field is
+//! charged `ceil(log2(max_possible_value))` bits ([`crate::ceil_log2`]),
+//! every element the [`DataType`] width.
 
 use crate::ceil_log2;
+use crate::descriptor::{FormatDescriptor, Level, RankOrder, ValuesLayout};
 use crate::dtype::DataType;
+use crate::error::FormatError;
 use crate::formats::{MatrixData, MatrixFormat, TensorFormat};
 use crate::traits::SparseMatrix;
 
@@ -49,10 +63,467 @@ pub fn bsr_expected_blocks(rows: usize, cols: usize, nnz: usize, br: usize, bc: 
     (nbr * nbc * p).ceil() as u64
 }
 
+/// Expected number of occupied diagonals for a uniform-random pattern:
+/// each of the `(rows + cols - 1)` diagonals of length `L_i` is occupied
+/// with probability `1 - (1-d)^L_i`; approximated with the average
+/// diagonal length.
+pub fn dia_expected_diagonals(rows: usize, cols: usize, nnz: usize) -> u64 {
+    let (m, k, n) = (rows as u64, cols as u64, nnz as u64);
+    let total = m * k;
+    if total == 0 {
+        return 0;
+    }
+    let d = n as f64 / total as f64;
+    let ndiags_max = m + k - 1;
+    let avg_len = total as f64 / ndiags_max as f64;
+    let p = 1.0 - (1.0 - d).powf(avg_len);
+    (ndiags_max as f64 * p).ceil() as u64
+}
+
+/// Expected ELL width for a uniform-random pattern: mean row population
+/// plus a dispersion slack of ~2 standard deviations (binomial).
+pub fn ell_expected_width(rows: usize, cols: usize, nnz: usize) -> u64 {
+    let (m, k, n) = (rows as u64, cols as u64, nnz as u64);
+    let total = m * k;
+    if total == 0 {
+        return 0;
+    }
+    let d = n as f64 / total as f64;
+    let mean = k as f64 * d;
+    let sd = (k as f64 * d * (1.0 - d)).sqrt();
+    let width = (mean + 2.0 * sd).ceil().max(if n > 0 { 1.0 } else { 0.0 }) as u64;
+    width.min(k)
+}
+
+/// Expected number of non-empty fibers (rows of a row-major matrix) for
+/// a uniform-random pattern: `fibers * (1 - (1-d)^extent)`.
+pub fn expected_nonempty_fibers(fibers: u64, extent: u64, nnz: u64) -> u64 {
+    let total = fibers * extent;
+    if total == 0 {
+        return 0;
+    }
+    let d = nnz as f64 / total as f64;
+    let p = 1.0 - (1.0 - d).powf(extent as f64);
+    ((fibers as f64 * p).ceil() as u64)
+        .min(fibers)
+        .max(u64::from(nnz > 0))
+}
+
+/// The per-operand structural quantities the level model consumes.
+/// `None` fields fall back to the analytic (uniform-random) estimates;
+/// [`MatrixStructure::exact`] fills them from a real payload instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatrixStructure {
+    /// Logical rows.
+    pub rows: usize,
+    /// Logical columns.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Occupied blocks (blocked outer ranks).
+    pub blocks: Option<u64>,
+    /// Occupied diagonals (diagonal rank order).
+    pub diagonals: Option<u64>,
+    /// Padded row width (padded-fiber singleton ranks).
+    pub ell_width: Option<u64>,
+    /// Stored run-length entries, extension entries included.
+    pub rlc_entries: Option<u64>,
+    /// Non-empty outer fibers (bitmask outer ranks).
+    pub nonempty_fibers: Option<u64>,
+}
+
+impl MatrixStructure {
+    /// A structure with only `(dims, nnz)` known — every level quantity
+    /// uses its analytic uniform-random estimate.
+    pub fn analytic(rows: usize, cols: usize, nnz: usize) -> Self {
+        MatrixStructure {
+            rows,
+            cols,
+            nnz,
+            ..Default::default()
+        }
+    }
+
+    /// Measure the structure of an actual encoded payload, so the level
+    /// model charges real block/diagonal/width/run counts.
+    pub fn exact(data: &MatrixData) -> Self {
+        let mut s = MatrixStructure::analytic(data.rows(), data.cols(), data.nnz());
+        match data {
+            MatrixData::Bsr(m) => s.blocks = Some(m.num_blocks() as u64),
+            MatrixData::Dia(m) => s.diagonals = Some(m.num_diagonals() as u64),
+            MatrixData::Ell(m) => s.ell_width = Some(m.width() as u64),
+            MatrixData::Rlc(m) => {
+                // Trailing zeros are charged the extension entries a
+                // streaming encoder would emit for them.
+                let max_run = (1u64 << m.run_bits()) - 1;
+                let tail_entries = m.trailing_zeros() / (max_run + 1);
+                s.rlc_entries = Some(m.stored_entries() as u64 + tail_entries);
+            }
+            _ => {}
+        }
+        s
+    }
+}
+
+/// One rank's metadata charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCharge {
+    /// The level this rank is encoded with.
+    pub level: Level,
+    /// Bits in explicit coordinate arrays.
+    pub coord_bits: u64,
+    /// Bits in offset/pointer arrays delimiting parent fibers.
+    pub ptr_bits: u64,
+    /// Bits in presence bitmasks.
+    pub mask_bits: u64,
+    /// Bits in run-length fields.
+    pub run_bits: u64,
+}
+
+impl RankCharge {
+    fn new(level: Level) -> Self {
+        RankCharge {
+            level,
+            coord_bits: 0,
+            ptr_bits: 0,
+            mask_bits: 0,
+            run_bits: 0,
+        }
+    }
+
+    /// All metadata bits this rank charges.
+    pub fn metadata_bits(&self) -> u64 {
+        self.coord_bits + self.ptr_bits + self.mask_bits + self.run_bits
+    }
+}
+
+/// A descriptor-sized footprint, broken down by rank — what
+/// `ExecutionPlan::explain` and the compactness exhibits render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeBreakdown {
+    /// Per-rank metadata charges, outermost first.
+    pub ranks: Vec<RankCharge>,
+    /// Bits spent on stored value slots (padding included).
+    pub values_bits: u64,
+    /// Value slots stored (≥ nnz for padded/blocked/run layouts).
+    pub stored_elements: u64,
+}
+
+impl SizeBreakdown {
+    /// Total footprint in bits.
+    pub fn total(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(RankCharge::metadata_bits)
+            .sum::<u64>()
+            + self.values_bits
+    }
+
+    /// Metadata share of the footprint (0 for dense).
+    pub fn metadata_bits(&self) -> u64 {
+        self.total() - self.values_bits
+    }
+}
+
+/// Extents of the two matrix ranks under the descriptor's traversal
+/// order (`Diagonal` enumerates the `rows + cols` signed offsets
+/// outermost, full-length `rows` strips innermost).
+fn matrix_extents(order: RankOrder, rows: u64, cols: u64) -> (u64, u64) {
+    match order {
+        RankOrder::RowMajor => (rows, cols),
+        RankOrder::ColMajor => (cols, rows),
+        RankOrder::Diagonal => (rows + cols, rows),
+    }
+}
+
+/// Size a matrix descriptor from per-rank level metadata — the generic
+/// model every matrix entry point delegates to. Returns the per-rank
+/// breakdown; unsupported level compositions yield an error rather than
+/// a guess.
+pub fn descriptor_matrix_bits(
+    desc: &FormatDescriptor,
+    s: &MatrixStructure,
+    dtype: DataType,
+) -> Result<SizeBreakdown, FormatError> {
+    use Level as L;
+    let (m, k, n) = (s.rows as u64, s.cols as u64, s.nnz as u64);
+    let total = m * k;
+    let b = dtype.bits();
+    let (e0, e1) = matrix_extents(desc.order, m, k);
+    let lg = |x: u64| u64::from(ceil_log2(x));
+
+    let mut ranks: Vec<RankCharge> = desc.levels.iter().map(|&l| RankCharge::new(l)).collect();
+    let values_slots: u64;
+
+    match (desc.levels.as_slice(), desc.values) {
+        // ---- linearized single-rank encodings ---------------------------
+        ([L::Uncompressed], ValuesLayout::Contiguous)
+        | ([L::Uncompressed, L::Uncompressed], ValuesLayout::Contiguous) => {
+            values_slots = total;
+        }
+        ([L::RunLength { run_bits }], ValuesLayout::Contiguous) => {
+            let entries = s
+                .rlc_entries
+                .unwrap_or_else(|| rlc_expected_entries(total, n, *run_bits));
+            ranks[0].run_bits = entries * u64::from(*run_bits);
+            values_slots = entries;
+        }
+        ([L::Bitmask], ValuesLayout::Contiguous) => {
+            ranks[0].mask_bits = total;
+            values_slots = n;
+        }
+        // ---- coordinate pairs (COO) -------------------------------------
+        ([L::Singleton, L::Singleton], ValuesLayout::Contiguous) => {
+            ranks[0].coord_bits = n * lg(e0);
+            ranks[1].coord_bits = n * lg(e1);
+            values_slots = n;
+        }
+        // ---- offset-compressed inner rank (CSR / CSC / custom [U,S]) ----
+        ([L::Uncompressed, L::CompressedOffsets], ValuesLayout::Contiguous)
+        | ([L::Uncompressed, L::Singleton], ValuesLayout::Contiguous) => {
+            ranks[1].ptr_bits = (e0 + 1) * lg(n + 1);
+            ranks[1].coord_bits = n * lg(e1);
+            values_slots = n;
+        }
+        // ---- blocked outer rank (BSR) -----------------------------------
+        ([L::Blocked { br, bc }, L::CompressedOffsets], ValuesLayout::DenseBlocks) => {
+            let blocks = s
+                .blocks
+                .unwrap_or_else(|| bsr_expected_blocks(s.rows, s.cols, s.nnz, *br, *bc));
+            let nbr = s.rows.div_ceil(*br) as u64;
+            let nbc = s.cols.div_ceil(*bc) as u64;
+            ranks[1].coord_bits = blocks * lg(nbc);
+            ranks[1].ptr_bits = (nbr + 1) * lg(blocks + 1);
+            values_slots = blocks * (*br * *bc) as u64;
+        }
+        // ---- padded fibers with explicit fiber coords (DIA) -------------
+        ([L::Singleton, L::Uncompressed], ValuesLayout::PaddedFibers) => {
+            let fibers = s
+                .diagonals
+                .unwrap_or_else(|| dia_expected_diagonals(s.rows, s.cols, s.nnz));
+            ranks[0].coord_bits = fibers * lg(e0);
+            values_slots = fibers * e1;
+        }
+        // ---- uniform padded rows with per-slot coords (ELL) -------------
+        ([L::Uncompressed, L::Singleton], ValuesLayout::PaddedFibers) => {
+            let width = s
+                .ell_width
+                .unwrap_or_else(|| ell_expected_width(s.rows, s.cols, s.nnz));
+            ranks[1].coord_bits = e0 * width * lg(e1);
+            values_slots = e0 * width;
+        }
+        // ---- open compositions: bitmask / run-length ranks --------------
+        ([L::Bitmask, inner], ValuesLayout::Contiguous) => {
+            let stored = s
+                .nonempty_fibers
+                .unwrap_or_else(|| expected_nonempty_fibers(e0, e1, n));
+            ranks[0].mask_bits = e0;
+            match inner {
+                L::CompressedOffsets | L::Singleton => {
+                    ranks[1].ptr_bits = (stored + 1) * lg(n + 1);
+                    ranks[1].coord_bits = n * lg(e1);
+                    values_slots = n;
+                }
+                L::Bitmask => {
+                    ranks[1].mask_bits = stored * e1;
+                    values_slots = n;
+                }
+                L::RunLength { run_bits } => {
+                    let entries = s
+                        .rlc_entries
+                        .unwrap_or_else(|| rlc_expected_entries(stored * e1, n, *run_bits));
+                    ranks[1].ptr_bits = (stored + 1) * lg(entries + 1);
+                    ranks[1].run_bits = entries * u64::from(*run_bits);
+                    values_slots = entries;
+                }
+                _ => {
+                    return Err(FormatError::Unsupported(
+                        "bitmask outer rank requires a compressed inner rank",
+                    ))
+                }
+            }
+        }
+        ([L::Uncompressed, L::Bitmask], ValuesLayout::Contiguous) => {
+            ranks[1].mask_bits = e0 * e1;
+            values_slots = n;
+        }
+        ([L::Uncompressed, L::RunLength { run_bits }], ValuesLayout::Contiguous) => {
+            let entries = s
+                .rlc_entries
+                .unwrap_or_else(|| rlc_expected_entries(total, n, *run_bits));
+            ranks[1].ptr_bits = (e0 + 1) * lg(entries + 1);
+            ranks[1].run_bits = entries * u64::from(*run_bits);
+            values_slots = entries;
+        }
+        _ => {
+            return Err(FormatError::Unsupported(
+                "level composition has no size model",
+            ))
+        }
+    }
+
+    Ok(SizeBreakdown {
+        ranks,
+        values_bits: values_slots * b,
+        stored_elements: values_slots,
+    })
+}
+
+/// Tensor structural quantities (the 3-D analogue of
+/// [`MatrixStructure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TensorStructure {
+    /// Tensor shape.
+    pub dims: (usize, usize, usize),
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Occupied x-slices (CSF top rank).
+    pub slices: Option<u64>,
+    /// Occupied (x, y) fibers (CSF middle rank).
+    pub fibers: Option<u64>,
+    /// Occupied cubic blocks (HiCOO outer rank).
+    pub blocks: Option<u64>,
+    /// Stored run-length entries, extension entries included.
+    pub rlc_entries: Option<u64>,
+}
+
+impl TensorStructure {
+    /// A structure with only `(dims, nnz)` known.
+    pub fn analytic(dims: (usize, usize, usize), nnz: usize) -> Self {
+        TensorStructure {
+            dims,
+            nnz,
+            ..Default::default()
+        }
+    }
+}
+
+/// Expected occupied x-slices of a uniform-random tensor.
+pub fn csf_expected_slices(dims: (usize, usize, usize), nnz: usize) -> u64 {
+    let (x, y, z) = (dims.0 as u64, dims.1 as u64, dims.2 as u64);
+    let total = x * y * z;
+    if total == 0 {
+        return 0;
+    }
+    let d = nnz as f64 / total as f64;
+    (x as f64 * (1.0 - (1.0 - d).powf((y * z) as f64))).ceil() as u64
+}
+
+/// Expected occupied (x, y) fibers of a uniform-random tensor.
+pub fn csf_expected_fibers(dims: (usize, usize, usize), nnz: usize) -> u64 {
+    let (x, y, z) = (dims.0 as u64, dims.1 as u64, dims.2 as u64);
+    let total = x * y * z;
+    if total == 0 {
+        return 0;
+    }
+    let d = nnz as f64 / total as f64;
+    ((x * y) as f64 * (1.0 - (1.0 - d).powf(z as f64))).ceil() as u64
+}
+
+/// Expected occupied cubic blocks of edge `block` for a uniform-random
+/// tensor.
+pub fn hicoo_expected_blocks(dims: (usize, usize, usize), nnz: usize, block: usize) -> u64 {
+    let (x, y, z) = (dims.0 as u64, dims.1 as u64, dims.2 as u64);
+    let total = x * y * z;
+    if total == 0 {
+        return 0;
+    }
+    let bl = block as u64;
+    let d = nnz as f64 / total as f64;
+    let nb = (x.div_ceil(bl) * y.div_ceil(bl) * z.div_ceil(bl)) as f64;
+    let p = 1.0 - (1.0 - d).powf((bl * bl * bl) as f64);
+    (nb * p).ceil() as u64
+}
+
+/// Size a 3-D tensor descriptor from per-rank level metadata.
+pub fn descriptor_tensor_bits(
+    desc: &FormatDescriptor,
+    s: &TensorStructure,
+    dtype: DataType,
+) -> Result<SizeBreakdown, FormatError> {
+    use Level as L;
+    let (x, y, z) = (s.dims.0 as u64, s.dims.1 as u64, s.dims.2 as u64);
+    let n = s.nnz as u64;
+    let total = x * y * z;
+    let b = dtype.bits();
+    let lg = |v: u64| u64::from(ceil_log2(v));
+
+    let mut ranks: Vec<RankCharge> = desc.levels.iter().map(|&l| RankCharge::new(l)).collect();
+    let values_slots: u64;
+
+    match (desc.levels.as_slice(), desc.values) {
+        ([L::Uncompressed, L::Uncompressed, L::Uncompressed], ValuesLayout::Contiguous) => {
+            values_slots = total;
+        }
+        ([L::Singleton, L::Singleton, L::Singleton], ValuesLayout::Contiguous) => {
+            ranks[0].coord_bits = n * lg(x);
+            ranks[1].coord_bits = n * lg(y);
+            ranks[2].coord_bits = n * lg(z);
+            values_slots = n;
+        }
+        (
+            [L::CompressedOffsets, L::CompressedOffsets, L::CompressedOffsets],
+            ValuesLayout::Contiguous,
+        ) => {
+            let slices = s
+                .slices
+                .unwrap_or_else(|| csf_expected_slices(s.dims, s.nnz));
+            let fibers = s
+                .fibers
+                .unwrap_or_else(|| csf_expected_fibers(s.dims, s.nnz));
+            // The outermost compressed rank stores only its coordinate
+            // list (the stored-slice count is a header quantity); each
+            // inner compressed rank additionally keeps the offsets array
+            // delimiting its parent's fibers.
+            ranks[0].coord_bits = slices * lg(x);
+            ranks[1].ptr_bits = (slices + 1) * lg(fibers + 1);
+            ranks[1].coord_bits = fibers * lg(y);
+            ranks[2].ptr_bits = (fibers + 1) * lg(n + 1);
+            ranks[2].coord_bits = n * lg(z);
+            values_slots = n;
+        }
+        ([L::Blocked { br, bc }, L::Singleton], ValuesLayout::Contiguous) if br == bc => {
+            let bl = *br as u64;
+            let blocks = s
+                .blocks
+                .unwrap_or_else(|| hicoo_expected_blocks(s.dims, s.nnz, *br));
+            let bbits = lg(x.div_ceil(bl)) + lg(y.div_ceil(bl)) + lg(z.div_ceil(bl));
+            ranks[0].coord_bits = blocks * bbits;
+            ranks[0].ptr_bits = (blocks + 1) * lg(n + 1);
+            ranks[1].coord_bits = n * 3 * lg(bl);
+            values_slots = n;
+        }
+        ([L::RunLength { run_bits }], ValuesLayout::Contiguous) => {
+            let entries = s
+                .rlc_entries
+                .unwrap_or_else(|| rlc_expected_entries(total, n, *run_bits));
+            ranks[0].run_bits = entries * u64::from(*run_bits);
+            values_slots = entries;
+        }
+        ([L::Bitmask], ValuesLayout::Contiguous) => {
+            ranks[0].mask_bits = total;
+            values_slots = n;
+        }
+        _ => {
+            return Err(FormatError::Unsupported(
+                "level composition has no tensor size model",
+            ))
+        }
+    }
+
+    Ok(SizeBreakdown {
+        ranks,
+        values_bits: values_slots * b,
+        stored_elements: values_slots,
+    })
+}
+
 /// Analytic storage size in bits of a matrix with the given shape/nnz in
 /// the given format, assuming uniformly random nonzero positions.
 ///
 /// `rows x cols` with `nnz` stored nonzeros and element type `dtype`.
+/// Thin wrapper over [`descriptor_matrix_bits`] via the format's
+/// [`FormatDescriptor`].
 pub fn matrix_storage_bits(
     format: &MatrixFormat,
     rows: usize,
@@ -60,155 +531,40 @@ pub fn matrix_storage_bits(
     nnz: usize,
     dtype: DataType,
 ) -> u64 {
-    let m = rows as u64;
-    let k = cols as u64;
-    let n = nnz as u64;
-    let b = dtype.bits();
-    match *format {
-        MatrixFormat::Dense => m * k * b,
-        MatrixFormat::Coo => n * (b + u64::from(ceil_log2(m)) + u64::from(ceil_log2(k))),
-        MatrixFormat::Csr => {
-            n * (b + u64::from(ceil_log2(k))) + (m + 1) * u64::from(ceil_log2(n + 1))
-        }
-        MatrixFormat::Csc => {
-            n * (b + u64::from(ceil_log2(m))) + (k + 1) * u64::from(ceil_log2(n + 1))
-        }
-        MatrixFormat::Rlc { run_bits } => {
-            rlc_expected_entries(m * k, n, run_bits) * (b + u64::from(run_bits))
-        }
-        MatrixFormat::Zvc => n * b + m * k,
-        MatrixFormat::Bsr { br, bc } => {
-            let blocks = bsr_expected_blocks(rows, cols, nnz, br, bc);
-            let nbr = rows.div_ceil(br) as u64;
-            let nbc = cols.div_ceil(bc) as u64;
-            blocks * ((br * bc) as u64 * b + u64::from(ceil_log2(nbc)))
-                + (nbr + 1) * u64::from(ceil_log2(blocks + 1))
-        }
-        MatrixFormat::Dia => {
-            // Expected occupied diagonals for a uniform pattern: each of
-            // the (m + k - 1) diagonals of length L_i is occupied with
-            // probability 1 - (1-d)^L_i; approximate with the average
-            // diagonal length.
-            let total = m * k;
-            if total == 0 {
-                return 0;
-            }
-            let d = n as f64 / total as f64;
-            let ndiags_max = m + k - 1;
-            let avg_len = total as f64 / ndiags_max as f64;
-            let p = 1.0 - (1.0 - d).powf(avg_len);
-            let ndiags = (ndiags_max as f64 * p).ceil() as u64;
-            ndiags * (m * b + u64::from(ceil_log2(m + k)))
-        }
-        MatrixFormat::Ell => {
-            // Expected ELL width for uniform random: mean row population
-            // plus a dispersion slack of ~2 standard deviations (binomial).
-            let total = m * k;
-            if total == 0 {
-                return 0;
-            }
-            let d = n as f64 / total as f64;
-            let mean = k as f64 * d;
-            let sd = (k as f64 * d * (1.0 - d)).sqrt();
-            let width = (mean + 2.0 * sd).ceil().max(if n > 0 { 1.0 } else { 0.0 }) as u64;
-            let width = width.min(k);
-            m * width * (b + u64::from(ceil_log2(k)))
-        }
-    }
+    descriptor_matrix_bits(
+        &FormatDescriptor::from(*format),
+        &MatrixStructure::analytic(rows, cols, nnz),
+        dtype,
+    )
+    .expect("every preset descriptor has a size model")
+    .total()
 }
 
-/// Exact storage size in bits of an encoded matrix payload.
+/// Exact storage size in bits of an encoded matrix payload: the same
+/// level model fed with the payload's measured structure
+/// ([`MatrixStructure::exact`]).
 pub fn matrix_storage_bits_exact(data: &MatrixData, dtype: DataType) -> u64 {
-    let rows = data.rows() as u64;
-    let cols = data.cols() as u64;
-    let b = dtype.bits();
-    match data {
-        MatrixData::Dense(_) => rows * cols * b,
-        MatrixData::Coo(m) => {
-            m.nnz() as u64 * (b + u64::from(ceil_log2(rows)) + u64::from(ceil_log2(cols)))
-        }
-        MatrixData::Csr(m) => {
-            let n = m.nnz() as u64;
-            n * (b + u64::from(ceil_log2(cols))) + (rows + 1) * u64::from(ceil_log2(n + 1))
-        }
-        MatrixData::Csc(m) => {
-            let n = m.nnz() as u64;
-            n * (b + u64::from(ceil_log2(rows))) + (cols + 1) * u64::from(ceil_log2(n + 1))
-        }
-        MatrixData::Bsr(m) => {
-            let (br, bc) = m.block_shape();
-            let blocks = m.num_blocks() as u64;
-            let nbr = m.rows().div_ceil(br) as u64;
-            let nbc = m.cols().div_ceil(bc) as u64;
-            blocks * ((br * bc) as u64 * b + u64::from(ceil_log2(nbc)))
-                + (nbr + 1) * u64::from(ceil_log2(blocks + 1))
-        }
-        MatrixData::Dia(m) => {
-            m.num_diagonals() as u64 * (rows * b + u64::from(ceil_log2(rows + cols)))
-        }
-        MatrixData::Ell(m) => rows * m.width() as u64 * (b + u64::from(ceil_log2(cols))),
-        MatrixData::Rlc(m) => {
-            // Trailing zeros are charged the extension entries a streaming
-            // encoder would emit for them.
-            let max_run = (1u64 << m.run_bits()) - 1;
-            let tail_entries = m.trailing_zeros() / (max_run + 1);
-            (m.stored_entries() as u64 + tail_entries) * (b + u64::from(m.run_bits()))
-        }
-        MatrixData::Zvc(m) => m.nnz() as u64 * b + rows * cols,
-    }
+    descriptor_matrix_bits(&data.descriptor(), &MatrixStructure::exact(data), dtype)
+        .expect("every preset descriptor has a size model")
+        .total()
 }
 
 /// Analytic storage size in bits of a 3-D tensor in the given format,
-/// assuming uniformly random nonzero positions.
+/// assuming uniformly random nonzero positions. Thin wrapper over
+/// [`descriptor_tensor_bits`].
 pub fn tensor_storage_bits(
     format: &TensorFormat,
     dims: (usize, usize, usize),
     nnz: usize,
     dtype: DataType,
 ) -> u64 {
-    let (x, y, z) = (dims.0 as u64, dims.1 as u64, dims.2 as u64);
-    let n = nnz as u64;
-    let b = dtype.bits();
-    let total = x * y * z;
-    match *format {
-        TensorFormat::Dense => total * b,
-        TensorFormat::Coo => {
-            n * (b + u64::from(ceil_log2(x)) + u64::from(ceil_log2(y)) + u64::from(ceil_log2(z)))
-        }
-        TensorFormat::Csf => {
-            if total == 0 {
-                return 0;
-            }
-            let d = n as f64 / total as f64;
-            // Expected occupied slices and fibers under uniform random.
-            let slices = (x as f64 * (1.0 - (1.0 - d).powf((y * z) as f64))).ceil() as u64;
-            let fibers = ((x * y) as f64 * (1.0 - (1.0 - d).powf(z as f64))).ceil() as u64;
-            n * (b + u64::from(ceil_log2(z)))
-                + fibers * u64::from(ceil_log2(y))
-                + (fibers + 1) * u64::from(ceil_log2(n + 1))
-                + slices * u64::from(ceil_log2(x))
-                + (slices + 1) * u64::from(ceil_log2(fibers + 1))
-        }
-        TensorFormat::HiCoo { block } => {
-            if total == 0 {
-                return 0;
-            }
-            let bl = block as u64;
-            let d = n as f64 / total as f64;
-            let nb = (x.div_ceil(bl) * y.div_ceil(bl) * z.div_ceil(bl)) as f64;
-            let p = 1.0 - (1.0 - d).powf((bl * bl * bl) as f64);
-            let blocks = (nb * p).ceil() as u64;
-            let bbits = u64::from(ceil_log2(x.div_ceil(bl)))
-                + u64::from(ceil_log2(y.div_ceil(bl)))
-                + u64::from(ceil_log2(z.div_ceil(bl)));
-            let ebits = 3 * u64::from(ceil_log2(bl));
-            blocks * bbits + (blocks + 1) * u64::from(ceil_log2(n + 1)) + n * (b + ebits)
-        }
-        TensorFormat::Rlc { run_bits } => {
-            rlc_expected_entries(total, n, run_bits) * (b + u64::from(run_bits))
-        }
-        TensorFormat::Zvc => n * b + total,
-    }
+    descriptor_tensor_bits(
+        &FormatDescriptor::from(*format),
+        &TensorStructure::analytic(dims, nnz),
+        dtype,
+    )
+    .expect("every tensor preset descriptor has a size model")
+    .total()
 }
 
 /// Convenience: analytic size in **bytes** (rounded up).
@@ -226,6 +582,7 @@ pub fn matrix_storage_bytes(
 mod tests {
     use super::*;
     use crate::coo::CooMatrix;
+    use crate::descriptor::{Level, RankOrder, ValuesLayout};
 
     const FP32: DataType = DataType::Fp32;
 
@@ -406,5 +763,67 @@ mod tests {
             matrix_storage_bytes(&MatrixFormat::Coo, 3, 3, 1, DataType::Int8),
             bits.div_ceil(8)
         );
+    }
+
+    #[test]
+    fn breakdown_attributes_metadata_to_the_right_rank() {
+        // CSR: all pointer bits on the inner rank, no outer metadata.
+        let s = MatrixStructure::analytic(100, 200, 1_000);
+        let bd = descriptor_matrix_bits(&FormatDescriptor::csr(), &s, FP32).unwrap();
+        assert_eq!(bd.ranks[0].metadata_bits(), 0);
+        assert_eq!(bd.ranks[1].ptr_bits, 101 * u64::from(ceil_log2(1_001)));
+        assert_eq!(bd.ranks[1].coord_bits, 1_000 * u64::from(ceil_log2(200)));
+        assert_eq!(bd.values_bits, 1_000 * 32);
+        assert_eq!(
+            bd.total(),
+            matrix_storage_bits(&MatrixFormat::Csr, 100, 200, 1_000, FP32)
+        );
+        // ZVC: a single bitmask rank.
+        let bd = descriptor_matrix_bits(&FormatDescriptor::zvc(), &s, FP32).unwrap();
+        assert_eq!(bd.ranks[0].mask_bits, 100 * 200);
+        assert_eq!(bd.metadata_bits(), 100 * 200);
+    }
+
+    #[test]
+    fn open_compositions_are_sizable() {
+        // Bitmask rows x run-length columns: the example composition.
+        let desc = FormatDescriptor::new(
+            RankOrder::RowMajor,
+            vec![Level::Bitmask, Level::RunLength { run_bits: 4 }],
+            ValuesLayout::Contiguous,
+        );
+        let s = MatrixStructure::analytic(1_000, 1_000, 50);
+        let bd = descriptor_matrix_bits(&desc, &s, FP32).unwrap();
+        assert_eq!(bd.ranks[0].mask_bits, 1_000);
+        assert!(bd.ranks[1].run_bits > 0);
+        assert!(bd.total() > 0);
+        // On a hyper-sparse operand the row bitmask skips the empty rows
+        // entirely, beating ZVC's full mask (that is the point of
+        // composing per-rank levels).
+        let zvc = matrix_storage_bits(&MatrixFormat::Zvc, 1_000, 1_000, 50, FP32);
+        assert!(
+            bd.total() < zvc,
+            "row-bitmask+RLC {} should beat flat ZVC {zvc} at 0.005% density",
+            bd.total()
+        );
+    }
+
+    #[test]
+    fn unsupported_compositions_error_instead_of_guessing() {
+        let bad = FormatDescriptor::new(
+            RankOrder::RowMajor,
+            vec![Level::Singleton, Level::CompressedOffsets],
+            ValuesLayout::Contiguous,
+        );
+        let s = MatrixStructure::analytic(10, 10, 5);
+        assert!(descriptor_matrix_bits(&bad, &s, FP32).is_err());
+    }
+
+    #[test]
+    fn nonempty_fiber_model_saturates() {
+        assert_eq!(expected_nonempty_fibers(10, 10, 0), 0);
+        assert_eq!(expected_nonempty_fibers(10, 10, 100), 10);
+        let mid = expected_nonempty_fibers(100, 100, 50);
+        assert!((1..=50).contains(&mid), "mid {mid}");
     }
 }

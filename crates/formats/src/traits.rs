@@ -15,8 +15,11 @@ pub trait SparseMatrix {
     fn rows(&self) -> usize;
     /// Number of columns (`K` for the streaming operand, `N` for outputs).
     fn cols(&self) -> usize;
-    /// Number of *stored* nonzero elements. Blocked formats (BSR, DIA, ELL)
-    /// may store explicit zeros; those are not counted here.
+    /// Number of *stored* nonzero elements. Blocked/padded formats (BSR,
+    /// DIA, ELL) may store explicit zeros; those are never counted here.
+    /// The physical slot count lives in one place:
+    /// `MatrixData::stored_elements()` (vs `MatrixData::logical_nnz()`),
+    /// computed from the format's per-rank descriptor.
     fn nnz(&self) -> usize;
     /// Random-access read of element `(row, col)`; zero if not stored.
     fn get(&self, row: usize, col: usize) -> Value;

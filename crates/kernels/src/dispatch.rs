@@ -90,6 +90,31 @@ pub fn spmm_via_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, K
     spmm_stream(a, b)
 }
 
+/// SpMM over **any** row-major fiber stream — including payloads that
+/// are not [`MatrixData`] variants, such as the descriptor-encoded
+/// [`CustomMatrix`](sparseflex_formats::CustomMatrix) open formats. The
+/// operand's shape is passed explicitly because a bare stream carries
+/// none.
+pub fn spmm_from_stream(
+    a_rows: usize,
+    a_cols: usize,
+    a: &dyn sparseflex_formats::RowMajorStream,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    check_dim("spmm", "A cols vs B rows", a_cols, b.rows())?;
+    let n = b.cols();
+    let mut o = DenseMatrix::zeros(a_rows, n);
+    a.for_each_fiber(&mut |r, cols, vals| {
+        let orow = &mut o.data_mut()[r * n..(r + 1) * n];
+        for (&c, &v) in cols.iter().zip(vals) {
+            for (ov, bv) in orow.iter_mut().zip(b.row(c)) {
+                *ov += v * bv;
+            }
+        }
+    });
+    Ok(o)
+}
+
 /// Multithreaded SpMM over any matrix format.
 ///
 /// CSR operands run the row-partitioned parallel fast path; other formats
@@ -104,17 +129,7 @@ pub fn spmm_parallel(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, Ker
 }
 
 fn spmm_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
-    let n = b.cols();
-    let mut o = DenseMatrix::zeros(a.rows(), n);
-    a.row_stream().for_each_fiber(&mut |r, cols, vals| {
-        let orow = &mut o.data_mut()[r * n..(r + 1) * n];
-        for (&c, &v) in cols.iter().zip(vals) {
-            for (ov, bv) in orow.iter_mut().zip(b.row(c)) {
-                *ov += v * bv;
-            }
-        }
-    });
-    Ok(o)
+    spmm_from_stream(a.rows(), a.cols(), a.row_stream(), b)
 }
 
 /// SpMM with the sparse operand on the right: `O = A * B` with dense `A`

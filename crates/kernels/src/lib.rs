@@ -50,8 +50,8 @@ pub mod spmv;
 pub mod spttm;
 
 pub use dispatch::{
-    mttkrp, mttkrp_via_stream, spgemm, spgemm_parallel, spmm, spmm_parallel, spmm_sparse_b,
-    spmm_via_stream, spmv, spmv_via_stream, spttm, spttm_via_stream,
+    mttkrp, mttkrp_via_stream, spgemm, spgemm_parallel, spmm, spmm_from_stream, spmm_parallel,
+    spmm_sparse_b, spmm_via_stream, spmv, spmv_via_stream, spttm, spttm_via_stream,
 };
 pub use error::KernelError;
 pub use gemm::{gemm, gemm_parallel};

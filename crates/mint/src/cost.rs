@@ -11,8 +11,11 @@
 
 use crate::blocks::{E_DIVMOD_OP, E_MEMCTRL_OP, E_SMALL_OP};
 use crate::engine::ConversionEngine;
-use sparseflex_formats::size_model::rlc_expected_entries;
-use sparseflex_formats::{MatrixFormat, TensorFormat};
+use sparseflex_formats::descriptor::Level;
+use sparseflex_formats::size_model::{
+    descriptor_matrix_bits, rlc_expected_entries, MatrixStructure,
+};
+use sparseflex_formats::{FormatDescriptor, MatrixFormat, RankOrder, TensorFormat, ValuesLayout};
 
 /// Predicted cost of one conversion.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -41,70 +44,138 @@ impl ConversionCost {
     }
 }
 
-/// Elements a format must stream through the converter for an `rows x
-/// cols` matrix with `nnz` nonzeros (values + metadata, in element
-/// slots).
-fn stream_slots(fmt: &MatrixFormat, rows: usize, cols: usize, nnz: u64) -> u64 {
+/// Elements a descriptor must stream through the converter for an
+/// `rows x cols` matrix with `nnz` nonzeros (values + metadata, in
+/// element slots), derived from its level structure: coordinate ranks
+/// stream one slot per stored coordinate, offsets ranks their pointer
+/// array, bitmask ranks one slot per 32 mask bits, padded layouts the
+/// full dense payload (conservative upper bound).
+fn stream_slots(desc: &FormatDescriptor, rows: usize, cols: usize, nnz: u64) -> u64 {
+    use Level as L;
     let total = rows as u64 * cols as u64;
-    match *fmt {
-        MatrixFormat::Dense => total,
-        MatrixFormat::Coo => 3 * nnz,
-        MatrixFormat::Csr => 2 * nnz + rows as u64 + 1,
-        MatrixFormat::Csc => 2 * nnz + cols as u64 + 1,
-        MatrixFormat::Rlc { run_bits } => 2 * rlc_expected_entries(total, nnz, run_bits),
-        MatrixFormat::Zvc => total.div_ceil(32) + nnz,
-        MatrixFormat::Bsr { br, bc } => {
+    if desc.values == ValuesLayout::PaddedFibers {
+        // Padded stores scale with their padded payloads (DIA strips,
+        // ELL rows); approximate with the dense stream.
+        return total;
+    }
+    match (desc.levels.as_slice(), desc.order) {
+        ([L::Uncompressed, L::Uncompressed], _) | ([L::Uncompressed], _) => total,
+        ([L::Singleton, L::Singleton], _) => 3 * nnz,
+        ([L::Uncompressed, L::CompressedOffsets], RankOrder::RowMajor) => 2 * nnz + rows as u64 + 1,
+        ([L::Uncompressed, L::CompressedOffsets], RankOrder::ColMajor) => 2 * nnz + cols as u64 + 1,
+        ([L::RunLength { run_bits }], _) => 2 * rlc_expected_entries(total, nnz, *run_bits),
+        ([L::Bitmask], _) => total.div_ceil(32) + nnz,
+        ([L::Blocked { br, bc }, L::CompressedOffsets], _) => {
             let blocks = sparseflex_formats::size_model::bsr_expected_blocks(
                 rows,
                 cols,
                 nnz as usize,
-                br,
-                bc,
+                *br,
+                *bc,
             );
-            blocks * (br * bc) as u64 + blocks + rows.div_ceil(br) as u64 + 1
+            blocks * (*br * *bc) as u64 + blocks + rows.div_ceil(*br) as u64 + 1
         }
-        MatrixFormat::Dia | MatrixFormat::Ell => {
-            // Structured stores scale with padded payloads; approximate
-            // with the dense stream (conservative upper bound).
-            total
+        _ => {
+            // Open compositions: derive slots from the generic size
+            // model — one slot per stored value, one per 32 metadata
+            // bits moved alongside.
+            match descriptor_matrix_bits(
+                desc,
+                &MatrixStructure::analytic(rows, cols, nnz as usize),
+                sparseflex_formats::DataType::Fp32,
+            ) {
+                Ok(bd) => bd.stored_elements + bd.metadata_bits().div_ceil(32),
+                Err(_) => total,
+            }
         }
     }
 }
 
-/// Is this a "flat" format (positions implicit in the stream order,
-/// no explicit coordinates)?
-fn is_flat(fmt: &MatrixFormat) -> bool {
-    matches!(
-        fmt,
-        MatrixFormat::Dense | MatrixFormat::Zvc | MatrixFormat::Rlc { .. }
-    )
-}
-
 /// Divide/mod is needed only when recovering explicit coordinates from a
-/// flat stream (flat -> coordinate format), or when computing block
-/// positions for BSR. Flat -> flat re-encodes (e.g. ZVC -> Dense) are
-/// pure expand/compact passes; coordinate -> flat needs only
+/// flat stream (no rank of the source stores coordinates, some rank of
+/// the destination does), or when computing block positions for a
+/// blocked destination rank. Flat -> flat re-encodes (e.g. ZVC -> Dense)
+/// are pure expand/compact passes; coordinate -> flat needs only
 /// multiply-adds.
-fn needs_divmod(src: &MatrixFormat, dst: &MatrixFormat) -> bool {
-    let coord_dst = !is_flat(dst);
-    (is_flat(src) && coord_dst) || matches!(dst, MatrixFormat::Bsr { .. })
+fn needs_divmod(src: &FormatDescriptor, dst: &FormatDescriptor) -> bool {
+    (src.is_flat() && !dst.is_flat()) || dst.has_blocked_rank()
 }
 
-/// Does decoding/encoding this format require the sorter (column-major
-/// regrouping)?
-fn needs_sorter(fmt: &MatrixFormat) -> bool {
-    matches!(fmt, MatrixFormat::Csc)
+/// Does decoding/encoding this descriptor require the sorter? A
+/// column-major rank order must be regrouped into (or produced from) the
+/// row-major stream — the coordinate-order change MINT's sorter network
+/// handles (Fig. 8c).
+fn needs_sorter(desc: &FormatDescriptor) -> bool {
+    desc.order == RankOrder::ColMajor
 }
 
-/// Predict the MINT cost of converting a matrix from `src` to `dst`.
+/// Scan-stage traffic for decoding the source: uncompressed and bitmask
+/// linearized ranks scan the whole payload/bitmap; everything else
+/// rebuilds one pointer array.
+fn scan_items(src: &FormatDescriptor, rows: usize, cols: usize) -> u64 {
+    use Level as L;
+    let total = rows as u64 * cols as u64;
+    match src.levels.as_slice() {
+        [L::Uncompressed, L::Uncompressed] | [L::Uncompressed] => total,
+        [L::Bitmask] => total.div_ceil(32),
+        _ => (rows.max(cols) as u64) + 1,
+    }
+}
+
+/// The MINT hardware blocks a descriptor delta engages — the
+/// block-level rendering of a conversion plan. Each variant maps to a
+/// module of [`crate::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConverterBlock {
+    /// Streams operand slots in and out ([`crate::blocks::memctrl`]).
+    MemoryController,
+    /// Rebuilds offset/pointer arrays and scans flat payloads
+    /// ([`crate::blocks::prefix_sum`]).
+    PrefixSum,
+    /// Regroups coordinates across a rank-order change
+    /// ([`crate::blocks::sorter`]).
+    Sorter,
+    /// Recovers explicit coordinates from flat streams and computes
+    /// block positions ([`crate::blocks::divmod`]).
+    DividerModulo,
+    /// Populates and pops presence bitmasks
+    /// ([`crate::blocks::counter`]).
+    Counter,
+}
+
+/// Which hardware blocks converting `src` to `dst` engages, derived
+/// from the descriptor delta: prefix-sum for offsets ranks, the sorter
+/// for coordinate-order changes, divide/mod for coordinate recovery and
+/// blocked ranks, the counter for bitmask ranks. Identity conversions
+/// engage nothing.
+pub fn required_blocks(src: &FormatDescriptor, dst: &FormatDescriptor) -> Vec<ConverterBlock> {
+    if src == dst {
+        return Vec::new();
+    }
+    let mut blocks = vec![ConverterBlock::MemoryController, ConverterBlock::PrefixSum];
+    if needs_sorter(src) || needs_sorter(dst) {
+        blocks.push(ConverterBlock::Sorter);
+    }
+    if needs_divmod(src, dst) {
+        blocks.push(ConverterBlock::DividerModulo);
+    }
+    if src.has_bitmask_rank() || dst.has_bitmask_rank() {
+        blocks.push(ConverterBlock::Counter);
+    }
+    blocks
+}
+
+/// Predict the MINT cost of converting a matrix between two format
+/// **descriptors** — the canonical costing path; the legacy
+/// [`conversion_cost`] enum entry point is a thin wrapper over this.
 ///
 /// The conversion is pipelined against the DRAM stream, so the returned
 /// cycle count is the bottleneck-stage occupancy: the memory controller
 /// moving `in + out` slots, the divide/mod array (8 elements/cycle), or
 /// the scan/sort stages (16-32 elements/cycle) — whichever is slowest.
-pub fn conversion_cost(
-    src: &MatrixFormat,
-    dst: &MatrixFormat,
+pub fn descriptor_conversion_cost(
+    src: &FormatDescriptor,
+    dst: &FormatDescriptor,
     rows: usize,
     cols: usize,
     nnz: u64,
@@ -126,13 +197,9 @@ pub fn conversion_cost(
         0
     };
     let sort_cycles = engine.sorter.cycles(sort_items);
-    // Scan traffic: dense/ZVC decodes scan the whole bitmap/matrix;
+    // Scan traffic: dense/bitmask decodes scan the whole bitmap/matrix;
     // pointer rebuilds scan one pointer array.
-    let scan_items = match (src, dst) {
-        (MatrixFormat::Dense, _) => rows as u64 * cols as u64,
-        (MatrixFormat::Zvc, _) => (rows as u64 * cols as u64).div_ceil(32),
-        _ => (rows.max(cols) as u64) + 1,
-    };
+    let scan_items = scan_items(src, rows, cols);
     let scan_cycles = engine.prefix.cycles(scan_items);
 
     let fill = engine.prefix.latency()
@@ -154,26 +221,56 @@ pub fn conversion_cost(
     ConversionCost { cycles, energy }
 }
 
-/// Tensor-format conversion cost (same structure, tensor stream sizes).
-pub fn tensor_conversion_cost(
-    src: &TensorFormat,
-    dst: &TensorFormat,
+/// Predict the MINT cost of converting a matrix from `src` to `dst` —
+/// the legacy enum entry point, now a thin wrapper translating each
+/// format to its per-rank descriptor.
+pub fn conversion_cost(
+    src: &MatrixFormat,
+    dst: &MatrixFormat,
+    rows: usize,
+    cols: usize,
+    nnz: u64,
+    engine: &ConversionEngine,
+) -> ConversionCost {
+    descriptor_conversion_cost(
+        &src.descriptor(),
+        &dst.descriptor(),
+        rows,
+        cols,
+        nnz,
+        engine,
+    )
+}
+
+/// Tensor-format conversion cost between two descriptors (same stage
+/// structure as the matrix path, tensor stream sizes).
+pub fn descriptor_tensor_conversion_cost(
+    src: &FormatDescriptor,
+    dst: &FormatDescriptor,
     dims: (usize, usize, usize),
     nnz: u64,
     engine: &ConversionEngine,
 ) -> ConversionCost {
+    use Level as L;
     if src == dst {
         return ConversionCost::free();
     }
     let total = dims.0 as u64 * dims.1 as u64 * dims.2 as u64;
-    let slots = |fmt: &TensorFormat| -> u64 {
-        match *fmt {
-            TensorFormat::Dense => total,
-            TensorFormat::Coo => 4 * nnz,
-            TensorFormat::Csf => 2 * nnz + 2 * (nnz / 2).max(1), // fids + ptrs estimate
-            TensorFormat::HiCoo { .. } => 4 * nnz,
-            TensorFormat::Rlc { run_bits } => 2 * rlc_expected_entries(total, nnz, run_bits),
-            TensorFormat::Zvc => total.div_ceil(32) + nnz,
+    let slots = |d: &FormatDescriptor| -> u64 {
+        match d.levels.as_slice() {
+            [L::Uncompressed, L::Uncompressed, L::Uncompressed] => total,
+            // One slot per coordinate rank plus the value, per nonzero
+            // (explicit 3-D coordinates; HiCOO's block + element pair
+            // streams the same four slots).
+            [L::Singleton, L::Singleton, L::Singleton] | [L::Blocked { .. }, L::Singleton] => {
+                4 * nnz
+            }
+            [L::CompressedOffsets, L::CompressedOffsets, L::CompressedOffsets] => {
+                2 * nnz + 2 * (nnz / 2).max(1) // fids + ptrs estimate
+            }
+            [L::RunLength { run_bits }] => 2 * rlc_expected_entries(total, nnz, *run_bits),
+            [L::Bitmask] => total.div_ceil(32) + nnz,
+            _ => total,
         }
     };
     let in_slots = slots(src);
@@ -181,17 +278,15 @@ pub fn tensor_conversion_cost(
     let mem_cycles = engine.memctrl.cycles(in_slots + out_slots);
     // Coordinate recovery (two div/mod rounds per nonzero) is needed only
     // when a flat stream must produce explicit coordinates.
-    let flat = |f: &TensorFormat| {
-        matches!(
-            f,
-            TensorFormat::Dense | TensorFormat::Zvc | TensorFormat::Rlc { .. }
-        )
+    let divmod_items = if src.is_flat() && !dst.is_flat() {
+        2 * nnz
+    } else {
+        0
     };
-    let divmod_items = if flat(src) && !flat(dst) { 2 * nnz } else { 0 };
     let divmod_cycles = engine.divmod.cycles(divmod_items);
-    let scan_items = match src {
-        TensorFormat::Dense => total,
-        TensorFormat::Zvc => total.div_ceil(32),
+    let scan_items = match src.levels.as_slice() {
+        [L::Uncompressed, L::Uncompressed, L::Uncompressed] => total,
+        [L::Bitmask] => total.div_ceil(32),
         _ => nnz,
     };
     let scan_cycles = engine.prefix.cycles(scan_items);
@@ -201,6 +296,18 @@ pub fn tensor_conversion_cost(
         + divmod_items as f64 * E_DIVMOD_OP
         + scan_items as f64 * 2.0 * E_SMALL_OP;
     ConversionCost { cycles, energy }
+}
+
+/// Tensor-format conversion cost — the legacy enum entry point, a thin
+/// wrapper over [`descriptor_tensor_conversion_cost`].
+pub fn tensor_conversion_cost(
+    src: &TensorFormat,
+    dst: &TensorFormat,
+    dims: (usize, usize, usize),
+    nnz: u64,
+    engine: &ConversionEngine,
+) -> ConversionCost {
+    descriptor_tensor_conversion_cost(&src.descriptor(), &dst.descriptor(), dims, nnz, engine)
 }
 
 #[cfg(test)]
@@ -354,6 +461,172 @@ mod tests {
                 energy: 1.5
             }
         );
+    }
+
+    /// The pre-descriptor cost model, copied verbatim — the bit-for-bit
+    /// pin proving the descriptor rebase moved the logic, not the
+    /// numbers (the wrapper test alone would compare the new code with
+    /// itself).
+    fn legacy_conversion_cost(
+        src: &MatrixFormat,
+        dst: &MatrixFormat,
+        rows: usize,
+        cols: usize,
+        nnz: u64,
+        engine: &ConversionEngine,
+    ) -> ConversionCost {
+        fn stream_slots(fmt: &MatrixFormat, rows: usize, cols: usize, nnz: u64) -> u64 {
+            let total = rows as u64 * cols as u64;
+            match *fmt {
+                MatrixFormat::Dense => total,
+                MatrixFormat::Coo => 3 * nnz,
+                MatrixFormat::Csr => 2 * nnz + rows as u64 + 1,
+                MatrixFormat::Csc => 2 * nnz + cols as u64 + 1,
+                MatrixFormat::Rlc { run_bits } => 2 * rlc_expected_entries(total, nnz, run_bits),
+                MatrixFormat::Zvc => total.div_ceil(32) + nnz,
+                MatrixFormat::Bsr { br, bc } => {
+                    let blocks = sparseflex_formats::size_model::bsr_expected_blocks(
+                        rows,
+                        cols,
+                        nnz as usize,
+                        br,
+                        bc,
+                    );
+                    blocks * (br * bc) as u64 + blocks + rows.div_ceil(br) as u64 + 1
+                }
+                MatrixFormat::Dia | MatrixFormat::Ell => total,
+            }
+        }
+        fn is_flat(fmt: &MatrixFormat) -> bool {
+            matches!(
+                fmt,
+                MatrixFormat::Dense | MatrixFormat::Zvc | MatrixFormat::Rlc { .. }
+            )
+        }
+        if src == dst {
+            return ConversionCost::free();
+        }
+        let in_slots = stream_slots(src, rows, cols, nnz);
+        let out_slots = stream_slots(dst, rows, cols, nnz);
+        let mem_cycles = engine.memctrl.cycles(in_slots + out_slots);
+        let needs_divmod =
+            (is_flat(src) && !is_flat(dst)) || matches!(dst, MatrixFormat::Bsr { .. });
+        let divmod_items = if needs_divmod { nnz } else { 0 };
+        let divmod_cycles = engine.divmod.cycles(divmod_items);
+        let needs_sorter = |f: &MatrixFormat| matches!(f, MatrixFormat::Csc);
+        let sort_items = if needs_sorter(src) || needs_sorter(dst) {
+            nnz
+        } else {
+            0
+        };
+        let sort_cycles = engine.sorter.cycles(sort_items);
+        let scan_items = match (src, dst) {
+            (MatrixFormat::Dense, _) => rows as u64 * cols as u64,
+            (MatrixFormat::Zvc, _) => (rows as u64 * cols as u64).div_ceil(32),
+            _ => (rows.max(cols) as u64) + 1,
+        };
+        let scan_cycles = engine.prefix.cycles(scan_items);
+        let fill = engine.prefix.latency()
+            + engine.sorter.latency()
+            + engine.divmod.latency()
+            + engine.memctrl.setup_latency;
+        let cycles = mem_cycles
+            .max(divmod_cycles)
+            .max(sort_cycles)
+            .max(scan_cycles)
+            + fill;
+        let energy = (in_slots + out_slots) as f64 * E_MEMCTRL_OP
+            + divmod_items as f64 * E_DIVMOD_OP
+            + sort_items as f64 * engine.sorter.stages() as f64 * crate::blocks::E_SORT_STAGE
+            + scan_items as f64 * 2.0 * E_SMALL_OP
+            + nnz as f64 * 2.0 * E_SMALL_OP;
+        ConversionCost { cycles, energy }
+    }
+
+    #[test]
+    fn descriptor_costing_matches_the_legacy_model_for_every_pair() {
+        // Pin the descriptor-delta engine bit-for-bit against the
+        // pre-refactor closed-form model for all 9x9 preset pairs.
+        let eng = ConversionEngine::default();
+        let formats = [
+            MatrixFormat::Dense,
+            MatrixFormat::Coo,
+            MatrixFormat::Csr,
+            MatrixFormat::Csc,
+            MatrixFormat::Bsr { br: 4, bc: 4 },
+            MatrixFormat::Dia,
+            MatrixFormat::Ell,
+            MatrixFormat::Rlc { run_bits: 4 },
+            MatrixFormat::Zvc,
+        ];
+        for src in formats {
+            for dst in formats {
+                for (rows, cols, nnz) in [(500, 400, 3_000), (64, 2_000, 10), (33, 33, 900)] {
+                    let legacy = legacy_conversion_cost(&src, &dst, rows, cols, nnz, &eng);
+                    let via_desc = descriptor_conversion_cost(
+                        &src.descriptor(),
+                        &dst.descriptor(),
+                        rows,
+                        cols,
+                        nnz,
+                        &eng,
+                    );
+                    assert_eq!(legacy, via_desc, "{src} -> {dst} at {rows}x{cols}/{nnz}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_blocks_map_level_deltas_to_hardware() {
+        use sparseflex_formats::FormatDescriptor;
+        let csr = FormatDescriptor::csr();
+        let csc = FormatDescriptor::csc();
+        let dense = FormatDescriptor::dense();
+        let zvc = FormatDescriptor::zvc();
+        let bsr = FormatDescriptor::bsr(4, 4);
+        // Identity engages nothing.
+        assert!(required_blocks(&csr, &csr).is_empty());
+        // Coordinate-order change engages the sorter.
+        assert!(required_blocks(&csr, &csc).contains(&ConverterBlock::Sorter));
+        assert!(!required_blocks(&csr, &dense).contains(&ConverterBlock::Sorter));
+        // Offsets-rank destinations rebuild pointers with the prefix sum.
+        assert!(required_blocks(&dense, &csr).contains(&ConverterBlock::PrefixSum));
+        // Flat -> coordinate recovery and blocked ranks use divide/mod.
+        assert!(required_blocks(&dense, &csr).contains(&ConverterBlock::DividerModulo));
+        assert!(required_blocks(&csr, &bsr).contains(&ConverterBlock::DividerModulo));
+        assert!(!required_blocks(&csr, &dense).contains(&ConverterBlock::DividerModulo));
+        // Bitmask ranks engage the population counter.
+        assert!(required_blocks(&csr, &zvc).contains(&ConverterBlock::Counter));
+        assert!(required_blocks(&zvc, &csr).contains(&ConverterBlock::Counter));
+        assert!(!required_blocks(&csr, &csc).contains(&ConverterBlock::Counter));
+        // Everything non-identity moves data.
+        assert!(required_blocks(&csr, &csc).contains(&ConverterBlock::MemoryController));
+    }
+
+    #[test]
+    fn open_compositions_are_costable() {
+        use sparseflex_formats::descriptor::{Level, RankOrder, ValuesLayout};
+        use sparseflex_formats::FormatDescriptor;
+        let eng = ConversionEngine::default();
+        let custom = FormatDescriptor::new(
+            RankOrder::RowMajor,
+            vec![Level::Bitmask, Level::RunLength { run_bits: 4 }],
+            ValuesLayout::Contiguous,
+        );
+        let c = descriptor_conversion_cost(
+            &custom,
+            &FormatDescriptor::csr(),
+            1_000,
+            1_000,
+            5_000,
+            &eng,
+        );
+        assert!(c.cycles > 0, "open composition must price a real decode");
+        // The custom format stores coordinates implicitly per rank, so
+        // recovering CSR's explicit columns needs the divide/mod array.
+        assert!(required_blocks(&custom, &FormatDescriptor::csr())
+            .contains(&ConverterBlock::DividerModulo));
     }
 
     #[test]

@@ -37,5 +37,8 @@ pub mod tensor_model;
 pub mod workload;
 
 pub use eval::{Evaluation, Sage};
-pub use search::{FormatChoice, Recommendation};
+pub use search::{
+    acf_stationary_candidates, acf_streaming_candidates, mcf_candidates, DescriptorChoice,
+    FormatChoice, Recommendation,
+};
 pub use workload::{SageKernel, SageWorkload, TensorWorkload};

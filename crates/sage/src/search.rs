@@ -1,11 +1,19 @@
 //! Exhaustive MCF x ACF search (the "Generation Engine" of SAGE).
+//!
+//! The candidate space is **derived from the descriptor preset
+//! registry** ([`sparseflex_formats::descriptor::enumerate_matrix`])
+//! rather than hand-maintained format lists: the paper's §VII-A MCF and
+//! ACF spaces are the `McfPaper` / `AcfPaper` filters of the composed
+//! level space, and the [`SearchSpace`] knob widens the same search to
+//! the structured and extended spaces without touching the loops.
 
 use crate::eval::{ConversionMode, Evaluation, Sage};
 use crate::tensor_model::{evaluate_tensor, TensorChoice, TensorEvaluation};
 use crate::workload::{SageWorkload, TensorWorkload};
 use sparseflex_accel::taxonomy::AcceleratorClass;
 use sparseflex_accel::ConversionSupport;
-use sparseflex_formats::{MatrixFormat, TensorFormat};
+use sparseflex_formats::descriptor::{enumerate_matrix, enumerate_tensor};
+use sparseflex_formats::{FormatDescriptor, MatrixFormat, SearchSpace, TensorFormat};
 
 /// One point in the search space: MCF and ACF per operand.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -20,6 +28,27 @@ pub struct FormatChoice {
     pub acf_b: MatrixFormat,
 }
 
+impl FormatChoice {
+    /// The four formats as their canonical per-rank descriptors
+    /// `(mcf_a, mcf_b, acf_a, acf_b)`.
+    pub fn descriptors(&self) -> [FormatDescriptor; 4] {
+        [
+            self.mcf_a.descriptor(),
+            self.mcf_b.descriptor(),
+            self.acf_a.descriptor(),
+            self.acf_b.descriptor(),
+        ]
+    }
+
+    /// Order-sensitive stable fingerprint of the four format
+    /// descriptors — the format half of a descriptor-keyed plan-cache
+    /// key (equal across the enum and descriptor entry points for the
+    /// same formats, stable across processes).
+    pub fn descriptor_fingerprint(&self) -> u64 {
+        sparseflex_formats::descriptor::combine_fingerprints(self.descriptors().iter())
+    }
+}
+
 impl std::fmt::Display for FormatChoice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -28,6 +57,93 @@ impl std::fmt::Display for FormatChoice {
             self.mcf_a, self.mcf_b, self.acf_a, self.acf_b
         )
     }
+}
+
+/// A format choice expressed in per-rank descriptors — the
+/// forward-compatible spelling of [`FormatChoice`] the descriptor entry
+/// points accept. Preset descriptors translate losslessly to the legacy
+/// enums; open compositions run through the custom-format path instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DescriptorChoice {
+    /// Memory descriptor of the streaming operand A.
+    pub mcf_a: FormatDescriptor,
+    /// Memory descriptor of the stationary operand B.
+    pub mcf_b: FormatDescriptor,
+    /// Compute descriptor of A.
+    pub acf_a: FormatDescriptor,
+    /// Compute descriptor of B.
+    pub acf_b: FormatDescriptor,
+}
+
+impl DescriptorChoice {
+    /// Translate to the legacy enum choice (`None` when any member is an
+    /// open composition with no legacy name).
+    pub fn to_format_choice(&self) -> Option<FormatChoice> {
+        Some(FormatChoice {
+            mcf_a: self.mcf_a.to_matrix_format()?,
+            mcf_b: self.mcf_b.to_matrix_format()?,
+            acf_a: self.acf_a.to_matrix_format()?,
+            acf_b: self.acf_b.to_matrix_format()?,
+        })
+    }
+
+    /// Same fingerprint rule as [`FormatChoice::descriptor_fingerprint`]
+    /// (the two spellings of one choice collide by design — both
+    /// delegate to the one
+    /// [`combine_fingerprints`](sparseflex_formats::descriptor::combine_fingerprints)).
+    pub fn descriptor_fingerprint(&self) -> u64 {
+        sparseflex_formats::descriptor::combine_fingerprints([
+            &self.mcf_a,
+            &self.mcf_b,
+            &self.acf_a,
+            &self.acf_b,
+        ])
+    }
+}
+
+impl From<&FormatChoice> for DescriptorChoice {
+    fn from(c: &FormatChoice) -> Self {
+        let [mcf_a, mcf_b, acf_a, acf_b] = c.descriptors();
+        DescriptorChoice {
+            mcf_a,
+            mcf_b,
+            acf_a,
+            acf_b,
+        }
+    }
+}
+
+/// MCF candidates for a search space, derived from the descriptor
+/// registry and rendered as enum values (members of the wider spaces
+/// that have no legacy name are skipped — they are servable through the
+/// custom-format path, not the closed-enum evaluator).
+pub fn mcf_candidates(space: SearchSpace) -> Vec<MatrixFormat> {
+    enumerate_matrix(space)
+        .iter()
+        .filter_map(FormatDescriptor::to_matrix_format)
+        .collect()
+}
+
+/// Streaming-operand ACF candidates: the paper's ACF space in the
+/// generation engine's iteration order (Dense, CSR, COO, CSC).
+pub fn acf_streaming_candidates() -> Vec<MatrixFormat> {
+    enumerate_matrix(SearchSpace::AcfPaper)
+        .iter()
+        .filter_map(FormatDescriptor::to_matrix_format)
+        .collect()
+}
+
+/// Stationary-operand ACF candidates: the subset of the ACF space the
+/// weight-stationary array can hold resident (Dense, CSC), plus CSR for
+/// the Gustavson SpGEMM pairing.
+pub fn acf_stationary_candidates() -> Vec<MatrixFormat> {
+    let mut v: Vec<MatrixFormat> = enumerate_matrix(SearchSpace::AcfPaper)
+        .iter()
+        .filter_map(FormatDescriptor::to_matrix_format)
+        .filter(|f| matches!(f, MatrixFormat::Dense | MatrixFormat::Csc))
+        .collect();
+    v.push(MatrixFormat::Csr);
+    v
 }
 
 /// The result of a SAGE search: the winning evaluation plus the number of
@@ -42,9 +158,20 @@ pub struct Recommendation {
 
 impl Sage {
     /// Search the full MCF x ACF cross product for the lowest-EDP
-    /// combination (the `Flex_Flex_HW` capability).
+    /// combination (the `Flex_Flex_HW` capability). The candidate space
+    /// is the paper's (`SearchSpace::McfPaper`); use
+    /// [`recommend_with_space`](Self::recommend_with_space) to widen it.
     pub fn recommend(&self, w: &SageWorkload) -> Recommendation {
-        self.recommend_constrained(w, None, &MatrixFormat::mcf_set(), ConversionMode::Hardware)
+        self.recommend_with_space(w, SearchSpace::McfPaper)
+    }
+
+    /// Search with the MCF candidate space selected by the
+    /// [`SearchSpace`] knob: the paper's six formats, the structured
+    /// extension (BSR/DIA/ELL), or the extended space with quantized
+    /// run-length variants. Wider spaces strictly contain narrower ones,
+    /// so the recommendation can only improve.
+    pub fn recommend_with_space(&self, w: &SageWorkload, space: SearchSpace) -> Recommendation {
+        self.recommend_constrained(w, None, &mcf_candidates(space), ConversionMode::Hardware)
     }
 
     /// Search with the MCFs pinned by the programmer ("there might be
@@ -59,7 +186,7 @@ impl Sage {
         self.recommend_constrained(
             w,
             Some((mcf_a, mcf_b)),
-            &MatrixFormat::mcf_set(),
+            &mcf_candidates(SearchSpace::McfPaper),
             ConversionMode::Hardware,
         )
     }
@@ -71,13 +198,8 @@ impl Sage {
         mcf_set: &[MatrixFormat],
         mode: ConversionMode,
     ) -> Recommendation {
-        let acf_as = [
-            MatrixFormat::Dense,
-            MatrixFormat::Csr,
-            MatrixFormat::Coo,
-            MatrixFormat::Csc,
-        ];
-        let acf_bs = [MatrixFormat::Dense, MatrixFormat::Csc, MatrixFormat::Csr];
+        let acf_as = acf_streaming_candidates();
+        let acf_bs = acf_stationary_candidates();
         let mcf_pairs: Vec<(MatrixFormat, MatrixFormat)> = match fixed_mcf {
             Some(p) => vec![p],
             None => {
@@ -93,8 +215,8 @@ impl Sage {
         let mut best: Option<Evaluation> = None;
         let mut candidates = 0;
         for (mcf_a, mcf_b) in mcf_pairs {
-            for acf_a in acf_as {
-                for acf_b in acf_bs {
+            for &acf_a in &acf_as {
+                for &acf_b in &acf_bs {
                     if !self.acf_supported(w, acf_a, acf_b) {
                         continue;
                     }
@@ -172,11 +294,20 @@ impl Sage {
     }
 
     /// Search tensor MCF/ACF combinations for a tensor kernel (SpTTM /
-    /// MTTKRP rows of Table III).
+    /// MTTKRP rows of Table III). Candidates come from the tensor
+    /// descriptor registry's paper filters.
     pub fn recommend_tensor(&self, w: &TensorWorkload) -> TensorEvaluation {
+        let mcfs: Vec<TensorFormat> = enumerate_tensor(SearchSpace::McfPaper)
+            .iter()
+            .filter_map(FormatDescriptor::to_tensor_format)
+            .collect();
+        let acfs: Vec<TensorFormat> = enumerate_tensor(SearchSpace::AcfPaper)
+            .iter()
+            .filter_map(FormatDescriptor::to_tensor_format)
+            .collect();
         let mut best: Option<TensorEvaluation> = None;
-        for mcf in TensorFormat::mcf_set() {
-            for acf in TensorFormat::acf_set() {
+        for &mcf in &mcfs {
+            for &acf in &acfs {
                 let choice = TensorChoice {
                     mcf_t: mcf,
                     acf_t: acf,
@@ -313,5 +444,96 @@ mod tests {
         // 36 MCF pairs x (4x2 WS pairs + CSR-CSR) = up to 324.
         assert!(rec.candidates > 100, "only {} candidates", rec.candidates);
         assert_eq!(w.kernel, SageKernel::SpGemm);
+    }
+
+    #[test]
+    fn registry_derived_spaces_match_paper_vii_a_counts() {
+        // §VII-A: "6 MCF choices ... and 4 ACF choices" — the descriptor
+        // registry's paper filters must reproduce those counts exactly,
+        // and element-for-element equal the legacy enum sets.
+        let mcf = mcf_candidates(SearchSpace::McfPaper);
+        assert_eq!(mcf.len(), 6, "paper MCF space is 6 formats");
+        assert_eq!(mcf, MatrixFormat::mcf_set().to_vec());
+        let acf = acf_streaming_candidates();
+        assert_eq!(acf.len(), 4, "paper ACF space is 4 formats");
+        for f in MatrixFormat::acf_set() {
+            assert!(acf.contains(&f), "registry ACF space lost {f}");
+        }
+        // Stationary candidates: the WS-resident subset plus CSR.
+        assert_eq!(
+            acf_stationary_candidates(),
+            vec![MatrixFormat::Dense, MatrixFormat::Csc, MatrixFormat::Csr]
+        );
+        // Tensor rows of Table III: 5 MCFs x 3 ACFs.
+        use sparseflex_formats::descriptor::enumerate_tensor;
+        assert_eq!(enumerate_tensor(SearchSpace::McfPaper).len(), 5);
+        assert_eq!(enumerate_tensor(SearchSpace::AcfPaper).len(), 3);
+    }
+
+    #[test]
+    fn exhaustive_search_enumerates_the_full_cross_product() {
+        // SpGEMM: 36 MCF pairs x (4 streaming ACFs x 2 stationary + the
+        // CSR-CSR Gustavson pair) = 324 candidates; SpMM drops the
+        // Gustavson pair: 36 x 8 = 288.
+        let s = sage();
+        let spgemm = SageWorkload::spgemm(200, 200, 100, 2_000, 1_000, DataType::Fp32);
+        assert_eq!(s.recommend(&spgemm).candidates, 36 * 9);
+        let spmm = SageWorkload::spmm(200, 200, 100, 2_000, DataType::Fp32);
+        assert_eq!(s.recommend(&spmm).candidates, 36 * 8);
+    }
+
+    #[test]
+    fn wider_search_spaces_never_lose() {
+        // Structured/Extended strictly contain the paper space, so their
+        // best EDP can only match or improve.
+        let s = sage();
+        let w = SageWorkload::spgemm(1_000, 1_000, 500, 20_000, 10_000, DataType::Fp32);
+        let paper = s.recommend_with_space(&w, SearchSpace::McfPaper);
+        let structured = s.recommend_with_space(&w, SearchSpace::Structured);
+        let extended = s.recommend_with_space(&w, SearchSpace::Extended);
+        let clock = s.accel.clock_hz;
+        assert!(structured.best.edp(clock) <= paper.best.edp(clock) * 1.0001);
+        assert!(extended.best.edp(clock) <= structured.best.edp(clock) * 1.0001);
+        assert!(structured.candidates > paper.candidates);
+        assert!(extended.candidates > structured.candidates);
+    }
+
+    #[test]
+    fn choice_fingerprints_agree_across_spellings() {
+        let choice = FormatChoice {
+            mcf_a: MatrixFormat::Zvc,
+            mcf_b: MatrixFormat::Dense,
+            acf_a: MatrixFormat::Csr,
+            acf_b: MatrixFormat::Dense,
+        };
+        let desc = DescriptorChoice::from(&choice);
+        assert_eq!(
+            choice.descriptor_fingerprint(),
+            desc.descriptor_fingerprint()
+        );
+        assert_eq!(desc.to_format_choice(), Some(choice.clone()));
+        // Operand position matters (MCF_A=ZVC differs from MCF_B=ZVC).
+        let swapped = FormatChoice {
+            mcf_a: MatrixFormat::Dense,
+            mcf_b: MatrixFormat::Zvc,
+            ..choice.clone()
+        };
+        assert_ne!(
+            choice.descriptor_fingerprint(),
+            swapped.descriptor_fingerprint()
+        );
+        // Open compositions have no enum spelling.
+        let open = DescriptorChoice {
+            mcf_a: sparseflex_formats::FormatDescriptor::new(
+                sparseflex_formats::RankOrder::RowMajor,
+                vec![
+                    sparseflex_formats::Level::Bitmask,
+                    sparseflex_formats::Level::RunLength { run_bits: 4 },
+                ],
+                sparseflex_formats::ValuesLayout::Contiguous,
+            ),
+            ..desc
+        };
+        assert_eq!(open.to_format_choice(), None);
     }
 }
