@@ -54,6 +54,24 @@ fn main() -> std::io::Result<()> {
         dir.join("BENCH_planner.json"),
         sparseflex_bench::planner::json_from(&planner_measured) + "\n",
     )?;
-    eprintln!("wrote results/*.csv + results/BENCH_pipeline.json + results/BENCH_planner.json");
+    // Search & calibration exhibit: beam search vs presets and the
+    // calibration error trajectory, as CSV + JSON snapshot.
+    eprintln!("generating search + BENCH_search.json ...");
+    let search_measured = sparseflex_bench::search::measure();
+    fs::write(
+        dir.join("search.csv"),
+        sparseflex_bench::search::rows_from(&search_measured).join("\n") + "\n",
+    )?;
+    fs::write(
+        dir.join("BENCH_search.json"),
+        sparseflex_bench::search::json_from(&search_measured) + "\n",
+    )?;
+    // Persist the calibration rounds' executed-plan traces so a later
+    // process can warm-start its calibrator from this traffic.
+    sparseflex_core::write_traces(&dir.join("traces.json"), &search_measured.traces)?;
+    eprintln!(
+        "wrote results/*.csv + results/BENCH_pipeline.json + results/BENCH_planner.json \
+         + results/BENCH_search.json"
+    );
     Ok(())
 }

@@ -39,6 +39,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod pipeline;
 pub mod planner;
+pub mod search;
 pub mod table1;
 pub mod table2;
 pub mod table3;

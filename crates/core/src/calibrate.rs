@@ -1,0 +1,337 @@
+//! Online calibration of the stats cost model from executed-plan traces.
+//!
+//! Every executed plan yields a [`PlanTrace`] comparing the planner's
+//! predicted per-tile cycles against what the cycle-accurate simulator
+//! measured. The [`Calibrator`] closes that loop: it accumulates the
+//! (predicted, measured) pairs per cost-model *lane* — MINT conversion,
+//! weight-stationary compute, Gustavson SpGEMM compute — and refits a
+//! multiplicative coefficient per lane by least squares, so repeated
+//! traffic tightens the stats model toward the machine it actually runs
+//! on. The cycle-exact [`CostModel::Structure`] oracle needs no
+//! calibration and its traces are ignored.
+//!
+//! The fit is a slope through the origin: measured ≈ c · predicted, with
+//! `c = Σ p·m / Σ p²` minimizing the squared residual. Predictions are
+//! stored **de-scaled** (divided by the coefficient that produced them),
+//! so samples stay in raw model units across generations and the fit
+//! never compounds its own corrections.
+//!
+//! Calibration is **versioned**: [`Calibrator::recalibrate`] bumps a
+//! generation counter that the planner folds into its cache keys, so
+//! every plan-cache row planned under stale coefficients misses exactly
+//! once and replans — and [`ExecutionPlan::explain`] prints the
+//! generation a plan was made under.
+//!
+//! [`ExecutionPlan::explain`]: crate::plan::ExecutionPlan::explain
+
+use crate::plan::{CostModel, Dataflow, PlanTrace};
+use std::sync::Mutex;
+
+/// Per-lane sample cap: under sustained traffic the calibrator keeps the
+/// first `MAX_SAMPLES_PER_LANE` (raw predicted, measured) pairs per lane
+/// and drops the rest, bounding memory like the plan cache bounds plans.
+pub const MAX_SAMPLES_PER_LANE: usize = 4096;
+
+/// Multiplicative corrections applied to the stats model's cycle lanes
+/// (1.0 = the uncalibrated analytic model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coefficients {
+    /// Scales MINT conversion-cycle predictions (both operands).
+    pub conv: f64,
+    /// Scales compute-cycle predictions for weight-stationary plans.
+    pub compute_ws: f64,
+    /// Scales compute-cycle predictions for Gustavson SpGEMM plans.
+    pub compute_spgemm: f64,
+}
+
+impl Default for Coefficients {
+    fn default() -> Self {
+        Coefficients {
+            conv: 1.0,
+            compute_ws: 1.0,
+            compute_spgemm: 1.0,
+        }
+    }
+}
+
+impl Coefficients {
+    /// The compute coefficient for a plan's dataflow.
+    pub fn compute(&self, dataflow: Dataflow) -> f64 {
+        match dataflow {
+            Dataflow::GustavsonSpGemm => self.compute_spgemm,
+            Dataflow::WeightStationary => self.compute_ws,
+        }
+    }
+}
+
+/// One lane's regression samples (parallel vectors, bounded).
+#[derive(Debug, Clone, Default)]
+struct LaneSamples {
+    raw_predicted: Vec<f64>,
+    measured: Vec<f64>,
+}
+
+impl LaneSamples {
+    fn push(&mut self, raw_predicted: f64, measured: f64) {
+        if self.raw_predicted.len() < MAX_SAMPLES_PER_LANE {
+            self.raw_predicted.push(raw_predicted);
+            self.measured.push(measured);
+        }
+    }
+
+    /// Least-squares slope through the origin, `None` when the lane has
+    /// no informative samples (all-zero predictions fit any slope).
+    fn slope(&self) -> Option<f64> {
+        let spp: f64 = self.raw_predicted.iter().map(|p| p * p).sum();
+        if spp <= 0.0 {
+            return None;
+        }
+        let spm: f64 = self
+            .raw_predicted
+            .iter()
+            .zip(&self.measured)
+            .map(|(p, m)| p * m)
+            .sum();
+        let c = spm / spp;
+        (c.is_finite() && c > 0.0).then_some(c)
+    }
+
+    /// Mean |c·p − m| / max(m, 1) over the lane's samples.
+    fn error_sum(&self, c: f64) -> (f64, usize) {
+        let sum = self
+            .raw_predicted
+            .iter()
+            .zip(&self.measured)
+            .map(|(p, m)| (c * p - m).abs() / m.max(1.0))
+            .sum();
+        (sum, self.raw_predicted.len())
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CalState {
+    generation: u64,
+    coeffs: Coefficients,
+    conv: LaneSamples,
+    compute_ws: LaneSamples,
+    compute_spgemm: LaneSamples,
+}
+
+/// Accumulates executed-plan traces and refits the stats cost model's
+/// per-lane coefficients by least squares (see the module docs).
+/// Thread-safe and shared by reference, like the plan cache it
+/// invalidates.
+#[derive(Debug, Default)]
+pub struct Calibrator {
+    state: Mutex<CalState>,
+}
+
+impl Clone for Calibrator {
+    fn clone(&self) -> Self {
+        Calibrator {
+            state: Mutex::new(self.state.lock().expect("calibrator poisoned").clone()),
+        }
+    }
+}
+
+impl Calibrator {
+    /// The calibration generation: 0 until the first
+    /// [`recalibrate`](Self::recalibrate), bumped by one per refit. Plan
+    /// cache keys include this, so a bump invalidates exactly the rows
+    /// planned under older coefficients.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("calibrator poisoned").generation
+    }
+
+    /// The coefficients currently applied to stats-model predictions.
+    pub fn coefficients(&self) -> Coefficients {
+        self.state.lock().expect("calibrator poisoned").coeffs
+    }
+
+    /// Total (predicted, measured) pairs accumulated across lanes.
+    pub fn samples(&self) -> usize {
+        let s = self.state.lock().expect("calibrator poisoned");
+        s.conv.raw_predicted.len()
+            + s.compute_ws.raw_predicted.len()
+            + s.compute_spgemm.raw_predicted.len()
+    }
+
+    /// Record one executed plan's trace. Only [`CostModel::Stats`]
+    /// traces feed the fit — the structure oracle is already cycle-exact
+    /// — and each tile contributes one conversion-lane and one
+    /// compute-lane sample. The trace's predictions carry the
+    /// coefficients they were planned under; they are de-scaled by the
+    /// current coefficients so stored samples stay in raw model units.
+    pub fn record_trace(&self, dataflow: Dataflow, trace: &PlanTrace) {
+        if trace.cost_model != CostModel::Stats {
+            return;
+        }
+        let mut s = self.state.lock().expect("calibrator poisoned");
+        let c_conv = s.coeffs.conv.max(f64::MIN_POSITIVE);
+        let c_comp = s.coeffs.compute(dataflow).max(f64::MIN_POSITIVE);
+        for t in &trace.tiles {
+            s.conv.push(
+                t.predicted_conv_cycles as f64 / c_conv,
+                t.measured_conv_cycles as f64,
+            );
+            let lane = match dataflow {
+                Dataflow::GustavsonSpGemm => &mut s.compute_spgemm,
+                Dataflow::WeightStationary => &mut s.compute_ws,
+            };
+            lane.push(
+                t.predicted_compute_cycles as f64 / c_comp,
+                t.measured_compute_cycles as f64,
+            );
+        }
+    }
+
+    /// Refit every lane's coefficient from the accumulated samples and
+    /// bump the calibration generation (lanes without informative
+    /// samples keep their current coefficient). Returns the new
+    /// coefficients.
+    pub fn recalibrate(&self) -> Coefficients {
+        let mut s = self.state.lock().expect("calibrator poisoned");
+        if let Some(c) = s.conv.slope() {
+            s.coeffs.conv = c;
+        }
+        if let Some(c) = s.compute_ws.slope() {
+            s.coeffs.compute_ws = c;
+        }
+        if let Some(c) = s.compute_spgemm.slope() {
+            s.coeffs.compute_spgemm = c;
+        }
+        s.generation += 1;
+        s.coeffs
+    }
+
+    /// Mean |c·predicted − measured| / max(measured, 1) over every
+    /// stored sample under the **current** coefficients — the scalar the
+    /// `BENCH_search` exhibit tracks per calibration round. `None` until
+    /// a trace has been recorded.
+    pub fn mean_abs_error(&self) -> Option<f64> {
+        let s = self.state.lock().expect("calibrator poisoned");
+        let lanes = [
+            (&s.conv, s.coeffs.conv),
+            (&s.compute_ws, s.coeffs.compute_ws),
+            (&s.compute_spgemm, s.coeffs.compute_spgemm),
+        ];
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (lane, c) in lanes {
+            let (e, k) = lane.error_sum(c);
+            sum += e;
+            n += k;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TileCompare;
+    use sparseflex_mint::OverlapSchedule;
+
+    /// A stats trace whose measured cycles are exactly `factor` × the
+    /// predicted ones in both lanes.
+    fn scaled_trace(predicted: &[(u64, u64)], factor: f64) -> PlanTrace {
+        let tiles = predicted
+            .iter()
+            .map(|&(conv, comp)| TileCompare {
+                col_start: 0,
+                col_end: 1,
+                predicted_conv_cycles: conv,
+                measured_conv_cycles: (conv as f64 * factor) as u64,
+                predicted_compute_cycles: comp,
+                measured_compute_cycles: (comp as f64 * factor) as u64,
+            })
+            .collect();
+        PlanTrace {
+            cost_model: CostModel::Stats,
+            tiles,
+            predicted_schedule: OverlapSchedule::default(),
+            measured_schedule: OverlapSchedule::default(),
+        }
+    }
+
+    #[test]
+    fn recalibration_recovers_a_uniform_scale_factor() {
+        let cal = Calibrator::default();
+        cal.record_trace(
+            Dataflow::WeightStationary,
+            &scaled_trace(&[(100, 1_000), (240, 2_200), (60, 800)], 1.5),
+        );
+        let before = cal.mean_abs_error().unwrap();
+        let c = cal.recalibrate();
+        assert!((c.conv - 1.5).abs() < 1e-12, "conv slope {}", c.conv);
+        assert!((c.compute_ws - 1.5).abs() < 1e-12);
+        assert_eq!(c.compute_spgemm, 1.0, "untouched lane keeps identity");
+        let after = cal.mean_abs_error().unwrap();
+        assert!(
+            after < before,
+            "fit must shrink the error: {after} >= {before}"
+        );
+        assert!(after < 1e-9, "a uniform scale is fit exactly");
+    }
+
+    #[test]
+    fn generations_count_refits_and_structure_traces_are_ignored() {
+        let cal = Calibrator::default();
+        assert_eq!(cal.generation(), 0);
+        let mut t = scaled_trace(&[(10, 100)], 2.0);
+        t.cost_model = CostModel::Structure;
+        cal.record_trace(Dataflow::GustavsonSpGemm, &t);
+        assert_eq!(cal.samples(), 0, "structure traces must not feed the fit");
+        cal.recalibrate();
+        cal.recalibrate();
+        assert_eq!(cal.generation(), 2);
+        // No samples: coefficients stay identity.
+        assert_eq!(cal.coefficients(), Coefficients::default());
+    }
+
+    #[test]
+    fn descaling_keeps_samples_in_raw_units_across_generations() {
+        let cal = Calibrator::default();
+        // Round 1: raw model underpredicts 2x.
+        cal.record_trace(
+            Dataflow::WeightStationary,
+            &scaled_trace(&[(100, 500)], 2.0),
+        );
+        let c1 = cal.recalibrate();
+        assert!((c1.compute_ws - 2.0).abs() < 1e-12);
+        // Round 2: the *planner* now predicts with the 2.0 coefficient
+        // applied, so a perfectly-calibrated trace has predicted ==
+        // measured. De-scaling must map it back to raw units and keep
+        // the slope at 2.0 instead of compounding to 4.0.
+        cal.record_trace(
+            Dataflow::WeightStationary,
+            &scaled_trace(&[(200, 1_000)], 1.0),
+        );
+        let c2 = cal.recalibrate();
+        assert!(
+            (c2.compute_ws - 2.0).abs() < 1e-9,
+            "slope compounded: {}",
+            c2.compute_ws
+        );
+        assert_eq!(cal.generation(), 2);
+    }
+
+    #[test]
+    fn sample_cap_bounds_memory() {
+        let cal = Calibrator::default();
+        let big: Vec<(u64, u64)> = (0..MAX_SAMPLES_PER_LANE as u64 + 100)
+            .map(|i| (i + 1, i + 1))
+            .collect();
+        cal.record_trace(Dataflow::WeightStationary, &scaled_trace(&big, 1.0));
+        assert_eq!(cal.samples(), 2 * MAX_SAMPLES_PER_LANE);
+    }
+
+    #[test]
+    fn clones_are_independent() {
+        let cal = Calibrator::default();
+        cal.record_trace(Dataflow::WeightStationary, &scaled_trace(&[(10, 20)], 2.0));
+        let snap = cal.clone();
+        cal.recalibrate();
+        assert_eq!(snap.generation(), 0, "clone must not see later refits");
+        assert_eq!(cal.generation(), 1);
+    }
+}

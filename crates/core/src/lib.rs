@@ -35,14 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod casestudy;
 pub mod pipeline;
 pub mod plan;
 pub mod planner;
 pub mod system;
+pub mod trace_io;
 
+pub use calibrate::{Calibrator, Coefficients, MAX_SAMPLES_PER_LANE};
 pub use casestudy::{layer_edp, LayerEdp};
 pub use pipeline::{BatchJob, BatchRun, PipelineRun, TileTrace};
 pub use plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace, TileCompare};
 pub use planner::{CacheCounters, PlanCache, PlanDiscipline, Planner, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use system::{ClassComparison, CustomRun, FlexSystem, FunctionalRun, RunError, SystemPlan};
+pub use trace_io::{read_traces, traces_from_json, traces_to_json, write_traces, StoredTrace};

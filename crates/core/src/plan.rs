@@ -116,6 +116,11 @@ pub struct ExecutionPlan {
     /// True when the evaluation was served from the plan cache rather
     /// than searched.
     pub from_cache: bool,
+    /// The calibration generation the stats prediction was scaled under
+    /// (0 = the uncalibrated analytic model). Part of the plan-cache
+    /// key: a recalibration bump invalidates rows planned under older
+    /// coefficients.
+    pub calibration_generation: u64,
 }
 
 impl ExecutionPlan {
@@ -204,6 +209,16 @@ impl ExecutionPlan {
             self.predicted.conv_a_cycles,
             self.predicted.cost_model
         );
+        let _ = writeln!(
+            out,
+            "  calibration: generation {}{}",
+            self.calibration_generation,
+            if self.calibration_generation == 0 {
+                " (uncalibrated analytic model)"
+            } else {
+                ""
+            }
+        );
         out
     }
 }
@@ -266,6 +281,26 @@ impl PlanTrace {
         self.tiles
             .iter()
             .all(|t| t.predicted_compute_cycles == t.measured_compute_cycles)
+    }
+
+    /// Mean per-tile relative cycle error: the average over tiles of
+    /// `|predicted − measured| / max(measured, 1)`, with conversion and
+    /// compute lanes summed per tile (0.0 for a perfect prediction or
+    /// an empty trace). The scalar the calibration loop drives down.
+    pub fn mean_cycle_error(&self) -> f64 {
+        if self.tiles.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .tiles
+            .iter()
+            .map(|t| {
+                let p = (t.predicted_conv_cycles + t.predicted_compute_cycles) as f64;
+                let m = (t.measured_conv_cycles + t.measured_compute_cycles) as f64;
+                (p - m).abs() / m.max(1.0)
+            })
+            .sum();
+        sum / self.tiles.len() as f64
     }
 
     /// Multiplicative total-compute error: `max(p, m) / min(p, m)` over

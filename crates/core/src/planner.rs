@@ -26,6 +26,7 @@
 //! machine, shared verbatim by the monolithic, pipelined and batched
 //! front-ends — which therefore cannot diverge.
 
+use crate::calibrate::{Calibrator, Coefficients};
 use crate::pipeline::{PipelineRun, TileTrace};
 use crate::plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace, TileCompare};
 use crate::system::RunError;
@@ -70,13 +71,18 @@ struct PlanKey {
     nnz_b: u64,
     dtype: sparseflex_formats::DataType,
     hw: u64,
+    /// The calibration generation the row was planned under: a
+    /// [`Calibrator::recalibrate`] bump changes this for every new key,
+    /// so exactly the rows planned under stale coefficients miss and
+    /// replan.
+    calibration: u64,
     /// `None` for free-search plans; the choice's
     /// [`FormatChoice::descriptor_fingerprint`] when pinned.
     choice: Option<u64>,
 }
 
 impl PlanKey {
-    fn new(w: &SageWorkload, hw: u64) -> Self {
+    fn new(w: &SageWorkload, hw: u64, calibration: u64) -> Self {
         PlanKey {
             kernel: w.kernel,
             m: w.m,
@@ -86,14 +92,15 @@ impl PlanKey {
             nnz_b: w.nnz_b,
             dtype: w.dtype,
             hw,
+            calibration,
             choice: None,
         }
     }
 
-    fn pinned(w: &SageWorkload, hw: u64, choice_fingerprint: u64) -> Self {
+    fn pinned(w: &SageWorkload, hw: u64, calibration: u64, choice_fingerprint: u64) -> Self {
         PlanKey {
             choice: Some(choice_fingerprint),
-            ..PlanKey::new(w, hw)
+            ..PlanKey::new(w, hw, calibration)
         }
     }
 }
@@ -255,6 +262,11 @@ pub struct Planner {
     /// Cost model filling plan predictions ([`CostModel::Stats`] unless
     /// the caller opts into the dry-run validation oracle).
     pub cost_model: CostModel,
+    /// Online calibration of the stats model: every executed plan's
+    /// trace is recorded here, and [`Calibrator::recalibrate`] refits
+    /// the per-lane coefficients that scale new stats predictions
+    /// (bumping the generation invalidates stale cache rows).
+    pub calibrator: Calibrator,
 }
 
 impl Planner {
@@ -263,6 +275,7 @@ impl Planner {
         Planner {
             cache: PlanCache::with_capacity(capacity),
             cost_model: CostModel::default(),
+            calibrator: Calibrator::default(),
         }
     }
 
@@ -271,6 +284,7 @@ impl Planner {
         Planner {
             cache: PlanCache::default(),
             cost_model,
+            calibrator: Calibrator::default(),
         }
     }
 
@@ -279,7 +293,7 @@ impl Planner {
     /// served from cache. Keys include [`Sage::config_fingerprint`], so
     /// a reconfigured accelerator never reuses stale plans.
     pub fn evaluate_cached(&self, sage: &Sage, w: &SageWorkload) -> (Evaluation, bool) {
-        let key = PlanKey::new(w, sage.config_fingerprint());
+        let key = PlanKey::new(w, sage.config_fingerprint(), self.calibrator.generation());
         if let Some(hit) = self.cache.lookup(&key) {
             return (hit, true);
         }
@@ -302,6 +316,7 @@ impl Planner {
         let key = PlanKey::pinned(
             w,
             sage.config_fingerprint(),
+            self.calibrator.generation(),
             choice.descriptor_fingerprint(),
         );
         if let Some(hit) = self.cache.lookup(&key) {
@@ -403,9 +418,14 @@ impl Planner {
                 available: accel.pe_buffer_elems,
             })?;
 
-        // ---- Cycle prediction.
+        // ---- Cycle prediction (stats predictions are scaled by the
+        // calibrator's fitted coefficients; the structure oracle is
+        // cycle-exact and takes none).
         let predicted = match self.cost_model {
-            CostModel::Stats => predict_stats(sage, a, b, &evaluation, &schedule),
+            CostModel::Stats => {
+                let coeffs = self.calibrator.coefficients();
+                predict_stats(sage, a, b, &evaluation, &schedule, &coeffs, dataflow)
+            }
             CostModel::Structure => predict_structure(sage, a, b, &evaluation, &schedule, spgemm)?,
         };
 
@@ -416,6 +436,7 @@ impl Planner {
             schedule,
             predicted,
             from_cache: false,
+            calibration_generation: self.calibrator.generation(),
         })
     }
 
@@ -497,6 +518,10 @@ impl Planner {
         let compute_cycles: Vec<u64> = tiles.iter().map(|t| t.compute.total()).collect();
         let schedule = overlap_schedule(&conv_cycles, &compute_cycles);
         let trace = build_trace(plan, &tiles, schedule);
+        // Close the loop: every executed stats plan feeds the online
+        // calibrator (recalibration itself stays an explicit caller
+        // decision, so predictions never shift mid-batch).
+        self.calibrator.record_trace(plan.dataflow, &trace);
         Ok(PipelineRun {
             plan: plan.clone(),
             output,
@@ -558,14 +583,17 @@ fn convert_and_execute_tiles(
         .collect()
 }
 
-/// Stats-model prediction: SAGE's whole-operand analytic totals split
-/// across tiles by stored-nonzero weight.
+/// Stats-model prediction: SAGE's whole-operand analytic totals scaled
+/// by the calibrator's fitted per-lane coefficients, then split across
+/// tiles by stored-nonzero weight.
 fn predict_stats(
     sage: &Sage,
     a: &CooMatrix,
     b: &CooMatrix,
     evaluation: &Evaluation,
     schedule: &ColumnSchedule,
+    coeffs: &Coefficients,
+    dataflow: Dataflow,
 ) -> PlanPrediction {
     let choice = &evaluation.choice;
     let conv_a = conversion_cost(
@@ -586,11 +614,14 @@ fn predict_stats(
         &sage.mint,
     )
     .cycles;
-    let per_tile_conv = split_cycles(conv_b as f64, &schedule.tile_nnz);
-    let per_tile_compute = split_cycles(evaluation.compute_cycles, &schedule.tile_nnz);
+    let per_tile_conv = split_cycles(conv_b as f64 * coeffs.conv, &schedule.tile_nnz);
+    let per_tile_compute = split_cycles(
+        evaluation.compute_cycles * coeffs.compute(dataflow),
+        &schedule.tile_nnz,
+    );
     PlanPrediction {
         cost_model: CostModel::Stats,
-        conv_a_cycles: conv_a,
+        conv_a_cycles: (conv_a as f64 * coeffs.conv).round() as u64,
         schedule: overlap_schedule(&per_tile_conv, &per_tile_compute),
         per_tile_conv,
         per_tile_compute,

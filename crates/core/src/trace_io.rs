@@ -1,0 +1,421 @@
+//! Persisting executed-plan traces: a dependency-free JSON round-trip
+//! for [`PlanTrace`]s so calibration survives the process.
+//!
+//! Every executed plan yields a [`PlanTrace`]; the [`Calibrator`] fits
+//! its coefficients from them. Serializing the accumulated traces (to
+//! `results/traces.json` by convention) lets a fresh process
+//! **warm-start** calibration from yesterday's traffic instead of
+//! re-learning from scratch: load with [`read_traces`], replay with
+//! [`Calibrator::warm_start`], and the first recalibration already has
+//! the full sample history.
+//!
+//! The workspace deliberately carries no serde; the writer is plain
+//! `format!` (like the bench exhibits) and the reader is a minimal
+//! recursive-descent parser over exactly the subset the writer emits —
+//! round-trip equality is pinned by test.
+
+use crate::calibrate::Calibrator;
+use crate::plan::{CostModel, Dataflow, PlanTrace, TileCompare};
+use sparseflex_mint::OverlapSchedule;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One executed plan's trace plus the dataflow it ran under (the
+/// calibrator needs the dataflow to route compute samples to the right
+/// coefficient lane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredTrace {
+    /// The dataflow the plan executed under.
+    pub dataflow: Dataflow,
+    /// The predicted-vs-measured record.
+    pub trace: PlanTrace,
+}
+
+impl Calibrator {
+    /// Replay previously persisted traces into the calibrator — the
+    /// warm-start path after [`read_traces`]. Coefficients are refit on
+    /// the next [`recalibrate`](Calibrator::recalibrate) call.
+    pub fn warm_start(&self, traces: &[StoredTrace]) {
+        for t in traces {
+            self.record_trace(t.dataflow, &t.trace);
+        }
+    }
+}
+
+fn dataflow_str(d: Dataflow) -> &'static str {
+    match d {
+        Dataflow::GustavsonSpGemm => "gustavson_spgemm",
+        Dataflow::WeightStationary => "weight_stationary",
+    }
+}
+
+fn cost_model_str(c: CostModel) -> &'static str {
+    match c {
+        CostModel::Stats => "stats",
+        CostModel::Structure => "structure",
+    }
+}
+
+/// Render traces as a JSON array (stable field order, two-space indent).
+pub fn traces_to_json(traces: &[StoredTrace]) -> String {
+    let mut out = String::from("[\n");
+    for (i, st) in traces.iter().enumerate() {
+        let t = &st.trace;
+        let _ = writeln!(out, "  {{");
+        let _ = writeln!(out, "    \"dataflow\": \"{}\",", dataflow_str(st.dataflow));
+        let _ = writeln!(
+            out,
+            "    \"cost_model\": \"{}\",",
+            cost_model_str(t.cost_model)
+        );
+        let _ = writeln!(
+            out,
+            "    \"predicted_schedule\": {{\"overlapped_cycles\": {}, \"serial_cycles\": {}}},",
+            t.predicted_schedule.overlapped_cycles, t.predicted_schedule.serial_cycles
+        );
+        let _ = writeln!(
+            out,
+            "    \"measured_schedule\": {{\"overlapped_cycles\": {}, \"serial_cycles\": {}}},",
+            t.measured_schedule.overlapped_cycles, t.measured_schedule.serial_cycles
+        );
+        let _ = writeln!(out, "    \"tiles\": [");
+        for (j, tile) in t.tiles.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "      {{\"col_start\": {}, \"col_end\": {}, \
+                 \"predicted_conv_cycles\": {}, \"measured_conv_cycles\": {}, \
+                 \"predicted_compute_cycles\": {}, \"measured_compute_cycles\": {}}}{}",
+                tile.col_start,
+                tile.col_end,
+                tile.predicted_conv_cycles,
+                tile.measured_conv_cycles,
+                tile.predicted_compute_cycles,
+                tile.measured_compute_cycles,
+                if j + 1 < t.tiles.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "    ]");
+        let _ = writeln!(out, "  }}{}", if i + 1 < traces.len() { "," } else { "" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write traces to `path` as JSON, creating parent directories.
+pub fn write_traces(path: &Path, traces: &[StoredTrace]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, traces_to_json(traces))
+}
+
+/// Read traces back from a file written by [`write_traces`].
+pub fn read_traces(path: &Path) -> std::io::Result<Vec<StoredTrace>> {
+    let text = std::fs::read_to_string(path)?;
+    traces_from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+// ---- A minimal JSON reader for the subset the writer emits. ---------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> ParseResult<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    /// Consume `byte` if it is next; report whether it was.
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            // The writer never emits escapes; reject rather than
+            // mis-parse hand-edited files.
+            if b == b'\\' {
+                return Err(format!("unsupported escape at byte {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> ParseResult<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+
+    fn key(&mut self) -> ParseResult<String> {
+        let k = self.string()?;
+        self.expect(b':')?;
+        Ok(k)
+    }
+
+    fn schedule(&mut self) -> ParseResult<OverlapSchedule> {
+        self.expect(b'{')?;
+        let mut sched = OverlapSchedule::default();
+        loop {
+            match self.key()?.as_str() {
+                "overlapped_cycles" => sched.overlapped_cycles = self.number()?,
+                "serial_cycles" => sched.serial_cycles = self.number()?,
+                k => return Err(format!("unknown schedule key {k:?}")),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        Ok(sched)
+    }
+
+    fn tile(&mut self) -> ParseResult<TileCompare> {
+        self.expect(b'{')?;
+        let mut t = TileCompare {
+            col_start: 0,
+            col_end: 0,
+            predicted_conv_cycles: 0,
+            measured_conv_cycles: 0,
+            predicted_compute_cycles: 0,
+            measured_compute_cycles: 0,
+        };
+        loop {
+            match self.key()?.as_str() {
+                "col_start" => t.col_start = self.number()? as usize,
+                "col_end" => t.col_end = self.number()? as usize,
+                "predicted_conv_cycles" => t.predicted_conv_cycles = self.number()?,
+                "measured_conv_cycles" => t.measured_conv_cycles = self.number()?,
+                "predicted_compute_cycles" => t.predicted_compute_cycles = self.number()?,
+                "measured_compute_cycles" => t.measured_compute_cycles = self.number()?,
+                k => return Err(format!("unknown tile key {k:?}")),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        Ok(t)
+    }
+
+    fn stored_trace(&mut self) -> ParseResult<StoredTrace> {
+        self.expect(b'{')?;
+        let mut dataflow = None;
+        let mut cost_model = None;
+        let mut predicted_schedule = None;
+        let mut measured_schedule = None;
+        let mut tiles = None;
+        loop {
+            match self.key()?.as_str() {
+                "dataflow" => {
+                    dataflow = Some(match self.string()?.as_str() {
+                        "gustavson_spgemm" => Dataflow::GustavsonSpGemm,
+                        "weight_stationary" => Dataflow::WeightStationary,
+                        d => return Err(format!("unknown dataflow {d:?}")),
+                    })
+                }
+                "cost_model" => {
+                    cost_model = Some(match self.string()?.as_str() {
+                        "stats" => CostModel::Stats,
+                        "structure" => CostModel::Structure,
+                        c => return Err(format!("unknown cost model {c:?}")),
+                    })
+                }
+                "predicted_schedule" => predicted_schedule = Some(self.schedule()?),
+                "measured_schedule" => measured_schedule = Some(self.schedule()?),
+                "tiles" => {
+                    let mut v = Vec::new();
+                    self.expect(b'[')?;
+                    if !self.eat(b']') {
+                        loop {
+                            v.push(self.tile()?);
+                            if !self.eat(b',') {
+                                break;
+                            }
+                        }
+                        self.expect(b']')?;
+                    }
+                    tiles = Some(v);
+                }
+                k => return Err(format!("unknown trace key {k:?}")),
+            }
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        Ok(StoredTrace {
+            dataflow: dataflow.ok_or("trace missing \"dataflow\"")?,
+            trace: PlanTrace {
+                cost_model: cost_model.ok_or("trace missing \"cost_model\"")?,
+                tiles: tiles.ok_or("trace missing \"tiles\"")?,
+                predicted_schedule: predicted_schedule
+                    .ok_or("trace missing \"predicted_schedule\"")?,
+                measured_schedule: measured_schedule
+                    .ok_or("trace missing \"measured_schedule\"")?,
+            },
+        })
+    }
+}
+
+/// Parse the JSON written by [`traces_to_json`] back into traces.
+pub fn traces_from_json(text: &str) -> ParseResult<Vec<StoredTrace>> {
+    let mut r = Reader::new(text);
+    let mut traces = Vec::new();
+    r.expect(b'[')?;
+    if !r.eat(b']') {
+        loop {
+            traces.push(r.stored_trace()?);
+            if !r.eat(b',') {
+                break;
+            }
+        }
+        r.expect(b']')?;
+    }
+    if r.peek().is_some() {
+        return Err(format!("trailing content at byte {}", r.pos));
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traces() -> Vec<StoredTrace> {
+        let tile = |s: usize, e: usize, pc: u64, mc: u64, pk: u64, mk: u64| TileCompare {
+            col_start: s,
+            col_end: e,
+            predicted_conv_cycles: pc,
+            measured_conv_cycles: mc,
+            predicted_compute_cycles: pk,
+            measured_compute_cycles: mk,
+        };
+        vec![
+            StoredTrace {
+                dataflow: Dataflow::GustavsonSpGemm,
+                trace: PlanTrace {
+                    cost_model: CostModel::Stats,
+                    tiles: vec![
+                        tile(0, 8, 120, 140, 900, 1_020),
+                        tile(8, 16, 80, 75, 600, 640),
+                    ],
+                    predicted_schedule: OverlapSchedule {
+                        overlapped_cycles: 1_620,
+                        serial_cycles: 1_700,
+                    },
+                    measured_schedule: OverlapSchedule {
+                        overlapped_cycles: 1_735,
+                        serial_cycles: 1_875,
+                    },
+                },
+            },
+            StoredTrace {
+                dataflow: Dataflow::WeightStationary,
+                trace: PlanTrace {
+                    cost_model: CostModel::Structure,
+                    tiles: vec![],
+                    predicted_schedule: OverlapSchedule::default(),
+                    measured_schedule: OverlapSchedule::default(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let traces = sample_traces();
+        let json = traces_to_json(&traces);
+        let back = traces_from_json(&json).expect("writer output parses");
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        let json = traces_to_json(&[]);
+        assert_eq!(traces_from_json(&json).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn file_round_trip_through_write_and_read() {
+        let traces = sample_traces();
+        let dir = std::env::temp_dir().join(format!("sparseflex-trace-io-{}", std::process::id()));
+        let path = dir.join("nested").join("traces.json");
+        write_traces(&path, &traces).expect("writes with parent creation");
+        let back = read_traces(&path).expect("reads back");
+        assert_eq!(back, traces);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_replays_stats_traces_into_the_calibrator() {
+        let cal = Calibrator::default();
+        cal.warm_start(&sample_traces());
+        // 2 tiles x 2 lanes from the stats trace; the structure trace
+        // contributes nothing.
+        assert_eq!(cal.samples(), 4);
+        assert_eq!(cal.generation(), 0, "warm-start must not refit by itself");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_misread() {
+        for bad in ["", "{", "[{}]", "[{\"dataflow\": \"nope\"}]", "[] trailing"] {
+            assert!(traces_from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

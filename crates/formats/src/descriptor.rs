@@ -651,46 +651,66 @@ pub enum SearchSpace {
 /// (`McfPaper`, `AcfPaper`) reproduce the paper's §VII-A candidate lists
 /// element-for-element and in the same order the hand-maintained search
 /// loops used, which the SAGE regression tests pin.
+///
+/// Materializes the whole candidate list; search loops that only need to
+/// *stream* candidates (the beam search over the open space) should use
+/// [`enumerate_matrix_iter`] instead, which yields the same members in
+/// the same order without building the open cross product up front.
 pub fn enumerate_matrix(space: SearchSpace) -> Vec<FormatDescriptor> {
+    enumerate_matrix_iter(space).collect()
+}
+
+/// Lazy spelling of [`enumerate_matrix`]: the same members in the same
+/// order, produced on demand. The closed preset spaces are small fixed
+/// lists either way; the payoff is the `Open` tail, whose level
+/// cross product is composed, validated and deduplicated one candidate
+/// at a time as the consumer pulls — a beam search that prunes early
+/// never pays for the combinations it does not look at.
+pub fn enumerate_matrix_iter(space: SearchSpace) -> Box<dyn Iterator<Item = FormatDescriptor>> {
     match space {
-        SearchSpace::McfPaper => vec![
-            FormatDescriptor::dense(),
-            FormatDescriptor::rlc(DEFAULT_RUN_BITS),
-            FormatDescriptor::zvc(),
-            FormatDescriptor::coo(),
-            FormatDescriptor::csr(),
-            FormatDescriptor::csc(),
-        ],
-        SearchSpace::AcfPaper => vec![
-            FormatDescriptor::dense(),
-            FormatDescriptor::csr(),
-            FormatDescriptor::coo(),
-            FormatDescriptor::csc(),
-        ],
-        SearchSpace::Structured => {
-            let mut v = enumerate_matrix(SearchSpace::McfPaper);
-            for edge in [2usize, 4, 8] {
-                v.push(FormatDescriptor::bsr(edge, edge));
-            }
-            v.push(FormatDescriptor::dia());
-            v.push(FormatDescriptor::ell());
-            v
-        }
-        SearchSpace::Extended => {
-            let mut v = enumerate_matrix(SearchSpace::Structured);
-            for run_bits in [2u32, 8] {
-                v.push(FormatDescriptor::rlc(run_bits));
-            }
-            v
-        }
+        SearchSpace::McfPaper => Box::new(
+            vec![
+                FormatDescriptor::dense(),
+                FormatDescriptor::rlc(DEFAULT_RUN_BITS),
+                FormatDescriptor::zvc(),
+                FormatDescriptor::coo(),
+                FormatDescriptor::csr(),
+                FormatDescriptor::csc(),
+            ]
+            .into_iter(),
+        ),
+        SearchSpace::AcfPaper => Box::new(
+            vec![
+                FormatDescriptor::dense(),
+                FormatDescriptor::csr(),
+                FormatDescriptor::coo(),
+                FormatDescriptor::csc(),
+            ]
+            .into_iter(),
+        ),
+        SearchSpace::Structured => Box::new(
+            enumerate_matrix_iter(SearchSpace::McfPaper)
+                .chain(
+                    [2usize, 4, 8]
+                        .into_iter()
+                        .map(|e| FormatDescriptor::bsr(e, e)),
+                )
+                .chain([FormatDescriptor::dia(), FormatDescriptor::ell()]),
+        ),
+        SearchSpace::Extended => Box::new(
+            enumerate_matrix_iter(SearchSpace::Structured)
+                .chain([2u32, 8].into_iter().map(FormatDescriptor::rlc)),
+        ),
         SearchSpace::Open => {
-            let mut v = enumerate_matrix(SearchSpace::Extended);
             // Compose the two-rank space the presets don't cover: outer
             // presence encodings × inner per-fiber encodings. Singleton
             // inners are deliberately absent: under a fiber-grouping
             // outer rank a delimited singleton is storage-identical to
             // CompressedOffsets, so enumerating it would only add CSR
-            // (and friends) under a second fingerprint.
+            // (and friends) under a second fingerprint. Candidates that
+            // name a preset (U·C ≡ CSR) are already in the Extended
+            // prefix, so the tail keeps exactly the valid non-presets —
+            // the same dedup the eager list performed with `contains`.
             let outers = [Level::Uncompressed, Level::Bitmask];
             let inners = [
                 Level::CompressedOffsets,
@@ -699,20 +719,17 @@ pub fn enumerate_matrix(space: SearchSpace) -> Vec<FormatDescriptor> {
                     run_bits: DEFAULT_RUN_BITS,
                 },
             ];
-            for outer in outers {
-                for inner in inners {
+            let tail = outers.into_iter().flat_map(move |outer| {
+                inners.into_iter().filter_map(move |inner| {
                     let d = FormatDescriptor::new(
                         RankOrder::RowMajor,
                         vec![outer, inner],
                         ValuesLayout::Contiguous,
                     );
-                    if d.validate_matrix().is_ok() && !v.contains(&d) {
-                        v.push(d);
-                    }
-                }
-            }
-            v.retain(|d| d.validate_matrix().is_ok());
-            v
+                    (d.validate_matrix().is_ok() && d.to_matrix_format().is_none()).then_some(d)
+                })
+            });
+            Box::new(enumerate_matrix_iter(SearchSpace::Extended).chain(tail))
         }
     }
 }
@@ -916,6 +933,40 @@ mod tests {
         for d in &open {
             assert!(d.validate_matrix().is_ok(), "invalid member {d}");
         }
+    }
+
+    #[test]
+    fn lazy_enumeration_matches_the_eager_lists_everywhere() {
+        // `enumerate_matrix` is defined as the collected lazy iterator,
+        // but pin the membership *and order* per space anyway so a
+        // future divergence (e.g. an eager fast path) cannot slip in.
+        for space in [
+            SearchSpace::McfPaper,
+            SearchSpace::AcfPaper,
+            SearchSpace::Structured,
+            SearchSpace::Extended,
+            SearchSpace::Open,
+        ] {
+            let lazy: Vec<FormatDescriptor> = enumerate_matrix_iter(space).collect();
+            assert_eq!(lazy, enumerate_matrix(space), "{space:?} diverged");
+        }
+    }
+
+    #[test]
+    fn open_space_streams_without_full_materialization() {
+        // Pulling only the first candidate past the Extended prefix must
+        // not require walking the rest of the cross product: the lazy
+        // tail yields incrementally and in the pinned order (U·B first —
+        // U·C is the CSR preset and is deduplicated into the prefix).
+        let extended = enumerate_matrix(SearchSpace::Extended).len();
+        let first_open = enumerate_matrix_iter(SearchSpace::Open)
+            .nth(extended)
+            .unwrap();
+        assert_eq!(first_open.to_matrix_format(), None, "tail is non-preset");
+        assert_eq!(first_open.to_string(), "U·B[row]");
+        // The closed spaces keep their exact §VII-A sizes.
+        assert_eq!(enumerate_matrix_iter(SearchSpace::McfPaper).count(), 6);
+        assert_eq!(enumerate_matrix_iter(SearchSpace::AcfPaper).count(), 4);
     }
 
     #[test]

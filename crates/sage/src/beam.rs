@@ -1,0 +1,608 @@
+//! Beam search over the **open** descriptor space.
+//!
+//! The exhaustive generation engine ([`Sage::recommend`]) scores every
+//! MCF pair × ACF pair of a closed candidate list — fine for the paper's
+//! six formats, quadratically painful for [`SearchSpace::Open`], whose
+//! per-rank level compositions multiply into thousands of combinations.
+//! This module replaces exhaustive enumeration *for the open space only*
+//! with a staged beam search:
+//!
+//! 1. **Stage A** — stream candidates for the streaming operand A from
+//!    the lazy registry iterator
+//!    ([`enumerate_matrix_iter`]), each scored
+//!    by an **admissible lower bound** from the descriptor size model:
+//!    the DRAM floor of fetching A (plus the fixed output writeback).
+//!    Total cycles ≥ DRAM cycles and total energy ≥ DRAM energy, and
+//!    the DRAM model is monotone in bits, so no completion of a partial
+//!    can ever score below its bound. Keep the best `width`.
+//! 2. **Stage B** — extend each survivor with every stationary-operand
+//!    candidate, re-bound with both operands' bits, keep the best
+//!    `width` partials overall.
+//! 3. **Stage C** — complete the survivors across the legal ACF pairs
+//!    with the full evaluator, in ascending-bound order with
+//!    branch-and-bound: once the incumbent best scores below the next
+//!    partial's bound, every remaining partial is provably worse and is
+//!    pruned unevaluated.
+//!
+//! The preset spaces keep the exhaustive engine byte-for-byte: this
+//! entry point is additive, and [`OpenRecommendation`] reports how many
+//! candidates the beam actually visited vs what exhaustion would have
+//! scored, so callers (and the `BENCH_search` exhibit) can hold the
+//! search to its < 25 %-visited contract.
+
+use crate::eval::{ConversionMode, Evaluation, Sage};
+use crate::search::DescriptorChoice;
+use crate::workload::SageWorkload;
+use sparseflex_accel::exec::SimError;
+use sparseflex_accel::model::{spgemm_estimate, ws_estimate, WsWorkload};
+use sparseflex_formats::descriptor::enumerate_matrix_iter;
+use sparseflex_formats::size_model::{
+    descriptor_matrix_bits, matrix_storage_bits, MatrixStructure,
+};
+use sparseflex_formats::{FormatDescriptor, MatrixFormat, SearchSpace};
+use sparseflex_mint::{added_hardware_cycles, descriptor_conversion_cost};
+
+/// What the beam search minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchObjective {
+    /// Energy-delay product (SAGE's native objective).
+    #[default]
+    Edp,
+    /// End-to-end cycles (DRAM + conversion + compute) — the Table III
+    /// "simulated cycles" comparison.
+    Cycles,
+}
+
+/// Beam-search knobs. `Default` is the configuration the exhibits and
+/// property suites run: width 8, the open space, EDP objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamConfig {
+    /// Partials kept per stage. Wider beams visit more candidates and
+    /// can only improve the result; width 0 is clamped to 1.
+    pub width: usize,
+    /// Deterministic tie-break seed: equal-bound partials are ordered by
+    /// a seed-keyed hash of their descriptor fingerprints, so reruns
+    /// with one seed are identical and different seeds explore ties in a
+    /// different (still deterministic) order.
+    pub seed: u64,
+    /// Candidate space both operands draw from.
+    pub space: SearchSpace,
+    /// Minimized quantity.
+    pub objective: SearchObjective,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig {
+            width: 8,
+            seed: 0x0BEA_4D5E_ED00_0001,
+            space: SearchSpace::Open,
+            objective: SearchObjective::Edp,
+        }
+    }
+}
+
+/// Full cost breakdown of one open-descriptor choice — the descriptor
+/// spelling of [`Evaluation`], with the same cycle/energy lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenEvaluation {
+    /// The evaluated choice (MCFs may be non-preset compositions; ACFs
+    /// are always executable presets).
+    pub choice: DescriptorChoice,
+    /// DRAM cycles (fetch A + fetch B + write O).
+    pub dram_cycles: f64,
+    /// DRAM energy (J).
+    pub dram_energy: f64,
+    /// Added conversion cycles (after overlap).
+    pub conv_cycles: f64,
+    /// Conversion energy (J).
+    pub conv_energy: f64,
+    /// Accelerator compute cycles.
+    pub compute_cycles: f64,
+    /// On-chip compute energy (J).
+    pub compute_energy: f64,
+    /// Predicted PE utilization.
+    pub utilization: f64,
+}
+
+impl OpenEvaluation {
+    /// Total cycles (memory + conversion + compute).
+    pub fn total_cycles(&self) -> f64 {
+        self.dram_cycles + self.conv_cycles + self.compute_cycles
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.dram_energy + self.conv_energy + self.compute_energy
+    }
+
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self, clock_hz: f64) -> f64 {
+        self.total_energy() * self.total_cycles() / clock_hz
+    }
+
+    /// The minimized scalar under `objective`.
+    pub fn score(&self, objective: SearchObjective, clock_hz: f64) -> f64 {
+        match objective {
+            SearchObjective::Edp => self.edp(clock_hz),
+            SearchObjective::Cycles => self.total_cycles(),
+        }
+    }
+
+    /// Translate to the legacy-enum [`Evaluation`] when every member of
+    /// the choice is a preset (`None` for genuinely open choices).
+    pub fn to_evaluation(&self) -> Option<Evaluation> {
+        Some(Evaluation {
+            choice: self.choice.to_format_choice()?,
+            dram_cycles: self.dram_cycles,
+            dram_energy: self.dram_energy,
+            conv_cycles: self.conv_cycles,
+            conv_energy: self.conv_energy,
+            compute_cycles: self.compute_cycles,
+            compute_energy: self.compute_energy,
+            utilization: self.utilization,
+        })
+    }
+}
+
+/// The result of an open-space beam search, with the bookkeeping that
+/// lets callers audit how much of the space was actually scored.
+#[derive(Debug, Clone)]
+pub struct OpenRecommendation {
+    /// The winning evaluation under the configured objective.
+    pub best: OpenEvaluation,
+    /// Candidates scored with the **full** evaluator (the expensive
+    /// operation exhaustion would perform `exhaustive` times).
+    pub visited: usize,
+    /// Candidates an exhaustive sweep of the same space would score
+    /// (MCF pairs × legal ACF pairs).
+    pub exhaustive: usize,
+    /// Beam partials cut by branch-and-bound (their admissible bound
+    /// already exceeded the incumbent, so their completions were never
+    /// evaluated).
+    pub pruned: usize,
+    /// The width the search ran with.
+    pub width: usize,
+}
+
+impl OpenRecommendation {
+    /// Fraction of the exhaustive candidate count the beam visited.
+    pub fn visited_fraction(&self) -> f64 {
+        self.visited as f64 / (self.exhaustive as f64).max(1.0)
+    }
+}
+
+/// A stage-A/B partial: the admissible bound, the deterministic
+/// tie-break key, and the chosen descriptors so far.
+struct Partial {
+    bound: f64,
+    tiebreak: u64,
+    mcf_a: FormatDescriptor,
+    bits_a: u64,
+    mcf_b: Option<(FormatDescriptor, u64)>,
+}
+
+/// Seed-keyed deterministic tie-break hash (splitmix-style finalizer).
+fn tiebreak(seed: u64, fingerprint: u64) -> u64 {
+    let mut x = seed ^ fingerprint;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sort partials by (bound, tie-break) ascending and truncate to the
+/// beam width.
+fn keep_beam(mut partials: Vec<Partial>, width: usize) -> Vec<Partial> {
+    partials.sort_by(|p, q| {
+        p.bound
+            .partial_cmp(&q.bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(p.tiebreak.cmp(&q.tiebreak))
+    });
+    partials.truncate(width.max(1));
+    partials
+}
+
+impl Sage {
+    /// Analytic storage bits of an operand under any descriptor the
+    /// generic level model can size (`None` when it cannot).
+    fn descriptor_bits(
+        &self,
+        d: &FormatDescriptor,
+        rows: usize,
+        cols: usize,
+        nnz: u64,
+    ) -> Option<u64> {
+        descriptor_matrix_bits(
+            d,
+            &MatrixStructure::analytic(rows, cols, nnz as usize),
+            self.accel.dtype,
+        )
+        .ok()
+        .map(|b| b.total())
+    }
+
+    /// Output writeback bits — identical across choices (same rule as
+    /// the closed-enum evaluator, so open and preset evaluations share
+    /// one DRAM baseline).
+    fn output_bits(&self, w: &SageWorkload) -> u64 {
+        let nnz_o = w.expected_nnz_out() as usize;
+        matrix_storage_bits(&MatrixFormat::Dense, w.m, w.n, nnz_o, w.dtype).min(
+            matrix_storage_bits(&MatrixFormat::Csr, w.m, w.n, nnz_o, w.dtype),
+        )
+    }
+
+    /// The admissible lower bound on a (partial) candidate's score: the
+    /// DRAM floor of moving `bits` (operands chosen so far + output).
+    /// Conversion and compute add nonnegative cycles and energy on top,
+    /// and the DRAM model is monotone in bits, so no completion can
+    /// score below this.
+    fn dram_floor(&self, bits: u64, objective: SearchObjective) -> f64 {
+        let cycles = self.dram.transfer_cycles(bits) as f64;
+        match objective {
+            SearchObjective::Cycles => cycles,
+            SearchObjective::Edp => self.dram.transfer_energy(bits) * cycles / self.accel.clock_hz,
+        }
+    }
+
+    /// Evaluate one open-descriptor choice: memory formats are arbitrary
+    /// sizable descriptors, compute formats are the executable presets.
+    /// Mirrors [`Sage::evaluate`]'s model composition exactly — operand
+    /// bits from the (shared) generic level size model, MINT conversion
+    /// from the descriptor cost model, the same WS/Gustavson performance
+    /// estimate and hardware-conversion overlap — so an all-preset
+    /// choice scores the same here as through the enum path.
+    pub fn evaluate_open(
+        &self,
+        w: &SageWorkload,
+        mcf_a: &FormatDescriptor,
+        mcf_b: &FormatDescriptor,
+        acf_a: MatrixFormat,
+        acf_b: MatrixFormat,
+        mode: ConversionMode,
+    ) -> Result<OpenEvaluation, SimError> {
+        let acf_a_desc = acf_a.descriptor();
+        let acf_b_desc = acf_b.descriptor();
+        if matches!(mode, ConversionMode::RequireIdentity)
+            && (*mcf_a != acf_a_desc || *mcf_b != acf_b_desc)
+        {
+            return Err(SimError::UnsupportedAcf { a: acf_a, b: acf_b });
+        }
+
+        // ---- Cost model: DRAM traffic in the chosen MCF descriptors.
+        let (bits_a, bits_b) = (
+            self.descriptor_bits(mcf_a, w.m, w.k, w.nnz_a)
+                .ok_or(SimError::UnsupportedAcf { a: acf_a, b: acf_b })?,
+            self.descriptor_bits(mcf_b, w.k, w.n, w.nnz_b)
+                .ok_or(SimError::UnsupportedAcf { a: acf_a, b: acf_b })?,
+        );
+        let bits_o = self.output_bits(w);
+        let dram_a_cycles = self.dram.transfer_cycles(bits_a) as f64;
+        let dram_b_cycles = self.dram.transfer_cycles(bits_b) as f64;
+        let dram_cycles = self.dram.transfer_cycles(bits_a + bits_b + bits_o) as f64;
+        let dram_energy = self.dram.transfer_energy(bits_a + bits_b + bits_o);
+
+        // ---- Performance model.
+        let ws = WsWorkload {
+            m: w.m,
+            k: w.k,
+            n: w.n,
+            nnz_a: w.nnz_a,
+            nnz_b: w.nnz_b,
+            acf_a,
+            acf_b,
+        };
+        let est = if acf_a == MatrixFormat::Csr && acf_b == MatrixFormat::Csr {
+            spgemm_estimate(&ws, &self.accel)?
+        } else {
+            ws_estimate(&ws, &self.accel)?
+        };
+
+        // ---- Conversion model (descriptor-general MINT costs).
+        let conv_a = descriptor_conversion_cost(mcf_a, &acf_a_desc, w.m, w.k, w.nnz_a, &self.mint);
+        let conv_b = descriptor_conversion_cost(mcf_b, &acf_b_desc, w.k, w.n, w.nnz_b, &self.mint);
+        let (conv_cycles, conv_energy) = match mode {
+            ConversionMode::RequireIdentity => (0.0, 0.0),
+            ConversionMode::Hardware => {
+                let tiles = self.stationary_tiles(w);
+                let added = added_hardware_cycles(
+                    conv_a.cycles as f64,
+                    dram_a_cycles,
+                    conv_b.cycles as f64,
+                    dram_b_cycles,
+                    est.cycles.total(),
+                    tiles,
+                );
+                (added, conv_a.energy + conv_b.energy)
+            }
+            ConversionMode::Software {
+                slowdown,
+                pcie_bits_per_cycle,
+            } => {
+                let mut cycles = 0.0;
+                let mut energy = 0.0;
+                for (conv, bits) in [(conv_a, bits_a), (conv_b, bits_b)] {
+                    if conv.cycles > 0 {
+                        cycles +=
+                            conv.cycles as f64 * slowdown + 2.0 * bits as f64 / pcie_bits_per_cycle;
+                        energy +=
+                            conv.energy * slowdown + 2.0 * bits as f64 * self.energy.dram_per_bit();
+                    }
+                }
+                (cycles, energy)
+            }
+        };
+
+        Ok(OpenEvaluation {
+            choice: DescriptorChoice {
+                mcf_a: mcf_a.clone(),
+                mcf_b: mcf_b.clone(),
+                acf_a: acf_a_desc,
+                acf_b: acf_b_desc,
+            },
+            dram_cycles,
+            dram_energy,
+            conv_cycles,
+            conv_energy,
+            compute_cycles: est.cycles.total(),
+            compute_energy: est.energy(&self.energy).total(),
+            utilization: est.utilization(),
+        })
+    }
+
+    /// Beam search over the open descriptor space with the default
+    /// configuration (width 8, EDP objective).
+    pub fn recommend_open(&self, w: &SageWorkload) -> OpenRecommendation {
+        self.recommend_open_with(w, &BeamConfig::default())
+    }
+
+    /// Beam search over `cfg.space` for the choice minimizing
+    /// `cfg.objective` (see the module docs for the three stages and the
+    /// admissibility argument). Deterministic for a fixed config: the
+    /// candidate stream, the bounds and the tie-break hash are all pure
+    /// functions of the inputs.
+    pub fn recommend_open_with(&self, w: &SageWorkload, cfg: &BeamConfig) -> OpenRecommendation {
+        let width = cfg.width.max(1);
+        let bits_o = self.output_bits(w);
+        let clock = self.accel.clock_hz;
+
+        // The legal ACF pairs for this kernel (the same streaming ×
+        // stationary sets the exhaustive engine iterates).
+        let acf_pairs: Vec<(MatrixFormat, MatrixFormat)> = {
+            let mut v = Vec::new();
+            for a in crate::search::acf_streaming_candidates() {
+                for b in crate::search::acf_stationary_candidates() {
+                    if self.acf_supported(w, a, b) {
+                        v.push((a, b));
+                    }
+                }
+            }
+            v
+        };
+
+        // ---- Stage A: rank streaming-operand candidates by their
+        // admissible DRAM floor, pulled lazily from the registry.
+        let mut mcf_count = 0usize;
+        let mut stage_a: Vec<Partial> = Vec::new();
+        for d in enumerate_matrix_iter(cfg.space) {
+            let Some(bits_a) = self.descriptor_bits(&d, w.m, w.k, w.nnz_a) else {
+                continue;
+            };
+            mcf_count += 1;
+            stage_a.push(Partial {
+                bound: self.dram_floor(bits_a + bits_o, cfg.objective),
+                tiebreak: tiebreak(cfg.seed, d.fingerprint()),
+                mcf_a: d,
+                bits_a,
+                mcf_b: None,
+            });
+        }
+        let stage_a = keep_beam(stage_a, width);
+
+        // ---- Stage B: extend with the stationary operand.
+        let mut stage_b: Vec<Partial> = Vec::new();
+        for p in &stage_a {
+            for d in enumerate_matrix_iter(cfg.space) {
+                let Some(bits_b) = self.descriptor_bits(&d, w.k, w.n, w.nnz_b) else {
+                    continue;
+                };
+                stage_b.push(Partial {
+                    bound: self.dram_floor(p.bits_a + bits_b + bits_o, cfg.objective),
+                    tiebreak: tiebreak(cfg.seed, p.mcf_a.fingerprint() ^ d.fingerprint()),
+                    mcf_a: p.mcf_a.clone(),
+                    bits_a: p.bits_a,
+                    mcf_b: Some((d, bits_b)),
+                });
+            }
+        }
+        let stage_b = keep_beam(stage_b, width);
+
+        // ---- Stage C: complete survivors across the ACF pairs, in
+        // ascending-bound order with branch-and-bound against the
+        // incumbent.
+        let mut best: Option<OpenEvaluation> = None;
+        let mut visited = 0usize;
+        let mut pruned = 0usize;
+        for (i, p) in stage_b.iter().enumerate() {
+            if let Some(b) = &best {
+                if p.bound >= b.score(cfg.objective, clock) {
+                    // Bounds are sorted ascending: every remaining
+                    // partial is provably no better than the incumbent.
+                    pruned += stage_b.len() - i;
+                    break;
+                }
+            }
+            let (mcf_b, _) = p.mcf_b.as_ref().expect("stage-B partials are complete");
+            for &(acf_a, acf_b) in &acf_pairs {
+                if let Ok(eval) =
+                    self.evaluate_open(w, &p.mcf_a, mcf_b, acf_a, acf_b, ConversionMode::Hardware)
+                {
+                    visited += 1;
+                    let better = match &best {
+                        None => true,
+                        Some(b) => eval.score(cfg.objective, clock) < b.score(cfg.objective, clock),
+                    };
+                    if better {
+                        best = Some(eval);
+                    }
+                }
+            }
+        }
+
+        // Dense × Dense always evaluates; fall back to it should every
+        // beam survivor have failed (cannot happen for the shipped
+        // spaces, but the search must stay total).
+        let best = best.unwrap_or_else(|| {
+            self.evaluate_open(
+                w,
+                &FormatDescriptor::dense(),
+                &FormatDescriptor::dense(),
+                MatrixFormat::Dense,
+                MatrixFormat::Dense,
+                ConversionMode::Hardware,
+            )
+            .expect("Dense-Dense always evaluates")
+        });
+
+        OpenRecommendation {
+            best,
+            visited,
+            exhaustive: mcf_count * mcf_count * acf_pairs.len(),
+            pruned,
+            width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SageKernel;
+    use sparseflex_formats::DataType;
+
+    fn sage() -> Sage {
+        Sage::default()
+    }
+
+    /// m3plates-class hyper-sparse SpGEMM (Table III): the regime where
+    /// non-preset compositions out-compress every preset MCF.
+    fn hyper_sparse() -> SageWorkload {
+        SageWorkload::spgemm(11_000, 11_000, 5_500, 6_600, 3_300, DataType::Fp32)
+    }
+
+    #[test]
+    fn open_evaluator_matches_enum_evaluator_on_presets() {
+        let s = sage();
+        let w = SageWorkload::spmm(2_000, 2_000, 1_000, 40_000, DataType::Fp32);
+        for (mcf_a, mcf_b) in [
+            (MatrixFormat::Csr, MatrixFormat::Dense),
+            (MatrixFormat::Coo, MatrixFormat::Csc),
+            (MatrixFormat::Zvc, MatrixFormat::Dense),
+        ] {
+            let choice = crate::search::FormatChoice {
+                mcf_a,
+                mcf_b,
+                acf_a: MatrixFormat::Csr,
+                acf_b: MatrixFormat::Dense,
+            };
+            let legacy = s.evaluate(&w, &choice, ConversionMode::Hardware).unwrap();
+            let open = s
+                .evaluate_open(
+                    &w,
+                    &mcf_a.descriptor(),
+                    &mcf_b.descriptor(),
+                    MatrixFormat::Csr,
+                    MatrixFormat::Dense,
+                    ConversionMode::Hardware,
+                )
+                .unwrap();
+            assert_eq!(open.dram_cycles, legacy.dram_cycles, "{mcf_a}/{mcf_b}");
+            assert_eq!(open.compute_cycles, legacy.compute_cycles);
+            assert_eq!(open.conv_cycles, legacy.conv_cycles);
+            assert_eq!(open.to_evaluation().unwrap().choice, choice);
+        }
+    }
+
+    #[test]
+    fn beam_is_deterministic_for_a_fixed_seed() {
+        let s = sage();
+        let w = hyper_sparse();
+        let cfg = BeamConfig::default();
+        let r1 = s.recommend_open_with(&w, &cfg);
+        let r2 = s.recommend_open_with(&w, &cfg);
+        assert_eq!(r1.best.choice, r2.best.choice);
+        assert_eq!(r1.visited, r2.visited);
+        assert_eq!(r1.pruned, r2.pruned);
+    }
+
+    #[test]
+    fn beam_visits_a_small_fraction_of_the_exhaustive_space() {
+        let s = sage();
+        let w = hyper_sparse();
+        let rec = s.recommend_open(&w);
+        assert_eq!(w.kernel, SageKernel::SpGemm);
+        // 18 open MCFs squared × 9 ACF pairs.
+        assert_eq!(rec.exhaustive, 18 * 18 * 9);
+        assert!(
+            rec.visited_fraction() < 0.25,
+            "beam visited {}/{} candidates",
+            rec.visited,
+            rec.exhaustive
+        );
+        assert!(rec.visited > 0);
+    }
+
+    #[test]
+    fn wider_beams_never_lose() {
+        let s = sage();
+        let w = hyper_sparse();
+        let clock = s.accel.clock_hz;
+        let narrow = s.recommend_open_with(
+            &w,
+            &BeamConfig {
+                width: 1,
+                ..BeamConfig::default()
+            },
+        );
+        let wide = s.recommend_open_with(
+            &w,
+            &BeamConfig {
+                width: 8,
+                ..BeamConfig::default()
+            },
+        );
+        assert!(wide.best.edp(clock) <= narrow.best.edp(clock) * 1.0001);
+        assert!(wide.visited >= narrow.visited);
+    }
+
+    #[test]
+    fn open_search_beats_the_preset_space_when_compositions_out_compress() {
+        // The point of opening the space: on the hyper-sparse regime a
+        // bitmask-outer composition out-compresses every preset, so the
+        // beam's best strictly beats the exhaustive preset search under
+        // the same objective.
+        let s = sage();
+        let w = hyper_sparse();
+        let clock = s.accel.clock_hz;
+        let preset = s.recommend_with_space(&w, SearchSpace::Extended);
+        let open = s.recommend_open_with(
+            &w,
+            &BeamConfig {
+                objective: SearchObjective::Edp,
+                ..BeamConfig::default()
+            },
+        );
+        assert!(
+            open.best.edp(clock) < preset.best.edp(clock),
+            "open {} vs preset {}",
+            open.best.edp(clock),
+            preset.best.edp(clock)
+        );
+        // And the winner is genuinely non-preset.
+        assert!(
+            open.best.choice.to_format_choice().is_none(),
+            "winner {} is a preset",
+            open.best.choice.mcf_a
+        );
+    }
+}

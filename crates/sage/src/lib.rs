@@ -30,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub mod beam;
 pub mod eval;
 pub mod search;
 pub mod structured;
 pub mod tensor_model;
 pub mod workload;
 
+pub use beam::{BeamConfig, OpenEvaluation, OpenRecommendation, SearchObjective};
 pub use eval::{Evaluation, Sage};
 pub use search::{
     acf_stationary_candidates, acf_streaming_candidates, mcf_candidates, DescriptorChoice,

@@ -80,4 +80,51 @@ fn main() {
         sys.planner.cache.hits(),
         sys.planner.cache.misses()
     );
+
+    // The calibration loop: the two runs above already fed their
+    // predicted-vs-measured traces to the planner's calibrator. Refit
+    // the stats model's coefficients and replan the dense-regime shape
+    // — the stale cache row is invalidated (the plan is searched, not
+    // hit) and the new prediction is scaled by the fitted coefficients.
+    println!("\n== calibration: before vs after one refit ==\n");
+    let a = random_matrix(48, 48, 1_800, 1);
+    let b = random_matrix(48, 56, 901, 2);
+    let w = SageWorkload::spgemm(48, 48, 56, a.nnz() as u64, b.nnz() as u64, DataType::Fp32);
+    let before = sys
+        .planner
+        .plan_job(&sys.sage, &a, &b, &w, PlanDiscipline::Pipelined)
+        .expect("workload plans");
+    let before_run = sys
+        .planner
+        .execute_plan(&sys.sage, &before, &a, &b)
+        .expect("plan executes");
+    println!("{}", before.explain());
+    println!(
+        "before      : mean cycle error {:.4}\n",
+        before_run.trace.mean_cycle_error()
+    );
+
+    let coeffs = sys.planner.calibrator.recalibrate();
+    println!(
+        "recalibrate : generation {} — conv x{:.3}, compute(ws) x{:.3}, compute(spgemm) x{:.3}",
+        sys.planner.calibrator.generation(),
+        coeffs.conv,
+        coeffs.compute_ws,
+        coeffs.compute_spgemm
+    );
+
+    let after = sys
+        .planner
+        .plan_job(&sys.sage, &a, &b, &w, PlanDiscipline::Pipelined)
+        .expect("workload replans");
+    let after_run = sys
+        .planner
+        .execute_plan(&sys.sage, &after, &a, &b)
+        .expect("plan executes");
+    println!("{}", after.explain());
+    println!(
+        "after       : mean cycle error {:.4} (was {:.4})",
+        after_run.trace.mean_cycle_error(),
+        before_run.trace.mean_cycle_error()
+    );
 }

@@ -108,8 +108,32 @@ fn plan_explain_path_end_to_end() {
             .expect("workload replans");
         assert!(again.from_cache);
         assert!(again.explain().contains("plan-cache hit"));
+        assert!(
+            again.explain().contains("calibration: generation 0"),
+            "plans must explain their calibration generation"
+        );
     }
     assert_eq!(sys.planner.cache.len(), 2, "two regimes cached");
+
+    // The example's calibration epilogue: the executed runs fed the
+    // calibrator, a refit bumps the generation, and the replanned shape
+    // is searched (stale row) with the new generation in its dump.
+    assert!(
+        sys.planner.calibrator.samples() > 0,
+        "executed plans must feed the calibrator"
+    );
+    sys.planner.calibrator.recalibrate();
+    let (m, k, n, nnz) = (32usize, 32usize, 40usize, 800usize);
+    let a = random_matrix(m, k, nnz, 1);
+    let b = random_matrix(k, n, nnz / 2 + 1, 2);
+    let w = SageWorkload::spgemm(m, k, n, a.nnz() as u64, b.nnz() as u64, DataType::Fp32);
+    let recal = sys
+        .planner
+        .plan_job(&sys.sage, &a, &b, &w, PlanDiscipline::Pipelined)
+        .expect("workload replans after refit");
+    assert!(!recal.from_cache, "refit must invalidate the cached row");
+    assert_eq!(recal.calibration_generation, 1);
+    assert!(recal.explain().contains("calibration: generation 1"));
 }
 
 /// The `examples/custom_format.rs` scenario end-to-end (shrunk for
