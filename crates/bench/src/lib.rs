@@ -22,6 +22,7 @@
 //! | [`table2`] | Table II — evaluated accelerator configs |
 //! | [`table3`] | Table III — workloads + SAGE format selections |
 //! | [`pipeline`] | tile-grained runtime — overlapped vs serial vs batched |
+//! | [`serving`] | serving layer — multi-tenant throughput + plan-cache sharding |
 
 #![warn(missing_docs)]
 
@@ -40,6 +41,7 @@ pub mod fig14;
 pub mod pipeline;
 pub mod planner;
 pub mod search;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

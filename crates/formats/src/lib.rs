@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod bsr;
+pub mod bytes;
 pub mod convert;
 pub mod coo;
 pub mod csc;
@@ -96,6 +97,7 @@ pub mod traverse;
 pub mod zvc;
 
 pub use bsr::BsrMatrix;
+pub use bytes::{fnv1a, ByteError, ByteReader, ByteWriter};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csf::CsfTensor;

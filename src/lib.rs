@@ -17,6 +17,7 @@
 //! | [`sage`] | the SAGE MCF/ACF predictor (§VI) |
 //! | [`host`] | CPU/GPU offload baseline models (§VII-B) |
 //! | [`system`] | the integrated `Flex_Flex_HW` system (§VII-C/D): planner layer (`ExecutionPlan` IR, bounded LRU plan cache) + shared executor |
+//! | [`serve`] | multi-tenant job service: admission control, weighted-fair scheduling, work stealing, binary wire format |
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,4 +29,5 @@ pub use sparseflex_kernels as kernels;
 pub use sparseflex_kernels::KernelError;
 pub use sparseflex_mint as mint;
 pub use sparseflex_sage as sage;
+pub use sparseflex_serve as serve;
 pub use sparseflex_workloads as workloads;

@@ -182,6 +182,68 @@ fn custom_format_path_end_to_end() {
     assert!(run.output().approx_eq(&reference, 1e-9));
 }
 
+/// The `examples/serve_demo.rs` scenario end-to-end (shrunk for
+/// debug-build speed): three weighted tenants submit wire frames into a
+/// running `FlexService`, every result frame decodes, and the printed
+/// per-tenant counters add up.
+#[test]
+fn serve_demo_path_end_to_end() {
+    use sparseflex::formats::{MatrixData, MatrixFormat};
+    use sparseflex::serve::{wire, FlexService, Priority, ServeConfig, WireJob};
+
+    let mut system = FlexSystem::default();
+    system.sage.accel.num_pes = 8;
+    system.sage.accel.pe_buffer_elems = 64;
+    let service = FlexService::start(
+        system,
+        ServeConfig {
+            workers: 2,
+            cache_shards: 8,
+            ..ServeConfig::default()
+        },
+    );
+    service.register_tenant(1, 1);
+    service.register_tenant(2, 2);
+    service.register_tenant(3, 4);
+
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            let a = random_matrix(10, 12, 40, 50 + (i % 3) as u64);
+            let b = random_matrix(12, 8, 36, 90 + (i % 3) as u64);
+            let job = WireJob {
+                tenant: (i % 3) as u32 + 1,
+                priority: Priority::Normal,
+                dtype: DataType::Fp32,
+                a: MatrixData::encode(&a, &MatrixFormat::Csr).unwrap(),
+                b: MatrixData::encode(&b, &MatrixFormat::Zvc).unwrap(),
+            };
+            let frame = wire::encode_job(&job).unwrap();
+            service.submit_frame(&frame).unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        let outcome = ticket.wait().expect("demo job completes");
+        let result = wire::decode_result(&outcome.result_frame).unwrap();
+        assert_eq!(result.output.rows(), 10);
+        assert_eq!(result.output.cols(), 8);
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, 12);
+    assert_eq!(stats.jobs_rejected, 0);
+    assert_eq!(stats.cache_shards.len(), 8, "demo runs the sharded cache");
+    // The demo's per-tenant table: three registered tenants whose
+    // counters cover the whole stream.
+    assert_eq!(stats.tenants.len(), 3);
+    for t in &stats.tenants {
+        assert_eq!(t.submitted, 4);
+        assert_eq!(t.completed, 4);
+        assert_eq!(t.rejected, 0);
+    }
+    let weights: Vec<u64> = stats.tenants.iter().map(|t| t.weight).collect();
+    assert_eq!(weights, vec![1, 2, 4]);
+}
+
 /// The quickstart example itself must stay runnable: `cargo test` builds
 /// all examples, and this guards the example's own verification assert
 /// by re-running its exact operand sizes through the library path.

@@ -1,0 +1,185 @@
+//! Property tests on the serving wire format: encode→decode is lossless
+//! for every matrix and tensor format in the workspace, job frames
+//! round-trip, and hostile bytes (truncation, single-byte garbles, bad
+//! counts) are rejected with typed errors — never panics.
+
+use proptest::prelude::*;
+use sparseflex::formats::{
+    CooMatrix, CooTensor3, DataType, MatrixData, MatrixFormat, TensorData, TensorFormat,
+};
+use sparseflex::serve::wire;
+use sparseflex::serve::{Priority, WireError, WireJob};
+
+/// Strategy: a random sparse matrix up to 20x20.
+fn arb_matrix() -> impl Strategy<Value = CooMatrix> {
+    (1usize..20, 1usize..20).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            ((0..r), (0..c), -100i32..100).prop_map(|(i, j, v)| (i, j, v as f64)),
+            0..36,
+        )
+        .prop_map(move |trips| {
+            CooMatrix::from_triplets(r, c, trips).expect("in-bounds by construction")
+        })
+    })
+}
+
+/// Strategy: a random sparse 3-tensor up to 8x8x8.
+fn arb_tensor() -> impl Strategy<Value = CooTensor3> {
+    (1usize..8, 1usize..8, 1usize..8).prop_flat_map(|(x, y, z)| {
+        proptest::collection::vec(
+            ((0..x), (0..y), (0..z), -50i32..50).prop_map(|(a, b, c, v)| (a, b, c, v as f64)),
+            0..24,
+        )
+        .prop_map(move |quads| {
+            CooTensor3::from_quads(x, y, z, quads).expect("in-bounds by construction")
+        })
+    })
+}
+
+fn all_matrix_formats() -> Vec<MatrixFormat> {
+    vec![
+        MatrixFormat::Dense,
+        MatrixFormat::Coo,
+        MatrixFormat::Csr,
+        MatrixFormat::Csc,
+        MatrixFormat::Bsr { br: 2, bc: 3 },
+        MatrixFormat::Dia,
+        MatrixFormat::Ell,
+        MatrixFormat::Rlc { run_bits: 3 },
+        MatrixFormat::Zvc,
+    ]
+}
+
+fn all_tensor_formats() -> Vec<TensorFormat> {
+    vec![
+        TensorFormat::Dense,
+        TensorFormat::Coo,
+        TensorFormat::Csf,
+        TensorFormat::HiCoo { block: 4 },
+        TensorFormat::Rlc { run_bits: 3 },
+        TensorFormat::Zvc,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wire_roundtrips_every_matrix_format(coo in arb_matrix()) {
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let frame = wire::encode_matrix(&data).unwrap();
+            let back = wire::decode_matrix(&frame).unwrap();
+            prop_assert_eq!(&back, &data, "wire roundtrip failed for {}", fmt);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrips_every_tensor_format(coo in arb_tensor()) {
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&coo, &fmt).unwrap();
+            let frame = wire::encode_tensor(&data).unwrap();
+            let back = wire::decode_tensor(&frame).unwrap();
+            prop_assert_eq!(&back, &data, "wire roundtrip failed for {}", fmt);
+        }
+    }
+
+    #[test]
+    fn job_frames_roundtrip(a in arb_matrix(), b in arb_matrix(), pri in 0u8..3, dt in 0usize..6) {
+        let dtypes = [
+            DataType::Int8, DataType::Int16, DataType::Bf16,
+            DataType::Int32, DataType::Fp32, DataType::Fp64,
+        ];
+        let job = WireJob {
+            tenant: 7,
+            priority: match pri { 0 => Priority::High, 1 => Priority::Normal, _ => Priority::Low },
+            dtype: dtypes[dt],
+            a: MatrixData::encode(&a, &MatrixFormat::Csr).unwrap(),
+            b: MatrixData::encode(&b, &MatrixFormat::Coo).unwrap(),
+        };
+        let frame = wire::encode_job(&job).unwrap();
+        let back = wire::decode_job(&frame).unwrap();
+        prop_assert_eq!(back.tenant, job.tenant);
+        prop_assert_eq!(back.priority, job.priority);
+        prop_assert_eq!(back.dtype, job.dtype);
+        prop_assert_eq!(&back.a, &job.a);
+        prop_assert_eq!(&back.b, &job.b);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(coo in arb_matrix()) {
+        let data = MatrixData::encode(&coo, &MatrixFormat::Zvc).unwrap();
+        let frame = wire::encode_matrix(&data).unwrap();
+        for len in 0..frame.len() {
+            // Never panics; always a typed error.
+            prop_assert!(wire::decode_matrix(&frame[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_garble_is_rejected(coo in arb_matrix(), flip in 1i32..256) {
+        let flip = flip as u8;
+        let data = MatrixData::encode(&coo, &MatrixFormat::Csr).unwrap();
+        let frame = wire::encode_matrix(&data).unwrap();
+        for i in 0..frame.len() {
+            let mut garbled = frame.clone();
+            garbled[i] ^= flip;
+            prop_assert!(
+                wire::decode_matrix(&garbled).is_err(),
+                "garble at byte {} (xor {:#04x}) was accepted",
+                i,
+                flip
+            );
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(raw in proptest::collection::vec(0i32..256, 0..256)) {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        let _ = wire::decode_matrix(&bytes);
+        let _ = wire::decode_tensor(&bytes);
+        let _ = wire::decode_job(&bytes);
+        let _ = wire::decode_result(&bytes);
+    }
+}
+
+#[test]
+fn typed_errors_name_the_failure() {
+    let coo = CooMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 2, -1.0)]).unwrap();
+    let data = MatrixData::encode(&coo, &MatrixFormat::Coo).unwrap();
+    let frame = wire::encode_matrix(&data).unwrap();
+
+    let mut bad_magic = frame.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        wire::decode_matrix(&bad_magic),
+        Err(WireError::BadMagic)
+    ));
+
+    let mut bad_version = frame.clone();
+    bad_version[4] = 99;
+    assert!(matches!(
+        wire::decode_matrix(&bad_version),
+        Err(WireError::UnsupportedVersion(99))
+    ));
+
+    // A matrix frame is not a tensor frame.
+    assert!(matches!(
+        wire::decode_tensor(&frame),
+        Err(WireError::WrongKind { .. })
+    ));
+
+    let mut bad_reserved = frame.clone();
+    bad_reserved[6] = 1;
+    assert!(matches!(
+        wire::decode_matrix(&bad_reserved),
+        Err(WireError::ReservedNonZero { .. })
+    ));
+
+    let mut trailing = frame.clone();
+    trailing.push(0);
+    assert!(matches!(
+        wire::decode_matrix(&trailing),
+        Err(WireError::ChecksumMismatch { .. }) | Err(WireError::TrailingBytes { .. })
+    ));
+}
