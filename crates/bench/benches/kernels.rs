@@ -4,8 +4,11 @@
 //! the concrete fast paths it dispatches to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sparseflex_formats::{CsrMatrix, DenseMatrix, MatrixData, MatrixFormat};
-use sparseflex_kernels::{gemm, spgemm, spmm, spmm_via_stream, spmv, spmv_via_stream};
+use sparseflex_formats::{CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, StreamArena};
+use sparseflex_kernels::{
+    gemm, spgemm, spgemm_rowwise, spmm, spmm_via_stream, spmm_via_stream_in, spmv, spmv_via_stream,
+    spmv_via_stream_in,
+};
 use sparseflex_workloads::synth::{random_dense_matrix, random_matrix};
 
 const N: usize = 384;
@@ -28,6 +31,11 @@ fn bench_mm_across_density(c: &mut Criterion) {
             BenchmarkId::new("spgemm_csr_csr", dens),
             &dens,
             |bench, _| bench.iter(|| spgemm(&a_csr, &b_csr).expect("shapes agree")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("spgemm_rowwise_csr_csr", dens),
+            &dens,
+            |bench, _| bench.iter(|| spgemm_rowwise(&a_csr, &b_csr).expect("shapes agree")),
         );
     }
     let a_dense: DenseMatrix = random_dense_matrix(N, N, 3);
@@ -77,6 +85,10 @@ fn bench_stream_vs_fast_path(c: &mut Criterion) {
     g.bench_function("spmv_zvc_stream", |bench| {
         bench.iter(|| spmv(&a_zvc, &x).expect("shapes agree"))
     });
+    g.bench_function("spmv_zvc_stream_warm_arena", |bench| {
+        let mut arena = StreamArena::new();
+        bench.iter(|| spmv_via_stream_in(&mut arena, &a_zvc, &x).expect("shapes agree"))
+    });
     g.bench_function("spmm_csr_fast_path", |bench| {
         bench.iter(|| spmm(&a_csr, &b).expect("shapes agree"))
     });
@@ -85,6 +97,10 @@ fn bench_stream_vs_fast_path(c: &mut Criterion) {
     });
     g.bench_function("spmm_zvc_stream", |bench| {
         bench.iter(|| spmm(&a_zvc, &b).expect("shapes agree"))
+    });
+    g.bench_function("spmm_zvc_stream_warm_arena", |bench| {
+        let mut arena = StreamArena::new();
+        bench.iter(|| spmm_via_stream_in(&mut arena, &a_zvc, &b).expect("shapes agree"))
     });
     g.finish();
 }

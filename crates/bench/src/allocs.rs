@@ -1,0 +1,91 @@
+//! Heap-allocation counting for the zero-alloc streaming exhibit.
+//!
+//! [`CountingAllocator`] wraps the system allocator and bumps a global
+//! counter on every `alloc`/`realloc`. The library only *reads* the
+//! counter; the allocator is installed as `#[global_allocator]` by the
+//! binaries that enforce the budget (`kernels_gate`, `run_all`) and by
+//! the `stream_arena` integration test — never by this library itself,
+//! so linking `sparseflex-bench` does not change a host program's
+//! allocator.
+//!
+//! Counts are process-global, so concurrent measurement from several
+//! threads would cross-contaminate; the measurement entry points in
+//! [`crate::kernels`] are all single-threaded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts `alloc`/`realloc` calls, then defers to
+/// the system allocator. Install with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: sparseflex_bench::allocs::CountingAllocator =
+///     sparseflex_bench::allocs::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, which upholds the
+// `GlobalAlloc` contract; the counter bump has no effect on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// Total `alloc`/`realloc` calls observed so far (0 unless a
+/// [`CountingAllocator`] is installed as the global allocator).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return how many heap allocations it performed alongside
+/// its result. Reads 0 allocations when no counting allocator is
+/// installed — check [`probe_installed`] first when the count gates.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let r = f();
+    (allocations() - before, r)
+}
+
+/// Whether a [`CountingAllocator`] is actually installed: performs one
+/// deliberate heap allocation and checks the counter moved.
+pub fn probe_installed() -> bool {
+    let before = allocations();
+    let v: Vec<u8> = Vec::with_capacity(64);
+    std::hint::black_box(&v);
+    drop(v);
+    allocations() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_allocs_is_monotone() {
+        // The test harness does not install the counting allocator, so
+        // the count must simply never go backwards.
+        let (n, _) = count_allocs(|| Vec::<u8>::with_capacity(32));
+        let (m, _) = count_allocs(|| ());
+        assert!(n >= m);
+    }
+}

@@ -7,6 +7,13 @@
 //! calibration instead of cold-starting.
 use std::fs;
 
+// Counting allocator so the kernels exhibit's BENCH_kernels.json carries
+// real steady-state allocation counts (one relaxed atomic increment per
+// allocation; no effect on any other exhibit's measurements).
+#[global_allocator]
+static ALLOC: sparseflex_bench::allocs::CountingAllocator =
+    sparseflex_bench::allocs::CountingAllocator;
+
 /// A named figure/table generator.
 type Job = (&'static str, fn() -> Vec<String>);
 
@@ -125,9 +132,22 @@ fn main() -> std::io::Result<()> {
         dir.join("BENCH_serving.json"),
         sparseflex_bench::serving::json_from(&serving_measured) + "\n",
     )?;
+    // Streaming-kernel exhibit: zero-alloc steady-state evidence plus
+    // the stream-vs-fast-path overhead, measured once, rendered as CSV
+    // and the JSON snapshot the kernels_gate CI step prices.
+    eprintln!("generating kernels + BENCH_kernels.json ...");
+    let kernels_measured = sparseflex_bench::kernels::measure();
+    fs::write(
+        dir.join("kernels.csv"),
+        sparseflex_bench::kernels::rows_from(&kernels_measured).join("\n") + "\n",
+    )?;
+    fs::write(
+        dir.join("BENCH_kernels.json"),
+        sparseflex_bench::kernels::json_from(&kernels_measured) + "\n",
+    )?;
     eprintln!(
         "wrote results/*.csv + results/BENCH_pipeline.json + results/BENCH_planner.json \
-         + results/BENCH_search.json + results/BENCH_serving.json"
+         + results/BENCH_search.json + results/BENCH_serving.json + results/BENCH_kernels.json"
     );
     Ok(())
 }

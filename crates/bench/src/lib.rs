@@ -23,10 +23,12 @@
 //! | [`table3`] | Table III — workloads + SAGE format selections |
 //! | [`pipeline`] | tile-grained runtime — overlapped vs serial vs batched |
 //! | [`serving`] | serving layer — multi-tenant throughput + plan-cache sharding |
+//! | [`kernels`] | streaming kernels — zero-alloc steady state + stream overhead budget |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod allocs;
 pub mod fig04;
 pub mod fig05;
 pub mod fig05_measured;
@@ -38,6 +40,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod kernels;
 pub mod pipeline;
 pub mod planner;
 pub mod search;

@@ -32,8 +32,9 @@ use crate::plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace,
 use crate::system::RunError;
 use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimResult};
 use sparseflex_formats::{
-    csr_cow, plan_column_schedule, tile_column_ranges, ColumnSchedule, CooMatrix, CsrMatrix,
-    DenseMatrix, MatrixData, MatrixFormat, MatrixTile, SparseMatrix, TilePolicy,
+    csr_cow, csr_cow_in, plan_column_schedule, tile_column_ranges, ColumnSchedule, CooMatrix,
+    CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, MatrixTile, SparseMatrix, StreamArena,
+    TilePolicy,
 };
 use sparseflex_mint::tiled::{overlap_schedule, split_cycles};
 use sparseflex_mint::{conversion_cost, ConversionReport};
@@ -689,11 +690,14 @@ fn convert_and_execute_tiles(
     tiles_mem: &[MatrixTile],
 ) -> Result<Vec<(ConversionReport, SimResult)>, RunError> {
     let a_csr = if spgemm { Some(csr_cow(a_acf)) } else { None };
+    // One grow-only arena serves every tile: the first tile's CSR
+    // materialization warms its buffers, later tiles re-borrow them.
+    let mut arena = StreamArena::new();
     tiles_mem
         .iter()
         .map(|tile| {
             let (tile_acf, conv) = sage.mint.convert_matrix(&tile.data, &choice.acf_b)?;
-            let sim = execute_tile(sage, a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
+            let sim = execute_tile(sage, &mut arena, a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
             Ok((conv, sim))
         })
         .collect()
@@ -774,8 +778,14 @@ fn predict_structure(
 }
 
 /// Run one converted stationary tile on the cycle-accurate simulator.
+///
+/// SpGEMM tiles that need a CSR view draw both the traversal scratch and
+/// the CSR triple itself from `arena`, and hand the triple back
+/// afterwards ([`StreamArena::recycle_csr`]) so the next tile
+/// materializes without fresh allocations.
 fn execute_tile(
     sage: &Sage,
+    arena: &mut StreamArena,
     a_acf: &MatrixData,
     a_csr: Option<&CsrMatrix>,
     tile_acf: &MatrixData,
@@ -783,7 +793,12 @@ fn execute_tile(
 ) -> Result<SimResult, RunError> {
     let sim = if spgemm {
         let a = a_csr.expect("CSR A is materialized for SpGEMM runs");
-        simulate_spgemm(a, &csr_cow(tile_acf), &sage.accel)?
+        let tile_csr = csr_cow_in(arena, tile_acf);
+        let sim = simulate_spgemm(a, &tile_csr, &sage.accel)?;
+        if let std::borrow::Cow::Owned(c) = tile_csr {
+            arena.recycle_csr(c);
+        }
+        sim
     } else {
         simulate_ws(a_acf, tile_acf, &sage.accel)?
     };

@@ -137,6 +137,20 @@ impl CsrMatrix {
         })
     }
 
+    /// Decompose into `(rows, cols, row_ptr, col_ids, values)`, giving the
+    /// caller ownership of the backing arrays — the inverse of
+    /// [`from_parts`](Self::from_parts). Used by the stream arena to
+    /// recycle conversion buffers across tile loops.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Value>) {
+        (
+            self.rows,
+            self.cols,
+            self.row_ptr,
+            self.col_ids,
+            self.values,
+        )
+    }
+
     /// Transpose by converting to CSC-ordered arrays and reinterpreting —
     /// the classic counting-sort transpose (same algorithm MINT runs in
     /// hardware for CSR→CSC, Fig. 8c).

@@ -26,6 +26,7 @@
 //! containers by [`encode_with_descriptor`] instead, so the preset paths
 //! never regress.
 
+use crate::arena::StreamArena;
 use crate::coo::CooMatrix;
 use crate::descriptor::{FormatDescriptor, Level, RankOrder, ValuesLayout};
 use crate::dtype::DataType;
@@ -330,27 +331,37 @@ impl CustomMatrix {
 
 impl RowMajorStream for CustomMatrix {
     /// Row-major traversal: native fiber walk for row-major orders, a
-    /// counting-sort transpose (the CSC algorithm) for column-major.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// counting-sort transpose (the CSC algorithm) for column-major. All
+    /// scratch comes from the arena, so repeat traversals allocate
+    /// nothing once its buffers have grown to fit the operand.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         let stored = self.stored_fibers();
-        let mut coords = Vec::new();
-        let mut vals = Vec::new();
+        let StreamArena {
+            coords,
+            vals,
+            idx_a: row_ptr,
+            idx_b: next,
+            triples,
+            ..
+        } = arena;
         if self.desc.order != RankOrder::ColMajor {
             for (si, &f) in stored.iter().enumerate() {
-                self.decode_fiber(si, &mut coords, &mut vals);
+                self.decode_fiber(si, coords, vals);
                 if !coords.is_empty() {
-                    emit(f, &coords, &vals);
+                    emit(f, coords, vals);
                 }
             }
             return;
         }
         // Column-major: bucket all entries by row, columns stay sorted
         // because fibers are visited in ascending column order.
-        let mut row_ptr = vec![0usize; self.rows + 1];
-        let mut triples: Vec<(usize, usize, Value)> = Vec::with_capacity(self.nnz);
+        row_ptr.clear();
+        row_ptr.resize(self.rows + 1, 0);
+        triples.clear();
+        triples.reserve(self.nnz);
         for (si, &col) in stored.iter().enumerate() {
-            self.decode_fiber(si, &mut coords, &mut vals);
-            for (&r, &v) in coords.iter().zip(&vals) {
+            self.decode_fiber(si, coords, vals);
+            for (&r, &v) in coords.iter().zip(&*vals) {
                 row_ptr[r + 1] += 1;
                 triples.push((r, col, v));
             }
@@ -358,19 +369,24 @@ impl RowMajorStream for CustomMatrix {
         for r in 0..self.rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        let mut cols_out = vec![0usize; triples.len()];
-        let mut vals_out = vec![0.0; triples.len()];
-        let mut next = row_ptr.clone();
-        for (r, c, v) in triples {
+        // The per-fiber decode scratch is free again — reuse it as the
+        // scatter target holding the row-bucketed columns and values.
+        coords.clear();
+        coords.resize(triples.len(), 0);
+        vals.clear();
+        vals.resize(triples.len(), 0.0);
+        next.clear();
+        next.extend_from_slice(row_ptr);
+        for &(r, c, v) in triples.iter() {
             let slot = next[r];
             next[r] += 1;
-            cols_out[slot] = c;
-            vals_out[slot] = v;
+            coords[slot] = c;
+            vals[slot] = v;
         }
         for r in 0..self.rows {
             let (s, e) = (row_ptr[r], row_ptr[r + 1]);
             if s < e {
-                emit(r, &cols_out[s..e], &vals_out[s..e]);
+                emit(r, &coords[s..e], &vals[s..e]);
             }
         }
     }

@@ -69,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bsr;
 pub mod bytes;
 pub mod convert;
@@ -96,6 +97,7 @@ pub mod traits;
 pub mod traverse;
 pub mod zvc;
 
+pub use arena::StreamArena;
 pub use bsr::BsrMatrix;
 pub use bytes::{fnv1a, ByteError, ByteReader, ByteWriter};
 pub use coo::CooMatrix;
@@ -118,7 +120,9 @@ pub use tiler::{
     ColumnSchedule, MatrixTile, TilePolicy,
 };
 pub use traits::{SparseMatrix, SparseTensor3};
-pub use traverse::{csr_cow, csr_from_stream, FiberStream3, RowMajorStream};
+pub use traverse::{
+    csr_cow, csr_cow_in, csr_from_stream, csr_from_stream_in, FiberStream3, RowMajorStream,
+};
 pub use zvc::{ZvcMatrix, ZvcTensor3};
 
 /// Scalar element type used for all functional (value-carrying) storage.

@@ -50,6 +50,13 @@ impl DenseTensor3 {
         &self.data
     }
 
+    /// Mutable flat backing buffer (z fastest) — lets kernels update a
+    /// whole `(x, y)` output fiber as one contiguous lane.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Value] {
+        &mut self.data
+    }
+
     /// Write access to element `(x, y, z)`.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, z: usize, v: Value) {

@@ -16,14 +16,26 @@
 //! are laid out. Formats whose storage *is* fiber-shaped (CSR's rows, COO's
 //! sorted runs, CSF's level-2 slices, ZVC's packed per-row values) stream
 //! zero-copy; padded or transposed layouts (BSR, ELL, DIA, CSC, RLC, Dense)
-//! assemble each fiber in a small scratch buffer as they walk their native
-//! structure — no COO hub round-trip, no format conversion.
+//! assemble each fiber in scratch borrowed from a [`StreamArena`] as they
+//! walk their native structure — no COO hub round-trip, no format
+//! conversion, and (once the arena is warm) no heap allocation.
 //!
 //! Kernels written against these traits run unchanged over every format
 //! (see `sparseflex-kernels`' format-generic `spmv`/`spmm`/`spgemm`/
 //! `mttkrp`/`spttm`), which is the software analogue of the paper's
 //! flexible-ACF accelerator: implement one traversal per format, get every
 //! kernel for free.
+//!
+//! # Scratch discipline
+//!
+//! The required methods are the `*_in` variants taking a `&mut
+//! StreamArena`; the arena-less methods are provided wrappers that build a
+//! fresh (heap-free) arena per call, so one-shot callers keep the PR-2
+//! signature and cost. Hot loops — the tile pipeline, kernel dispatchers,
+//! benches — thread one arena through every traversal so scratch-hungry
+//! formats (CSC's counting-sort transpose, HiCOO's re-sort, ELL/DIA/BSR
+//! fiber assembly) reach a zero-allocation steady state. See
+//! [`crate::arena`] for the buffer-ownership rules.
 //!
 //! # Ordering contract
 //!
@@ -33,8 +45,10 @@
 //! ascending and coordinates strictly ascending within each fiber. This
 //! makes the stream a drop-in replacement for the COO hub in any
 //! order-sensitive consumer (CSR construction, merge-joins, the
-//! weight-stationary dataflow).
+//! weight-stationary dataflow). The arena-threaded and arena-less paths
+//! must be bit-for-bit identical.
 
+use crate::arena::StreamArena;
 use crate::bsr::BsrMatrix;
 use crate::coo::CooMatrix;
 use crate::csc::CscMatrix;
@@ -58,49 +72,85 @@ pub type FiberSink3<'a> = dyn FnMut(usize, usize, &[usize], &[Value]) + 'a;
 
 /// Row-major fiber traversal over any 2-D format.
 ///
-/// One call to [`for_each_fiber`](Self::for_each_fiber) pushes every stored
-/// row fiber `(row, cols, vals)` through the callback, rows ascending and
-/// columns ascending within each row — the order the paper's streaming
-/// dataflows (Alg. 1, Fig. 6) consume the operand in. Hub-only consumers
-/// that want individual nonzeros can use the derived triple stream
+/// One call to [`for_each_fiber_in`](Self::for_each_fiber_in) pushes every
+/// stored row fiber `(row, cols, vals)` through the callback, rows
+/// ascending and columns ascending within each row — the order the paper's
+/// streaming dataflows (Alg. 1, Fig. 6) consume the operand in. Scratch
+/// comes from the caller's [`StreamArena`], so repeat traversals allocate
+/// nothing; [`for_each_fiber`](Self::for_each_fiber) is the one-shot
+/// wrapper. Hub-only consumers that want individual nonzeros can use the
+/// derived triple streams [`for_each_nnz_in`](Self::for_each_nnz_in) /
 /// [`for_each_nnz`](Self::for_each_nnz) instead.
 pub trait RowMajorStream {
     /// Push each non-empty row fiber `(row, col_ids, values)` in row-major
-    /// order. `col_ids` and `values` are parallel slices (borrowed from the
-    /// format where the layout allows, from a scratch buffer otherwise) and
-    /// are only valid for the duration of the callback.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>);
+    /// order, assembling scratch-built fibers in `arena`. `col_ids` and
+    /// `values` are parallel slices (borrowed from the format where the
+    /// layout allows, from the arena otherwise) and are only valid for the
+    /// duration of the callback. Implementations may use any arena buffer
+    /// except [`StreamArena::acc`], which is reserved for consumers.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>);
+
+    /// One-shot wrapper around [`for_each_fiber_in`](Self::for_each_fiber_in)
+    /// with a fresh (heap-free until used) arena.
+    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+        self.for_each_fiber_in(&mut StreamArena::new(), emit);
+    }
 
     /// Push individual `(row, col, value)` triples in row-major order — the
-    /// nnz stream view of the same traversal.
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
-        self.for_each_fiber(&mut |r, cols, vals| {
+    /// nnz stream view of the same traversal — using the caller's arena.
+    fn for_each_nnz_in(&self, arena: &mut StreamArena, emit: &mut dyn FnMut(usize, usize, Value)) {
+        self.for_each_fiber_in(arena, &mut |r, cols, vals| {
             for (&c, &v) in cols.iter().zip(vals) {
                 emit(r, c, v);
             }
         });
     }
+
+    /// One-shot wrapper around [`for_each_nnz_in`](Self::for_each_nnz_in).
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
+        self.for_each_nnz_in(&mut StreamArena::new(), emit);
+    }
 }
 
 /// Mode-z fiber traversal over any 3-D tensor format.
 ///
-/// One call to [`for_each_fiber`](Self::for_each_fiber) pushes every
+/// One call to [`for_each_fiber_in`](Self::for_each_fiber_in) pushes every
 /// non-empty `(x, y)` fiber — the z-direction runs of Fig. 3b that CSF's
 /// tree levels index — with `(x, y)` lexicographically ascending and z
-/// ascending within each fiber.
+/// ascending within each fiber. Scratch comes from the caller's
+/// [`StreamArena`]; [`for_each_fiber`](Self::for_each_fiber) is the
+/// one-shot wrapper.
 pub trait FiberStream3 {
     /// Push each non-empty fiber `(x, y, z_ids, values)` in `(x, y)`
-    /// lexicographic order. `z_ids` and `values` are parallel slices valid
-    /// only for the duration of the callback.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>);
+    /// lexicographic order, assembling scratch-built fibers in `arena`.
+    /// `z_ids` and `values` are parallel slices valid only for the duration
+    /// of the callback. Implementations may use any arena buffer except
+    /// [`StreamArena::acc`], which is reserved for consumers.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>);
 
-    /// Push individual `(x, y, z, value)` quads in x-major order.
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
-        self.for_each_fiber(&mut |x, y, zs, vals| {
+    /// One-shot wrapper around [`for_each_fiber_in`](Self::for_each_fiber_in)
+    /// with a fresh (heap-free until used) arena.
+    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+        self.for_each_fiber_in(&mut StreamArena::new(), emit);
+    }
+
+    /// Push individual `(x, y, z, value)` quads in x-major order using the
+    /// caller's arena.
+    fn for_each_nnz_in(
+        &self,
+        arena: &mut StreamArena,
+        emit: &mut dyn FnMut(usize, usize, usize, Value),
+    ) {
+        self.for_each_fiber_in(arena, &mut |x, y, zs, vals| {
             for (&z, &v) in zs.iter().zip(vals) {
                 emit(x, y, z, v);
             }
         });
+    }
+
+    /// One-shot wrapper around [`for_each_nnz_in`](Self::for_each_nnz_in).
+    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
+        self.for_each_nnz_in(&mut StreamArena::new(), emit);
     }
 }
 
@@ -109,8 +159,8 @@ pub trait FiberStream3 {
 // ---------------------------------------------------------------------------
 
 impl RowMajorStream for CsrMatrix {
-    /// Zero-copy: CSR rows *are* fibers.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// Zero-copy: CSR rows *are* fibers. The arena is untouched.
+    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
         for r in 0..self.rows() {
             let (cols, vals) = self.row(r);
@@ -123,8 +173,8 @@ impl RowMajorStream for CsrMatrix {
 
 impl RowMajorStream for CooMatrix {
     /// Zero-copy: the hub arrays are row-major sorted, so each row's
-    /// entries form a contiguous run.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// entries form a contiguous run. The arena is untouched.
+    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         let rids = self.row_ids();
         let mut s = 0;
         while s < rids.len() {
@@ -138,7 +188,7 @@ impl RowMajorStream for CooMatrix {
         }
     }
 
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
+    fn for_each_nnz_in(&self, _arena: &mut StreamArena, emit: &mut dyn FnMut(usize, usize, Value)) {
         for (r, c, v) in self.iter() {
             emit(r, c, v);
         }
@@ -146,77 +196,88 @@ impl RowMajorStream for CooMatrix {
 }
 
 impl RowMajorStream for DenseMatrix {
-    /// Small-scratch: compacts each dense row's nonzeros into one fiber
+    /// Arena-scratch: compacts each dense row's nonzeros into one fiber
     /// (the stream equivalent of `to_coo`'s row scan).
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
-        let mut cols: Vec<usize> = Vec::with_capacity(self.cols());
-        let mut vals: Vec<Value> = Vec::with_capacity(self.cols());
+        let StreamArena { coords, vals, .. } = arena;
         for r in 0..self.rows() {
-            cols.clear();
+            coords.clear();
             vals.clear();
             for (c, &v) in self.row(r).iter().enumerate() {
                 if v != 0.0 {
-                    cols.push(c);
+                    coords.push(c);
                     vals.push(v);
                 }
             }
-            if !cols.is_empty() {
-                emit(r, &cols, &vals);
+            if !coords.is_empty() {
+                emit(r, coords, vals);
             }
         }
     }
 }
 
 impl RowMajorStream for CscMatrix {
-    /// Small-scratch counting-sort transpose: one O(nnz) bucketing pass
+    /// Arena-scratch counting-sort transpose: one O(nnz) bucketing pass
     /// (the same algorithm MINT's CSC→CSR pipeline runs in hardware,
-    /// Fig. 8c), then a zero-copy walk of the transposed runs.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// Fig. 8c), then a zero-copy walk of the transposed runs. Steady
+    /// state reuses the arena's `idx_a`/`idx_b`/`coords`/`vals` capacity.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
         let nnz = self.values().len();
-        let mut row_ptr = vec![0usize; self.rows() + 1];
+        let rows = self.rows();
+        let StreamArena {
+            coords,
+            vals,
+            idx_a: row_ptr,
+            idx_b: next,
+            ..
+        } = arena;
+        row_ptr.clear();
+        row_ptr.resize(rows + 1, 0);
         for &r in self.row_ids() {
             row_ptr[r + 1] += 1;
         }
-        for r in 0..self.rows() {
+        for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        let mut cols = vec![0usize; nnz];
-        let mut vals = vec![0.0; nnz];
-        let mut next = row_ptr.clone();
+        coords.clear();
+        coords.resize(nnz, 0);
+        vals.clear();
+        vals.resize(nnz, 0.0);
+        next.clear();
+        next.extend_from_slice(row_ptr);
         // Column-major scan fills each row bucket in ascending column order.
         for (r, c, v) in self.iter_col_major() {
             let slot = next[r];
             next[r] += 1;
-            cols[slot] = c;
+            coords[slot] = c;
             vals[slot] = v;
         }
-        for r in 0..self.rows() {
+        for r in 0..rows {
             let (s, e) = (row_ptr[r], row_ptr[r + 1]);
             if s < e {
-                emit(r, &cols[s..e], &vals[s..e]);
+                emit(r, &coords[s..e], &vals[s..e]);
             }
         }
     }
 }
 
 impl RowMajorStream for BsrMatrix {
-    /// Small-scratch: walks each block row once, merging the stored blocks'
+    /// Arena-scratch: walks each block row once, merging the stored blocks'
     /// local rows (block columns are sorted, so concatenation is already
     /// column-ascending) and skipping padding zeros.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
         let (br_h, bc_w) = self.block_shape();
-        let mut cols: Vec<usize> = Vec::new();
-        let mut vals: Vec<Value> = Vec::new();
+        let StreamArena { coords, vals, .. } = arena;
         for br in 0..self.num_block_rows() {
             for lr in 0..br_h {
                 let r = br * br_h + lr;
                 if r >= self.rows() {
                     break;
                 }
-                cols.clear();
+                coords.clear();
                 vals.clear();
                 for i in self.row_ptr()[br]..self.row_ptr()[br + 1] {
                     let bc = self.col_ids()[i];
@@ -228,13 +289,13 @@ impl RowMajorStream for BsrMatrix {
                         }
                         let v = blk[lr * bc_w + lc];
                         if v != 0.0 {
-                            cols.push(c);
+                            coords.push(c);
                             vals.push(v);
                         }
                     }
                 }
-                if !cols.is_empty() {
-                    emit(r, &cols, &vals);
+                if !coords.is_empty() {
+                    emit(r, coords, vals);
                 }
             }
         }
@@ -242,60 +303,78 @@ impl RowMajorStream for BsrMatrix {
 }
 
 impl RowMajorStream for EllMatrix {
-    /// Small-scratch: drops each padded row's sentinel slots and explicit
-    /// zeros, sorting by column (builders may supply unsorted slots).
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// Arena-scratch, single pass: sentinel slots and explicit zeros are
+    /// dropped *while* scanning the padded row (not filtered from a
+    /// materialized copy), and sortedness is detected on the fly — rows
+    /// whose stored slots are already column-ascending (the common case
+    /// for encoder-produced ELL) emit directly; only genuinely unsorted
+    /// builder-supplied rows pay the re-sort through `pairs`.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
-        let mut fiber: Vec<(usize, Value)> = Vec::with_capacity(self.width());
-        let mut cols: Vec<usize> = Vec::with_capacity(self.width());
-        let mut vals: Vec<Value> = Vec::with_capacity(self.width());
+        let StreamArena {
+            coords,
+            vals,
+            pairs,
+            ..
+        } = arena;
         for r in 0..self.rows() {
             let (cs, vs) = self.row(r);
-            fiber.clear();
+            coords.clear();
+            vals.clear();
+            let mut sorted = true;
             for (&c, &v) in cs.iter().zip(vs) {
                 if c != ELL_PAD && v != 0.0 {
-                    fiber.push((c, v));
+                    if let Some(&last) = coords.last() {
+                        sorted &= last < c;
+                    }
+                    coords.push(c);
+                    vals.push(v);
                 }
             }
-            if fiber.is_empty() {
+            if coords.is_empty() {
                 continue;
             }
-            fiber.sort_unstable_by_key(|&(c, _)| c);
-            cols.clear();
-            vals.clear();
-            for &(c, v) in &fiber {
-                cols.push(c);
-                vals.push(v);
+            if !sorted {
+                pairs.clear();
+                pairs.extend(coords.iter().copied().zip(vals.iter().copied()));
+                pairs.sort_unstable_by_key(|&(c, _)| c);
+                coords.clear();
+                vals.clear();
+                for &(c, v) in pairs.iter() {
+                    coords.push(c);
+                    vals.push(v);
+                }
             }
-            emit(r, &cols, &vals);
+            emit(r, coords, vals);
         }
     }
 }
 
 impl RowMajorStream for DiaMatrix {
-    /// Small-scratch: per row, the sorted diagonal offsets yield columns in
-    /// ascending order directly (`col = row + offset`); out-of-bounds strip
-    /// slots and padding zeros are skipped.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// Arena-scratch: per row, the sorted diagonal offsets yield columns in
+    /// ascending order directly (`col = row + offset`). The valid offset
+    /// window `0 <= row + k < cols` is located by binary search over the
+    /// sorted offsets, so out-of-bounds strip slots are never visited;
+    /// padding zeros inside the window are skipped during the scan.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
-        let mut cols: Vec<usize> = Vec::with_capacity(self.num_diagonals());
-        let mut vals: Vec<Value> = Vec::with_capacity(self.num_diagonals());
-        for r in 0..self.rows() {
-            cols.clear();
+        let (rows, cols_n) = (self.rows(), self.cols());
+        let offsets = self.offsets();
+        let StreamArena { coords, vals, .. } = arena;
+        for r in 0..rows {
+            coords.clear();
             vals.clear();
-            for (d, &k) in self.offsets().iter().enumerate() {
-                let c = r as isize + k;
-                if c < 0 || c as usize >= self.cols() {
-                    continue;
-                }
-                let v = self.data()[d * self.rows() + r];
+            let lo = offsets.partition_point(|&k| r as isize + k < 0);
+            let hi = offsets.partition_point(|&k| r as isize + k < cols_n as isize);
+            for (i, &k) in offsets[lo..hi].iter().enumerate() {
+                let v = self.data()[(lo + i) * rows + r];
                 if v != 0.0 {
-                    cols.push(c as usize);
+                    coords.push((r as isize + k) as usize);
                     vals.push(v);
                 }
             }
-            if !cols.is_empty() {
-                emit(r, &cols, &vals);
+            if !coords.is_empty() {
+                emit(r, coords, vals);
             }
         }
     }
@@ -303,13 +382,15 @@ impl RowMajorStream for DiaMatrix {
 
 impl RowMajorStream for RlcMatrix {
     /// Native stream: decodes the run-length entries in flat order (which
-    /// is row-major by construction), batching each row into one fiber.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// is row-major by construction), batching each row into one fiber in
+    /// arena scratch.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
         let cols_n = self.cols();
         let mut cur_row = usize::MAX;
-        let mut cols: Vec<usize> = Vec::new();
-        let mut vals: Vec<Value> = Vec::new();
+        let StreamArena { coords, vals, .. } = arena;
+        coords.clear();
+        vals.clear();
         let mut cursor = 0u64;
         for e in self.entries() {
             let pos = cursor + e.zeros;
@@ -319,18 +400,18 @@ impl RowMajorStream for RlcMatrix {
             }
             let r = (pos as usize) / cols_n;
             if r != cur_row {
-                if !cols.is_empty() {
-                    emit(cur_row, &cols, &vals);
-                    cols.clear();
+                if !coords.is_empty() {
+                    emit(cur_row, coords, vals);
+                    coords.clear();
                     vals.clear();
                 }
                 cur_row = r;
             }
-            cols.push((pos as usize) % cols_n);
+            coords.push((pos as usize) % cols_n);
             vals.push(e.value);
         }
-        if !cols.is_empty() {
-            emit(cur_row, &cols, &vals);
+        if !coords.is_empty() {
+            emit(cur_row, coords, vals);
         }
     }
 }
@@ -338,34 +419,34 @@ impl RowMajorStream for RlcMatrix {
 impl RowMajorStream for ZvcMatrix {
     /// Half zero-copy: values are packed row-major, so each row's values
     /// form a contiguous slice; only the column ids are decoded from the
-    /// bitmask into scratch.
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
+    /// bitmask into arena scratch.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
         let (rows, cols_n) = (self.rows(), self.cols());
-        let mut cols: Vec<usize> = Vec::with_capacity(cols_n);
+        let coords = &mut arena.coords;
         let mut vi = 0usize;
         for r in 0..rows {
-            cols.clear();
+            coords.clear();
             let start = vi;
             for c in 0..cols_n {
                 if self.bit(r * cols_n + c) {
-                    cols.push(c);
+                    coords.push(c);
                     vi += 1;
                 }
             }
-            if !cols.is_empty() {
-                emit(r, &cols, &self.values()[start..vi]);
+            if !coords.is_empty() {
+                emit(r, coords, &self.values()[start..vi]);
             }
         }
     }
 }
 
 impl RowMajorStream for MatrixData {
-    fn for_each_fiber(&self, emit: &mut RowFiberSink<'_>) {
-        self.row_stream().for_each_fiber(emit);
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
+        self.row_stream().for_each_fiber_in(arena, emit);
     }
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, Value)) {
-        self.row_stream().for_each_nnz(emit);
+    fn for_each_nnz_in(&self, arena: &mut StreamArena, emit: &mut dyn FnMut(usize, usize, Value)) {
+        self.row_stream().for_each_nnz_in(arena, emit);
     }
 }
 
@@ -393,8 +474,8 @@ impl MatrixData {
 
 impl FiberStream3 for CooTensor3 {
     /// Zero-copy: the hub arrays are x-major sorted, so each `(x, y)`
-    /// fiber's entries form a contiguous run.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+    /// fiber's entries form a contiguous run. The arena is untouched.
+    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         let (xs, ys) = (self.x_ids(), self.y_ids());
         let mut s = 0;
         while s < xs.len() {
@@ -408,7 +489,11 @@ impl FiberStream3 for CooTensor3 {
         }
     }
 
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
+    fn for_each_nnz_in(
+        &self,
+        _arena: &mut StreamArena,
+        emit: &mut dyn FnMut(usize, usize, usize, Value),
+    ) {
         for (x, y, z, v) in self.iter() {
             emit(x, y, z, v);
         }
@@ -418,7 +503,7 @@ impl FiberStream3 for CooTensor3 {
 impl FiberStream3 for CsfTensor {
     /// Zero-copy tree walk: CSF's level-2 slices *are* the fibers — each
     /// `y_ptr` range is one `(x, y)` fiber's z ids and values.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         for (si, &x) in self.x_fids().iter().enumerate() {
             for fi in self.x_ptr()[si]..self.x_ptr()[si + 1] {
                 let (s, e) = (self.y_ptr()[fi], self.y_ptr()[fi + 1]);
@@ -436,13 +521,14 @@ impl FiberStream3 for CsfTensor {
 }
 
 impl FiberStream3 for DenseTensor3 {
-    /// Small-scratch: each `(x, y)` run of the flat buffer (z fastest) is
+    /// Arena-scratch: each `(x, y)` run of the flat buffer (z fastest) is
     /// one fiber; zeros are compacted away.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
         let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
-        let mut zs: Vec<usize> = Vec::with_capacity(dz);
-        let mut vals: Vec<Value> = Vec::with_capacity(dz);
+        let StreamArena {
+            coords: zs, vals, ..
+        } = arena;
         for x in 0..dx {
             for y in 0..dy {
                 let base = (x * dy + y) * dz;
@@ -455,7 +541,7 @@ impl FiberStream3 for DenseTensor3 {
                     }
                 }
                 if !zs.is_empty() {
-                    emit(x, y, &zs, &vals);
+                    emit(x, y, zs, vals);
                 }
             }
         }
@@ -463,15 +549,20 @@ impl FiberStream3 for DenseTensor3 {
 }
 
 impl FiberStream3 for HiCooTensor {
-    /// Scratch sort: HiCOO clusters nonzeros by spatial block, so one
+    /// Arena sort: HiCOO clusters nonzeros by spatial block, so one
     /// `(x, y)` fiber may be split across blocks; the walk decodes the
-    /// block-relative coordinates and re-sorts them x-major once (O(nnz
-    /// log nnz)) before emitting fibers.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
-        let mut quads: Vec<(usize, usize, usize, Value)> = self.iter().collect();
+    /// block-relative coordinates into the arena's `quads` and re-sorts
+    /// them x-major once (O(nnz log nnz)) before emitting fibers.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+        let StreamArena {
+            coords: zs,
+            vals,
+            quads,
+            ..
+        } = arena;
+        quads.clear();
+        quads.extend(self.iter());
         quads.sort_unstable_by_key(|&(x, y, z, _)| (x, y, z));
-        let mut zs: Vec<usize> = Vec::new();
-        let mut vals: Vec<Value> = Vec::new();
         let mut s = 0;
         while s < quads.len() {
             let (x, y) = (quads[s].0, quads[s].1);
@@ -483,7 +574,7 @@ impl FiberStream3 for HiCooTensor {
                 vals.push(quads[e].3);
                 e += 1;
             }
-            emit(x, y, &zs, &vals);
+            emit(x, y, zs, vals);
             s = e;
         }
     }
@@ -491,13 +582,17 @@ impl FiberStream3 for HiCooTensor {
 
 impl FiberStream3 for RlcTensor3 {
     /// Native stream: the flattened run-length entries decode in `(x, y, z)`
-    /// order; consecutive same-`(x, y)` elements batch into one fiber.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+    /// order; consecutive same-`(x, y)` elements batch into one fiber in
+    /// arena scratch.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
         let (dy, dz) = (self.dim_y(), self.dim_z());
         let mut cur: Option<(usize, usize)> = None;
-        let mut zs: Vec<usize> = Vec::new();
-        let mut vals: Vec<Value> = Vec::new();
+        let StreamArena {
+            coords: zs, vals, ..
+        } = arena;
+        zs.clear();
+        vals.clear();
         let mut cursor = 0u64;
         for e in self.entries() {
             let pos = cursor + e.zeros;
@@ -510,7 +605,7 @@ impl FiberStream3 for RlcTensor3 {
             if cur != Some(xy) {
                 if let Some((x, y)) = cur {
                     if !zs.is_empty() {
-                        emit(x, y, &zs, &vals);
+                        emit(x, y, zs, vals);
                         zs.clear();
                         vals.clear();
                     }
@@ -522,7 +617,7 @@ impl FiberStream3 for RlcTensor3 {
         }
         if let Some((x, y)) = cur {
             if !zs.is_empty() {
-                emit(x, y, &zs, &vals);
+                emit(x, y, zs, vals);
             }
         }
     }
@@ -530,11 +625,12 @@ impl FiberStream3 for RlcTensor3 {
 
 impl FiberStream3 for ZvcTensor3 {
     /// Half zero-copy: values are packed in flat order, so each `(x, y)`
-    /// fiber's values are contiguous; z ids decode from the bitmask.
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
+    /// fiber's values are contiguous; z ids decode from the bitmask into
+    /// arena scratch.
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
         let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
-        let mut zs: Vec<usize> = Vec::with_capacity(dz);
+        let zs = &mut arena.coords;
         let mut vi = 0usize;
         for x in 0..dx {
             for y in 0..dy {
@@ -548,7 +644,7 @@ impl FiberStream3 for ZvcTensor3 {
                     }
                 }
                 if !zs.is_empty() {
-                    emit(x, y, &zs, &self.values()[start..vi]);
+                    emit(x, y, zs, &self.values()[start..vi]);
                 }
             }
         }
@@ -556,11 +652,15 @@ impl FiberStream3 for ZvcTensor3 {
 }
 
 impl FiberStream3 for TensorData {
-    fn for_each_fiber(&self, emit: &mut FiberSink3<'_>) {
-        self.fiber_stream().for_each_fiber(emit);
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+        self.fiber_stream().for_each_fiber_in(arena, emit);
     }
-    fn for_each_nnz(&self, emit: &mut dyn FnMut(usize, usize, usize, Value)) {
-        self.fiber_stream().for_each_nnz(emit);
+    fn for_each_nnz_in(
+        &self,
+        arena: &mut StreamArena,
+        emit: &mut dyn FnMut(usize, usize, usize, Value),
+    ) {
+        self.fiber_stream().for_each_nnz_in(arena, emit);
     }
 }
 
@@ -583,15 +683,26 @@ impl TensorData {
 // Stream consumers
 // ---------------------------------------------------------------------------
 
-/// Materialize any row-major stream as CSR in one pass — the streaming
+/// Materialize any row-major stream as CSR in one pass, drawing both the
+/// traversal scratch and the output buffers from `arena` — the streaming
 /// replacement for the `to_coo()` hub round-trip when a consumer needs
 /// random row access (Gustavson SpGEMM, the weight-stationary simulator).
-pub fn csr_from_stream(rows: usize, cols: usize, stream: &dyn RowMajorStream) -> CsrMatrix {
-    let mut row_ptr = Vec::with_capacity(rows + 1);
+///
+/// The output `row_ptr`/`col_ids`/`values` take their capacity from the
+/// arena's recycled-CSR pool; return the produced matrix with
+/// [`StreamArena::recycle_csr`] when done and repeated conversions (the
+/// tile loop in `core::pipeline`) stop allocating once the largest tile
+/// has been seen.
+pub fn csr_from_stream_in(
+    arena: &mut StreamArena,
+    rows: usize,
+    cols: usize,
+    stream: &dyn RowMajorStream,
+) -> CsrMatrix {
+    let (mut row_ptr, mut col_ids, mut values) = arena.take_csr_buffers();
+    row_ptr.reserve(rows + 1);
     row_ptr.push(0usize);
-    let mut col_ids = Vec::new();
-    let mut values = Vec::new();
-    stream.for_each_fiber(&mut |r, cs, vs| {
+    stream.for_each_fiber_in(arena, &mut |r, cs, vs| {
         while row_ptr.len() <= r {
             row_ptr.push(col_ids.len());
         }
@@ -605,19 +716,34 @@ pub fn csr_from_stream(rows: usize, cols: usize, stream: &dyn RowMajorStream) ->
         .expect("the stream ordering contract yields valid CSR")
 }
 
+/// One-shot wrapper around [`csr_from_stream_in`] with a fresh arena.
+pub fn csr_from_stream(rows: usize, cols: usize, stream: &dyn RowMajorStream) -> CsrMatrix {
+    csr_from_stream_in(&mut StreamArena::new(), rows, cols, stream)
+}
+
 /// Borrow the operand's CSR payload when it already is CSR, else
-/// materialize one via [`csr_from_stream`] — the zero-copy view shared by
-/// the kernel dispatchers and the accelerator runtimes.
-pub fn csr_cow(data: &MatrixData) -> std::borrow::Cow<'_, CsrMatrix> {
+/// materialize one via [`csr_from_stream_in`] — the zero-copy view shared
+/// by the kernel dispatchers and the accelerator runtimes. Owned results
+/// can be recycled into the arena with [`StreamArena::recycle_csr`].
+pub fn csr_cow_in<'a>(
+    arena: &mut StreamArena,
+    data: &'a MatrixData,
+) -> std::borrow::Cow<'a, CsrMatrix> {
     use crate::traits::SparseMatrix;
     match data {
         MatrixData::Csr(c) => std::borrow::Cow::Borrowed(c),
-        other => std::borrow::Cow::Owned(csr_from_stream(
+        other => std::borrow::Cow::Owned(csr_from_stream_in(
+            arena,
             other.rows(),
             other.cols(),
             other.row_stream(),
         )),
     }
+}
+
+/// One-shot wrapper around [`csr_cow_in`] with a fresh arena.
+pub fn csr_cow(data: &MatrixData) -> std::borrow::Cow<'_, CsrMatrix> {
+    csr_cow_in(&mut StreamArena::new(), data)
 }
 
 #[cfg(test)]
@@ -714,6 +840,39 @@ mod tests {
         }
     }
 
+    /// A shared warm arena must produce exactly the same stream as the
+    /// one-shot wrapper, across repeated traversals of different operands.
+    #[test]
+    fn shared_arena_streams_match_one_shot_streams() {
+        let coo = sample_matrix();
+        let mut arena = StreamArena::new();
+        for _pass in 0..3 {
+            for fmt in all_matrix_formats() {
+                let data = MatrixData::encode(&coo, &fmt).unwrap();
+                let mut one_shot: Vec<(usize, Vec<usize>, Vec<Value>)> = Vec::new();
+                data.for_each_fiber(&mut |r, cs, vs| one_shot.push((r, cs.to_vec(), vs.to_vec())));
+                let mut warmed: Vec<(usize, Vec<usize>, Vec<Value>)> = Vec::new();
+                data.for_each_fiber_in(&mut arena, &mut |r, cs, vs| {
+                    warmed.push((r, cs.to_vec(), vs.to_vec()))
+                });
+                assert_eq!(one_shot, warmed, "arena changed the stream for {fmt}");
+            }
+        }
+        let tco = sample_tensor();
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&tco, &fmt).unwrap();
+            let mut one_shot: Vec<(usize, usize, Vec<usize>, Vec<Value>)> = Vec::new();
+            data.for_each_fiber(&mut |x, y, zs, vs| {
+                one_shot.push((x, y, zs.to_vec(), vs.to_vec()))
+            });
+            let mut warmed: Vec<(usize, usize, Vec<usize>, Vec<Value>)> = Vec::new();
+            data.for_each_fiber_in(&mut arena, &mut |x, y, zs, vs| {
+                warmed.push((x, y, zs.to_vec(), vs.to_vec()))
+            });
+            assert_eq!(one_shot, warmed, "arena changed the stream for {fmt}");
+        }
+    }
+
     #[test]
     fn tensor_streams_match_coo_hub_for_every_format() {
         let coo = sample_tensor();
@@ -763,6 +922,33 @@ mod tests {
         assert_eq!(streamed, vec![(0, 39, 9.0), (1, 20, 3.0)]);
     }
 
+    /// ELL rows with builder-supplied out-of-order slots must still stream
+    /// column-ascending (the on-the-fly sortedness detection's slow path).
+    #[test]
+    fn ell_unsorted_slots_are_resorted() {
+        use crate::ell::EllMatrix;
+        let m = EllMatrix::from_parts(
+            2,
+            6,
+            3,
+            vec![5, 0, 2, 1, ELL_PAD, ELL_PAD],
+            vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let mut fibers: Vec<(usize, Vec<usize>, Vec<Value>)> = Vec::new();
+        let mut arena = StreamArena::new();
+        m.for_each_fiber_in(&mut arena, &mut |r, cs, vs| {
+            fibers.push((r, cs.to_vec(), vs.to_vec()))
+        });
+        assert_eq!(
+            fibers,
+            vec![
+                (0, vec![0, 2, 5], vec![2.0, 3.0, 1.0]),
+                (1, vec![1], vec![4.0]),
+            ]
+        );
+    }
+
     #[test]
     fn csr_from_stream_round_trips_every_format() {
         let coo = sample_matrix();
@@ -775,6 +961,21 @@ mod tests {
         let tall = CooMatrix::from_triplets(6, 3, vec![(1, 1, 2.0)]).unwrap();
         let csr = csr_from_stream(6, 3, &tall);
         assert_eq!(csr.row_ptr(), &[0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    /// The arena-backed conversion with CSR recycling must keep producing
+    /// correct matrices while reusing the recycled capacity.
+    #[test]
+    fn csr_from_stream_in_recycles_capacity() {
+        let coo = sample_matrix();
+        let expect = CsrMatrix::from_coo(&coo);
+        let mut arena = StreamArena::new();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let csr = csr_from_stream_in(&mut arena, data.rows(), data.cols(), data.row_stream());
+            assert_eq!(csr, expect, "recycled csr_from_stream_in for {fmt}");
+            arena.recycle_csr(csr);
+        }
     }
 
     /// A non-cubic HiCOO block assignment splits (x, y) fibers across

@@ -22,13 +22,14 @@
 //! criterion group).
 
 use crate::error::{check_dim, KernelError};
+use crate::lanes::{axpy, dot_indexed, fold_scaled};
 use crate::{
     mttkrp as mttkrp_mod, spgemm as spgemm_mod, spmm as spmm_mod, spmv as spmv_mod,
     spttm as spttm_mod,
 };
 use sparseflex_formats::{
-    CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, SparseMatrix, SparseTensor3, TensorData,
-    Value,
+    CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, SparseMatrix, SparseTensor3, StreamArena,
+    TensorData, Value,
 };
 use std::borrow::Cow;
 
@@ -44,25 +45,28 @@ pub fn spmv(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
     check_dim("spmv", "A cols vs x len", a.cols(), x.len())?;
     match a {
         MatrixData::Csr(m) => Ok(spmv_mod::csr(m, x)),
-        _ => spmv_stream(a, x),
+        _ => spmv_via_stream(a, x),
     }
 }
 
 /// SpMV forced through the generic fiber stream (no fast-path dispatch).
 pub fn spmv_via_stream(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
-    check_dim("spmv", "A cols vs x len", a.cols(), x.len())?;
-    spmv_stream(a, x)
+    spmv_via_stream_in(&mut StreamArena::new(), a, x)
 }
 
-fn spmv_stream(a: &MatrixData, x: &[Value]) -> Result<Vec<Value>, KernelError> {
+/// [`spmv_via_stream`] drawing traversal scratch from the caller's arena:
+/// with a warm arena, the only allocation left is the output vector.
+pub fn spmv_via_stream_in(
+    arena: &mut StreamArena,
+    a: &MatrixData,
+    x: &[Value],
+) -> Result<Vec<Value>, KernelError> {
+    check_dim("spmv", "A cols vs x len", a.cols(), x.len())?;
     let mut y = vec![0.0; a.rows()];
-    a.row_stream().for_each_fiber(&mut |r, cols, vals| {
-        let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c];
-        }
-        y[r] = acc;
-    });
+    a.row_stream()
+        .for_each_fiber_in(arena, &mut |r, cols, vals| {
+            y[r] = dot_indexed(cols, vals, x);
+        });
     Ok(y)
 }
 
@@ -80,14 +84,23 @@ pub fn spmm(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError>
     match a {
         MatrixData::Csr(m) => Ok(spmm_mod::csr_dense(m, b)),
         MatrixData::Coo(m) => Ok(spmm_mod::coo_dense(m, b)),
-        _ => spmm_stream(a, b),
+        _ => spmm_via_stream(a, b),
     }
 }
 
 /// SpMM forced through the generic fiber stream (no fast-path dispatch).
 pub fn spmm_via_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
-    check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
-    spmm_stream(a, b)
+    spmm_via_stream_in(&mut StreamArena::new(), a, b)
+}
+
+/// [`spmm_via_stream`] drawing traversal scratch from the caller's arena:
+/// with a warm arena, the only allocation left is the output matrix.
+pub fn spmm_via_stream_in(
+    arena: &mut StreamArena,
+    a: &MatrixData,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    spmm_from_stream_in(arena, a.rows(), a.cols(), a.row_stream(), b)
 }
 
 /// SpMM over **any** row-major fiber stream — including payloads that
@@ -101,15 +114,24 @@ pub fn spmm_from_stream(
     a: &dyn sparseflex_formats::RowMajorStream,
     b: &DenseMatrix,
 ) -> Result<DenseMatrix, KernelError> {
+    spmm_from_stream_in(&mut StreamArena::new(), a_rows, a_cols, a, b)
+}
+
+/// [`spmm_from_stream`] drawing traversal scratch from the caller's arena.
+pub fn spmm_from_stream_in(
+    arena: &mut StreamArena,
+    a_rows: usize,
+    a_cols: usize,
+    a: &dyn sparseflex_formats::RowMajorStream,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
     check_dim("spmm", "A cols vs B rows", a_cols, b.rows())?;
     let n = b.cols();
     let mut o = DenseMatrix::zeros(a_rows, n);
-    a.for_each_fiber(&mut |r, cols, vals| {
+    a.for_each_fiber_in(arena, &mut |r, cols, vals| {
         let orow = &mut o.data_mut()[r * n..(r + 1) * n];
         for (&c, &v) in cols.iter().zip(vals) {
-            for (ov, bv) in orow.iter_mut().zip(b.row(c)) {
-                *ov += v * bv;
-            }
+            axpy(orow, b.row(c), v);
         }
     });
     Ok(o)
@@ -124,12 +146,8 @@ pub fn spmm_parallel(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, Ker
     check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
     match a {
         MatrixData::Csr(m) => Ok(spmm_mod::csr_dense_parallel(m, b)),
-        _ => spmm_stream(a, b),
+        _ => spmm_via_stream(a, b),
     }
-}
-
-fn spmm_stream(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
-    spmm_from_stream(a.rows(), a.cols(), a.row_stream(), b)
 }
 
 /// SpMM with the sparse operand on the right: `O = A * B` with dense `A`
@@ -165,6 +183,25 @@ pub fn spmm_sparse_b(a: &DenseMatrix, b: &MatrixData) -> Result<DenseMatrix, Ker
 // SpGEMM (sparse A, sparse B)
 // ---------------------------------------------------------------------------
 
+/// SpGEMM dataflow selector: which algorithm computes each output row.
+///
+/// Both produce **bit-for-bit identical** CSR output (the row-wise merge
+/// replays Gustavson's exact per-element addition order); they differ in
+/// scratch footprint and access pattern, which is what SAGE prices when
+/// choosing one per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpgemmAlgo {
+    /// Gustavson's row algorithm: dense sparse-accumulator the width of
+    /// `B`, O(1) scatter per partial product, one sort per output row.
+    /// Wins when output rows are dense relative to `B`'s width.
+    Gustavson,
+    /// Row-wise product (*Maple*'s dataflow): k-way heap merge of the
+    /// selected B-rows, O(row fan-out) scratch, O(log fan-out) per
+    /// partial product. Wins at extreme sparsity / very wide `B`, where
+    /// touching a `B`-cols-sized accumulator per row is the cost.
+    RowWise,
+}
+
 /// Gustavson SpGEMM over any pair of matrix formats: `O = A * B` in CSR.
 ///
 /// `A` streams its row fibers directly into the sparse accumulator; `B`
@@ -172,35 +209,67 @@ pub fn spmm_sparse_b(a: &DenseMatrix, b: &MatrixData) -> Result<DenseMatrix, Ker
 /// [`csr_from_stream`](sparseflex_formats::csr_from_stream) (a single
 /// stream pass — no COO hub round-trip).
 pub fn spgemm(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
+    spgemm_with(a, b, SpgemmAlgo::Gustavson)
+}
+
+/// Row-wise-product SpGEMM over any pair of matrix formats — identical
+/// output to [`spgemm`], merge-based dataflow (see [`SpgemmAlgo`]).
+pub fn spgemm_rowwise(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
+    spgemm_with(a, b, SpgemmAlgo::RowWise)
+}
+
+/// SpGEMM over any pair of matrix formats with an explicit dataflow
+/// choice — the entry point SAGE's dataflow pricing drives.
+pub fn spgemm_with(
+    a: &MatrixData,
+    b: &MatrixData,
+    algo: SpgemmAlgo,
+) -> Result<CsrMatrix, KernelError> {
     check_dim("spgemm", "A cols vs B rows", a.cols(), b.rows())?;
     let b_csr = csr_view(b);
     if let MatrixData::Csr(m) = a {
-        return Ok(spgemm_mod::csr_csr(m, &b_csr));
+        return Ok(match algo {
+            SpgemmAlgo::Gustavson => spgemm_mod::csr_csr(m, &b_csr),
+            SpgemmAlgo::RowWise => spgemm_mod::csr_csr_rowwise(m, &b_csr),
+        });
     }
     let (rows, n) = (a.rows(), b.cols());
     let mut row_ptr = Vec::with_capacity(rows + 1);
     row_ptr.push(0usize);
     let mut col_ids = Vec::new();
     let mut values = Vec::new();
-    let mut scratch = spgemm_mod::Accumulator::new(n);
-    a.row_stream().for_each_fiber(&mut |r, acols, avals| {
-        while row_ptr.len() <= r {
-            row_ptr.push(values.len());
+    match algo {
+        SpgemmAlgo::Gustavson => {
+            let mut scratch = spgemm_mod::Accumulator::new(n);
+            a.row_stream().for_each_fiber(&mut |r, acols, avals| {
+                while row_ptr.len() <= r {
+                    row_ptr.push(values.len());
+                }
+                spgemm_mod::gustavson_row(
+                    acols,
+                    avals,
+                    &b_csr,
+                    &mut scratch,
+                    &mut col_ids,
+                    &mut values,
+                );
+            });
         }
-        spgemm_mod::gustavson_row(
-            acols,
-            avals,
-            &b_csr,
-            &mut scratch,
-            &mut col_ids,
-            &mut values,
-        );
-    });
+        SpgemmAlgo::RowWise => {
+            let mut heap: spgemm_mod::MergeHeap = Vec::new();
+            a.row_stream().for_each_fiber(&mut |r, acols, avals| {
+                while row_ptr.len() <= r {
+                    row_ptr.push(values.len());
+                }
+                spgemm_mod::rowwise_row(acols, avals, &b_csr, &mut heap, &mut col_ids, &mut values);
+            });
+        }
+    }
     while row_ptr.len() <= rows {
         row_ptr.push(values.len());
     }
     Ok(CsrMatrix::from_parts(rows, n, row_ptr, col_ids, values)
-        .expect("Gustavson over an ordered stream emits valid CSR"))
+        .expect("both SpGEMM dataflows emit ordered valid CSR over an ordered stream"))
 }
 
 /// Row-parallel Gustavson SpGEMM over any pair of matrix formats.
@@ -239,7 +308,7 @@ pub fn mttkrp(
     match a {
         TensorData::Coo(t) => Ok(mttkrp_mod::coo(t, b, c)),
         TensorData::Csf(t) => Ok(mttkrp_mod::csf(t, b, c)),
-        _ => mttkrp_stream(a, b, c),
+        _ => mttkrp_via_stream(a, b, c),
     }
 }
 
@@ -249,31 +318,36 @@ pub fn mttkrp_via_stream(
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<DenseMatrix, KernelError> {
-    mttkrp_mod::check_factors(a.dim_y(), a.dim_z(), b, c)?;
-    mttkrp_stream(a, b, c)
+    mttkrp_via_stream_in(&mut StreamArena::new(), a, b, c)
 }
 
-fn mttkrp_stream(
+/// [`mttkrp_via_stream`] drawing both traversal scratch and the per-fiber
+/// accumulator lane from the caller's arena: with a warm arena, the only
+/// allocation left is the output matrix.
+pub fn mttkrp_via_stream_in(
+    arena: &mut StreamArena,
     a: &TensorData,
     b: &DenseMatrix,
     c: &DenseMatrix,
 ) -> Result<DenseMatrix, KernelError> {
+    mttkrp_mod::check_factors(a.dim_y(), a.dim_z(), b, c)?;
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);
-    let mut fiber_acc = vec![0.0f64; j];
-    a.fiber_stream().for_each_fiber(&mut |i, k, zs, vals| {
-        fiber_acc.iter_mut().for_each(|v| *v = 0.0);
-        for (&l, &v) in zs.iter().zip(vals) {
-            for (av, cv) in fiber_acc.iter_mut().zip(c.row(l)) {
-                *av += v * cv;
+    // `acc` is reserved for stream *consumers*; traversals never touch it,
+    // so taking it out for the duration of the walk is safe.
+    let mut fiber_acc = std::mem::take(&mut arena.acc);
+    fiber_acc.clear();
+    fiber_acc.resize(j, 0.0);
+    a.fiber_stream()
+        .for_each_fiber_in(arena, &mut |i, k, zs, vals| {
+            fiber_acc.iter_mut().for_each(|v| *v = 0.0);
+            for (&l, &v) in zs.iter().zip(vals) {
+                axpy(&mut fiber_acc, c.row(l), v);
             }
-        }
-        let brow = b.row(k);
-        let orow = &mut o.data_mut()[i * j..(i + 1) * j];
-        for ((ov, av), bv) in orow.iter_mut().zip(&fiber_acc).zip(brow) {
-            *ov += av * bv;
-        }
-    });
+            let orow = &mut o.data_mut()[i * j..(i + 1) * j];
+            fold_scaled(orow, &fiber_acc, b.row(k));
+        });
+    arena.acc = fiber_acc;
     Ok(o)
 }
 
@@ -292,33 +366,42 @@ pub fn spttm(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelErro
     match a {
         TensorData::Coo(t) => Ok(spttm_mod::coo(t, b)),
         TensorData::Csf(t) => Ok(spttm_mod::csf(t, b)),
-        _ => spttm_stream(a, b),
+        _ => spttm_via_stream(a, b),
     }
 }
 
 /// SpTTM forced through the generic fiber stream (no fast-path dispatch).
 pub fn spttm_via_stream(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
-    check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())?;
-    spttm_stream(a, b)
+    spttm_via_stream_in(&mut StreamArena::new(), a, b)
 }
 
-fn spttm_stream(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
+/// [`spttm_via_stream`] drawing both traversal scratch and the per-fiber
+/// accumulator lane from the caller's arena: with a warm arena, the only
+/// allocation left is the output tensor.
+pub fn spttm_via_stream_in(
+    arena: &mut StreamArena,
+    a: &TensorData,
+    b: &DenseMatrix,
+) -> Result<DenseTensor3, KernelError> {
+    check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())?;
     let j = b.cols();
     let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
-    let mut acc = vec![0.0f64; j];
-    a.fiber_stream().for_each_fiber(&mut |x, yy, zs, vals| {
-        acc.iter_mut().for_each(|v| *v = 0.0);
-        for (&z, &v) in zs.iter().zip(vals) {
-            for (av, bv) in acc.iter_mut().zip(b.row(z)) {
-                *av += v * bv;
+    let mut acc = std::mem::take(&mut arena.acc);
+    acc.clear();
+    acc.resize(j, 0.0);
+    a.fiber_stream()
+        .for_each_fiber_in(arena, &mut |x, yy, zs, vals| {
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            for (&z, &v) in zs.iter().zip(vals) {
+                axpy(&mut acc, b.row(z), v);
             }
-        }
-        for (jj, &av) in acc.iter().enumerate() {
-            if av != 0.0 {
-                y.add_assign(x, yy, jj, av);
+            for (jj, &av) in acc.iter().enumerate() {
+                if av != 0.0 {
+                    y.add_assign(x, yy, jj, av);
+                }
             }
-        }
-    });
+        });
+    arena.acc = acc;
     Ok(y)
 }
 
@@ -442,6 +525,8 @@ mod tests {
                 let b = MatrixData::encode(&b_coo, &fb).unwrap();
                 let o = spgemm(&a, &b).unwrap();
                 assert_eq!(o.to_dense(), reference, "spgemm({fa}, {fb})");
+                let orw = spgemm_rowwise(&a, &b).unwrap();
+                assert_eq!(orw, o, "spgemm_rowwise({fa}, {fb}) must be bit-identical");
                 let op = spgemm_parallel(&a, &b).unwrap();
                 assert_eq!(op.to_dense(), reference, "spgemm_parallel({fa}, {fb})");
             }

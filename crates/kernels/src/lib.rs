@@ -14,8 +14,11 @@
 //! - **SpMM** — any-format matrix × dense matrix ([`spmm()`],
 //!   [`spmm_parallel()`]), or dense × any-format stationary operand
 //!   ([`spmm_sparse_b()`], Fig. 6b's layout).
-//! - **SpGEMM** — any-format × any-format (Gustavson) ([`spgemm()`],
-//!   [`spgemm_parallel()`]).
+//! - **SpGEMM** — any-format × any-format ([`spgemm()`],
+//!   [`spgemm_parallel()`]), with a selectable dataflow
+//!   ([`SpgemmAlgo`]): Gustavson's dense-accumulator row algorithm or the
+//!   row-wise k-way merge product ([`spgemm_rowwise()`]); both emit
+//!   bit-for-bit identical CSR.
 //! - **SpTTM** — any-format tensor × dense matrix ([`spttm()`]).
 //! - **MTTKRP** — any-format tensor Khatri-Rao product ([`mttkrp()`]).
 //! - **im2col** — convolution → GEMM rearrangement used by the ResNet case
@@ -42,6 +45,7 @@ pub mod dispatch;
 pub mod error;
 pub mod gemm;
 pub mod im2col;
+pub mod lanes;
 pub mod mttkrp;
 pub mod parallel;
 pub mod spgemm;
@@ -50,8 +54,10 @@ pub mod spmv;
 pub mod spttm;
 
 pub use dispatch::{
-    mttkrp, mttkrp_via_stream, spgemm, spgemm_parallel, spmm, spmm_from_stream, spmm_parallel,
-    spmm_sparse_b, spmm_via_stream, spmv, spmv_via_stream, spttm, spttm_via_stream,
+    mttkrp, mttkrp_via_stream, mttkrp_via_stream_in, spgemm, spgemm_parallel, spgemm_rowwise,
+    spgemm_with, spmm, spmm_from_stream, spmm_from_stream_in, spmm_parallel, spmm_sparse_b,
+    spmm_via_stream, spmm_via_stream_in, spmv, spmv_via_stream, spmv_via_stream_in, spttm,
+    spttm_via_stream, spttm_via_stream_in, SpgemmAlgo,
 };
 pub use error::KernelError;
 pub use gemm::{gemm, gemm_parallel};

@@ -10,6 +10,7 @@
 //! The format-generic entry point is [`crate::mttkrp()`]; this module holds
 //! the retained COO and CSF fast paths.
 
+use crate::lanes::{axpy, axpy_mul3, fold_scaled};
 use sparseflex_formats::{CooTensor3, CsfTensor, DenseMatrix, SparseMatrix, SparseTensor3};
 
 /// MTTKRP with the tensor in COO: one fused multiply per nonzero per
@@ -21,12 +22,8 @@ pub(crate) fn coo(a: &CooTensor3, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatr
     let j = b.cols();
     let mut o = DenseMatrix::zeros(a.dim_x(), j);
     for (i, k, l, v) in a.iter() {
-        let brow = b.row(k);
-        let crow = c.row(l);
         let orow = &mut o.data_mut()[i * j..(i + 1) * j];
-        for ((ov, bv), cv) in orow.iter_mut().zip(brow).zip(crow) {
-            *ov += v * bv * cv;
-        }
+        axpy_mul3(orow, b.row(k), c.row(l), v);
     }
     o
 }
@@ -51,15 +48,10 @@ pub(crate) fn csf(a: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatri
             for zi in a.y_ptr()[fi]..a.y_ptr()[fi + 1] {
                 let l = a.z_fids()[zi];
                 let v = a.values()[zi];
-                for (av, cv) in fiber_acc.iter_mut().zip(c.row(l)) {
-                    *av += v * cv;
-                }
+                axpy(&mut fiber_acc, c.row(l), v);
             }
-            let brow = b.row(k);
             let orow = &mut o.data_mut()[i * j..(i + 1) * j];
-            for ((ov, av), bv) in orow.iter_mut().zip(&fiber_acc).zip(brow) {
-                *ov += av * bv;
-            }
+            fold_scaled(orow, &fiber_acc, b.row(k));
         }
     }
     o

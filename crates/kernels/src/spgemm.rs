@@ -89,6 +89,125 @@ pub(crate) fn gustavson_row(
     scratch.touched.clear();
 }
 
+/// Min-heap scratch for the row-wise merge: `(output column j, A-slot s,
+/// position within B's row s)` entries ordered lexicographically, so ties
+/// on `j` pop in ascending A-slot order — exactly Gustavson's
+/// k-ascending accumulation order per output element.
+pub(crate) type MergeHeap = Vec<(usize, usize, usize)>;
+
+#[inline]
+fn heap_push(h: &mut MergeHeap, item: (usize, usize, usize)) {
+    h.push(item);
+    let mut i = h.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if h[i] < h[parent] {
+            h.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+#[inline]
+fn heap_pop(h: &mut MergeHeap) -> Option<(usize, usize, usize)> {
+    if h.is_empty() {
+        return None;
+    }
+    let last = h.len() - 1;
+    h.swap(0, last);
+    let top = h.pop().expect("heap checked non-empty");
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < h.len() && h[l] < h[smallest] {
+            smallest = l;
+        }
+        if r < h.len() && h[r] < h[smallest] {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        h.swap(i, smallest);
+        i = smallest;
+    }
+    Some(top)
+}
+
+/// One **row-wise-product** output row (*Maple*'s dataflow, PAPERS.md):
+/// instead of scattering into a dense accumulator the width of `B`, merge
+/// the sorted B-rows selected by the A-fiber with a k-way heap, emitting
+/// output columns in ascending order as the merge front passes them.
+///
+/// Scratch is O(row fan-out) instead of O(B cols), which is the win at
+/// extreme sparsity / very wide `B`. The merge pops ties on the output
+/// column in A-slot (= ascending `k`) order and starts every element's
+/// accumulation from `0.0`, so each output value sees the **identical**
+/// floating-point addition sequence as [`gustavson_row`] — including the
+/// `!= 0.0` exact-cancellation drop — making the two algorithms
+/// bit-for-bit interchangeable.
+pub(crate) fn rowwise_row(
+    acols: &[usize],
+    avals: &[Value],
+    b: &CsrMatrix,
+    heap: &mut MergeHeap,
+    col_ids: &mut Vec<usize>,
+    values: &mut Vec<f64>,
+) {
+    heap.clear();
+    for (s, &k) in acols.iter().enumerate() {
+        let (bcols, _) = b.row(k);
+        if !bcols.is_empty() {
+            heap_push(heap, (bcols[0], s, 0));
+        }
+    }
+    let mut cur_j = usize::MAX;
+    let mut acc = 0.0f64;
+    let mut live = false;
+    while let Some((j, s, pos)) = heap_pop(heap) {
+        if live && j != cur_j {
+            if acc != 0.0 {
+                col_ids.push(cur_j);
+                values.push(acc);
+            }
+            acc = 0.0;
+        }
+        cur_j = j;
+        live = true;
+        let (bcols, bvals) = b.row(acols[s]);
+        acc += avals[s] * bvals[pos];
+        if pos + 1 < bcols.len() {
+            heap_push(heap, (bcols[pos + 1], s, pos + 1));
+        }
+    }
+    if live && acc != 0.0 {
+        col_ids.push(cur_j);
+        values.push(acc);
+    }
+}
+
+/// Row-wise-product SpGEMM fast path: `O = A * B`, all three in CSR.
+pub(crate) fn csr_csr_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    debug_assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
+    let m = a.rows();
+    let n = b.cols();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+    let mut heap: MergeHeap = Vec::new();
+    for i in 0..m {
+        let (acols, avals) = a.row(i);
+        rowwise_row(acols, avals, b, &mut heap, &mut col_ids, &mut values);
+        row_ptr.push(values.len());
+    }
+    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values)
+        .expect("the row-wise merge emits sorted valid CSR rows")
+}
+
 /// Row-parallel Gustavson SpGEMM fast path: each thread computes a
 /// contiguous band of output rows into private buffers, then the bands are
 /// stitched.
@@ -220,6 +339,38 @@ mod tests {
         let a = CsrMatrix::from_coo(&CooMatrix::empty(4, 5));
         let b = mk(5, 3, 6, 8);
         assert_eq!(csr_csr(&a, &b).nnz(), 0);
+    }
+
+    /// The row-wise merge must replay Gustavson's exact addition sequence,
+    /// so the two fast paths are bit-for-bit equal — including dropped
+    /// exact cancellations — on random operands.
+    #[test]
+    fn rowwise_is_bit_identical_to_gustavson() {
+        for seed in 0..6u64 {
+            let a = mk(30, 25, seed * 2 + 1, 150);
+            let b = mk(25, 40, seed * 2 + 2, 170);
+            assert_eq!(csr_csr_rowwise(&a, &b), csr_csr(&a, &b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rowwise_drops_exact_cancellation_like_gustavson() {
+        let a = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap(),
+        );
+        let b = CsrMatrix::from_coo(
+            &CooMatrix::from_triplets(2, 1, vec![(0, 0, 5.0), (1, 0, -5.0)]).unwrap(),
+        );
+        assert_eq!(csr_csr_rowwise(&a, &b).nnz(), 0);
+    }
+
+    #[test]
+    fn rowwise_handles_empty_operands() {
+        let a = CsrMatrix::from_coo(&CooMatrix::empty(4, 5));
+        let b = mk(5, 3, 6, 8);
+        assert_eq!(csr_csr_rowwise(&a, &b).nnz(), 0);
+        let wide = CsrMatrix::from_coo(&CooMatrix::empty(5, 1000));
+        assert_eq!(csr_csr_rowwise(&a, &wide).nnz(), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! are validated by the dispatcher, so the inner routines only
 //! debug-assert.
 
+use crate::lanes::{axpy, dot_indexed};
 use crate::parallel::{par_chunks, worker_count};
 use sparseflex_formats::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, SparseMatrix};
 
@@ -19,11 +20,8 @@ pub(crate) fn coo_dense(a: &CooMatrix, b: &DenseMatrix) -> DenseMatrix {
     let mut o = DenseMatrix::zeros(a.rows(), n);
     // Alg. 1: for i in 0..nnz { for j in 0..N { O[rid][j] += val * B[cid][j] } }
     for (rid, cid, val) in a.iter() {
-        let brow = b.row(cid);
         let orow = &mut o.data_mut()[rid * n..(rid + 1) * n];
-        for (ov, bv) in orow.iter_mut().zip(brow) {
-            *ov += val * bv;
-        }
+        axpy(orow, b.row(cid), val);
     }
     o
 }
@@ -37,10 +35,7 @@ pub(crate) fn csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
         let (cols, vals) = a.row(r);
         let orow = &mut o.data_mut()[r * n..(r + 1) * n];
         for (c, v) in cols.iter().zip(vals) {
-            let brow = b.row(*c);
-            for (ov, bv) in orow.iter_mut().zip(brow) {
-                *ov += v * bv;
-            }
+            axpy(orow, b.row(*c), *v);
         }
     }
     o
@@ -62,10 +57,7 @@ pub(crate) fn csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix 
             let (cols, vals) = a.row(r);
             let orow = &mut chunk[lr * n..(lr + 1) * n];
             for (c, v) in cols.iter().zip(vals) {
-                let brow = b.row(*c);
-                for (ov, bv) in orow.iter_mut().zip(brow) {
-                    *ov += v * bv;
-                }
+                axpy(orow, b.row(*c), *v);
             }
         }
     });
@@ -83,12 +75,7 @@ pub(crate) fn dense_csc(a: &DenseMatrix, b: &CscMatrix) -> DenseMatrix {
     for j in 0..n {
         let (rows, vals) = b.col(j);
         for i in 0..m {
-            let arow = a.row(i);
-            let mut acc = 0.0;
-            for (k, v) in rows.iter().zip(vals) {
-                acc += arow[*k] * v;
-            }
-            o.set(i, j, acc);
+            o.set(i, j, dot_indexed(rows, vals, a.row(i)));
         }
     }
     o

@@ -3,23 +3,23 @@
 //! The format-generic entry point is [`crate::spmv()`]; this module holds the
 //! retained CSR fast path the dispatcher specializes to.
 
+use crate::lanes::dot_indexed;
 use sparseflex_formats::{CsrMatrix, SparseMatrix, Value};
 
 /// CSR SpMV fast path: `y = A * x`.
 ///
 /// "SpMM and SpMV ... are the key computational kernels in an iterative
-/// solver for sparse linear systems" (§II). Shapes are validated by the
-/// generic dispatcher; this inner routine only debug-asserts.
+/// solver for sparse linear systems" (§II). Each row reduces through the
+/// shared four-chain gather dot ([`dot_indexed`]) — the same routine the
+/// generic stream path uses, keeping the two bit-for-bit identical.
+/// Shapes are validated by the generic dispatcher; this inner routine
+/// only debug-asserts.
 pub(crate) fn csr(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
     debug_assert_eq!(a.cols(), x.len(), "SpMV dimension mismatch");
     let mut y = vec![0.0; a.rows()];
     for (r, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(r);
-        let mut acc = 0.0;
-        for (c, v) in cols.iter().zip(vals) {
-            acc += v * x[*c];
-        }
-        *out = acc;
+        *out = dot_indexed(cols, vals, x);
     }
     y
 }

@@ -13,20 +13,20 @@
 //! The format-generic entry point is [`crate::spttm()`]; this module holds
 //! the retained COO and CSF fast paths.
 
+use crate::lanes::axpy;
 use sparseflex_formats::{
     CooTensor3, CsfTensor, DenseMatrix, DenseTensor3, SparseMatrix, SparseTensor3,
 };
 
-/// SpTTM with the tensor in COO: stream nonzeros, scatter row updates.
+/// SpTTM with the tensor in COO: stream nonzeros, accumulate each output
+/// `(x, y)` fiber as one contiguous dense lane.
 pub(crate) fn coo(a: &CooTensor3, b: &DenseMatrix) -> DenseTensor3 {
     debug_assert_eq!(a.dim_z(), b.rows(), "SpTTM contraction dim must agree");
-    let j = b.cols();
-    let mut y = DenseTensor3::zeros(a.dim_x(), a.dim_y(), j);
+    let (j, dy) = (b.cols(), a.dim_y());
+    let mut y = DenseTensor3::zeros(a.dim_x(), dy, j);
     for (x, yy, z, v) in a.iter() {
-        let brow = b.row(z);
-        for (jj, bv) in brow.iter().enumerate() {
-            y.add_assign(x, yy, jj, v * bv);
-        }
+        let base = (x * dy + yy) * j;
+        axpy(&mut y.data_mut()[base..base + j], b.row(z), v);
     }
     y
 }
@@ -48,9 +48,7 @@ pub(crate) fn csf(a: &CsfTensor, b: &DenseMatrix) -> DenseTensor3 {
             for zi in a.y_ptr()[fi]..a.y_ptr()[fi + 1] {
                 let z = a.z_fids()[zi];
                 let v = a.values()[zi];
-                for (av, bv) in acc.iter_mut().zip(b.row(z)) {
-                    *av += v * bv;
-                }
+                axpy(&mut acc, b.row(z), v);
             }
             for (jj, &av) in acc.iter().enumerate() {
                 if av != 0.0 {

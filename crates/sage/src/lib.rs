@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod beam;
+pub mod dataflow;
 pub mod eval;
 pub mod search;
 pub mod structured;
@@ -38,6 +39,7 @@ pub mod tensor_model;
 pub mod workload;
 
 pub use beam::{BeamConfig, OpenEvaluation, OpenRecommendation, SearchObjective};
+pub use dataflow::{choose_spgemm_algo, gustavson_cost, rowwise_cost, DataflowCost};
 pub use eval::{Evaluation, Sage};
 pub use search::{
     acf_stationary_candidates, acf_streaming_candidates, mcf_candidates, DescriptorChoice,
