@@ -1,7 +1,9 @@
 //! CI gate for the streaming-kernel budgets: steady-state traversal
-//! allocations must be zero and the stream-vs-fast-path overhead must
-//! stay inside the committed bound. Exits nonzero (failing the CI step)
-//! on any violation, and prints the full measurement either way.
+//! allocations must be zero (full-stream *and* warm ranged per-worker
+//! passes), the stream-vs-fast-path overhead must stay inside the
+//! committed bound, and every parallel kernel must be bit-for-bit equal
+//! to its sequential twin. Exits nonzero (failing the CI step) on any
+//! violation, and prints the full measurement either way.
 
 #[global_allocator]
 static ALLOC: sparseflex_bench::allocs::CountingAllocator =
@@ -14,7 +16,10 @@ fn main() {
     );
     let m = sparseflex_bench::kernels::measure();
     sparseflex_bench::emit(&sparseflex_bench::kernels::rows_from(&m));
-    let violations = sparseflex_bench::kernels::enforce(&m);
+    let mut violations = sparseflex_bench::kernels::enforce(&m);
+    let p = sparseflex_bench::parallel::measure();
+    sparseflex_bench::emit(&sparseflex_bench::parallel::rows_from(&p));
+    violations.extend(sparseflex_bench::parallel::enforce(&p));
     if violations.is_empty() {
         eprintln!("kernels_gate: all budgets hold");
         return;

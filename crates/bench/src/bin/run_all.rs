@@ -145,9 +145,24 @@ fn main() -> std::io::Result<()> {
         dir.join("BENCH_kernels.json"),
         sparseflex_bench::kernels::json_from(&kernels_measured) + "\n",
     )?;
+    // Parallel-streaming exhibit: sequential/parallel bit-identity and
+    // per-worker arena behaviour across every format, with honest wall
+    // times at forced worker counts (speedups are informational — the
+    // snapshot records the core count they were taken under).
+    eprintln!("generating parallel + BENCH_parallel.json ...");
+    let parallel_measured = sparseflex_bench::parallel::measure();
+    fs::write(
+        dir.join("parallel.csv"),
+        sparseflex_bench::parallel::rows_from(&parallel_measured).join("\n") + "\n",
+    )?;
+    fs::write(
+        dir.join("BENCH_parallel.json"),
+        sparseflex_bench::parallel::json_from(&parallel_measured) + "\n",
+    )?;
     eprintln!(
         "wrote results/*.csv + results/BENCH_pipeline.json + results/BENCH_planner.json \
-         + results/BENCH_search.json + results/BENCH_serving.json + results/BENCH_kernels.json"
+         + results/BENCH_search.json + results/BENCH_serving.json + results/BENCH_kernels.json \
+         + results/BENCH_parallel.json"
     );
     Ok(())
 }

@@ -24,6 +24,7 @@
 //! | [`pipeline`] | tile-grained runtime — overlapped vs serial vs batched |
 //! | [`serving`] | serving layer — multi-tenant throughput + plan-cache sharding |
 //! | [`kernels`] | streaming kernels — zero-alloc steady state + stream overhead budget |
+//! | [`parallel`] | data-parallel kernels — sequential/parallel bit-identity + ranged-arena allocs |
 
 #![warn(missing_docs)]
 
@@ -41,6 +42,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod kernels;
+pub mod parallel;
 pub mod pipeline;
 pub mod planner;
 pub mod search;

@@ -32,10 +32,11 @@ use crate::plan::{CostModel, Dataflow, ExecutionPlan, PlanPrediction, PlanTrace,
 use crate::system::RunError;
 use sparseflex_accel::exec::{simulate_spgemm, simulate_ws, SimResult};
 use sparseflex_formats::{
-    csr_cow, csr_cow_in, plan_column_schedule, tile_column_ranges, ColumnSchedule, CooMatrix,
-    CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, MatrixTile, SparseMatrix, StreamArena,
-    TilePolicy,
+    csr_cow, csr_cow_in, plan_column_schedule, tile_column_ranges, ArenaPool, ColumnSchedule,
+    CooMatrix, CsrMatrix, DenseMatrix, MatrixData, MatrixFormat, MatrixTile, SparseMatrix,
+    StreamArena, TilePolicy,
 };
+use sparseflex_kernels::parallel::worker_count;
 use sparseflex_mint::tiled::{overlap_schedule, split_cycles};
 use sparseflex_mint::{conversion_cost, ConversionReport};
 use sparseflex_sage::eval::Evaluation;
@@ -351,7 +352,7 @@ impl PlanCache {
 /// [`ExecutionPlan`] and executes plans on the accelerator. One planner
 /// (and its cache) is shared by every `FlexSystem` run path and across
 /// batch worker threads.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Planner {
     /// The bounded evaluation cache.
     pub cache: PlanCache,
@@ -363,6 +364,26 @@ pub struct Planner {
     /// the per-lane coefficients that scale new stats predictions
     /// (bumping the generation invalidates stale cache rows).
     pub calibrator: Calibrator,
+    /// Grow-only per-worker arena pool for the tile executor: the first
+    /// pipelined run warms one arena per tile worker, later runs convert
+    /// and simulate their tiles without fresh traversal allocations. A
+    /// `Mutex` (not per-call arenas) because one planner is shared across
+    /// batch worker threads; lock hold times are the lease/restore pair,
+    /// never a whole execution.
+    tile_arenas: Mutex<ArenaPool>,
+}
+
+impl Clone for Planner {
+    /// Cloning shares no scratch: the clone starts with a fresh (empty,
+    /// heap-free) arena pool and warms its own on first use.
+    fn clone(&self) -> Self {
+        Planner {
+            cache: self.cache.clone(),
+            cost_model: self.cost_model,
+            calibrator: self.calibrator.clone(),
+            tile_arenas: Mutex::new(ArenaPool::new()),
+        }
+    }
 }
 
 impl Planner {
@@ -372,6 +393,7 @@ impl Planner {
             cache: PlanCache::with_capacity(capacity),
             cost_model: CostModel::default(),
             calibrator: Calibrator::default(),
+            tile_arenas: Mutex::new(ArenaPool::new()),
         }
     }
 
@@ -381,6 +403,7 @@ impl Planner {
             cache: PlanCache::default(),
             cost_model,
             calibrator: Calibrator::default(),
+            tile_arenas: Mutex::new(ArenaPool::new()),
         }
     }
 
@@ -392,6 +415,7 @@ impl Planner {
             cache,
             cost_model: CostModel::default(),
             calibrator: Calibrator::default(),
+            tile_arenas: Mutex::new(ArenaPool::new()),
         }
     }
 
@@ -543,7 +567,15 @@ impl Planner {
                 let coeffs = self.calibrator.coefficients();
                 predict_stats(sage, a, b, &evaluation, &schedule, &coeffs, dataflow)
             }
-            CostModel::Structure => predict_structure(sage, a, b, &evaluation, &schedule, spgemm)?,
+            CostModel::Structure => predict_structure(
+                sage,
+                a,
+                b,
+                &evaluation,
+                &schedule,
+                spgemm,
+                &self.tile_arenas,
+            )?,
         };
 
         Ok(ExecutionPlan {
@@ -614,7 +646,8 @@ impl Planner {
         let spgemm = plan.dataflow == Dataflow::GustavsonSpGemm;
         let (a_acf, conv_a, tiles_mem, b_cols) =
             prepare_operands(sage, choice, &plan.schedule.ranges, a, b)?;
-        let executed = convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem)?;
+        let executed =
+            convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem, &self.tile_arenas)?;
 
         let mut output = DenseMatrix::zeros(a.rows(), b_cols);
         let mut tiles = Vec::with_capacity(tiles_mem.len());
@@ -679,28 +712,73 @@ fn prepare_operands(
 }
 
 /// Convert each scheduled tile MCF→ACF and run it on the cycle-accurate
-/// simulator. This is the **one** per-tile sequence shared by
+/// simulator — in parallel across tile workers when the schedule has more
+/// than one tile. This is the **one** per-tile sequence shared by
 /// `execute_plan` and the structure-model oracle, so the oracle's
 /// cycle-exactness guarantee cannot drift from what execution does.
+///
+/// Tiles are chunked contiguously and each scoped worker leases one
+/// grow-only arena from the planner's pool: the first run warms each
+/// worker's buffers (traversal scratch and the recycled CSR triple),
+/// later runs convert without fresh allocations. Tiles are independent
+/// (disjoint column ranges, shared read-only `A`), so results are
+/// identical to the sequential loop and re-assembled in schedule order.
 fn convert_and_execute_tiles(
     sage: &Sage,
     choice: &sparseflex_sage::FormatChoice,
     spgemm: bool,
     a_acf: &MatrixData,
     tiles_mem: &[MatrixTile],
+    pool: &Mutex<ArenaPool>,
 ) -> Result<Vec<(ConversionReport, SimResult)>, RunError> {
     let a_csr = if spgemm { Some(csr_cow(a_acf)) } else { None };
-    // One grow-only arena serves every tile: the first tile's CSR
-    // materialization warms its buffers, later tiles re-borrow them.
-    let mut arena = StreamArena::new();
-    tiles_mem
-        .iter()
-        .map(|tile| {
-            let (tile_acf, conv) = sage.mint.convert_matrix(&tile.data, &choice.acf_b)?;
-            let sim = execute_tile(sage, &mut arena, a_acf, a_csr.as_deref(), &tile_acf, spgemm)?;
-            Ok((conv, sim))
-        })
-        .collect()
+    let a_csr_ref = a_csr.as_deref();
+    fn lock(p: &Mutex<ArenaPool>) -> std::sync::MutexGuard<'_, ArenaPool> {
+        p.lock().unwrap_or_else(|e| e.into_inner())
+    }
+    let run_chunk = |tiles: &[MatrixTile], arena: &mut StreamArena| {
+        tiles
+            .iter()
+            .map(|tile| {
+                let (tile_acf, conv) = sage.mint.convert_matrix(&tile.data, &choice.acf_b)?;
+                let sim = execute_tile(sage, arena, a_acf, a_csr_ref, &tile_acf, spgemm)?;
+                Ok((conv, sim))
+            })
+            .collect::<Result<Vec<_>, RunError>>()
+    };
+    let workers = worker_count(tiles_mem.len());
+    if workers <= 1 {
+        let mut arenas = lock(pool).lease(1);
+        let out = run_chunk(tiles_mem, &mut arenas[0]);
+        lock(pool).restore(arenas);
+        return out;
+    }
+    let chunk = tiles_mem.len().div_ceil(workers);
+    let chunks: Vec<&[MatrixTile]> = tiles_mem.chunks(chunk).collect();
+    let mut arenas = lock(pool).lease(chunks.len());
+    let results: Vec<Result<Vec<(ConversionReport, SimResult)>, RunError>> =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .zip(arenas.iter_mut())
+                .map(|(tiles, arena)| {
+                    let run_chunk = &run_chunk;
+                    s.spawn(move || run_chunk(tiles, arena))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tile worker panicked"))
+                .collect()
+        });
+    // Arenas go back to the pool before error propagation so a failed
+    // tile does not leak the warmed buffers.
+    lock(pool).restore(arenas);
+    let mut out = Vec::with_capacity(tiles_mem.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 /// Stats-model prediction: SAGE's whole-operand analytic totals scaled
@@ -759,10 +837,11 @@ fn predict_structure(
     evaluation: &Evaluation,
     schedule: &ColumnSchedule,
     spgemm: bool,
+    pool: &Mutex<ArenaPool>,
 ) -> Result<PlanPrediction, RunError> {
     let choice = &evaluation.choice;
     let (a_acf, conv_a, tiles_mem, _) = prepare_operands(sage, choice, &schedule.ranges, a, b)?;
-    let executed = convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem)?;
+    let executed = convert_and_execute_tiles(sage, choice, spgemm, &a_acf, &tiles_mem, pool)?;
     let per_tile_conv: Vec<u64> = executed
         .iter()
         .map(|(conv, _)| conv.pipelined_cycles())

@@ -124,10 +124,86 @@ impl StreamArena {
     }
 }
 
+/// A grow-only pool of [`StreamArena`]s for data-parallel stream fan-out.
+///
+/// The two-phase parallel kernels give each scoped worker thread its own
+/// arena so every per-thread traversal keeps the zero-alloc steady state.
+/// The pool owns those arenas across calls: the first parallel kernel
+/// invocation grows each worker's arena to fit its slice, and every later
+/// invocation at the same (or lower) worker count allocates nothing.
+///
+/// Two access patterns:
+/// - [`slots`](Self::slots) hands out a mutable slice of `n` warm arenas
+///   — the scoped-thread pattern (`iter_mut` splits them across workers,
+///   the borrow ends with the scope). Zero-alloc once grown.
+/// - [`lease`](Self::lease)/[`restore`](Self::restore) move `n` arenas
+///   out and back — for callers that must cross a `Mutex` or otherwise
+///   detach the arenas from the pool borrow (the planner's tile executor).
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Vec<StreamArena>,
+}
+
+impl ArenaPool {
+    /// A fresh pool holding no arenas (and no heap memory).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow `n` warm arenas, growing the pool with fresh (heap-free)
+    /// arenas if it holds fewer. Existing arenas keep their capacity, so
+    /// steady-state calls allocate nothing.
+    pub fn slots(&mut self, n: usize) -> &mut [StreamArena] {
+        if self.arenas.len() < n {
+            self.arenas.resize_with(n, StreamArena::new);
+        }
+        &mut self.arenas[..n]
+    }
+
+    /// Move `n` arenas out of the pool (warmest first), topping up with
+    /// fresh ones if needed. Pair with [`restore`](Self::restore).
+    pub fn lease(&mut self, n: usize) -> Vec<StreamArena> {
+        if self.arenas.len() < n {
+            self.arenas.resize_with(n, StreamArena::new);
+        }
+        self.arenas.split_off(self.arenas.len() - n)
+    }
+
+    /// Return leased arenas (with whatever capacity they grew) to the
+    /// pool for the next caller.
+    pub fn restore(&mut self, arenas: Vec<StreamArena>) {
+        self.arenas.extend(arenas);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::CsrMatrix;
+
+    #[test]
+    fn pool_slots_grow_and_keep_capacity() {
+        let mut pool = ArenaPool::new();
+        {
+            let slots = pool.slots(3);
+            assert_eq!(slots.len(), 3);
+            slots[1].coords.reserve(100);
+        }
+        let cap = pool.slots(3)[1].coords.capacity();
+        assert!(cap >= 100, "slot capacity must survive re-borrow");
+        assert_eq!(pool.slots(2).len(), 2);
+    }
+
+    #[test]
+    fn pool_lease_restore_round_trips_capacity() {
+        let mut pool = ArenaPool::new();
+        let mut leased = pool.lease(2);
+        leased[0].vals.reserve(64);
+        pool.restore(leased);
+        let again = pool.lease(2);
+        assert!(again.iter().any(|a| a.vals.capacity() >= 64));
+        pool.restore(again);
+    }
 
     #[test]
     fn fresh_arena_holds_no_heap_memory() {

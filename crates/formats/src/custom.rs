@@ -34,8 +34,9 @@ use crate::error::FormatError;
 use crate::formats::{MatrixData, MatrixFormat};
 use crate::size_model::{descriptor_matrix_bits, MatrixStructure, SizeBreakdown};
 use crate::traits::SparseMatrix;
-use crate::traverse::{RowFiberSink, RowMajorStream};
+use crate::traverse::{split_by_prefix, RowFiberSink, RowMajorStream};
 use crate::Value;
+use std::ops::Range;
 
 /// Outer-rank presence structure.
 #[derive(Debug, Clone, PartialEq)]
@@ -389,6 +390,57 @@ impl RowMajorStream for CustomMatrix {
                 emit(r, &coords[s..e], &vals[s..e]);
             }
         }
+    }
+
+    /// Ranged walk: row-major orders skip/clip the stored-fiber list (it is
+    /// sorted ascending); column-major runs the full counting-sort
+    /// transpose and emits only the requested row band.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        if self.desc.order != RankOrder::ColMajor {
+            let stored = self.stored_fibers();
+            let StreamArena { coords, vals, .. } = arena;
+            for (si, &f) in stored.iter().enumerate() {
+                if f < range.start {
+                    continue;
+                }
+                if f >= range.end {
+                    break;
+                }
+                self.decode_fiber(si, coords, vals);
+                if !coords.is_empty() {
+                    emit(f, coords, vals);
+                }
+            }
+            return;
+        }
+        let hi = range.end.min(self.rows);
+        if range.start >= hi {
+            return;
+        }
+        self.for_each_fiber_in(arena, &mut |r, cols, vals| {
+            if r >= range.start && r < hi {
+                emit(r, cols, vals);
+            }
+        });
+    }
+
+    /// Generic counting pass: one full traversal histograms stored
+    /// nonzeros per row, then the prefix splits as usual.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        let mut prefix = vec![0usize; self.rows + 1];
+        let mut arena = StreamArena::new();
+        self.for_each_fiber_in(&mut arena, &mut |r, cols, _| {
+            prefix[r + 1] += cols.len();
+        });
+        for r in 0..self.rows {
+            prefix[r + 1] += prefix[r];
+        }
+        split_by_prefix(&prefix, parts)
     }
 }
 

@@ -97,7 +97,7 @@ pub mod traits;
 pub mod traverse;
 pub mod zvc;
 
-pub use arena::StreamArena;
+pub use arena::{ArenaPool, StreamArena};
 pub use bsr::BsrMatrix;
 pub use bytes::{fnv1a, ByteError, ByteReader, ByteWriter};
 pub use coo::CooMatrix;
@@ -121,7 +121,8 @@ pub use tiler::{
 };
 pub use traits::{SparseMatrix, SparseTensor3};
 pub use traverse::{
-    csr_cow, csr_cow_in, csr_from_stream, csr_from_stream_in, FiberStream3, RowMajorStream,
+    csr_cow, csr_cow_in, csr_from_stream, csr_from_stream_in, split_by_prefix,
+    split_by_sorted_keys, FiberStream3, RowMajorStream,
 };
 pub use zvc::{ZvcMatrix, ZvcTensor3};
 

@@ -47,6 +47,22 @@
 //! order-sensitive consumer (CSR construction, merge-joins, the
 //! weight-stationary dataflow). The arena-threaded and arena-less paths
 //! must be bit-for-bit identical.
+//!
+//! # Ranged traversal (the two-phase parallel split)
+//!
+//! Every stream also supports a **ranged** walk for data-parallel
+//! consumers: phase 1, [`RowMajorStream::row_partition`] /
+//! [`FiberStream3::fiber_partition`] cuts the fiber-id space into
+//! contiguous ranges of near-equal stored-nonzero weight in one cheap
+//! index pass (no values are touched beyond the explicit-zero skip each
+//! format's stream already performs); phase 2, each worker walks only its
+//! slice via `for_each_fiber_range_in` with its **own** [`StreamArena`].
+//! The contract: concatenating the ranged walks of a partition, in range
+//! order, yields **exactly** the full `for_each_fiber_in` stream — same
+//! fibers, same order, same scratch discipline — so parallel kernels
+//! built on top are bit-for-bit identical to their sequential twins.
+//! Matrix ranges are over row ids `0..rows`; tensor ranges are over the
+//! linearized fiber key `x * dim_y + y` in `0..dim_x * dim_y`.
 
 use crate::arena::StreamArena;
 use crate::bsr::BsrMatrix;
@@ -63,12 +79,94 @@ use crate::rlc::{RlcMatrix, RlcTensor3};
 use crate::tensor::{CooTensor3, DenseTensor3};
 use crate::zvc::{ZvcMatrix, ZvcTensor3};
 use crate::Value;
+use std::ops::Range;
 
 /// Callback consuming one matrix row fiber: `(row, col_ids, values)`.
 pub type RowFiberSink<'a> = dyn FnMut(usize, &[usize], &[Value]) + 'a;
 
 /// Callback consuming one tensor mode-z fiber: `(x, y, z_ids, values)`.
 pub type FiberSink3<'a> = dyn FnMut(usize, usize, &[usize], &[Value]) + 'a;
+
+/// Cut `0..prefix.len()-1` units (rows / fiber keys) into contiguous
+/// ranges of near-equal weight, where `prefix` is the inclusive weight
+/// prefix sum (`prefix[0] == 0`, `prefix[u]` = total weight of units
+/// `0..u`). Boundary `p` is placed at the first unit whose prefix reaches
+/// `p/parts` of the total (one [`slice::partition_point`] each), so every
+/// range's weight is within one maximum-unit-weight of the ideal
+/// `total/parts`. Duplicate boundaries collapse: the result has at most
+/// `parts` non-empty ranges, ascending, disjoint, covering every unit.
+pub fn split_by_prefix(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let units = prefix.len().saturating_sub(1);
+    if units == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1);
+    let total = prefix[units];
+    let mut out = Vec::with_capacity(parts.min(units));
+    let mut start = 0usize;
+    for p in 1..parts {
+        let target = ((total as u128 * p as u128) / parts as u128) as usize;
+        let end = prefix.partition_point(|&w| w < target).min(units);
+        if end <= start {
+            continue;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    if start < units {
+        out.push(start..units);
+    }
+    out
+}
+
+/// [`split_by_prefix`] for streams whose elements are stored sorted by
+/// unit key (COO's row ids, a tensor's `x*dim_y + y` fiber keys): instead
+/// of building a prefix array, boundary `p` is the key of element
+/// `p/parts * n_elems` — elements sharing that key stay in the next range,
+/// so ranges never split a fiber and carry the same near-equal-weight
+/// guarantee. `key_at(i)` must be non-decreasing in `i`.
+pub fn split_by_sorted_keys(
+    n_elems: usize,
+    key_end: usize,
+    parts: usize,
+    key_at: &dyn Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    if key_end == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..parts {
+        let t = ((n_elems as u128 * p as u128) / parts as u128) as usize;
+        let end = if t >= n_elems { key_end } else { key_at(t) };
+        if end <= start {
+            continue;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    if start < key_end {
+        out.push(start..key_end);
+    }
+    out
+}
+
+/// First index in `0..n` for which `below` turns false (standard binary
+/// search over an implicitly sorted predicate — the index-pair analogue of
+/// [`slice::partition_point`] for streams keyed by two parallel arrays).
+fn lower_bound(n: usize, below: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if below(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
 
 /// Row-major fiber traversal over any 2-D format.
 ///
@@ -81,7 +179,10 @@ pub type FiberSink3<'a> = dyn FnMut(usize, usize, &[usize], &[Value]) + 'a;
 /// wrapper. Hub-only consumers that want individual nonzeros can use the
 /// derived triple streams [`for_each_nnz_in`](Self::for_each_nnz_in) /
 /// [`for_each_nnz`](Self::for_each_nnz) instead.
-pub trait RowMajorStream {
+/// The `Sync` supertrait lets parallel kernels share one `&dyn
+/// RowMajorStream` across scoped worker threads; every format is plain
+/// owned data, so this costs implementations nothing.
+pub trait RowMajorStream: Sync {
     /// Push each non-empty row fiber `(row, col_ids, values)` in row-major
     /// order, assembling scratch-built fibers in `arena`. `col_ids` and
     /// `values` are parallel slices (borrowed from the format where the
@@ -89,6 +190,27 @@ pub trait RowMajorStream {
     /// duration of the callback. Implementations may use any arena buffer
     /// except [`StreamArena::acc`], which is reserved for consumers.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>);
+
+    /// Ranged walk: [`for_each_fiber_in`](Self::for_each_fiber_in)
+    /// restricted to rows in `range` — same fibers, same order, same
+    /// scratch discipline, so concatenating the walks of a
+    /// [`row_partition`](Self::row_partition) reproduces the full stream
+    /// exactly. Implementations seek to the range using their native
+    /// structure (offset `partition_point`, run skip-scan, bitmask rank,
+    /// …) rather than filtering the full walk wherever the layout allows.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    );
+
+    /// Phase 1 of the two-phase parallel split: cut `0..rows` into at most
+    /// `parts` contiguous row ranges of near-equal stored-nonzero weight
+    /// (each range within one maximum-row-weight of `nnz/parts`), in a
+    /// single structure pass. Ranges are ascending, disjoint, and cover
+    /// every row; an empty matrix yields no ranges.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>>;
 
     /// One-shot wrapper around [`for_each_fiber_in`](Self::for_each_fiber_in)
     /// with a fresh (heap-free until used) arena.
@@ -120,13 +242,35 @@ pub trait RowMajorStream {
 /// ascending within each fiber. Scratch comes from the caller's
 /// [`StreamArena`]; [`for_each_fiber`](Self::for_each_fiber) is the
 /// one-shot wrapper.
-pub trait FiberStream3 {
+/// The `Sync` supertrait lets parallel kernels share one `&dyn
+/// FiberStream3` across scoped worker threads.
+pub trait FiberStream3: Sync {
     /// Push each non-empty fiber `(x, y, z_ids, values)` in `(x, y)`
     /// lexicographic order, assembling scratch-built fibers in `arena`.
     /// `z_ids` and `values` are parallel slices valid only for the duration
     /// of the callback. Implementations may use any arena buffer except
     /// [`StreamArena::acc`], which is reserved for consumers.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>);
+
+    /// Ranged walk over the linearized fiber keys `x * dim_y + y`:
+    /// [`for_each_fiber_in`](Self::for_each_fiber_in) restricted to fibers
+    /// whose key lies in `range`, seeking via the native structure.
+    /// Concatenating the walks of a
+    /// [`fiber_partition`](Self::fiber_partition) reproduces the full
+    /// stream exactly.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    );
+
+    /// Phase 1 of the two-phase parallel split: cut the fiber-key space
+    /// `0..dim_x * dim_y` into at most `parts` contiguous ranges of
+    /// near-equal stored-nonzero weight in one structure pass. Ranges are
+    /// ascending, disjoint, and cover every key; an empty key space yields
+    /// no ranges.
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>>;
 
     /// One-shot wrapper around [`for_each_fiber_in`](Self::for_each_fiber_in)
     /// with a fresh (heap-free until used) arena.
@@ -160,32 +304,67 @@ pub trait FiberStream3 {
 
 impl RowMajorStream for CsrMatrix {
     /// Zero-copy: CSR rows *are* fibers. The arena is untouched.
-    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
-        for r in 0..self.rows() {
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        _arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
+        for r in range.start..range.end.min(self.rows()) {
             let (cols, vals) = self.row(r);
             if !cols.is_empty() {
                 emit(r, cols, vals);
             }
         }
     }
+
+    /// The row pointer *is* the weight prefix sum.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        split_by_prefix(self.row_ptr(), parts)
+    }
 }
 
 impl RowMajorStream for CooMatrix {
     /// Zero-copy: the hub arrays are row-major sorted, so each row's
     /// entries form a contiguous run. The arena is untouched.
-    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
+        use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    /// Seeks the element window with two `partition_point`s on the sorted
+    /// row ids, then run-scans only that window.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        _arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
         let rids = self.row_ids();
-        let mut s = 0;
-        while s < rids.len() {
+        let mut s = rids.partition_point(|&r| r < range.start);
+        let stop = rids.partition_point(|&r| r < range.end);
+        while s < stop {
             let r = rids[s];
             let mut e = s + 1;
-            while e < rids.len() && rids[e] == r {
+            while e < stop && rids[e] == r {
                 e += 1;
             }
             emit(r, &self.col_ids()[s..e], &self.values()[s..e]);
             s = e;
         }
+    }
+
+    /// Quantile split over the sorted row ids — no counting pass needed.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let rids = self.row_ids();
+        split_by_sorted_keys(rids.len(), self.rows(), parts, &|i| rids[i])
     }
 
     fn for_each_nnz_in(&self, _arena: &mut StreamArena, emit: &mut dyn FnMut(usize, usize, Value)) {
@@ -200,8 +379,18 @@ impl RowMajorStream for DenseMatrix {
     /// (the stream equivalent of `to_coo`'s row scan).
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let StreamArena { coords, vals, .. } = arena;
-        for r in 0..self.rows() {
+        for r in range.start..range.end.min(self.rows()) {
             coords.clear();
             vals.clear();
             for (c, &v) in self.row(r).iter().enumerate() {
@@ -215,6 +404,20 @@ impl RowMajorStream for DenseMatrix {
             }
         }
     }
+
+    /// Counts the nonzeros the stream will emit per row (one value scan —
+    /// dense storage has no cheaper structure to consult).
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let rows = self.rows();
+        let mut prefix = Vec::with_capacity(rows + 1);
+        prefix.push(0usize);
+        for r in 0..rows {
+            let nz = self.row(r).iter().filter(|&&v| v != 0.0).count();
+            prefix.push(prefix[r] + nz);
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for CscMatrix {
@@ -224,8 +427,27 @@ impl RowMajorStream for CscMatrix {
     /// state reuses the arena's `idx_a`/`idx_b`/`coords`/`vals` capacity.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
-        let nnz = self.values().len();
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    /// The counting sort restricted to the row band `range`: each worker
+    /// still scans the full column-major index (CSC stores nothing
+    /// row-contiguous to seek by), but buckets, scatters, and emits only
+    /// its own rows, so scratch is band-sized and bands are independent.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let rows = self.rows();
+        let lo = range.start.min(rows);
+        let hi = range.end.min(rows);
+        if lo >= hi {
+            return;
+        }
+        let band = hi - lo;
         let StreamArena {
             coords,
             vals,
@@ -234,32 +456,51 @@ impl RowMajorStream for CscMatrix {
             ..
         } = arena;
         row_ptr.clear();
-        row_ptr.resize(rows + 1, 0);
+        row_ptr.resize(band + 1, 0);
         for &r in self.row_ids() {
-            row_ptr[r + 1] += 1;
+            if r >= lo && r < hi {
+                row_ptr[r - lo + 1] += 1;
+            }
         }
-        for r in 0..rows {
-            row_ptr[r + 1] += row_ptr[r];
+        for i in 0..band {
+            row_ptr[i + 1] += row_ptr[i];
         }
+        let band_nnz = row_ptr[band];
         coords.clear();
-        coords.resize(nnz, 0);
+        coords.resize(band_nnz, 0);
         vals.clear();
-        vals.resize(nnz, 0.0);
+        vals.resize(band_nnz, 0.0);
         next.clear();
         next.extend_from_slice(row_ptr);
         // Column-major scan fills each row bucket in ascending column order.
         for (r, c, v) in self.iter_col_major() {
-            let slot = next[r];
-            next[r] += 1;
-            coords[slot] = c;
-            vals[slot] = v;
-        }
-        for r in 0..rows {
-            let (s, e) = (row_ptr[r], row_ptr[r + 1]);
-            if s < e {
-                emit(r, &coords[s..e], &vals[s..e]);
+            if r >= lo && r < hi {
+                let slot = next[r - lo];
+                next[r - lo] += 1;
+                coords[slot] = c;
+                vals[slot] = v;
             }
         }
+        for i in 0..band {
+            let (s, e) = (row_ptr[i], row_ptr[i + 1]);
+            if s < e {
+                emit(lo + i, &coords[s..e], &vals[s..e]);
+            }
+        }
+    }
+
+    /// Reuses the transpose's counting pass as the weight histogram.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let rows = self.rows();
+        let mut prefix = vec![0usize; rows + 1];
+        for &r in self.row_ids() {
+            prefix[r + 1] += 1;
+        }
+        for r in 0..rows {
+            prefix[r + 1] += prefix[r];
+        }
+        split_by_prefix(&prefix, parts)
     }
 }
 
@@ -269,13 +510,34 @@ impl RowMajorStream for BsrMatrix {
     /// column-ascending) and skipping padding zeros.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    /// Clamps the block-row window to `range.start / br_h ..
+    /// ceil(range.end / br_h)` via the block offsets, then skips the local
+    /// rows outside the range inside the two boundary block rows.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let (br_h, bc_w) = self.block_shape();
+        let lo = range.start.min(self.rows());
+        let hi = range.end.min(self.rows());
+        if lo >= hi || br_h == 0 {
+            return;
+        }
         let StreamArena { coords, vals, .. } = arena;
-        for br in 0..self.num_block_rows() {
+        for br in lo / br_h..hi.div_ceil(br_h).min(self.num_block_rows()) {
             for lr in 0..br_h {
                 let r = br * br_h + lr;
-                if r >= self.rows() {
+                if r >= hi {
                     break;
+                }
+                if r < lo {
+                    continue;
                 }
                 coords.clear();
                 vals.clear();
@@ -300,6 +562,41 @@ impl RowMajorStream for BsrMatrix {
             }
         }
     }
+
+    /// One pass over the stored blocks, histogramming the nonzero block
+    /// values into their global rows (padding zeros excluded, matching
+    /// what the stream emits).
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let (br_h, bc_w) = self.block_shape();
+        let rows = self.rows();
+        let mut prefix = vec![0usize; rows + 1];
+        for br in 0..self.num_block_rows() {
+            for i in self.row_ptr()[br]..self.row_ptr()[br + 1] {
+                let bc = self.col_ids()[i];
+                let blk = self.block(i);
+                for lr in 0..br_h {
+                    let r = br * br_h + lr;
+                    if r >= rows {
+                        break;
+                    }
+                    for lc in 0..bc_w {
+                        let c = bc * bc_w + lc;
+                        if c >= self.cols() {
+                            break;
+                        }
+                        if blk[lr * bc_w + lc] != 0.0 {
+                            prefix[r + 1] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..rows {
+            prefix[r + 1] += prefix[r];
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for EllMatrix {
@@ -311,13 +608,23 @@ impl RowMajorStream for EllMatrix {
     /// builder-supplied rows pay the re-sort through `pairs`.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let StreamArena {
             coords,
             vals,
             pairs,
             ..
         } = arena;
-        for r in 0..self.rows() {
+        for r in range.start..range.end.min(self.rows()) {
             let (cs, vs) = self.row(r);
             coords.clear();
             vals.clear();
@@ -348,6 +655,25 @@ impl RowMajorStream for EllMatrix {
             emit(r, coords, vals);
         }
     }
+
+    /// One pass over the padded slots counting the entries the stream
+    /// keeps (`c != ELL_PAD && v != 0.0`).
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let rows = self.rows();
+        let mut prefix = Vec::with_capacity(rows + 1);
+        prefix.push(0usize);
+        for r in 0..rows {
+            let (cs, vs) = self.row(r);
+            let nz = cs
+                .iter()
+                .zip(vs)
+                .filter(|&(&c, &v)| c != ELL_PAD && v != 0.0)
+                .count();
+            prefix.push(prefix[r] + nz);
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for DiaMatrix {
@@ -358,10 +684,20 @@ impl RowMajorStream for DiaMatrix {
     /// padding zeros inside the window are skipped during the scan.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let (rows, cols_n) = (self.rows(), self.cols());
         let offsets = self.offsets();
         let StreamArena { coords, vals, .. } = arena;
-        for r in 0..rows {
+        for r in range.start..range.end.min(rows) {
             coords.clear();
             vals.clear();
             let lo = offsets.partition_point(|&k| r as isize + k < 0);
@@ -378,6 +714,25 @@ impl RowMajorStream for DiaMatrix {
             }
         }
     }
+
+    /// Per-row scan of the valid diagonal window (the same binary-searched
+    /// window the traversal walks), counting stored nonzeros.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let (rows, cols_n) = (self.rows(), self.cols());
+        let offsets = self.offsets();
+        let mut prefix = Vec::with_capacity(rows + 1);
+        prefix.push(0usize);
+        for r in 0..rows {
+            let lo = offsets.partition_point(|&k| r as isize + k < 0);
+            let hi = offsets.partition_point(|&k| r as isize + k < cols_n as isize);
+            let nz = (lo..hi)
+                .filter(|&i| self.data()[i * rows + r] != 0.0)
+                .count();
+            prefix.push(prefix[r] + nz);
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for RlcMatrix {
@@ -386,7 +741,25 @@ impl RowMajorStream for RlcMatrix {
     /// arena scratch.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    /// Skip-scan: the cursor decodes entry *positions* only (no fiber
+    /// assembly) until it reaches the range, and stops at the first
+    /// position past it — runs are strictly position-ascending.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let cols_n = self.cols();
+        if cols_n == 0 {
+            return;
+        }
+        let lo_pos = range.start as u64 * cols_n as u64;
+        let hi_pos = range.end.min(self.rows()) as u64 * cols_n as u64;
         let mut cur_row = usize::MAX;
         let StreamArena { coords, vals, .. } = arena;
         coords.clear();
@@ -395,8 +768,11 @@ impl RowMajorStream for RlcMatrix {
         for e in self.entries() {
             let pos = cursor + e.zeros;
             cursor = pos + 1;
-            if e.value == 0.0 {
-                continue; // run-extension entry
+            if pos >= hi_pos {
+                break;
+            }
+            if e.value == 0.0 || pos < lo_pos {
+                continue; // run-extension entry, or before the range
             }
             let r = (pos as usize) / cols_n;
             if r != cur_row {
@@ -414,6 +790,31 @@ impl RowMajorStream for RlcMatrix {
             emit(cur_row, coords, vals);
         }
     }
+
+    /// One decode pass over the run entries, histogramming the value
+    /// entries (extension entries excluded) into their rows.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let (rows, cols_n) = (self.rows(), self.cols());
+        let mut prefix = vec![0usize; rows + 1];
+        let mut cursor = 0u64;
+        for e in self.entries() {
+            let pos = cursor + e.zeros;
+            cursor = pos + 1;
+            if e.value == 0.0 {
+                continue;
+            }
+            // checked_div: a zero-column matrix stores no positions at
+            // all, so `None` just skips the (impossible) entry.
+            if let Some(r) = (pos as usize).checked_div(cols_n) {
+                prefix[r + 1] += 1;
+            }
+        }
+        for r in 0..rows {
+            prefix[r + 1] += prefix[r];
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for ZvcMatrix {
@@ -422,10 +823,24 @@ impl RowMajorStream for ZvcMatrix {
     /// bitmask into arena scratch.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         use crate::traits::SparseMatrix;
+        self.for_each_fiber_range_in(0..self.rows(), arena, emit);
+    }
+
+    /// Seeks the packed-value cursor with one rank query (popcount of the
+    /// mask words before the range), then decodes only the range's bits.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        use crate::traits::SparseMatrix;
         let (rows, cols_n) = (self.rows(), self.cols());
+        let lo = range.start.min(rows);
+        let hi = range.end.min(rows);
         let coords = &mut arena.coords;
-        let mut vi = 0usize;
-        for r in 0..rows {
+        let mut vi = self.rank(lo * cols_n);
+        for r in lo..hi {
             coords.clear();
             let start = vi;
             for c in 0..cols_n {
@@ -439,11 +854,36 @@ impl RowMajorStream for ZvcMatrix {
             }
         }
     }
+
+    /// Histogram of set mask bits per row — pure index work.
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseMatrix;
+        let (rows, cols_n) = (self.rows(), self.cols());
+        let mut prefix = Vec::with_capacity(rows + 1);
+        prefix.push(0usize);
+        for r in 0..rows {
+            let nz = (0..cols_n).filter(|&c| self.bit(r * cols_n + c)).count();
+            prefix.push(prefix[r] + nz);
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl RowMajorStream for MatrixData {
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut RowFiberSink<'_>) {
         self.row_stream().for_each_fiber_in(arena, emit);
+    }
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut RowFiberSink<'_>,
+    ) {
+        self.row_stream()
+            .for_each_fiber_range_in(range, arena, emit);
+    }
+    fn row_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        self.row_stream().row_partition(parts)
     }
     fn for_each_nnz_in(&self, arena: &mut StreamArena, emit: &mut dyn FnMut(usize, usize, Value)) {
         self.row_stream().for_each_nnz_in(arena, emit);
@@ -475,18 +915,43 @@ impl MatrixData {
 impl FiberStream3 for CooTensor3 {
     /// Zero-copy: the hub arrays are x-major sorted, so each `(x, y)`
     /// fiber's entries form a contiguous run. The arena is untouched.
-    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Seek: binary-search the sorted hub keys for the range window, then
+    /// run-scan only that window.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
+        let _ = arena;
+        let dy = self.dim_y();
         let (xs, ys) = (self.x_ids(), self.y_ids());
-        let mut s = 0;
-        while s < xs.len() {
+        let key = |i: usize| xs[i] * dy + ys[i];
+        let mut s = lower_bound(xs.len(), |i| key(i) < range.start);
+        let stop = lower_bound(xs.len(), |i| key(i) < range.end);
+        while s < stop {
             let (x, y) = (xs[s], ys[s]);
             let mut e = s + 1;
-            while e < xs.len() && xs[e] == x && ys[e] == y {
+            while e < stop && xs[e] == x && ys[e] == y {
                 e += 1;
             }
             emit(x, y, &self.z_ids()[s..e], &self.values()[s..e]);
             s = e;
         }
+    }
+
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let dy = self.dim_y();
+        let xs = self.x_ids();
+        let ys = self.y_ids();
+        split_by_sorted_keys(xs.len(), self.dim_x() * dy, parts, &|i| xs[i] * dy + ys[i])
     }
 
     fn for_each_nnz_in(
@@ -503,9 +968,38 @@ impl FiberStream3 for CooTensor3 {
 impl FiberStream3 for CsfTensor {
     /// Zero-copy tree walk: CSF's level-2 slices *are* the fibers — each
     /// `y_ptr` range is one `(x, y)` fiber's z ids and values.
-    fn for_each_fiber_in(&self, _arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+    fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Seek: the tree walk skips whole x slices entirely outside the key
+    /// range and clips the fiber loop at both ends (keys ascend within a
+    /// slice because `y_fids` are sorted per slice).
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
+        let _ = arena;
+        let dy = self.dim_y();
         for (si, &x) in self.x_fids().iter().enumerate() {
+            if (x + 1) * dy <= range.start {
+                continue;
+            }
+            if x * dy >= range.end {
+                break;
+            }
             for fi in self.x_ptr()[si]..self.x_ptr()[si + 1] {
+                let key = x * dy + self.y_fids()[fi];
+                if key < range.start {
+                    continue;
+                }
+                if key >= range.end {
+                    break;
+                }
                 let (s, e) = (self.y_ptr()[fi], self.y_ptr()[fi + 1]);
                 if s < e {
                     emit(
@@ -518,6 +1012,20 @@ impl FiberStream3 for CsfTensor {
             }
         }
     }
+
+    /// Quantile split over the stored elements: element `e` belongs to the
+    /// fiber found by two `partition_point` descents through the tree
+    /// pointers (`y_ptr` locates the fiber, `x_ptr` locates its slice).
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let dy = self.dim_y();
+        let key_at = |e: usize| {
+            let fi = self.y_ptr().partition_point(|&p| p <= e) - 1;
+            let si = self.x_ptr().partition_point(|&p| p <= fi) - 1;
+            self.x_fids()[si] * dy + self.y_fids()[fi]
+        };
+        split_by_sorted_keys(self.values().len(), self.dim_x() * dy, parts, &key_at)
+    }
 }
 
 impl FiberStream3 for DenseTensor3 {
@@ -525,26 +1033,53 @@ impl FiberStream3 for DenseTensor3 {
     /// one fiber; zeros are compacted away.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Direct seek: keys address the flat buffer, so the ranged walk is the
+    /// same compaction loop over `range` keys only.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
         let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
         let StreamArena {
             coords: zs, vals, ..
         } = arena;
-        for x in 0..dx {
-            for y in 0..dy {
-                let base = (x * dy + y) * dz;
-                zs.clear();
-                vals.clear();
-                for (z, &v) in self.data()[base..base + dz].iter().enumerate() {
-                    if v != 0.0 {
-                        zs.push(z);
-                        vals.push(v);
-                    }
-                }
-                if !zs.is_empty() {
-                    emit(x, y, zs, vals);
+        for key in range.start..range.end.min(dx * dy) {
+            let (x, y) = (key / dy, key % dy);
+            let base = key * dz;
+            zs.clear();
+            vals.clear();
+            for (z, &v) in self.data()[base..base + dz].iter().enumerate() {
+                if v != 0.0 {
+                    zs.push(z);
+                    vals.push(v);
                 }
             }
+            if !zs.is_empty() {
+                emit(x, y, zs, vals);
+            }
         }
+    }
+
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let keys = dx * dy;
+        let mut prefix = vec![0usize; keys + 1];
+        for key in 0..keys {
+            let base = key * dz;
+            let nnz = self.data()[base..base + dz]
+                .iter()
+                .filter(|&&v| v != 0.0)
+                .count();
+            prefix[key + 1] = prefix[key] + nnz;
+        }
+        split_by_prefix(&prefix, parts)
     }
 }
 
@@ -554,6 +1089,20 @@ impl FiberStream3 for HiCooTensor {
     /// block-relative coordinates into the arena's `quads` and re-sorts
     /// them x-major once (O(nnz log nnz)) before emitting fibers.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
+        use crate::traits::SparseTensor3;
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Block filter: only quads whose fiber key falls in `range` enter the
+    /// arena sort, so each worker sorts just its share of the nonzeros.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
+        let dy = self.dim_y();
         let StreamArena {
             coords: zs,
             vals,
@@ -561,7 +1110,10 @@ impl FiberStream3 for HiCooTensor {
             ..
         } = arena;
         quads.clear();
-        quads.extend(self.iter());
+        quads.extend(self.iter().filter(|&(x, y, _, _)| {
+            let key = x * dy + y;
+            key >= range.start && key < range.end
+        }));
         quads.sort_unstable_by_key(|&(x, y, z, _)| (x, y, z));
         let mut s = 0;
         while s < quads.len() {
@@ -578,6 +1130,17 @@ impl FiberStream3 for HiCooTensor {
             s = e;
         }
     }
+
+    /// Block scan: decode every quad's fiber key once, sort the keys, and
+    /// quantile-split — the per-block clustering means no single structure
+    /// pass yields sorted keys for free.
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let dy = self.dim_y();
+        let mut keys: Vec<usize> = self.iter().map(|(x, y, _, _)| x * dy + y).collect();
+        keys.sort_unstable();
+        split_by_sorted_keys(keys.len(), self.dim_x() * dy, parts, &|i| keys[i])
+    }
 }
 
 impl FiberStream3 for RlcTensor3 {
@@ -586,7 +1149,25 @@ impl FiberStream3 for RlcTensor3 {
     /// arena scratch.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
-        let (dy, dz) = (self.dim_y(), self.dim_z());
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Run skip-scan: decode positions ascend monotonically, so the walk
+    /// skips entries below the range window and stops at the first entry
+    /// past it.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        if dy == 0 || dz == 0 {
+            return;
+        }
+        let lo_pos = range.start as u64 * dz as u64;
+        let hi_pos = range.end.min(dx * dy) as u64 * dz as u64;
         let mut cur: Option<(usize, usize)> = None;
         let StreamArena {
             coords: zs, vals, ..
@@ -597,8 +1178,11 @@ impl FiberStream3 for RlcTensor3 {
         for e in self.entries() {
             let pos = cursor + e.zeros;
             cursor = pos + 1;
-            if e.value == 0.0 {
-                continue; // run-extension entry
+            if pos >= hi_pos {
+                break;
+            }
+            if e.value == 0.0 || pos < lo_pos {
+                continue; // run-extension entry or before the window
             }
             let p = pos as usize;
             let xy = (p / (dy * dz), (p / dz) % dy);
@@ -621,6 +1205,30 @@ impl FiberStream3 for RlcTensor3 {
             }
         }
     }
+
+    /// Run scan: one decode pass histograms stored elements per fiber key
+    /// into a prefix array.
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let keys = dx * dy;
+        if dz == 0 {
+            return Vec::new();
+        }
+        let mut prefix = vec![0usize; keys + 1];
+        let mut cursor = 0u64;
+        for e in self.entries() {
+            let pos = cursor + e.zeros;
+            cursor = pos + 1;
+            if e.value != 0.0 {
+                prefix[pos as usize / dz + 1] += 1;
+            }
+        }
+        for k in 0..keys {
+            prefix[k + 1] += prefix[k];
+        }
+        split_by_prefix(&prefix, parts)
+    }
 }
 
 impl FiberStream3 for ZvcTensor3 {
@@ -629,31 +1237,71 @@ impl FiberStream3 for ZvcTensor3 {
     /// arena scratch.
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         use crate::traits::SparseTensor3;
+        self.for_each_fiber_range_in(0..self.dim_x() * self.dim_y(), arena, emit);
+    }
+
+    /// Bitmask rank seek: the packed-value cursor for the first in-range
+    /// fiber is `rank(range.start * dz)` (a popcount over the mask prefix);
+    /// from there the walk is the usual bit decode.
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        use crate::traits::SparseTensor3;
         let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let lo = range.start.min(dx * dy);
+        let hi = range.end.min(dx * dy);
         let zs = &mut arena.coords;
-        let mut vi = 0usize;
-        for x in 0..dx {
-            for y in 0..dy {
-                let base = (x * dy + y) * dz;
-                zs.clear();
-                let start = vi;
-                for z in 0..dz {
-                    if self.bit(base + z) {
-                        zs.push(z);
-                        vi += 1;
-                    }
-                }
-                if !zs.is_empty() {
-                    emit(x, y, zs, &self.values()[start..vi]);
+        let mut vi = self.rank(lo * dz);
+        for key in lo..hi {
+            let (x, y) = (key / dy, key % dy);
+            let base = key * dz;
+            zs.clear();
+            let start = vi;
+            for z in 0..dz {
+                if self.bit(base + z) {
+                    zs.push(z);
+                    vi += 1;
                 }
             }
+            if !zs.is_empty() {
+                emit(x, y, zs, &self.values()[start..vi]);
+            }
         }
+    }
+
+    /// Mask scan: per-key popcount into a prefix array.
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        use crate::traits::SparseTensor3;
+        let (dx, dy, dz) = (self.dim_x(), self.dim_y(), self.dim_z());
+        let keys = dx * dy;
+        let mut prefix = vec![0usize; keys + 1];
+        for key in 0..keys {
+            let base = key * dz;
+            let nnz = (0..dz).filter(|&z| self.bit(base + z)).count();
+            prefix[key + 1] = prefix[key] + nnz;
+        }
+        split_by_prefix(&prefix, parts)
     }
 }
 
 impl FiberStream3 for TensorData {
     fn for_each_fiber_in(&self, arena: &mut StreamArena, emit: &mut FiberSink3<'_>) {
         self.fiber_stream().for_each_fiber_in(arena, emit);
+    }
+    fn for_each_fiber_range_in(
+        &self,
+        range: Range<usize>,
+        arena: &mut StreamArena,
+        emit: &mut FiberSink3<'_>,
+    ) {
+        self.fiber_stream()
+            .for_each_fiber_range_in(range, arena, emit);
+    }
+    fn fiber_partition(&self, parts: usize) -> Vec<Range<usize>> {
+        self.fiber_stream().fiber_partition(parts)
     }
     fn for_each_nnz_in(
         &self,
@@ -1001,5 +1649,141 @@ mod tests {
             fibers,
             vec![(0, 0, vec![0, 7]), (0, 7, vec![0]), (7, 7, vec![1]),]
         );
+    }
+
+    #[test]
+    fn split_by_prefix_covers_and_balances() {
+        // nnz prefix for 6 units with weights [3, 0, 5, 1, 1, 2] (total 12).
+        let prefix = [0usize, 3, 3, 8, 9, 10, 12];
+        for parts in 1..=8 {
+            let ranges = split_by_prefix(&prefix, parts);
+            assert!(ranges.len() <= parts);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(6));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must tile contiguously");
+            }
+            // Balance: each range within one max unit weight of the ideal.
+            let max_unit = 5;
+            for r in &ranges {
+                let weight = prefix[r.end] - prefix[r.start];
+                assert!(
+                    weight <= 12 / parts + max_unit,
+                    "range {r:?} weight {weight} too heavy for {parts} parts"
+                );
+            }
+        }
+        assert!(split_by_prefix(&[0], 4).is_empty(), "zero units");
+        assert_eq!(split_by_prefix(&[0, 0, 0], 4), vec![0..2], "zero weight");
+    }
+
+    #[test]
+    fn split_by_sorted_keys_covers_and_respects_fibers() {
+        let keys = [0usize, 0, 0, 2, 2, 5, 5, 5, 5, 7];
+        for parts in 1..=6 {
+            let ranges = split_by_sorted_keys(keys.len(), 9, parts, &|i| keys[i]);
+            assert!(ranges.len() <= parts);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(9));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // No fiber may straddle a boundary: every boundary is a key
+            // value, and all equal keys fall on one side of it.
+            for w in ranges.windows(2) {
+                let b = w[0].end;
+                assert!(
+                    keys.iter().all(|&k| k != b || k >= b),
+                    "boundary {b} splits a fiber"
+                );
+            }
+        }
+        assert!(split_by_sorted_keys(0, 0, 3, &|_| 0).is_empty());
+        assert_eq!(split_by_sorted_keys(0, 4, 3, &|_| 0), vec![0..4]);
+    }
+
+    /// Concatenating the ranged walks of any partition must reproduce the
+    /// full fiber stream exactly, for every matrix format and any part
+    /// count — the contract the parallel kernels rest on.
+    #[test]
+    fn ranged_matrix_walks_concatenate_to_full_stream() {
+        let coo = sample_matrix();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let mut full: Vec<(usize, Vec<usize>, Vec<Value>)> = Vec::new();
+            data.for_each_fiber(&mut |r, cs, vs| full.push((r, cs.to_vec(), vs.to_vec())));
+            for parts in [1, 2, 3, 5, 16] {
+                let ranges = data.row_partition(parts);
+                assert!(ranges.len() <= parts, "{fmt} produced too many ranges");
+                assert_eq!(ranges.first().map(|r| r.start), Some(0), "{fmt}");
+                assert_eq!(ranges.last().map(|r| r.end), Some(data.rows()), "{fmt}");
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "{fmt} ranges must tile");
+                }
+                let mut arena = StreamArena::new();
+                let mut cat: Vec<(usize, Vec<usize>, Vec<Value>)> = Vec::new();
+                for range in ranges {
+                    data.for_each_fiber_range_in(range, &mut arena, &mut |r, cs, vs| {
+                        cat.push((r, cs.to_vec(), vs.to_vec()))
+                    });
+                }
+                assert_eq!(cat, full, "{fmt} ranged walk diverged at {parts} parts");
+            }
+        }
+    }
+
+    /// Same contract for the tensor formats over linearized fiber keys.
+    #[test]
+    fn ranged_tensor_walks_concatenate_to_full_stream() {
+        use crate::traits::SparseTensor3;
+        let coo = sample_tensor();
+        for fmt in all_tensor_formats() {
+            let data = TensorData::encode(&coo, &fmt).unwrap();
+            let mut full: Vec<(usize, usize, Vec<usize>, Vec<Value>)> = Vec::new();
+            data.for_each_fiber(&mut |x, y, zs, vs| full.push((x, y, zs.to_vec(), vs.to_vec())));
+            let keys = coo.dim_x() * coo.dim_y();
+            for parts in [1, 2, 3, 7, 32] {
+                let ranges = data.fiber_partition(parts);
+                assert!(ranges.len() <= parts, "{fmt} produced too many ranges");
+                assert_eq!(ranges.first().map(|r| r.start), Some(0), "{fmt}");
+                assert_eq!(ranges.last().map(|r| r.end), Some(keys), "{fmt}");
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "{fmt} ranges must tile");
+                }
+                let mut arena = StreamArena::new();
+                let mut cat: Vec<(usize, usize, Vec<usize>, Vec<Value>)> = Vec::new();
+                for range in ranges {
+                    data.for_each_fiber_range_in(range, &mut arena, &mut |x, y, zs, vs| {
+                        cat.push((x, y, zs.to_vec(), vs.to_vec()))
+                    });
+                }
+                assert_eq!(cat, full, "{fmt} ranged walk diverged at {parts} parts");
+            }
+        }
+    }
+
+    /// An arbitrary (non-partition) sub-range must emit exactly the fibers
+    /// whose row / key falls inside it.
+    #[test]
+    fn arbitrary_ranges_filter_exactly() {
+        let coo = sample_matrix();
+        for fmt in all_matrix_formats() {
+            let data = MatrixData::encode(&coo, &fmt).unwrap();
+            let mut full: Vec<(usize, Vec<usize>)> = Vec::new();
+            data.for_each_fiber(&mut |r, cs, _| full.push((r, cs.to_vec())));
+            let mut arena = StreamArena::new();
+            for (lo, hi) in [(0, 1), (2, 5), (3, 4), (6, 7), (0, 7), (5, 5)] {
+                let expect: Vec<_> = full
+                    .iter()
+                    .filter(|(r, _)| *r >= lo && *r < hi)
+                    .cloned()
+                    .collect();
+                let mut got: Vec<(usize, Vec<usize>)> = Vec::new();
+                data.for_each_fiber_range_in(lo..hi, &mut arena, &mut |r, cs, _| {
+                    got.push((r, cs.to_vec()))
+                });
+                assert_eq!(got, expect, "{fmt} range {lo}..{hi}");
+            }
+        }
     }
 }

@@ -199,7 +199,7 @@ impl ZvcTensor3 {
         (self.mask[i / 64] >> (i % 64)) & 1 == 1
     }
 
-    fn rank(&self, i: usize) -> usize {
+    pub(crate) fn rank(&self, i: usize) -> usize {
         let word = i / 64;
         let mut count: usize = self.mask[..word]
             .iter()

@@ -22,16 +22,18 @@
 //! criterion group).
 
 use crate::error::{check_dim, KernelError};
-use crate::lanes::{axpy, dot_indexed, fold_scaled};
+use crate::lanes::{axpy, dot_indexed, fold_scaled, scatter_axpy};
+use crate::parallel::{split_at_ranges, worker_count};
 use crate::{
     mttkrp as mttkrp_mod, spgemm as spgemm_mod, spmm as spmm_mod, spmv as spmv_mod,
     spttm as spttm_mod,
 };
 use sparseflex_formats::{
-    CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, SparseMatrix, SparseTensor3, StreamArena,
-    TensorData, Value,
+    ArenaPool, CsrMatrix, DenseMatrix, DenseTensor3, MatrixData, RowMajorStream, SparseMatrix,
+    SparseTensor3, StreamArena, TensorData, Value,
 };
 use std::borrow::Cow;
+use std::ops::Range;
 
 // ---------------------------------------------------------------------------
 // SpMV
@@ -137,17 +139,59 @@ pub fn spmm_from_stream_in(
     Ok(o)
 }
 
-/// Multithreaded SpMM over any matrix format.
+/// Multithreaded SpMM over **any** matrix format — the two-phase parallel
+/// split over the generic stream.
 ///
-/// CSR operands run the row-partitioned parallel fast path; other formats
-/// fall back to the sequential generic stream (their traversals are
-/// push-based and single-pass).
+/// Phase 1 cuts the rows into near-equal-nnz contiguous ranges with the
+/// format's structure-only partitioner
+/// ([`RowMajorStream::row_partition`]); phase 2 gives each scoped worker
+/// its own disjoint output band and its own [`StreamArena`], streaming
+/// only its range via [`RowMajorStream::for_each_fiber_range_in`]. Per-row
+/// accumulation order is untouched, so the result is bit-for-bit equal to
+/// [`spmm_via_stream`] (and [`spmm`]) for every format.
 pub fn spmm_parallel(a: &MatrixData, b: &DenseMatrix) -> Result<DenseMatrix, KernelError> {
+    spmm_parallel_in(&mut ArenaPool::new(), a, b)
+}
+
+/// [`spmm_parallel`] drawing each worker's arena from the caller's pool:
+/// with a warm pool, the per-worker traversals allocate nothing in steady
+/// state — PR 8's zero-alloc property, preserved per thread.
+pub fn spmm_parallel_in(
+    pool: &mut ArenaPool,
+    a: &MatrixData,
+    b: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
     check_dim("spmm", "A cols vs B rows", a.cols(), b.rows())?;
-    match a {
-        MatrixData::Csr(m) => Ok(spmm_mod::csr_dense_parallel(m, b)),
-        _ => spmm_via_stream(a, b),
+    let n = b.cols();
+    let stream = a.row_stream();
+    let ranges = stream.row_partition(worker_count(a.rows()));
+    let mut o = DenseMatrix::zeros(a.rows(), n);
+    if ranges.len() <= 1 {
+        let arena = &mut pool.slots(1)[0];
+        stream.for_each_fiber_in(arena, &mut |r, cols, vals| {
+            let orow = &mut o.data_mut()[r * n..(r + 1) * n];
+            for (&c, &v) in cols.iter().zip(vals) {
+                axpy(orow, b.row(c), v);
+            }
+        });
+        return Ok(o);
     }
+    let slices = split_at_ranges(o.data_mut(), &ranges, n);
+    let arenas = pool.slots(ranges.len());
+    std::thread::scope(|s| {
+        for ((range, slice), arena) in ranges.iter().cloned().zip(slices).zip(arenas.iter_mut()) {
+            s.spawn(move || {
+                let r0 = range.start;
+                stream.for_each_fiber_range_in(range, arena, &mut |r, cols, vals| {
+                    let orow = &mut slice[(r - r0) * n..(r - r0 + 1) * n];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        axpy(orow, b.row(c), v);
+                    }
+                });
+            });
+        }
+    });
+    Ok(o)
 }
 
 /// SpMM with the sparse operand on the right: `O = A * B` with dense `A`
@@ -169,9 +213,8 @@ pub fn spmm_sparse_b(a: &DenseMatrix, b: &MatrixData) -> Result<DenseMatrix, Ker
                     if aik == 0.0 {
                         continue;
                     }
-                    for (&j, &v) in cols.iter().zip(vals) {
-                        o.add_assign(i, j, aik * v);
-                    }
+                    let orow = &mut o.data_mut()[i * n..(i + 1) * n];
+                    scatter_axpy(orow, cols, vals, aik);
                 }
             });
             Ok(o)
@@ -272,21 +315,182 @@ pub fn spgemm_with(
         .expect("both SpGEMM dataflows emit ordered valid CSR over an ordered stream"))
 }
 
-/// Row-parallel Gustavson SpGEMM over any pair of matrix formats.
-///
-/// Non-CSR operands are materialized via one stream pass, then the banded
-/// parallel fast path runs.
+/// Row-parallel Gustavson SpGEMM over any pair of matrix formats —
+/// see [`spgemm_parallel_with`].
 pub fn spgemm_parallel(a: &MatrixData, b: &MatrixData) -> Result<CsrMatrix, KernelError> {
+    spgemm_parallel_with(a, b, SpgemmAlgo::Gustavson)
+}
+
+/// Output-row-parallel SpGEMM over any pair of matrix formats, in either
+/// dataflow.
+///
+/// `B` is materialized as CSR once (itself row-parallel via
+/// [`csr_from_stream_parallel`] when not already CSR); `A`'s rows are then
+/// cut by its structure-only partitioner and each scoped worker runs the
+/// chosen per-row routine ([`SpgemmAlgo`]) over its own ranged stream with
+/// private scratch and output buffers. A final offset-stitch concatenates
+/// the bands. Both dataflows reuse the exact per-row routines of the
+/// sequential [`spgemm_with`], so output is bit-for-bit identical for
+/// every format pair.
+pub fn spgemm_parallel_with(
+    a: &MatrixData,
+    b: &MatrixData,
+    algo: SpgemmAlgo,
+) -> Result<CsrMatrix, KernelError> {
     check_dim("spgemm", "A cols vs B rows", a.cols(), b.rows())?;
-    let a_csr = csr_view(a);
-    let b_csr = csr_view(b);
-    Ok(spgemm_mod::csr_csr_parallel(&a_csr, &b_csr))
+    let b_csr = csr_view_parallel(b);
+    let (rows, n) = (a.rows(), b.cols());
+    let stream = a.row_stream();
+    let ranges = stream.row_partition(worker_count(rows));
+    let bands: Vec<(Vec<usize>, Vec<usize>, Vec<Value>)> = if ranges.len() <= 1 {
+        vec![spgemm_band(stream, 0..rows, &b_csr, algo)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .map(|range| {
+                    let b_csr = &b_csr;
+                    s.spawn(move || spgemm_band(stream, range, b_csr, algo))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("spgemm worker panicked"))
+                .collect()
+        })
+    };
+    Ok(stitch_bands(rows, n, bands))
+}
+
+/// One worker's share of the parallel SpGEMM: run the per-row routine over
+/// a ranged stream of `A`, recording each output row's length for the
+/// final stitch. Also the sequential body (one band covering all rows).
+fn spgemm_band(
+    stream: &dyn RowMajorStream,
+    range: Range<usize>,
+    b_csr: &CsrMatrix,
+    algo: SpgemmAlgo,
+) -> (Vec<usize>, Vec<usize>, Vec<Value>) {
+    let mut arena = StreamArena::new();
+    let mut row_lens = vec![0usize; range.len()];
+    let mut col_ids = Vec::new();
+    let mut values = Vec::new();
+    let r0 = range.start;
+    match algo {
+        SpgemmAlgo::Gustavson => {
+            let mut scratch = spgemm_mod::Accumulator::new(b_csr.cols());
+            stream.for_each_fiber_range_in(range, &mut arena, &mut |r, acols, avals| {
+                let before = values.len();
+                spgemm_mod::gustavson_row(
+                    acols,
+                    avals,
+                    b_csr,
+                    &mut scratch,
+                    &mut col_ids,
+                    &mut values,
+                );
+                row_lens[r - r0] = values.len() - before;
+            });
+        }
+        SpgemmAlgo::RowWise => {
+            let mut heap: spgemm_mod::MergeHeap = Vec::new();
+            stream.for_each_fiber_range_in(range, &mut arena, &mut |r, acols, avals| {
+                let before = values.len();
+                spgemm_mod::rowwise_row(acols, avals, b_csr, &mut heap, &mut col_ids, &mut values);
+                row_lens[r - r0] = values.len() - before;
+            });
+        }
+    }
+    (row_lens, col_ids, values)
+}
+
+/// Offset-stitch: per-band row lengths become the global `row_ptr`, band
+/// payloads concatenate in range order.
+fn stitch_bands(
+    rows: usize,
+    cols: usize,
+    bands: Vec<(Vec<usize>, Vec<usize>, Vec<Value>)>,
+) -> CsrMatrix {
+    let nnz: usize = bands.iter().map(|(_, c, _)| c.len()).sum();
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0usize);
+    let mut col_ids = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for (row_lens, cs, vs) in bands {
+        for len in row_lens {
+            row_ptr.push(row_ptr.last().unwrap() + len);
+        }
+        col_ids.extend_from_slice(&cs);
+        values.extend_from_slice(&vs);
+    }
+    // Bands cover every row except when the operand had zero rows; pad the
+    // pointer array either way (a no-op for covered rows).
+    while row_ptr.len() <= rows {
+        row_ptr.push(col_ids.len());
+    }
+    CsrMatrix::from_parts(rows, cols, row_ptr, col_ids, values)
+        .expect("stitched bands form valid CSR")
+}
+
+/// Row-parallel stream→CSR materialization: partition the rows, let each
+/// worker stream its range into private buffers, stitch. Bit-for-bit
+/// identical to [`csr_from_stream`](sparseflex_formats::csr_from_stream)
+/// for any format (the fibers and their order are the same; only which
+/// thread copies them changes).
+pub fn csr_from_stream_parallel(
+    rows: usize,
+    cols: usize,
+    stream: &dyn RowMajorStream,
+) -> CsrMatrix {
+    let ranges = stream.row_partition(worker_count(rows));
+    if ranges.len() <= 1 {
+        return sparseflex_formats::csr_from_stream(rows, cols, stream);
+    }
+    let bands: Vec<(Vec<usize>, Vec<usize>, Vec<Value>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                s.spawn(move || {
+                    let mut arena = StreamArena::new();
+                    let mut row_lens = vec![0usize; range.len()];
+                    let mut col_ids = Vec::new();
+                    let mut values = Vec::new();
+                    let r0 = range.start;
+                    stream.for_each_fiber_range_in(range, &mut arena, &mut |r, cs, vs| {
+                        row_lens[r - r0] = cs.len();
+                        col_ids.extend_from_slice(cs);
+                        values.extend_from_slice(vs);
+                    });
+                    (row_lens, col_ids, values)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream worker panicked"))
+            .collect()
+    });
+    stitch_bands(rows, cols, bands)
 }
 
 /// Borrow `m` as CSR when it already is, else materialize through the
 /// fiber stream (shared with the accelerator runtimes).
 fn csr_view(m: &MatrixData) -> Cow<'_, CsrMatrix> {
     sparseflex_formats::csr_cow(m)
+}
+
+/// [`csr_view`] with a row-parallel materialization for non-CSR operands.
+fn csr_view_parallel(m: &MatrixData) -> Cow<'_, CsrMatrix> {
+    match m {
+        MatrixData::Csr(c) => Cow::Borrowed(c),
+        other => Cow::Owned(csr_from_stream_parallel(
+            other.rows(),
+            other.cols(),
+            other.row_stream(),
+        )),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +555,77 @@ pub fn mttkrp_via_stream_in(
     Ok(o)
 }
 
+/// Multithreaded MTTKRP over any 3-D tensor format — the two-phase split
+/// over the mode-z fiber stream.
+///
+/// Fiber-key ranges from
+/// [`fiber_partition`](sparseflex_formats::FiberStream3::fiber_partition)
+/// are aligned down to whole x slices (MTTKRP's output row is `x`, so a
+/// slice split across workers would race); each worker then streams its
+/// range with a private arena and accumulator lane into its disjoint
+/// output band.
+/// Bit-for-bit identical to [`mttkrp_via_stream`] (same per-fiber
+/// accumulation, same order per output row).
+pub fn mttkrp_parallel(
+    a: &TensorData,
+    b: &DenseMatrix,
+    c: &DenseMatrix,
+) -> Result<DenseMatrix, KernelError> {
+    mttkrp_mod::check_factors(a.dim_y(), a.dim_z(), b, c)?;
+    let (dx, dy) = (a.dim_x(), a.dim_y());
+    let j = b.cols();
+    let stream = a.fiber_stream();
+    let mut ranges = stream.fiber_partition(worker_count(dx));
+    align_ranges_to(&mut ranges, dy);
+    if ranges.len() <= 1 {
+        return mttkrp_via_stream(a, b, c);
+    }
+    let mut o = DenseMatrix::zeros(dx, j);
+    let row_ranges: Vec<Range<usize>> = ranges.iter().map(|r| r.start / dy..r.end / dy).collect();
+    let slices = split_at_ranges(o.data_mut(), &row_ranges, j);
+    std::thread::scope(|s| {
+        for (range, slice) in ranges.iter().cloned().zip(slices) {
+            s.spawn(move || {
+                let mut arena = StreamArena::new();
+                let mut fiber_acc = vec![0.0; j];
+                let x0 = range.start / dy;
+                stream.for_each_fiber_range_in(range, &mut arena, &mut |i, k, zs, vals| {
+                    fiber_acc.iter_mut().for_each(|v| *v = 0.0);
+                    for (&l, &v) in zs.iter().zip(vals) {
+                        axpy(&mut fiber_acc, c.row(l), v);
+                    }
+                    let orow = &mut slice[(i - x0) * j..(i - x0 + 1) * j];
+                    fold_scaled(orow, &fiber_acc, b.row(k));
+                });
+            });
+        }
+    });
+    Ok(o)
+}
+
+/// Round each range boundary down to a multiple of `unit`, merging ranges
+/// that collapse — the alignment MTTKRP needs so every worker owns whole
+/// x slices (`unit = dim_y` fiber keys per slice).
+fn align_ranges_to(ranges: &mut Vec<Range<usize>>, unit: usize) {
+    if unit <= 1 || ranges.is_empty() {
+        return;
+    }
+    let end = ranges.last().unwrap().end;
+    let mut bounds: Vec<usize> = ranges.iter().map(|r| r.start / unit * unit).collect();
+    bounds.dedup();
+    ranges.clear();
+    for (i, &s) in bounds.iter().enumerate() {
+        let e = if i + 1 < bounds.len() {
+            bounds[i + 1]
+        } else {
+            end
+        };
+        if s < e {
+            ranges.push(s..e);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // SpTTM
 // ---------------------------------------------------------------------------
@@ -402,6 +677,51 @@ pub fn spttm_via_stream_in(
             }
         });
     arena.acc = acc;
+    Ok(y)
+}
+
+/// Multithreaded SpTTM over any 3-D tensor format — the two-phase split
+/// over the mode-z fiber stream.
+///
+/// Each `(x, y)` fiber owns exactly output row `x * dim_y + y`, so the
+/// fiber-key ranges from
+/// [`fiber_partition`](sparseflex_formats::FiberStream3::fiber_partition)
+/// are already disjoint in the output; workers stream their range with a
+/// private arena and accumulator lane into their output band. Bit-for-bit
+/// identical to [`spttm_via_stream`].
+pub fn spttm_parallel(a: &TensorData, b: &DenseMatrix) -> Result<DenseTensor3, KernelError> {
+    check_dim("spttm", "B rows vs tensor mode-3", a.dim_z(), b.rows())?;
+    let (dx, dy) = (a.dim_x(), a.dim_y());
+    let j = b.cols();
+    let stream = a.fiber_stream();
+    let ranges = stream.fiber_partition(worker_count(dx * dy));
+    if ranges.len() <= 1 {
+        return spttm_via_stream(a, b);
+    }
+    let mut y = DenseTensor3::zeros(dx, dy, j);
+    let slices = split_at_ranges(y.data_mut(), &ranges, j);
+    std::thread::scope(|s| {
+        for (range, slice) in ranges.iter().cloned().zip(slices) {
+            s.spawn(move || {
+                let mut arena = StreamArena::new();
+                let mut acc = vec![0.0; j];
+                let k0 = range.start;
+                stream.for_each_fiber_range_in(range, &mut arena, &mut |x, yy, zs, vals| {
+                    acc.iter_mut().for_each(|v| *v = 0.0);
+                    for (&z, &v) in zs.iter().zip(vals) {
+                        axpy(&mut acc, b.row(z), v);
+                    }
+                    let key = x * dy + yy;
+                    let orow = &mut slice[(key - k0) * j..(key - k0 + 1) * j];
+                    for (jj, &av) in acc.iter().enumerate() {
+                        if av != 0.0 {
+                            orow[jj] += av;
+                        }
+                    }
+                });
+            });
+        }
+    });
     Ok(y)
 }
 

@@ -95,6 +95,30 @@ pub fn fold_scaled(out: &mut [Value], acc: &[Value], b: &[Value]) {
     }
 }
 
+/// Indexed scatter update: `out[idx[t]] += a * vals[t]` for each `t` — the
+/// sparse-B SpMM row update (one stored `A[i][k]` against the sparse row
+/// `B[k][:]`, scattered into the dense output row `O[i][:]`).
+///
+/// `idx` and `vals` are parallel; each index is touched once per call
+/// (fiber columns are strictly ascending), so chunking changes only loop
+/// bookkeeping and results stay bit-for-bit equal to the scalar loop.
+#[inline]
+pub fn scatter_axpy(out: &mut [Value], idx: &[usize], vals: &[Value], a: Value) {
+    debug_assert_eq!(idx.len(), vals.len(), "scatter_axpy lanes must be parallel");
+    let split = idx.len() - idx.len() % LANES;
+    for (ic, vc) in idx[..split]
+        .chunks_exact(LANES)
+        .zip(vals[..split].chunks_exact(LANES))
+    {
+        for t in 0..LANES {
+            out[ic[t]] += a * vc[t];
+        }
+    }
+    for (&i, &v) in idx[split..].iter().zip(&vals[split..]) {
+        out[i] += a * v;
+    }
+}
+
 /// Indexed (gather) dot product: `Σ_i vals[i] * x[idx[i]]` — the SpMV row
 /// reduction and the CSC-stationary column reduction.
 ///
@@ -169,6 +193,21 @@ mod tests {
             }
             fold_scaled(&mut out, &acc, &b);
             assert_eq!(out, expect, "fold_scaled length {n}");
+        }
+    }
+
+    #[test]
+    fn scatter_axpy_matches_scalar_loop() {
+        for n in [0, 1, LANES - 1, LANES, LANES + 1, 2 * LANES + 3] {
+            let idx: Vec<usize> = (0..n).map(|i| i * 2).collect(); // distinct
+            let vals: Vec<Value> = (0..n).map(|i| i as Value - 1.5).collect();
+            let mut out = vec![0.25; 2 * n + 1];
+            let mut expect = out.clone();
+            for (&i, &v) in idx.iter().zip(&vals) {
+                expect[i] += -2.0 * v;
+            }
+            scatter_axpy(&mut out, &idx, &vals, -2.0);
+            assert_eq!(out, expect, "scatter_axpy length {n}");
         }
     }
 

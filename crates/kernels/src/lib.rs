@@ -54,10 +54,11 @@ pub mod spmv;
 pub mod spttm;
 
 pub use dispatch::{
-    mttkrp, mttkrp_via_stream, mttkrp_via_stream_in, spgemm, spgemm_parallel, spgemm_rowwise,
-    spgemm_with, spmm, spmm_from_stream, spmm_from_stream_in, spmm_parallel, spmm_sparse_b,
+    csr_from_stream_parallel, mttkrp, mttkrp_parallel, mttkrp_via_stream, mttkrp_via_stream_in,
+    spgemm, spgemm_parallel, spgemm_parallel_with, spgemm_rowwise, spgemm_with, spmm,
+    spmm_from_stream, spmm_from_stream_in, spmm_parallel, spmm_parallel_in, spmm_sparse_b,
     spmm_via_stream, spmm_via_stream_in, spmv, spmv_via_stream, spmv_via_stream_in, spttm,
-    spttm_via_stream, spttm_via_stream_in, SpgemmAlgo,
+    spttm_parallel, spttm_via_stream, spttm_via_stream_in, SpgemmAlgo,
 };
 pub use error::KernelError;
 pub use gemm::{gemm, gemm_parallel};

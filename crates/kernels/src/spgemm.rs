@@ -8,7 +8,6 @@
 //! [`crate::spgemm_parallel`]; this module holds the retained CSR×CSR fast
 //! paths and the Gustavson row routine the generic stream consumer shares.
 
-use crate::parallel::worker_count;
 use sparseflex_formats::{CsrMatrix, SparseMatrix, Value};
 
 /// Gustavson SpGEMM fast path: `O = A * B`, all three in CSR.
@@ -208,63 +207,6 @@ pub(crate) fn csr_csr_rowwise(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         .expect("the row-wise merge emits sorted valid CSR rows")
 }
 
-/// Row-parallel Gustavson SpGEMM fast path: each thread computes a
-/// contiguous band of output rows into private buffers, then the bands are
-/// stitched.
-pub(crate) fn csr_csr_parallel(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    debug_assert_eq!(a.cols(), b.rows(), "SpGEMM inner dimensions must agree");
-    let m = a.rows();
-    let n = b.cols();
-    let workers = worker_count(m);
-    if workers <= 1 || m < 32 {
-        return csr_csr(a, b);
-    }
-    let rows_per = m.div_ceil(workers);
-    let bands: Vec<(usize, usize)> = (0..workers)
-        .map(|w| (w * rows_per, ((w + 1) * rows_per).min(m)))
-        .filter(|(s, e)| s < e)
-        .collect();
-
-    let results: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = bands
-            .iter()
-            .map(|&(start, end)| {
-                s.spawn(move || {
-                    let mut scratch = Accumulator::new(n);
-                    let mut row_lens = Vec::with_capacity(end - start);
-                    let mut col_ids = Vec::new();
-                    let mut values = Vec::new();
-                    for i in start..end {
-                        let before = values.len();
-                        let (acols, avals) = a.row(i);
-                        gustavson_row(acols, avals, b, &mut scratch, &mut col_ids, &mut values);
-                        row_lens.push(values.len() - before);
-                    }
-                    (row_lens, col_ids, values)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("spgemm worker panicked"))
-            .collect()
-    });
-
-    let mut row_ptr = Vec::with_capacity(m + 1);
-    row_ptr.push(0usize);
-    let total: usize = results.iter().map(|(_, c, _)| c.len()).sum();
-    let mut col_ids = Vec::with_capacity(total);
-    let mut values = Vec::with_capacity(total);
-    for (row_lens, cs, vs) in results {
-        for len in row_lens {
-            row_ptr.push(row_ptr.last().unwrap() + len);
-        }
-        col_ids.extend_from_slice(&cs);
-        values.extend_from_slice(&vs);
-    }
-    CsrMatrix::from_parts(m, n, row_ptr, col_ids, values).expect("stitched bands form valid CSR")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,13 +243,6 @@ mod tests {
         let o = csr_csr(&a, &b);
         let expect = gemm_naive(&a.to_dense(), &b.to_dense());
         assert_eq!(o.to_dense(), expect);
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        let a = mk(120, 80, 3, 600);
-        let b = mk(80, 90, 4, 500);
-        assert_eq!(csr_csr_parallel(&a, &b), csr_csr(&a, &b));
     }
 
     #[test]

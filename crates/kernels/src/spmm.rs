@@ -8,7 +8,6 @@
 //! debug-assert.
 
 use crate::lanes::{axpy, dot_indexed};
-use crate::parallel::{par_chunks, worker_count};
 use sparseflex_formats::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, SparseMatrix};
 
 /// SpMM with the streaming operand in COO — a faithful implementation of
@@ -38,29 +37,6 @@ pub(crate) fn csr_dense(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
             axpy(orow, b.row(*c), *v);
         }
     }
-    o
-}
-
-/// Multithreaded CSR SpMM: output rows partitioned across threads.
-pub(crate) fn csr_dense_parallel(a: &CsrMatrix, b: &DenseMatrix) -> DenseMatrix {
-    debug_assert_eq!(a.cols(), b.rows(), "SpMM inner dimensions must agree");
-    let m = a.rows();
-    let n = b.cols();
-    let mut o = DenseMatrix::zeros(m, n);
-    let workers = worker_count(m);
-    let rows_per = m.div_ceil(workers).max(1);
-    par_chunks(o.data_mut(), m.div_ceil(rows_per), |off, chunk| {
-        let row0 = off / n;
-        let rows_here = chunk.len() / n;
-        for lr in 0..rows_here {
-            let r = row0 + lr;
-            let (cols, vals) = a.row(r);
-            let orow = &mut chunk[lr * n..(lr + 1) * n];
-            for (c, v) in cols.iter().zip(vals) {
-                axpy(orow, b.row(*c), *v);
-            }
-        }
-    });
     o
 }
 
@@ -128,7 +104,6 @@ mod tests {
         let csr = CsrMatrix::from_coo(&a);
         let expect = gemm_naive(&a.to_dense(), &b);
         assert_eq!(csr_dense(&csr, &b), expect);
-        assert_eq!(csr_dense_parallel(&csr, &b), expect);
     }
 
     #[test]
@@ -151,19 +126,5 @@ mod tests {
         let b = dense_b();
         let o = coo_dense(&a, &b);
         assert_eq!(o, DenseMatrix::zeros(3, 3));
-    }
-
-    #[test]
-    fn parallel_handles_many_rows() {
-        let triplets: Vec<_> = (0..200)
-            .map(|i| (i % 100, (i * 13) % 40, (i + 1) as f64))
-            .collect();
-        let a = CooMatrix::from_triplets(100, 40, triplets).unwrap();
-        let b = {
-            let data: Vec<f64> = (0..40 * 7).map(|i| (i % 11) as f64 - 5.0).collect();
-            DenseMatrix::from_vec(40, 7, data).unwrap()
-        };
-        let csr = CsrMatrix::from_coo(&a);
-        assert_eq!(csr_dense_parallel(&csr, &b), csr_dense(&csr, &b));
     }
 }
