@@ -30,6 +30,7 @@
 //! MCF transfers), [`area`] (PE area, +10% extended-PE overhead of
 //! Fig. 7b).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod area;

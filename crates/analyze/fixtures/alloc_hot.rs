@@ -1,0 +1,31 @@
+//! Fixture: seeded `alloc-in-hot-path` violations.
+//!
+//! Not compiled — lint corpus only. The closures passed to the fiber
+//! traversal entry points allocate, which the arena contract forbids.
+
+fn spmv_like(stream: &S, arena: &mut Arena, out: &mut [f64]) {
+    stream.for_each_fiber_in(arena, &mut |row, cols, vals| {
+        // VIOLATION: fresh Vec per fiber.
+        let gathered: Vec<f64> = cols.iter().map(|&c| x[c]).collect();
+        // VIOLATION: vec! macro inside the traversal.
+        let mut scratch = vec![0.0f64; cols.len()];
+        for (v, g) in vals.iter().zip(gathered.iter()) {
+            scratch[0] += v * g;
+        }
+        out[row] += scratch[0];
+    });
+}
+
+fn ranged(stream: &S, arena: &mut Arena) {
+    stream.for_each_fiber_range_in(0..8, arena, &mut |_, cols, _| {
+        // VIOLATION: to_vec copies the fiber.
+        let copy = cols.to_vec();
+        drop(copy);
+    });
+}
+
+fn cold_path_is_fine() {
+    // Outside any traversal call: not a hot region, no finding.
+    let warmup: Vec<f64> = Vec::with_capacity(1024);
+    drop(warmup);
+}

@@ -1,0 +1,24 @@
+//! Fixture: seeded `unchecked-narrowing-cast` violations.
+//!
+//! Not compiled — lint corpus only.
+
+fn encode_ids(w: &mut ByteWriter, ids: &[usize]) {
+    for &id in ids {
+        // VIOLATION: silent truncation for ids above u32::MAX.
+        w.put_u32(id as u32);
+    }
+}
+
+fn encode_tag(w: &mut ByteWriter, tag: usize) {
+    // VIOLATION: u16 narrowing with no range check.
+    w.put_u16(tag as u16);
+}
+
+fn encode_dim(w: &mut ByteWriter, dim: usize) -> Result<(), WireError> {
+    // Guard dominates the cast: no finding.
+    if dim > u32::MAX as usize {
+        return Err(WireError::Overflow("dim"));
+    }
+    w.put_u32(dim as u32);
+    Ok(())
+}

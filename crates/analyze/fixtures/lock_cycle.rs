@@ -1,0 +1,34 @@
+//! Fixture: a seeded `lock-order-cycle` — two mutexes acquired in
+//! opposite orders by two functions.
+//!
+//! Not compiled — lint corpus only.
+
+struct Pool {
+    queue: Mutex<Vec<Job>>,
+    stats: Mutex<Counters>,
+}
+
+fn enqueue(pool: &Pool, job: Job) {
+    // queue -> stats
+    let mut q = pool.queue.lock().unwrap();
+    q.push(job);
+    let mut s = pool.stats.lock().unwrap();
+    s.enqueued += 1;
+}
+
+fn snapshot(pool: &Pool) -> usize {
+    // stats -> queue: opposite order — deadlock with enqueue().
+    let s = pool.stats.lock().unwrap();
+    let q = pool.queue.lock().unwrap();
+    s.enqueued + q.len()
+}
+
+fn disciplined(pool: &Pool) {
+    // Same pair, consistent order plus an early drop: no new edge
+    // direction.
+    let mut q = pool.queue.lock().unwrap();
+    q.clear();
+    drop(q);
+    let mut s = pool.stats.lock().unwrap();
+    s.enqueued = 0;
+}

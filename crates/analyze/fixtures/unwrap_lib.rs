@@ -1,0 +1,26 @@
+//! Fixture: seeded `unwrap-in-library` violations.
+//!
+//! Not compiled — lint corpus only.
+
+pub fn decode(bytes: &[u8]) -> Frame {
+    // VIOLATION: parse failure panics instead of returning WireError.
+    let header = Header::parse(bytes).unwrap();
+    // VIOLATION: expect in library code.
+    let body = take_body(bytes, &header).expect("body after header");
+    Frame { header, body }
+}
+
+pub fn recoverers_are_fine(m: &Mutex<State>) -> u64 {
+    // Sanctioned alternatives: no findings.
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    guard.generation.checked_add(1).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = super::decode(&[0u8; 16]);
+        assert_eq!(v.header.len(), 16usize.checked_sub(0).unwrap());
+    }
+}

@@ -1,0 +1,370 @@
+//! The committed findings baseline and the gate diff.
+//!
+//! `results/lint_baseline.json` freezes the workspace's existing lint
+//! debt so it never blocks a PR, while `sflint --gate` fails on any
+//! **new** finding — and on any **stale** baseline entry whose code no
+//! longer exists, so the debt ledger only ever shrinks (re-baseline
+//! with `sflint --write-baseline` after an intentional burn-down).
+//!
+//! Matching keys on `(lint, file, excerpt)` with multiplicity, not on
+//! line numbers: unrelated edits that shift a baselined line do not
+//! churn the gate, while deleting or fixing the flagged code surfaces
+//! as staleness.
+//!
+//! The workspace carries no serde; the writer is plain `format!` and
+//! the reader a recursive-descent parser over exactly the subset the
+//! writer emits (the same convention as `core::trace_io`).
+
+use crate::framework::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render findings as the baseline JSON document.
+pub fn baseline_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}}}",
+            json_str(&f.lint),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.excerpt)
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the baseline file.
+pub fn write_baseline(path: &Path, findings: &[Finding]) -> std::io::Result<()> {
+    std::fs::write(path, baseline_to_json(findings))
+}
+
+/// Load the baseline file; a missing file is an empty baseline.
+pub fn read_baseline(path: &Path) -> Result<Vec<Finding>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    parse_baseline(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The gate's verdict: what changed against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateDiff {
+    /// Findings present now but absent from the baseline — regressions.
+    pub new: Vec<Finding>,
+    /// Baseline entries whose code no longer exists — must be pruned.
+    pub stale: Vec<Finding>,
+}
+
+impl GateDiff {
+    /// True when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Diff current findings against the baseline by `(lint, file,
+/// excerpt)` multiset.
+pub fn diff(current: &[Finding], baseline: &[Finding]) -> GateDiff {
+    let mut counts: BTreeMap<(String, String, String), i64> = BTreeMap::new();
+    for f in baseline {
+        *counts.entry(f.key()).or_insert(0) += 1;
+    }
+    let mut out = GateDiff::default();
+    for f in current {
+        let c = counts.entry(f.key()).or_insert(0);
+        if *c > 0 {
+            *c -= 1;
+        } else {
+            out.new.push(f.clone());
+        }
+    }
+    // Remaining positive counts are baseline entries with no live code.
+    let mut remaining = counts;
+    for f in baseline {
+        let c = remaining.entry(f.key()).or_insert(0);
+        if *c > 0 {
+            *c -= 1;
+            out.stale.push(f.clone());
+        }
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (exactly the writer's subset)
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} (found {:?})",
+                c as char,
+                self.i,
+                self.s.get(self.i).map(|b| *b as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.i) else {
+                return Err("unterminated string".into());
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let v = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(v).ok_or("bad \\u escape")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.i - 1;
+                    let len = utf8_len(b);
+                    let end = (start + len).min(self.s.len());
+                    let chunk =
+                        std::str::from_utf8(&self.s[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.ws();
+        let start = self.i;
+        while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse the baseline document written by [`baseline_to_json`].
+pub fn parse_baseline(text: &str) -> Result<Vec<Finding>, String> {
+    let mut c = Cursor {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    c.eat(b'{')?;
+    let mut findings = Vec::new();
+    loop {
+        if c.peek() == Some(b'}') {
+            c.eat(b'}')?;
+            break;
+        }
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "version" => {
+                let v = c.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+            }
+            "findings" => {
+                c.eat(b'[')?;
+                loop {
+                    if c.peek() == Some(b']') {
+                        c.i += 1;
+                        break;
+                    }
+                    findings.push(parse_finding(&mut c)?);
+                    if c.peek() == Some(b',') {
+                        c.i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        if c.peek() == Some(b',') {
+            c.i += 1;
+        }
+    }
+    Ok(findings)
+}
+
+fn parse_finding(c: &mut Cursor<'_>) -> Result<Finding, String> {
+    c.eat(b'{')?;
+    let mut f = Finding {
+        lint: String::new(),
+        file: String::new(),
+        line: 0,
+        excerpt: String::new(),
+        message: String::new(),
+    };
+    loop {
+        if c.peek() == Some(b'}') {
+            c.i += 1;
+            break;
+        }
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "lint" => f.lint = c.string()?,
+            "file" => f.file = c.string()?,
+            "line" => f.line = c.number()? as usize,
+            "excerpt" => f.excerpt = c.string()?,
+            other => return Err(format!("unknown finding key {other:?}")),
+        }
+        if c.peek() == Some(b',') {
+            c.i += 1;
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &str, file: &str, line: usize, excerpt: &str) -> Finding {
+        Finding {
+            lint: lint.into(),
+            file: file.into(),
+            line,
+            excerpt: excerpt.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_with_escapes() {
+        let fs = vec![
+            finding(
+                "unwrap-in-library",
+                "crates/x/src/a.rs",
+                7,
+                "m.lock().expect(\"poisoned\")",
+            ),
+            finding(
+                "alloc-in-hot-path",
+                "crates/y/src/b.rs",
+                12,
+                "let v = vec![0.0; n]; // \\ tab\t",
+            ),
+        ];
+        let json = baseline_to_json(&fs);
+        let back = parse_baseline(&json).expect("parse");
+        assert_eq!(back.len(), 2);
+        for (a, b) in fs.iter().zip(&back) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.line, b.line);
+        }
+    }
+
+    #[test]
+    fn diff_classifies_new_matched_and_stale() {
+        let base = vec![
+            finding("l", "f.rs", 1, "kept"),
+            finding("l", "f.rs", 2, "fixed-since"),
+            finding("l", "f.rs", 3, "dup"),
+            finding("l", "f.rs", 4, "dup"),
+        ];
+        let now = vec![
+            finding("l", "f.rs", 9, "kept"), // moved line: still matched
+            finding("l", "f.rs", 3, "dup"),  // one of two dups fixed
+            finding("l", "f.rs", 5, "brand-new"),
+        ];
+        let d = diff(&now, &base);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].excerpt, "brand-new");
+        assert_eq!(d.stale.len(), 2);
+        assert!(d.stale.iter().any(|f| f.excerpt == "fixed-since"));
+        assert!(d.stale.iter().any(|f| f.excerpt == "dup"));
+        assert!(!d.is_clean());
+        assert!(diff(&base, &base).is_clean());
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let d = read_baseline(Path::new("/nonexistent/lint_baseline.json")).expect("missing ok");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! `unchecked-narrowing-cast`: every `as u32` / `as u16` on the wire
+//! encode paths needs a dominating range guard.
+//!
+//! Wire indices are `u32`; a silent `usize as u32` truncates a >4Gi
+//! dimension or nnz count into a frame that decodes "successfully" to
+//! the wrong matrix. The encode paths guard with explicit
+//! `u32::MAX`-style checks (returning `WireError::Overflow`); this lint
+//! makes the pattern total: a narrowing cast is flagged unless the
+//! enclosing function mentions the matching `::MAX` bound (or a
+//! `try_from`/`try_into` conversion) on an earlier line — i.e. the
+//! guard dominates the cast.
+
+use crate::framework::{in_scope, AnalysisConfig, Finding};
+use crate::lexer::SourceFile;
+
+/// The lint's name, as used in pragmas and baselines.
+pub const NAME: &str = "unchecked-narrowing-cast";
+
+const CASTS: &[(&str, &str)] = &[("as u32", "u32::MAX"), ("as u16", "u16::MAX")];
+
+/// Scan one file for unguarded narrowing casts.
+pub fn run(src: &SourceFile, config: &AnalysisConfig) -> Vec<Finding> {
+    if !in_scope(&src.path, &config.cast_scope) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (li, line) in src.lines.iter().enumerate() {
+        if line.in_test || src.is_allowed(NAME, li) {
+            continue;
+        }
+        for &(cast, guard) in CASTS {
+            let mut from = 0usize;
+            while let Some(col) = find_cast(&line.code, cast, from) {
+                from = col + cast.len();
+                if dominated(src, li, col, guard) {
+                    continue;
+                }
+                findings.push(Finding {
+                    lint: NAME.to_string(),
+                    file: src.path.clone(),
+                    line: li + 1,
+                    excerpt: src.excerpt(li),
+                    message: format!(
+                        "`{cast}` with no dominating `{guard}` guard in the enclosing \
+                         function; check the range first (WireError::Overflow) or use \
+                         a checked helper"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Word-bounded `as uNN` at/after `from`.
+fn find_cast(code: &str, cast: &str, from: usize) -> Option<usize> {
+    let mut start = from.min(code.len());
+    while let Some(rel) = code[start..].find(cast) {
+        let col = start + rel;
+        start = col + cast.len();
+        let before_ok = col == 0
+            || !code[..col]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !code[col + cast.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(col);
+        }
+    }
+    None
+}
+
+/// Does a guard mention precede the cast within its enclosing function?
+fn dominated(src: &SourceFile, line: usize, col: usize, guard: &str) -> bool {
+    let start = src.enclosing_fn(line).map(|f| f.start_line).unwrap_or(0);
+    for li in start..=line {
+        let code = &src.lines[li].code;
+        let hay = if li == line { &code[..col] } else { code };
+        if hay.contains(guard) || hay.contains("try_from") || hay.contains("try_into") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unguarded_cast_is_flagged_and_guarded_passes() {
+        let src = SourceFile::parse(
+            "w.rs",
+            "fn bad(w: &mut W, v: usize) {\n    w.put_u32(v as u32);\n}\nfn good(w: &mut W, v: usize) -> Result<(), E> {\n    if v > u32::MAX as usize {\n        return Err(E::Overflow);\n    }\n    w.put_u32(v as u32);\n    Ok(())\n}\n",
+        );
+        let f = run(&src, &AnalysisConfig::everything());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn widening_casts_and_u64_are_ignored() {
+        let src = SourceFile::parse(
+            "w.rs",
+            "fn f(n: u32, m: usize) {\n    let a = n as usize;\n    let b = m as u64;\n}\n",
+        );
+        assert!(run(&src, &AnalysisConfig::everything()).is_empty());
+    }
+
+    #[test]
+    fn guard_must_dominate_not_follow() {
+        let src = SourceFile::parse(
+            "w.rs",
+            "fn f(w: &mut W, v: usize) {\n    w.put_u32(v as u32);\n    assert!(v <= u32::MAX as usize);\n}\n",
+        );
+        assert_eq!(run(&src, &AnalysisConfig::everything()).len(), 1);
+    }
+}

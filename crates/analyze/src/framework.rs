@@ -1,0 +1,273 @@
+//! The lint framework: finding/edge records, the analysis
+//! configuration (which paths each lint covers), the workspace file
+//! walker, and the runner that produces a [`Report`].
+
+use crate::lexer::SourceFile;
+use crate::{alloc_hot, cast_audit, lock_order, spawn, unwrap_lib};
+use std::path::{Path, PathBuf};
+
+/// One lint finding: a violation at a specific line. Baseline matching
+/// keys on `(lint, file, excerpt)` so pure line drift does not churn
+/// the gate; `line` is kept for humans.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Lint name (e.g. `alloc-in-hot-path`).
+    pub lint: String,
+    /// Root-relative file path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line the finding anchors to.
+    pub excerpt: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The identity baseline matching uses.
+    pub fn key(&self) -> (String, String, String) {
+        (self.lint.clone(), self.file.clone(), self.excerpt.clone())
+    }
+}
+
+/// One lock-while-holding edge in the Mutex-acquisition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock held at the acquisition site.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// File of the acquisition site.
+    pub file: String,
+    /// 1-based line of the acquisition site.
+    pub line: usize,
+    /// Callee that performs the acquisition, when the edge is
+    /// call-mediated rather than a direct `.lock()`.
+    pub via: Option<String>,
+}
+
+impl std::fmt::Display for LockEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} -> {} ({}:{}",
+            self.from, self.to, self.file, self.line
+        )?;
+        if let Some(via) = &self.via {
+            write!(f, ", via {via}()")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Which files each lint covers. [`AnalysisConfig::workspace`] is the
+/// committed policy for this repository; fixture tests build narrower
+/// configs.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Path prefixes whose non-test code must stay free of
+    /// `.unwrap()`/`.expect(` (library crates; binaries/benches may
+    /// panic).
+    pub unwrap_scope: Vec<String>,
+    /// Path prefixes audited for unguarded narrowing `as u32`/`as u16`
+    /// casts (wire encode paths).
+    pub cast_scope: Vec<String>,
+    /// Files whose entire non-test body is a hot path (no allocation
+    /// tokens anywhere).
+    pub hot_files: Vec<String>,
+    /// `(file, fn)` pairs whose bodies are hot paths.
+    pub hot_fns: Vec<(String, String)>,
+    /// Files allowed to spawn/scope threads (the sanctioned parallel
+    /// modules).
+    pub spawn_sanctioned: Vec<String>,
+}
+
+impl AnalysisConfig {
+    /// The committed lint policy for this workspace.
+    pub fn workspace() -> Self {
+        AnalysisConfig {
+            unwrap_scope: vec![
+                "crates/serve/src/".into(),
+                "crates/core/src/".into(),
+                "crates/formats/src/".into(),
+                "crates/kernels/src/".into(),
+            ],
+            cast_scope: vec!["crates/serve/src/".into()],
+            hot_files: vec!["crates/kernels/src/lanes.rs".into()],
+            hot_fns: vec![("crates/kernels/src/spgemm.rs".into(), "rowwise_row".into())],
+            spawn_sanctioned: vec![
+                "crates/kernels/src/parallel.rs".into(),
+                "crates/kernels/src/dispatch.rs".into(),
+                "crates/core/src/planner.rs".into(),
+                "crates/serve/src/service.rs".into(),
+                "crates/bench/src/serving.rs".into(),
+            ],
+        }
+    }
+
+    /// A maximal-scope config for single-file fixture checks: every
+    /// lint applies to every scanned file, and no spawn site is
+    /// sanctioned.
+    pub fn everything() -> Self {
+        AnalysisConfig {
+            unwrap_scope: vec![String::new()],
+            cast_scope: vec![String::new()],
+            hot_files: Vec::new(),
+            hot_fns: Vec::new(),
+            spawn_sanctioned: Vec::new(),
+        }
+    }
+}
+
+/// The full output of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// The Mutex-acquisition graph's lock-while-holding edges
+    /// (informational; cycles over them become findings).
+    pub edges: Vec<LockEdge>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings of one lint.
+    pub fn of(&self, lint: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.lint == lint).collect()
+    }
+}
+
+/// Collect the `.rs` files the workspace policy scans: `src/` trees of
+/// the root package and every `crates/*` member. Vendored stand-ins,
+/// integration tests, examples, benches and the analyzer's own fixture
+/// corpus are out of scope.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut members: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Parse `paths` (made root-relative) and run every lint.
+///
+/// A first pass over the texts finds braceless `#[cfg(test)] mod x;`
+/// declarations: the referenced files (`x.rs` / `x/mod.rs`) are test
+/// code even though nothing inside them says so, and are marked
+/// entirely in-test before linting.
+pub fn analyze_paths(root: &Path, paths: &[PathBuf], config: &AnalysisConfig) -> Report {
+    let mut texts: Vec<(PathBuf, String)> = Vec::new();
+    for p in paths {
+        if let Ok(text) = std::fs::read_to_string(p) {
+            texts.push((p.clone(), text));
+        }
+    }
+    let mut test_files: Vec<PathBuf> = Vec::new();
+    for (p, text) in &texts {
+        let Some(dir) = p.parent() else { continue };
+        for name in cfg_test_mod_decls(text) {
+            test_files.push(dir.join(format!("{name}.rs")));
+            test_files.push(dir.join(&name).join("mod.rs"));
+        }
+    }
+    let mut sources = Vec::new();
+    for (p, text) in &texts {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let mut src = SourceFile::parse(&rel, text);
+        if test_files.iter().any(|t| t == p) {
+            for line in &mut src.lines {
+                line.in_test = true;
+            }
+        }
+        sources.push(src);
+    }
+    analyze_sources(&sources, config)
+}
+
+/// Names of braceless modules declared under a `#[cfg(test)]`
+/// attribute (`#[cfg(test)] mod x;` → `x`).
+fn cfg_test_mod_decls(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut pending = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "#[cfg(test)]" {
+            pending = true;
+            continue;
+        }
+        if pending {
+            if let Some(rest) = t.strip_prefix("mod ") {
+                if let Some(name) = rest.strip_suffix(';') {
+                    out.push(name.trim().to_string());
+                }
+            }
+            // Any other attribute keeps the marker pending; code clears it.
+            if !t.starts_with("#[") {
+                pending = false;
+            }
+        }
+    }
+    out
+}
+
+/// Run every lint over already-parsed sources.
+pub fn analyze_sources(sources: &[SourceFile], config: &AnalysisConfig) -> Report {
+    let mut findings = Vec::new();
+    for src in sources {
+        findings.extend(alloc_hot::run(src, config));
+        findings.extend(unwrap_lib::run(src, config));
+        findings.extend(cast_audit::run(src, config));
+        findings.extend(spawn::run(src, config));
+    }
+    let (edges, cycle_findings) = lock_order::run(sources);
+    findings.extend(cycle_findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint, &a.excerpt).cmp(&(&b.file, b.line, &b.lint, &b.excerpt))
+    });
+    Report {
+        findings,
+        edges,
+        files_scanned: sources.len(),
+    }
+}
+
+/// Convenience: run the workspace policy over the whole tree at `root`.
+pub fn analyze_workspace(root: &Path) -> Report {
+    let files = workspace_files(root);
+    analyze_paths(root, &files, &AnalysisConfig::workspace())
+}
+
+/// Does `path` start with any of the given prefixes?
+pub fn in_scope(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}

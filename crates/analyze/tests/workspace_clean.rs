@@ -1,0 +1,81 @@
+//! The self-run: the live workspace must be clean modulo the committed
+//! baseline. This is the same check CI's `sflint --gate` step enforces,
+//! kept in-tree so `cargo test` alone catches a regression.
+
+use sparseflex_analyze::{baseline, framework};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = workspace_root();
+    let report = framework::analyze_workspace(&root);
+    assert!(report.files_scanned > 100, "walker found too few files");
+    let base =
+        baseline::read_baseline(&root.join("results/lint_baseline.json")).expect("baseline parses");
+    assert!(!base.is_empty(), "committed baseline missing or empty");
+    let diff = baseline::diff(&report.findings, &base);
+    assert!(
+        diff.new.is_empty(),
+        "new findings not in baseline:\n{}",
+        diff.new
+            .iter()
+            .map(|f| format!("  [{}] {}:{}: {}", f.lint, f.file, f.line, f.excerpt))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries (prune with --write-baseline):\n{}",
+        diff.stale
+            .iter()
+            .map(|f| format!("  [{}] {}:{}: {}", f.lint, f.file, f.line, f.excerpt))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn serve_crate_carries_zero_unwrap_debt() {
+    // The serving layer promises typed errors end to end; its baseline
+    // allotment for unwrap-in-library is exactly zero, now and forever.
+    let root = workspace_root();
+    let report = framework::analyze_workspace(&root);
+    let serve_unwraps: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "unwrap-in-library" && f.file.starts_with("crates/serve/"))
+        .collect();
+    assert!(serve_unwraps.is_empty(), "{serve_unwraps:?}");
+    let base =
+        baseline::read_baseline(&root.join("results/lint_baseline.json")).expect("baseline parses");
+    assert!(
+        base.iter()
+            .all(|f| !(f.lint == "unwrap-in-library" && f.file.starts_with("crates/serve/"))),
+        "baseline must not carry serve unwrap debt"
+    );
+}
+
+#[test]
+fn lock_graph_stays_acyclic() {
+    let root = workspace_root();
+    let report = framework::analyze_workspace(&root);
+    let cycles = report.of("lock-order-cycle");
+    assert!(cycles.is_empty(), "{cycles:?}");
+    // The detector is actually looking at the real lock web, not an
+    // empty graph: the serve scheduler's deque->central edge must exist.
+    assert!(
+        report
+            .edges
+            .iter()
+            .any(|e| e.from == "deques" && e.to == "central"),
+        "expected serve work-stealing edges in {:?}",
+        report.edges
+    );
+}

@@ -11,6 +11,13 @@
 //! Counts are process-global, so concurrent measurement from several
 //! threads would cross-contaminate; the measurement entry points in
 //! [`crate::kernels`] are all single-threaded.
+//!
+//! This module is the workspace's **single** `unsafe` exception: the
+//! `GlobalAlloc` trait is itself unsafe to implement, and the impl only
+//! forwards to [`System`] after bumping an atomic. Every other crate is
+//! `#![forbid(unsafe_code)]`; this crate is `#![deny(unsafe_code)]`
+//! with the override scoped to exactly this module.
+#![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -26,6 +26,7 @@
 //! | [`kernels`] | streaming kernels — zero-alloc steady state + stream overhead budget |
 //! | [`parallel`] | data-parallel kernels — sequential/parallel bit-identity + ranged-arena allocs |
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -147,7 +147,8 @@ fn serve_once(frames: &[Vec<u8>], workers: usize, warm: Option<&[StoredTrace]>) 
             start_paused: true,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     if let Some(traces) = warm {
         service.warm_start(traces);
     }

@@ -33,6 +33,7 @@
 //!   virtual accelerator instances, sharing the system planner's cache
 //!   across jobs, threads and successive batch calls.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibrate;

@@ -67,6 +67,7 @@
 //! assert!(coo_sparse < csr_sparse);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;

@@ -21,6 +21,7 @@
 //! conversion plus PCIe round-trips dwarf MINT (Fig. 10), and that
 //! transfers consume ~50% of offloaded conversion time (Fig. 11).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod device;

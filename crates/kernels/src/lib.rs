@@ -39,6 +39,7 @@
 //! software baseline standing in for cuBLAS/cuSPARSE/MKL (Fig. 5 and
 //! Fig. 10), and inside the examples.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dispatch;

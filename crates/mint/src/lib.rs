@@ -28,6 +28,7 @@
 //! module adds the per-tile conversion API plus the double-buffered
 //! overlap schedule shared by the pipelined runtime and SAGE.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocks;

@@ -28,6 +28,7 @@
 //! [`DramModel`]: sparseflex_accel::DramModel
 //! [`conversion_cost`]: sparseflex_mint::conversion_cost
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod beam;

@@ -27,7 +27,7 @@
 //! use sparseflex_formats::{CooMatrix, DataType, MatrixData, MatrixFormat, SparseMatrix};
 //! use sparseflex_serve::{wire, FlexService, Priority, ServeConfig, WireJob};
 //!
-//! let service = FlexService::start(FlexSystem::default(), ServeConfig::default());
+//! let service = FlexService::start(FlexSystem::default(), ServeConfig::default()).unwrap();
 //! let a = CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (2, 3, 2.0)]).unwrap();
 //! let b = CooMatrix::from_triplets(4, 3, vec![(0, 1, 3.0), (3, 2, 4.0)]).unwrap();
 //! let job = WireJob {
@@ -45,6 +45,7 @@
 //! assert_eq!(result.output.rows(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod service;
@@ -52,6 +53,6 @@ pub mod wire;
 
 pub use service::{
     FlexService, JobOutcome, JobTicket, Priority, ServeConfig, ServeError, ServiceStats,
-    SubmitError, TenantStats,
+    StartError, SubmitError, TenantStats,
 };
 pub use wire::{WireError, WireJob, WireResult, WIRE_MAGIC, WIRE_VERSION};

@@ -31,8 +31,18 @@ use sparseflex_core::{BatchJob, CacheCounters, FlexSystem, PlanCache, RunError, 
 use sparseflex_formats::SparseMatrix;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Poison-tolerant lock acquisition. A worker that panics mid-job
+/// poisons whatever it held, but every structure guarded here keeps its
+/// invariants across each critical section (counters are monotonic,
+/// queues structurally valid after every push/pop), so the right
+/// response is to recover the data — not to cascade the panic into
+/// every other worker and waiter.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Scheduling priority of a job within its tenant's queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +136,33 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Failure to bring the worker pool up: the OS refused to create a
+/// worker thread. Any workers spawned before the failure are shut down
+/// and joined before this is returned.
+#[derive(Debug)]
+pub struct StartError {
+    /// Index of the worker whose thread could not be created.
+    pub worker: usize,
+    /// The underlying spawn failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not spawn serve worker {}: {}",
+            self.worker, self.source
+        )
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// A completed job's payload: the encoded result frame plus scheduling
 /// telemetry.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,16 +206,18 @@ impl JobTicket {
     /// [`ServeError::Shutdown`] rather than hanging.
     pub fn wait(self) -> Result<JobOutcome, ServeError> {
         let (lock, cvar) = &*self.slot;
-        let mut done = lock.lock().expect("ticket poisoned");
-        while done.is_none() {
-            done = cvar.wait(done).expect("ticket poisoned");
+        let mut done = lock_clean(lock);
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = cvar.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
-        done.take().expect("checked above")
     }
 
     /// Non-blocking probe: the outcome if the job already completed.
     pub fn try_wait(&self) -> Option<Result<JobOutcome, ServeError>> {
-        self.slot.0.lock().expect("ticket poisoned").take()
+        lock_clean(&self.slot.0).take()
     }
 }
 
@@ -335,12 +374,12 @@ impl Shared {
             .filter(|(_, t)| t.queued() > 0)
             .min_by_key(|(id, t)| (t.pass, **id))
             .map(|(id, _)| *id)?;
-        let t = central.tenants.get_mut(&tenant_id).expect("picked above");
-        let pending = t
-            .queues
-            .iter_mut()
-            .find_map(VecDeque::pop_front)
-            .expect("tenant had queued jobs");
+        // Both lookups hold by construction (the tenant was picked from
+        // the map with queued() > 0 under this same lock); `?` keeps the
+        // path total anyway — a violated invariant means "no job", not a
+        // worker panic.
+        let t = central.tenants.get_mut(&tenant_id)?;
+        let pending = t.queues.iter_mut().find_map(VecDeque::pop_front)?;
         t.pass += STRIDE_SCALE / t.weight.max(1);
         central.global_pass = t.pass;
         central.queued_total -= 1;
@@ -392,7 +431,7 @@ impl Shared {
                 stolen,
             });
         {
-            let mut central = self.central.lock().expect("service poisoned");
+            let mut central = lock_clean(&self.central);
             if let Some(t) = central.tenants.get_mut(&tenant) {
                 t.in_flight -= 1;
                 t.completed += 1;
@@ -402,13 +441,13 @@ impl Shared {
         // is no separate submitter condvar — submission is non-blocking
         // — but waking workers lets them re-check the central queues.
         let (lock, cvar) = &*slot;
-        *lock.lock().expect("ticket poisoned") = Some(outcome);
+        *lock_clean(lock) = Some(outcome);
         cvar.notify_all();
     }
 
     /// Note a job leaving a deque (popped or stolen).
     fn unpark_one(&self) {
-        let mut central = self.central.lock().expect("service poisoned");
+        let mut central = lock_clean(&self.central);
         central.parked_total = central.parked_total.saturating_sub(1);
     }
 
@@ -417,11 +456,7 @@ impl Shared {
     fn worker_loop(self: &Arc<Self>, worker: usize) {
         loop {
             // 1. Own deque, oldest first.
-            if let Some(active) = self.deques[worker]
-                .lock()
-                .expect("deque poisoned")
-                .pop_front()
-            {
+            if let Some(active) = lock_clean(&self.deques[worker]).pop_front() {
                 self.unpark_one();
                 self.run_job(active, worker, false);
                 continue;
@@ -430,12 +465,15 @@ impl Shared {
             //    job, park the surplus in our deque for siblings to
             //    steal.
             let first = {
-                let mut central = self.central.lock().expect("service poisoned");
+                let mut central = lock_clean(&self.central);
                 if central.shutdown {
                     return;
                 }
                 if central.paused {
-                    let _unused = self.work_ready.wait(central).expect("service poisoned");
+                    let _unused = self
+                        .work_ready
+                        .wait(central)
+                        .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
                 let mut batch = Vec::new();
@@ -451,15 +489,12 @@ impl Shared {
                 let surplus: Vec<Active> = it.collect();
                 if !surplus.is_empty() {
                     let count = surplus.len();
-                    self.deques[worker]
-                        .lock()
-                        .expect("deque poisoned")
-                        .extend(surplus);
+                    lock_clean(&self.deques[worker]).extend(surplus);
                     // Publish the parked count under the central lock
                     // before notifying, so a sibling racing into its
                     // sleep check either sees parked work or receives
                     // the wakeup — never neither.
-                    let mut central = self.central.lock().expect("service poisoned");
+                    let mut central = lock_clean(&self.central);
                     central.parked_total += count;
                     drop(central);
                     self.work_ready.notify_all();
@@ -474,7 +509,7 @@ impl Shared {
             //    parked job, keeping the victim's locality on the front).
             let stolen = (0..self.deques.len())
                 .filter(|&v| v != worker)
-                .find_map(|v| self.deques[v].lock().expect("deque poisoned").pop_back());
+                .find_map(|v| lock_clean(&self.deques[v]).pop_back());
             if let Some(active) = stolen {
                 self.unpark_one();
                 self.run_job(active, worker, true);
@@ -482,12 +517,15 @@ impl Shared {
             }
             // 4. Nothing anywhere: sleep until submission/resume/
             //    shutdown/parked work appears.
-            let central = self.central.lock().expect("service poisoned");
+            let central = lock_clean(&self.central);
             if central.shutdown {
                 return;
             }
             if central.paused || (central.queued_total == 0 && central.parked_total == 0) {
-                let _unused = self.work_ready.wait(central).expect("service poisoned");
+                let _unused = self
+                    .work_ready
+                    .wait(central)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -517,8 +555,10 @@ impl std::fmt::Debug for FlexService {
 impl FlexService {
     /// Start the service around `system` (its planner's cache is
     /// replaced by a sharded cache per the config; calibrator state —
-    /// including any warm start — is preserved).
-    pub fn start(mut system: FlexSystem, config: ServeConfig) -> Self {
+    /// including any warm start — is preserved). Fails with
+    /// [`StartError`] if the OS refuses a worker thread; any workers
+    /// already spawned are torn down first.
+    pub fn start(mut system: FlexSystem, config: ServeConfig) -> Result<Self, StartError> {
         system.planner.cache = PlanCache::with_shards(config.cache_capacity, config.cache_shards);
         let clock_hz = system.sage.accel.clock_hz;
         let workers = config.workers.max(1);
@@ -540,23 +580,32 @@ impl FlexService {
             clock_hz,
             config,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let s = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sparseflex-serve-{i}"))
-                    .spawn(move || s.worker_loop(i))
-                    .expect("spawn worker")
-            })
-            .collect();
-        FlexService {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("sparseflex-serve-{i}"))
+                .spawn(move || s.worker_loop(i))
+            {
+                Ok(h) => handles.push(h),
+                Err(source) => {
+                    lock_clean(&shared.central).shutdown = true;
+                    shared.work_ready.notify_all();
+                    for h in handles {
+                        let _unused = h.join();
+                    }
+                    return Err(StartError { worker: i, source });
+                }
+            }
+        }
+        Ok(FlexService {
             shared,
             workers: handles,
-        }
+        })
     }
 
     /// Start with default tuning.
-    pub fn with_defaults(system: FlexSystem) -> Self {
+    pub fn with_defaults(system: FlexSystem) -> Result<Self, StartError> {
         FlexService::start(system, ServeConfig::default())
     }
 
@@ -572,7 +621,7 @@ impl FlexService {
     /// Set a tenant's fair-share weight (clamped to ≥ 1). Unregistered
     /// tenants are auto-registered at weight 1 on first submission.
     pub fn register_tenant(&self, tenant: u32, weight: u64) {
-        let mut central = self.shared.central.lock().expect("service poisoned");
+        let mut central = lock_clean(&self.shared.central);
         let global_pass = central.global_pass;
         let t = central.tenants.entry(tenant).or_default();
         t.weight = weight.max(1);
@@ -599,7 +648,7 @@ impl FlexService {
         let slot: Oneshot = Arc::new((Mutex::new(None), Condvar::new()));
         let job_id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
         {
-            let mut central = self.shared.central.lock().expect("service poisoned");
+            let mut central = lock_clean(&self.shared.central);
             if central.shutdown {
                 return Err(SubmitError::Shutdown);
             }
@@ -651,13 +700,13 @@ impl FlexService {
     /// Un-pause dispatch (no-op when not paused). See
     /// [`ServeConfig::start_paused`].
     pub fn resume(&self) {
-        self.shared.central.lock().expect("service poisoned").paused = false;
+        lock_clean(&self.shared.central).paused = false;
         self.shared.work_ready.notify_all();
     }
 
     /// Snapshot per-tenant counters plus pool and cache telemetry.
     pub fn stats(&self) -> ServiceStats {
-        let central = self.shared.central.lock().expect("service poisoned");
+        let central = lock_clean(&self.shared.central);
         let mut tenants: Vec<TenantStats> = central
             .tenants
             .iter()
@@ -697,7 +746,7 @@ impl FlexService {
 
     fn shutdown_inner(&mut self) {
         let abandoned: Vec<Oneshot> = {
-            let mut central = self.shared.central.lock().expect("service poisoned");
+            let mut central = lock_clean(&self.shared.central);
             central.shutdown = true;
             let mut slots = Vec::new();
             for t in central.tenants.values_mut() {
@@ -721,17 +770,11 @@ impl FlexService {
             .shared
             .deques
             .iter()
-            .flat_map(|d| {
-                d.lock()
-                    .expect("deque poisoned")
-                    .drain(..)
-                    .map(|a| a.slot)
-                    .collect::<Vec<_>>()
-            })
+            .flat_map(|d| lock_clean(d).drain(..).map(|a| a.slot).collect::<Vec<_>>())
             .collect();
         for slot in abandoned.into_iter().chain(parked) {
             let (lock, cvar) = &*slot;
-            let mut done = lock.lock().expect("ticket poisoned");
+            let mut done = lock_clean(lock);
             if done.is_none() {
                 *done = Some(Err(ServeError::Shutdown));
             }
@@ -789,7 +832,8 @@ mod tests {
                 workers: 2,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         let tickets: Vec<JobTicket> = (0..8)
             .map(|i| service.submit(job(1, Priority::Normal, i)).unwrap())
             .collect();
@@ -819,7 +863,8 @@ mod tests {
                 start_paused: true,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         // Paused: jobs queue without being drained.
         assert!(service.submit(job(1, Priority::Normal, 0)).is_ok());
         assert!(service.submit(job(1, Priority::Normal, 1)).is_ok());
@@ -856,7 +901,8 @@ mod tests {
                 dispatch_batch: 1,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         service.register_tenant(1, 1); // saturating competitor
         service.register_tenant(2, 8); // light, high-weight tenant
         let heavy: Vec<JobTicket> = (0..36)
@@ -901,7 +947,8 @@ mod tests {
                 dispatch_batch: 1,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         let low = service.submit(job(1, Priority::Low, 0)).unwrap();
         let normal = service.submit(job(1, Priority::Normal, 1)).unwrap();
         let high = service.submit(job(1, Priority::High, 2)).unwrap();
@@ -930,7 +977,8 @@ mod tests {
                     queue_capacity: 64,
                     ..ServeConfig::default()
                 },
-            );
+            )
+            .expect("service starts");
             let tickets: Vec<JobTicket> = (0..48)
                 .map(|i| service.submit(job(1, Priority::Normal, i)).unwrap())
                 .collect();
@@ -957,7 +1005,8 @@ mod tests {
                 start_paused: true,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         let ticket = service.submit(job(1, Priority::Normal, 0)).unwrap();
         service.shutdown();
         assert_eq!(ticket.wait(), Err(ServeError::Shutdown));

@@ -225,6 +225,19 @@ fn put_dim(w: &mut ByteWriter, dim: usize) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Range-checked `usize -> u32` narrowing for wire indices: the single
+/// place an encode path is allowed to cast down. Coordinates are bounded
+/// by their (already-guarded) dimensions, but the check is kept total so
+/// a malformed payload can never silently truncate into a frame that
+/// decodes "successfully" to the wrong matrix.
+fn put_u32_checked(w: &mut ByteWriter, v: usize, what: &'static str) -> Result<(), WireError> {
+    if v > u32::MAX as usize {
+        return Err(WireError::Overflow(what));
+    }
+    w.put_u32(v as u32);
+    Ok(())
+}
+
 /// Read a `u64` count and verify the remaining bytes can actually hold
 /// `count * bytes_per_item` — a tampered count field fails here as
 /// `Truncated` *before* any allocation is sized from it.
@@ -258,11 +271,8 @@ fn put_matrix_format(w: &mut ByteWriter, fmt: &MatrixFormat) -> Result<(), WireE
         MatrixFormat::Csc => w.put_u8(3),
         MatrixFormat::Bsr { br, bc } => {
             w.put_u8(4);
-            if br > u32::MAX as usize || bc > u32::MAX as usize {
-                return Err(WireError::Overflow("BSR block shape exceeds u32"));
-            }
-            w.put_u32(br as u32);
-            w.put_u32(bc as u32);
+            put_u32_checked(w, br, "BSR block shape exceeds u32")?;
+            put_u32_checked(w, bc, "BSR block shape exceeds u32")?;
         }
         MatrixFormat::Dia => w.put_u8(5),
         MatrixFormat::Ell => w.put_u8(6),
@@ -308,10 +318,7 @@ fn put_tensor_format(w: &mut ByteWriter, fmt: &TensorFormat) -> Result<(), WireE
         TensorFormat::Csf => w.put_u8(2),
         TensorFormat::HiCoo { block } => {
             w.put_u8(3);
-            if block > u32::MAX as usize {
-                return Err(WireError::Overflow("HiCOO block exceeds u32"));
-            }
-            w.put_u32(block as u32);
+            put_u32_checked(w, block, "HiCOO block exceeds u32")?;
         }
         TensorFormat::Rlc { run_bits } => {
             w.put_u8(4);
@@ -362,10 +369,10 @@ fn put_matrix_body(w: &mut ByteWriter, m: &MatrixData) -> Result<(), WireError> 
             let coo = other.to_coo();
             w.put_u64(coo.values().len() as u64);
             for &r in coo.row_ids() {
-                w.put_u32(r as u32);
+                put_u32_checked(w, r, "matrix row id exceeds u32")?;
             }
             for &c in coo.col_ids() {
-                w.put_u32(c as u32);
+                put_u32_checked(w, c, "matrix col id exceeds u32")?;
             }
             for &v in coo.values() {
                 w.put_f64(v);
@@ -456,13 +463,13 @@ pub fn encode_tensor(t: &TensorData) -> Result<Vec<u8>, WireError> {
             let coo = other.to_coo();
             w.put_u64(coo.values().len() as u64);
             for &x in coo.x_ids() {
-                w.put_u32(x as u32);
+                put_u32_checked(&mut w, x, "tensor x id exceeds u32")?;
             }
             for &y in coo.y_ids() {
-                w.put_u32(y as u32);
+                put_u32_checked(&mut w, y, "tensor y id exceeds u32")?;
             }
             for &z in coo.z_ids() {
-                w.put_u32(z as u32);
+                put_u32_checked(&mut w, z, "tensor z id exceeds u32")?;
             }
             for &v in coo.values() {
                 w.put_f64(v);

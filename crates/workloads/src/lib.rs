@@ -20,6 +20,7 @@
 //! - [`resnet`] — the Fig. 14a ResNet-50/CIFAR-10 convolution layers and
 //!   the three pruning strategies of the §VII-D case study.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod resnet;

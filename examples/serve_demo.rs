@@ -22,7 +22,8 @@ fn main() {
             cache_shards: 8,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     // Tenant 3 pays for 4x the share of tenant 1.
     service.register_tenant(1, 1);
     service.register_tenant(2, 2);

@@ -21,6 +21,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use sparseflex_accel as accel;
 pub use sparseflex_core as system;
 pub use sparseflex_formats as formats;

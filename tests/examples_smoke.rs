@@ -201,7 +201,8 @@ fn serve_demo_path_end_to_end() {
             cache_shards: 8,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     service.register_tenant(1, 1);
     service.register_tenant(2, 2);
     service.register_tenant(3, 4);

@@ -82,7 +82,8 @@ fn soak_1k_wire_jobs_match_synchronous_run_batch_bit_for_bit() {
             tenant_inflight_cap: jobs.len() + 8,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let tickets: Vec<_> = jobs
         .iter()
         .map(|j| {
@@ -136,7 +137,8 @@ fn no_tenant_starves_under_a_saturating_competitor() {
             start_paused: true,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     service.register_tenant(1, 1);
     service.register_tenant(2, 1);
 
@@ -198,7 +200,8 @@ fn admission_control_rejects_with_typed_errors_over_the_wire() {
             start_paused: true,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let job = |tenant: u32| {
         let a = random_matrix(6, 8, 14, 1);
         let b = random_matrix(8, 5, 12, 2);
@@ -262,7 +265,8 @@ fn work_stealing_spreads_a_hoarded_batch() {
                 start_paused: true,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("service starts");
         let tickets: Vec<_> = (0..64)
             .map(|i| {
                 let a = random_matrix(20, 24, 120, 300 + i);
